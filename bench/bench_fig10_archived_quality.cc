@@ -1,0 +1,67 @@
+// Figure 10: archived scenario quality. Precision, recall, and F1 of the
+// coffee-room query over smoothed Markovian streams (Lahar) against the
+// Viterbi MAP determinization, plus the Section 4.2.1 ablation that drops
+// the CPTs and treats the smoothed marginals as independent. One query per
+// tag, pooled counts.
+//
+// Paper shape: archived gains exceed the real-time ones (the paper reports
+// ~+20 points precision and a massive +47 points recall near rho = 0.12,
+// with Lahar's F1 above Viterbi's along the whole interval); dropping the
+// correlations costs quality (the paper loses ~8 points of precision).
+#include <algorithm>
+
+#include "bench_util.h"
+
+using namespace lahar;
+using namespace lahar::bench;
+
+int main() {
+  const Timestamp kHorizon = 400;
+  const Timestamp kTolerance = 8;
+  const size_t kWorkers = 6;
+
+  auto scenario = OfficeScenario(kWorkers, kHorizon, /*seed=*/2008,
+                                 QualityConfig());
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  TagQualityData markov = CollectTagQuality(*scenario, StreamKind::kSmoothed,
+                                            Determinization::kViterbi);
+  TagQualityData indep = CollectTagQuality(
+      *scenario, StreamKind::kSmoothedIndependent, Determinization::kViterbi);
+  QualityScore viterbi = markov.BaselineScore(kTolerance);
+
+  std::printf("Fig 10 | Archived quality: Lahar(Markov) vs Viterbi MAP\n");
+  std::printf("workers=%zu horizon=%u tolerance=%u truth_events=%zu\n",
+              kWorkers, kHorizon, kTolerance, markov.total_truth);
+  PrintQualityHeader(
+      "Fig 10(a-c): precision / recall / F1 vs rho "
+      "(+ independent-marginals ablation)",
+      {"Markov", "Viterbi", "IndepAbl"});
+  double best_gain_p = -1, best_gain_r = -1;
+  int f1_wins = 0, rows = 0, markov_beats_indep = 0;
+  for (double rho : {0.02, 0.05, 0.08, 0.10, 0.12, 0.15, 0.20, 0.25, 0.30,
+                     0.40, 0.50}) {
+    QualityScore m = markov.LaharAt(rho, kTolerance);
+    QualityScore i = indep.LaharAt(rho, kTolerance);
+    PrintQualityRow(rho, {m, viterbi, i});
+    if (rho >= 0.0799) {
+      best_gain_p = std::max(best_gain_p, m.precision - viterbi.precision);
+      best_gain_r = std::max(best_gain_r, m.recall - viterbi.recall);
+    }
+    f1_wins += m.f1 >= viterbi.f1;
+    markov_beats_indep += m.f1 >= i.f1;
+    ++rows;
+  }
+  std::printf(
+      "\nmax gain over Viterbi in the useful band: precision %+0.1f pts, "
+      "recall %+0.1f pts\n",
+      100 * best_gain_p, 100 * best_gain_r);
+  std::printf("Markov F1 >= Viterbi F1 at %d/%d thresholds; "
+              "Markov F1 >= independent-ablation F1 at %d/%d\n",
+              f1_wins, rows, markov_beats_indep, rows);
+  std::printf("(paper: ~+20 pts precision / +47 pts recall at rho=0.12; "
+              "Markov F1 above Viterbi everywhere; correlations add ~8 pts)\n");
+  return 0;
+}

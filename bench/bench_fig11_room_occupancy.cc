@@ -1,0 +1,99 @@
+// Figure 11: room occupancy. (a) The acceptance probability over time of
+// "in room4 for 3 consecutive seconds" under Markovian correlations versus
+// independent marginals versus the Viterbi path; (b) how the MLE estimate
+// hops between rooms while the MAP path arbitrarily commits to one.
+//
+// Paper shape: the Markovian approach accrues probability during the visit
+// (self-transition ~0.6 beats the ~0.15 uniform marginal), the independent
+// product stays near marginal^3, and Viterbi typically selects the wrong
+// room and scores 0 throughout.
+#include "bench_util.h"
+#include "inference/viterbi.h"
+
+using namespace lahar;
+using namespace lahar::bench;
+
+int main() {
+  const Timestamp kHorizon = 40;
+  PipelineConfig config;
+  config.read_rate = 0.8;
+  config.room_stay = 0.6;
+  config.num_particles = 60;  // modest particle count: visible churn
+  auto scenario = RoomOccupancyScenario(kHorizon, /*seed=*/11, config);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  // The outer WHERE gives blocking (consecutive-timestep) semantics: any
+  // location event that is not room4 kills the partial match, so this asks
+  // for three *consecutive* steps in the room.
+  const std::string query =
+      "(At('tag1', l1); At('tag1', l2); At('tag1', l3)) "
+      "WHERE l1 = 'room4' AND l2 = 'room4' AND l3 = 'room4'";
+
+  auto markov_db = scenario->BuildDatabase(StreamKind::kSmoothed);
+  auto indep_db = scenario->BuildDatabase(StreamKind::kSmoothedIndependent);
+  if (!markov_db.ok() || !indep_db.ok()) return 1;
+  Lahar markov_lahar(markov_db->get());
+  Lahar indep_lahar(indep_db->get());
+  auto markov = markov_lahar.Run(query);
+  auto indep = indep_lahar.Run(query);
+  if (!markov.ok() || !indep.ok()) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
+  }
+  // Viterbi path satisfaction (0/1 per step).
+  Lahar viterbi_lahar(markov_db->get());
+  auto prepared = viterbi_lahar.Prepare(query);
+  if (!prepared.ok()) return 1;
+  auto viterbi_engine = DeterministicEngine::Create(
+      prepared->ast, **markov_db, Determinization::kViterbi);
+  if (!viterbi_engine.ok()) return 1;
+  auto viterbi_sat = viterbi_engine->Run();
+  if (!viterbi_sat.ok()) return 1;
+
+  std::printf("Fig 11(a) | P[in room4 for 3 consecutive steps] over time\n");
+  std::printf("%-5s %-8s %-10s %-12s %-8s\n", "t", "truth", "Markov",
+              "Independent", "Viterbi");
+  double markov_peak = 0, indep_peak = 0, viterbi_any = 0;
+  for (Timestamp t = 1; t <= kHorizon; ++t) {
+    bool truly_inside =
+        scenario->floorplan->location(scenario->tags[0].true_path[t]).name ==
+        "room4";
+    std::printf("%-5u %-8s %-10.4f %-12.4f %-8d\n", t,
+                truly_inside ? "room4" : "hall", markov->probs[t],
+                indep->probs[t], (*viterbi_sat)[t] ? 1 : 0);
+    markov_peak = std::max(markov_peak, markov->probs[t]);
+    indep_peak = std::max(indep_peak, indep->probs[t]);
+    viterbi_any += (*viterbi_sat)[t] ? 1 : 0;
+  }
+  std::printf("\npeak probability: Markov %.4f vs Independent %.4f "
+              "(ratio %.1fx); Viterbi accepted at %d timesteps\n",
+              markov_peak, indep_peak,
+              indep_peak > 0 ? markov_peak / indep_peak : 0.0,
+              static_cast<int>(viterbi_any));
+
+  // Fig 11(b): path stability of MLE vs MAP on the filtered stream.
+  auto filtered_db = scenario->BuildDatabase(StreamKind::kFiltered);
+  if (!filtered_db.ok()) return 1;
+  const Stream& fstream = (*filtered_db)->stream(0);
+  const Stream& mstream = (*markov_db)->stream(0);
+  auto hops = [](const std::vector<DomainIndex>& path) {
+    int h = 0;
+    for (size_t t = 2; t < path.size(); ++t) h += path[t] != path[t - 1];
+    return h;
+  };
+  int mle_hops = hops(MlePath(fstream));
+  int map_hops = hops(ViterbiPath(mstream));
+  int true_hops = 0;
+  for (Timestamp t = 2; t <= kHorizon; ++t) {
+    true_hops +=
+        scenario->tags[0].true_path[t] != scenario->tags[0].true_path[t - 1];
+  }
+  std::printf("\nFig 11(b) | location changes along the trace: MLE %d, "
+              "MAP %d, truth %d\n",
+              mle_hops, map_hops, true_hops);
+  std::printf("(paper: resampling makes MLE hop between rooms; MAP commits "
+              "to a single room)\n");
+  return 0;
+}

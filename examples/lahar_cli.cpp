@@ -1,0 +1,116 @@
+// lahar_cli: query saved probabilistic event databases from the shell.
+//
+//   lahar_cli QUERY DBFILE          run a query, print P[q@t] per timestep
+//   lahar_cli --classify QUERY DBFILE
+//   lahar_cli --gen DBFILE          write a demo database (office workers)
+//
+// The database format is documented in src/model/io.h; --gen produces one
+// to play with:
+//
+//   ./lahar_cli --gen /tmp/demo.db
+//   ./lahar_cli "At('tag1', l : CoffeeRoom(l))" /tmp/demo.db
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis/plan.h"
+#include "engine/lahar.h"
+#include "model/io.h"
+#include "query/printer.h"
+#include "sim/scenarios.h"
+
+using namespace lahar;
+
+namespace {
+
+int Generate(const std::string& path) {
+  PipelineConfig config;
+  config.read_rate = 0.6;
+  config.coffee_bias = 3.0;
+  auto scenario = OfficeScenario(3, 120, /*seed=*/7, config);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto db = scenario->BuildDatabase(StreamKind::kFiltered);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  if (Status s = WriteDatabaseToFile(**db, path); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu streams over %u timesteps to %s\n",
+              (*db)->num_streams(), (*db)->horizon(), path.c_str());
+  return 0;
+}
+
+int Classify(EventDatabase* db, const std::string& query) {
+  Lahar lahar(db);
+  auto prepared = lahar.Prepare(query);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("class: %s\n",
+              QueryClassName(prepared->classification.query_class));
+  if (!prepared->classification.reason.empty()) {
+    std::printf("note:  %s\n", prepared->classification.reason.c_str());
+  }
+  if (prepared->classification.query_class == QueryClass::kSafe) {
+    PlanOptions options;
+    options.assume_distinct_keys = true;
+    auto plan = CompileSafePlan(prepared->normalized, *db, options);
+    if (plan.ok()) {
+      std::printf("plan:  %s\n",
+                  PlanToString(**plan, db->interner()).c_str());
+    }
+  }
+  return 0;
+}
+
+int RunQuery(EventDatabase* db, const std::string& query) {
+  LaharOptions options;
+  options.plan.assume_distinct_keys = true;
+  Lahar lahar(db, options);
+  auto answer = lahar.Run(query);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "%s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("# engine=%s class=%s exact=%s\n",
+              EngineKindName(answer->engine),
+              QueryClassName(answer->query_class),
+              answer->exact ? "yes" : "no (sampled)");
+  std::printf("# t  P[q@t]\n");
+  for (Timestamp t = 1; t < answer->probs.size(); ++t) {
+    std::printf("%u %.6f\n", t, answer->probs[t]);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc == 3 && std::strcmp(argv[1], "--gen") == 0) {
+    return Generate(argv[2]);
+  }
+  bool classify = argc == 4 && std::strcmp(argv[1], "--classify") == 0;
+  if (argc != 3 && !classify) {
+    std::fprintf(stderr,
+                 "usage: %s QUERY DBFILE\n"
+                 "       %s --classify QUERY DBFILE\n"
+                 "       %s --gen DBFILE\n",
+                 argv[0], argv[0], argv[0]);
+    return 2;
+  }
+  const char* query = classify ? argv[2] : argv[1];
+  const char* path = classify ? argv[3] : argv[2];
+  auto db = ReadDatabaseFromFile(path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  return classify ? Classify(db->get(), query) : RunQuery(db->get(), query);
+}

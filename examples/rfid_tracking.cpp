@@ -1,0 +1,133 @@
+// RFID tracking end to end: the paper's primary motivating application.
+//
+// Simulates office workers in an instrumented two-floor building, runs raw
+// RFID readings through the particle filter (real-time) and through
+// forward-backward smoothing (archived), then answers the paper's central
+// coffee-room query with Lahar and with the deterministic MLE / Viterbi
+// baselines, and reports precision/recall/F1 for each.
+//
+// Usage: rfid_tracking [workers] [horizon] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "engine/deterministic_engine.h"
+#include "engine/lahar.h"
+#include "metrics/quality.h"
+#include "sim/scenarios.h"
+
+using namespace lahar;
+
+namespace {
+
+std::string CoffeeQuery(const std::string& tag) {
+  return "(At('" + tag + "', l1); At('" + tag + "', l2); At('" + tag +
+         "', l3)) WHERE NotRoom(l1) AND NotRoom(l2) AND CoffeeRoom(l3)";
+}
+
+struct Pooled {
+  size_t tp = 0, fp = 0, fn = 0;
+  void Add(const QualityScore& s) {
+    tp += s.true_positives;
+    fp += s.false_positives;
+    fn += s.false_negatives;
+  }
+  void Print(const char* label) const {
+    double p = tp + fp ? double(tp) / (tp + fp) : 1.0;
+    double r = tp + fn ? double(tp) / (tp + fn) : 1.0;
+    double f1 = p + r > 0 ? 2 * p * r / (p + r) : 0.0;
+    std::printf("  %-22s precision %.3f  recall %.3f  F1 %.3f\n", label, p, r,
+                f1);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t workers = argc > 1 ? std::atoi(argv[1]) : 4;
+  const Timestamp horizon = argc > 2 ? std::atoi(argv[2]) : 300;
+  const uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 42;
+  const Timestamp tolerance = 8;
+  const double rho = 0.12;
+
+  PipelineConfig config;
+  config.read_rate = 0.6;
+  config.bleed_rate = 0.06;
+  config.room_stay = 0.8;
+  config.coffee_bias = 3.0;
+  config.num_particles = 100;
+
+  auto scenario = OfficeScenario(workers, horizon, seed, config);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "scenario: %s\n",
+                 scenario.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Simulated %zu workers for %u steps in a building with %zu "
+              "locations and %zu antennas (read rate %.0f%%).\n",
+              workers, horizon, scenario->floorplan->num_locations(),
+              scenario->floorplan->num_antennas(), 100 * config.read_rate);
+
+  auto truth_db = scenario->BuildDatabase(StreamKind::kTruth);
+  auto filtered_db = scenario->BuildDatabase(StreamKind::kFiltered);
+  auto smoothed_db = scenario->BuildDatabase(StreamKind::kSmoothed);
+  if (!truth_db.ok() || !filtered_db.ok() || !smoothed_db.ok()) {
+    std::fprintf(stderr, "database construction failed\n");
+    return 1;
+  }
+
+  Pooled realtime, mle, archived, viterbi;
+  size_t total_events = 0;
+  for (const TagTrace& tag : scenario->tags) {
+    std::string query = CoffeeQuery(tag.name);
+    // Ground truth from the simulator's exact paths.
+    Lahar truth_lahar(truth_db->get());
+    auto truth_answer = truth_lahar.Run(query);
+    if (!truth_answer.ok()) {
+      std::fprintf(stderr, "truth: %s\n",
+                   truth_answer.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<Timestamp> truth = DetectionEvents(truth_answer->probs, 0.5);
+    total_events += truth.size();
+
+    // Real-time: Lahar on particle-filtered streams vs MLE.
+    Lahar rt(filtered_db->get());
+    auto rt_answer = rt.Run(query);
+    if (rt_answer.ok()) {
+      realtime.Add(Score(rt_answer->probs, rho, truth, tolerance));
+    }
+    auto rt_prepared = rt.Prepare(query);
+    auto mle_engine = DeterministicEngine::Create(
+        rt_prepared->ast, **filtered_db, Determinization::kMle);
+    if (mle_engine.ok()) {
+      auto sat = mle_engine->Run();
+      if (sat.ok()) mle.Add(Score(*sat, truth, tolerance));
+    }
+
+    // Archived: Lahar on smoothed Markovian streams vs the Viterbi path.
+    Lahar ar(smoothed_db->get());
+    auto ar_answer = ar.Run(query);
+    if (ar_answer.ok()) {
+      archived.Add(Score(ar_answer->probs, rho, truth, tolerance));
+    }
+    auto map_engine = DeterministicEngine::Create(
+        rt_prepared->ast, **smoothed_db, Determinization::kViterbi);
+    if (map_engine.ok()) {
+      auto sat = map_engine->Run();
+      if (sat.ok()) viterbi.Add(Score(*sat, truth, tolerance));
+    }
+  }
+
+  std::printf("\nCoffee-room events in the ground truth: %zu\n", total_events);
+  std::printf("\nReal-time scenario (threshold rho = %.2f):\n", rho);
+  realtime.Print("Lahar (independent)");
+  mle.Print("MLE baseline");
+  std::printf("\nArchived scenario:\n");
+  archived.Print("Lahar (Markovian)");
+  viterbi.Print("Viterbi MAP baseline");
+  std::printf("\nThe probabilistic engines trade a tunable amount of "
+              "precision for far higher recall; see bench_fig09/fig10 for "
+              "the full threshold sweeps.\n");
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Supply-chain compliance monitoring (the paper's first motivating domain):
+// RFID-tagged pallets move through a warehouse with scanning portals at the
+// dock, the corridors, and the inspection station — but the storage area is
+// unsensed and portals miss reads. The compliance query asks, per pallet:
+//
+//   "did it reach storage WITHOUT ever passing the inspection station?"
+//
+// expressed with a Kleene plus whose every unfolding avoids the inspection
+// zone. The answer is a probability per pallet; we compare against the
+// simulator's ground truth.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "engine/lahar.h"
+#include "engine/regular_engine.h"
+#include "sim/scenarios.h"
+
+using namespace lahar;
+
+namespace {
+
+// dock -- corrA -- inspection -- corrB -- storage
+//            \____________________/         (bypass edge skips inspection)
+Floorplan WarehouseFloorplan() {
+  Floorplan fp;
+  uint32_t dock = fp.AddLocation("dock", RoomType::kLobby, /*antenna=*/true);
+  uint32_t corr_a =
+      fp.AddLocation("corrA", RoomType::kHallway, /*antenna=*/true);
+  uint32_t inspection =
+      fp.AddLocation("inspection", RoomType::kOffice, /*antenna=*/true);
+  uint32_t corr_b =
+      fp.AddLocation("corrB", RoomType::kHallway, /*antenna=*/true);
+  uint32_t storage =
+      fp.AddLocation("storage", RoomType::kOffice, /*antenna=*/false);
+  fp.Link(dock, corr_a);
+  fp.Link(corr_a, inspection);
+  fp.Link(inspection, corr_b);
+  fp.Link(corr_a, corr_b);  // the bypass
+  fp.Link(corr_b, storage);
+  return fp;
+}
+
+TruePath MakePath(const Floorplan& fp, bool compliant, Timestamp horizon) {
+  auto at = [&](const char* name) { return fp.Find(name); };
+  std::vector<uint32_t> route = {at("dock"), at("dock"), at("corrA")};
+  if (compliant) {
+    // Inspection takes a few steps — several chances for the portal to
+    // catch the pallet despite missed reads.
+    route.push_back(at("inspection"));
+    route.push_back(at("inspection"));
+    route.push_back(at("inspection"));
+  }
+  route.push_back(at("corrB"));
+  TruePath path(horizon + 1, at("storage"));
+  Timestamp t = 1;
+  for (uint32_t loc : route) {
+    if (t > horizon) break;
+    path[t++] = loc;
+  }
+  return path;  // rest of the trace: parked in storage
+}
+
+}  // namespace
+
+int main() {
+  const Timestamp kHorizon = 12;
+  auto fp = std::make_shared<const Floorplan>(WarehouseFloorplan());
+  PipelineConfig config;
+  config.read_rate = 0.7;   // portals miss ~30% of pallets
+  config.room_stay = 0.8;
+  auto pipeline = std::make_shared<const TracePipeline>(fp.get(), config);
+
+  Scenario scenario;
+  scenario.floorplan = fp;
+  scenario.pipeline = pipeline;
+  scenario.seed = 77;
+  Rng rng(scenario.seed);
+  const bool compliant[] = {true, false, true, false, true};
+  for (size_t i = 0; i < 5; ++i) {
+    Rng obs = rng.Split();
+    scenario.tags.push_back(pipeline->Observe(
+        "pallet" + std::to_string(i + 1),
+        MakePath(*fp, compliant[i], kHorizon), &obs));
+  }
+
+  auto db = scenario.BuildDatabase(StreamKind::kSmoothed);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  // Domain-specific relations on top of the generic world.
+  auto not_inspection = (*db)->DeclareRelation("NotInspection", 1);
+  if (!not_inspection.ok()) return 1;
+  for (const Location& loc : fp->locations()) {
+    if (loc.name != "inspection") {
+      if (!(*not_inspection)->Insert({(*db)->Sym(loc.name)}).ok()) return 1;
+    }
+  }
+
+  std::printf("Warehouse compliance report (read rate %.0f%%, %u steps)\n\n",
+              100 * config.read_rate, kHorizon);
+  std::printf("%-10s %-10s %-28s %s\n", "pallet", "truth",
+              "P[skipped inspection]", "verdict");
+  Lahar lahar(db->get());
+  int correct = 0;
+  for (size_t i = 0; i < scenario.tags.size(); ++i) {
+    const std::string& name = scenario.tags[i].name;
+    // Left the dock, then a chain of zones that are never the inspection
+    // station, ending in storage. The final condition sits in an outer
+    // WHERE so that it *blocks*: if the zone right after the chain is not
+    // storage (e.g. the pallet went to inspection), the partial match dies
+    // instead of waiting for a later storage sighting (see docs/LANGUAGE.md
+    // on ':' vs WHERE).
+    std::string query = "(At('" + name + "', z1 : z1 = 'dock'); At('" + name +
+                        "', z2)+{ : NotInspection(z2)}; At('" + name +
+                        "', z3)) WHERE z3 = 'storage'";
+    auto prepared = lahar.Prepare(query);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    // "At any point" is an interval probability: latch the accept flag.
+    auto chain = RegularChain::Create(prepared->normalized, **db);
+    if (!chain.ok()) {
+      std::fprintf(stderr, "%s\n", chain.status().ToString().c_str());
+      return 1;
+    }
+    chain->EnableAcceptTracking();
+    while (chain->time() < kHorizon) chain->Step();
+    double p = chain->AcceptedProb();
+    bool flagged = p > 0.5;
+    bool truth_violation = !compliant[i];
+    correct += flagged == truth_violation;
+    std::printf("%-10s %-10s %-28.3f %s\n", name.c_str(),
+                truth_violation ? "VIOLATED" : "ok", p,
+                flagged == truth_violation ? "correct" : "WRONG");
+  }
+  std::printf("\n%d/5 pallets classified correctly at threshold 0.5.\n",
+              correct);
+  std::printf("Missed portal reads make the deterministic story ambiguous; "
+              "the probabilistic query quantifies exactly how ambiguous.\n");
+  return 0;
+}

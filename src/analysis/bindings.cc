@@ -1,0 +1,87 @@
+#include "analysis/bindings.h"
+
+#include <algorithm>
+
+namespace lahar {
+
+std::set<Value> CandidateValues(const NormalizedQuery& q,
+                                const EventDatabase& db, SymbolId x,
+                                const Binding& bound, size_t begin,
+                                size_t end) {
+  std::set<Value> candidates;
+  bool first_subgoal = true;
+  end = std::min(end, q.subgoals.size());
+  for (size_t i = begin; i < end; ++i) {
+    const NormalizedSubgoal& sg = q.subgoals[i];
+    const EventSchema* schema = db.FindSchema(sg.goal.type);
+    if (schema == nullptr) continue;
+    size_t key_arity =
+        std::min(schema->num_key_attrs, sg.goal.terms.size());
+    // Key positions holding x in this subgoal.
+    std::vector<size_t> xpos;
+    for (size_t p = 0; p < key_arity; ++p) {
+      const Term& t = sg.goal.terms[p];
+      if (t.is_var && t.var == x) xpos.push_back(p);
+    }
+    if (xpos.empty()) continue;
+
+    std::set<Value> here;
+    for (StreamId sid : db.StreamsOfType(sg.goal.type)) {
+      const Stream& stream = db.stream(sid);
+      const ValueTuple& key = stream.key();
+      if (key.size() != key_arity) continue;
+      // Check constants and already-bound variables in key positions.
+      bool ok = true;
+      for (size_t p = 0; p < key_arity && ok; ++p) {
+        const Term& t = sg.goal.terms[p];
+        if (!t.is_var) {
+          ok = t.constant == key[p];
+        } else if (t.var != x) {
+          auto it = bound.find(t.var);
+          if (it != bound.end()) ok = it->second == key[p];
+        }
+      }
+      // x may occupy several key positions; all must agree.
+      if (ok) {
+        Value v = key[xpos[0]];
+        for (size_t j = 1; j < xpos.size() && ok; ++j) {
+          ok = key[xpos[j]] == v;
+        }
+        if (ok) here.insert(v);
+      }
+    }
+    if (first_subgoal) {
+      candidates = std::move(here);
+      first_subgoal = false;
+    } else {
+      std::set<Value> inter;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            here.begin(), here.end(),
+                            std::inserter(inter, inter.begin()));
+      candidates = std::move(inter);
+    }
+    if (candidates.empty()) break;
+  }
+  return candidates;
+}
+
+std::vector<Binding> EnumerateBindings(const NormalizedQuery& q,
+                                       const EventDatabase& db,
+                                       const std::set<SymbolId>& vars) {
+  std::vector<Binding> bindings{Binding{}};
+  for (SymbolId x : vars) {
+    std::vector<Binding> next;
+    for (const Binding& b : bindings) {
+      for (const Value& v :
+           CandidateValues(q, db, x, b, 0, q.subgoals.size())) {
+        Binding nb = b;
+        nb.emplace(x, v);
+        next.push_back(std::move(nb));
+      }
+    }
+    bindings = std::move(next);
+  }
+  return bindings;
+}
+
+}  // namespace lahar

@@ -1,0 +1,37 @@
+// Enumeration of candidate groundings for shared variables.
+//
+// Syntactic independence puts shared variables in key positions, and stream
+// keys are deterministic, so the possible groundings of a shared variable
+// are exactly the key values of the streams that can unify with its
+// subgoals — a finite set independent of the stream length (Theorem 3.7's
+// "m distinct keys").
+#ifndef LAHAR_ANALYSIS_BINDINGS_H_
+#define LAHAR_ANALYSIS_BINDINGS_H_
+
+#include <set>
+#include <vector>
+
+#include "model/database.h"
+#include "query/normalize.h"
+
+namespace lahar {
+
+/// Candidate values for variable x: the intersection over all subgoals
+/// containing x (within [begin, end)) of the key values offered by streams
+/// whose type and key constants unify with that subgoal after substituting
+/// `bound`. Requires x to sit in key positions (guaranteed for grounded /
+/// syntactically-independent variables).
+std::set<Value> CandidateValues(const NormalizedQuery& q,
+                                const EventDatabase& db, SymbolId x,
+                                const Binding& bound, size_t begin,
+                                size_t end);
+
+/// Joint groundings for `vars` over the whole query: extends bindings one
+/// variable at a time so that multi-variable keys stay consistent.
+std::vector<Binding> EnumerateBindings(const NormalizedQuery& q,
+                                       const EventDatabase& db,
+                                       const std::set<SymbolId>& vars);
+
+}  // namespace lahar
+
+#endif  // LAHAR_ANALYSIS_BINDINGS_H_

@@ -1,0 +1,147 @@
+#include "analysis/classify.h"
+
+#include <algorithm>
+
+namespace lahar {
+namespace {
+
+// Key positions (term indices) of subgoal sg that hold variable x.
+std::vector<size_t> KeyPositionsOf(const NormalizedSubgoal& sg,
+                                   const EventDatabase& db, SymbolId x) {
+  std::vector<size_t> out;
+  const EventSchema* schema = db.FindSchema(sg.goal.type);
+  if (schema == nullptr) return out;
+  size_t key_arity =
+      std::min(schema->num_key_attrs, sg.goal.terms.size());
+  for (size_t i = 0; i < key_arity; ++i) {
+    const Term& t = sg.goal.terms[i];
+    if (t.is_var && t.var == x) out.push_back(i);
+  }
+  return out;
+}
+
+bool OccursAnywhere(const NormalizedSubgoal& sg, SymbolId x) {
+  for (const Term& t : sg.goal.terms) {
+    if (t.is_var && t.var == x) return true;
+  }
+  return false;
+}
+
+bool OccursOutsideKey(const NormalizedSubgoal& sg, const EventDatabase& db,
+                      SymbolId x) {
+  const EventSchema* schema = db.FindSchema(sg.goal.type);
+  size_t key_arity = schema == nullptr
+                         ? 0
+                         : std::min(schema->num_key_attrs,
+                                    sg.goal.terms.size());
+  for (size_t i = key_arity; i < sg.goal.terms.size(); ++i) {
+    const Term& t = sg.goal.terms[i];
+    if (t.is_var && t.var == x) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* QueryClassName(QueryClass c) {
+  switch (c) {
+    case QueryClass::kRegular: return "Regular";
+    case QueryClass::kExtendedRegular: return "ExtendedRegular";
+    case QueryClass::kSafe: return "Safe";
+    case QueryClass::kUnsafe: return "Unsafe";
+  }
+  return "?";
+}
+
+bool SyntacticallyIndependentOn(const NormalizedQuery& q,
+                                const EventDatabase& db, SymbolId x,
+                                size_t begin, size_t end) {
+  // (a) x occurs in every subgoal of the range, (b) only in key positions.
+  for (size_t i = begin; i < end; ++i) {
+    const NormalizedSubgoal& sg = q.subgoals[i];
+    if (KeyPositionsOf(sg, db, x).empty()) return false;
+    if (OccursOutsideKey(sg, db, x)) return false;
+    // A Kleene subgoal must export x, otherwise unfoldings rebind it.
+    if (sg.is_kleene &&
+        std::find(sg.kleene_vars.begin(), sg.kleene_vars.end(), x) ==
+            sg.kleene_vars.end()) {
+      return false;
+    }
+  }
+  // (c) same-type subgoals share a key position holding x, so no event can
+  // unify with two different groundings of x.
+  for (size_t i = begin; i < end; ++i) {
+    for (size_t j = i + 1; j < end; ++j) {
+      if (q.subgoals[i].goal.type != q.subgoals[j].goal.type) continue;
+      std::vector<size_t> pi = KeyPositionsOf(q.subgoals[i], db, x);
+      std::vector<size_t> pj = KeyPositionsOf(q.subgoals[j], db, x);
+      bool common = false;
+      for (size_t p : pi) {
+        if (std::find(pj.begin(), pj.end(), p) != pj.end()) {
+          common = true;
+          break;
+        }
+      }
+      if (!common) return false;
+    }
+  }
+  return true;
+}
+
+bool IsGrounded(const NormalizedQuery& q, const EventDatabase& db,
+                SymbolId x) {
+  // The smallest subquery containing all occurrences of x is a prefix
+  // (subqueries are prefixes in this language).
+  size_t last = 0;
+  bool found = false;
+  for (size_t i = 0; i < q.subgoals.size(); ++i) {
+    if (OccursAnywhere(q.subgoals[i], x)) {
+      last = i;
+      found = true;
+    }
+  }
+  if (!found) return true;  // never occurs: vacuously grounded
+  return SyntacticallyIndependentOn(q, db, x, 0, last + 1);
+}
+
+Classification Classify(const NormalizedQuery& q, const EventDatabase& db) {
+  Classification c;
+  if (!q.AllPredicatesLocal()) {
+    c.query_class = QueryClass::kUnsafe;
+    c.reason = "query has a non-local predicate (Prop. 3.18: #P-hard)";
+    return c;
+  }
+  std::set<SymbolId> shared = q.SharedVars();
+  if (shared.empty()) {
+    c.query_class = QueryClass::kRegular;
+    return c;
+  }
+  bool extended = true;
+  SymbolId bad_extended = 0;
+  for (SymbolId x : shared) {
+    if (!SyntacticallyIndependentOn(q, db, x, 0, q.subgoals.size())) {
+      extended = false;
+      bad_extended = x;
+      break;
+    }
+  }
+  if (extended) {
+    c.query_class = QueryClass::kExtendedRegular;
+    c.reason = "shared variables present";
+    return c;
+  }
+  for (SymbolId x : shared) {
+    if (!IsGrounded(q, db, x)) {
+      c.query_class = QueryClass::kUnsafe;
+      c.reason = "shared variable '" + db.interner().Name(x) +
+                 "' is not grounded (Def 3.8); #P-hard by Prop. 3.19";
+      return c;
+    }
+  }
+  c.query_class = QueryClass::kSafe;
+  c.reason = "variable '" + db.interner().Name(bad_extended) +
+             "' is not shared across all subgoals";
+  return c;
+}
+
+}  // namespace lahar

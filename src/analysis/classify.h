@@ -1,0 +1,59 @@
+// Static analysis: the four query classes of Section 3.
+//
+//   Regular (Def 3.1)          — every predicate local, no shared variables.
+//   Extended Regular (Def 3.5) — every predicate local; every shared
+//                                variable x has q syntactically independent
+//                                on x (Def 3.4). The check is sound and
+//                                complete for event queries (Section 3.2).
+//   Safe (Def 3.8)             — every predicate local; every shared
+//                                variable is grounded: the smallest prefix
+//                                containing all its occurrences is
+//                                syntactically independent on it.
+//   Unsafe                     — anything else; provably #P-hard
+//                                (Props. 3.18/3.19), sampling only.
+#ifndef LAHAR_ANALYSIS_CLASSIFY_H_
+#define LAHAR_ANALYSIS_CLASSIFY_H_
+
+#include <string>
+
+#include "model/database.h"
+#include "query/normalize.h"
+
+namespace lahar {
+
+/// The query classes, ordered from most to least restrictive.
+enum class QueryClass {
+  kRegular,
+  kExtendedRegular,
+  kSafe,
+  kUnsafe,
+};
+
+/// Human-readable class name.
+const char* QueryClassName(QueryClass c);
+
+/// \brief Classification result with the reason a tighter class was missed.
+struct Classification {
+  QueryClass query_class = QueryClass::kUnsafe;
+  /// Why the query is not in the next-tighter class (diagnostics).
+  std::string reason;
+};
+
+/// Checks Def 3.4 on the subgoal range [begin, end): x occurs in every
+/// subgoal of the range, always in a key position, and same-type subgoals
+/// agree on at least one key position holding x. Kleene subgoals must
+/// export x (x in V).
+bool SyntacticallyIndependentOn(const NormalizedQuery& q,
+                                const EventDatabase& db, SymbolId x,
+                                size_t begin, size_t end);
+
+/// Checks Def 3.8's groundedness of x: the smallest prefix containing all
+/// occurrences of x is syntactically independent on x.
+bool IsGrounded(const NormalizedQuery& q, const EventDatabase& db, SymbolId x);
+
+/// Classifies a normalized query against a database's schemas.
+Classification Classify(const NormalizedQuery& q, const EventDatabase& db);
+
+}  // namespace lahar
+
+#endif  // LAHAR_ANALYSIS_CLASSIFY_H_

@@ -1,0 +1,214 @@
+#include "analysis/plan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/classify.h"
+#include "query/printer.h"
+
+namespace lahar {
+namespace {
+
+NormalizedQuery Prefix(const NormalizedQuery& q, size_t len) {
+  NormalizedQuery out;
+  out.subgoals.assign(q.subgoals.begin(), q.subgoals.begin() + len);
+  return out;
+}
+
+std::set<SymbolId> SharedVarsInPrefix(const NormalizedQuery& q, size_t len) {
+  return Prefix(q, len).SharedVars();
+}
+
+std::set<SymbolId> VarsInRange(const NormalizedQuery& q, size_t begin,
+                               size_t end) {
+  std::set<SymbolId> out;
+  for (size_t i = begin; i < end; ++i) {
+    auto v = q.subgoals[i].Vars();
+    out.insert(v.begin(), v.end());
+  }
+  return out;
+}
+
+// True if the terms are syntactically identical.
+bool SameTerm(const Term& a, const Term& b) { return a == b; }
+
+// True if some key position distinguishes the two same-type subgoals
+// syntactically (used by the assume_distinct_keys relaxation).
+bool KeysSyntacticallyDiffer(const Subgoal& a, const Subgoal& b,
+                             const EventDatabase& db) {
+  const EventSchema* schema = db.FindSchema(a.type);
+  if (schema == nullptr) return false;
+  size_t key_arity = std::min({schema->num_key_attrs, a.terms.size(),
+                               b.terms.size()});
+  for (size_t i = 0; i < key_arity; ++i) {
+    if (!SameTerm(a.terms[i], b.terms[i])) return true;
+  }
+  return false;
+}
+
+struct Compiler {
+  const NormalizedQuery& q;
+  const EventDatabase& db;
+  const PlanOptions& options;
+
+  Result<SafePlanPtr> Plan(std::set<SymbolId> env, size_t len) {
+    std::set<SymbolId> shared = SharedVarsInPrefix(q, len);
+    // Line 1: all shared variables eliminated -> regular leaf.
+    if (std::includes(env.begin(), env.end(), shared.begin(), shared.end())) {
+      auto node = std::make_shared<SafePlanNode>();
+      node->kind = SafePlanNode::Kind::kReg;
+      node->prefix_len = len;
+      node->reg_query = Prefix(q, len);
+      node->reg_vars.assign(env.begin(), env.end());
+      return SafePlanPtr(node);
+    }
+    // Line 3: eliminate an independent shared variable by projection.
+    for (SymbolId x : shared) {
+      if (env.count(x)) continue;
+      if (SyntacticallyIndependentOn(q, db, x, 0, len)) {
+        std::set<SymbolId> env2 = env;
+        env2.insert(x);
+        LAHAR_ASSIGN_OR_RETURN(SafePlanPtr child, Plan(std::move(env2), len));
+        auto node = std::make_shared<SafePlanNode>();
+        node->kind = SafePlanNode::Kind::kProject;
+        node->prefix_len = len;
+        node->project_var = x;
+        node->child = std::move(child);
+        return SafePlanPtr(node);
+      }
+    }
+    // Line 7: split off the last subgoal with seq.
+    if (len >= 2) {
+      const NormalizedSubgoal& g = q.subgoals[len - 1];
+      if (g.is_kleene) {
+        return Status::Unimplemented(
+            "a parameterized Kleene plus cannot be the right child of seq; "
+            "no safe plan (use the sampling engine)");
+      }
+      // cannotUnify precondition: strictly, no event may match both g and a
+      // prefix subgoal; the relaxed mode additionally accepts pairs whose
+      // key terms differ syntactically (the distinct-keys reading).
+      bool strict_ok = true;
+      bool relaxed_ok = options.assume_distinct_keys;
+      for (size_t i = 0; i + 1 < len; ++i) {
+        const Subgoal& h = q.subgoals[i].goal;
+        if (!CanUnifySubgoals(h, g.goal, db)) continue;
+        strict_ok = false;
+        if (!KeysSyntacticallyDiffer(h, g.goal, db)) relaxed_ok = false;
+      }
+      std::set<SymbolId> gvars = g.Vars();
+      std::set<SymbolId> q1vars = VarsInRange(q, 0, len - 1);
+      std::set<SymbolId> inter;
+      std::set_intersection(gvars.begin(), gvars.end(), q1vars.begin(),
+                            q1vars.end(), std::inserter(inter, inter.begin()));
+      bool shared_grounded = std::includes(env.begin(), env.end(),
+                                           inter.begin(), inter.end());
+      if (strict_ok && shared_grounded) {
+        LAHAR_ASSIGN_OR_RETURN(SafePlanPtr child, Plan(env, len - 1));
+        return MakeSeq(std::move(child), g, len, /*exclude=*/false);
+      }
+      if (relaxed_ok && shared_grounded) {
+        // The witness exclusion set must be the streams of ONE grounding of
+        // the prefix, so every variable shared within the prefix is
+        // projected *outside* the seq: pi_-x(seq(reg<..x..>(prefix), g)).
+        // Combining groundings with the independent-union formula is an
+        // approximation here (groundings share witness streams); see the
+        // deviations section of DESIGN.md.
+        std::set<SymbolId> missing = SharedVarsInPrefix(q, len - 1);
+        for (SymbolId x : env) missing.erase(x);
+        std::set<SymbolId> env2 = env;
+        for (SymbolId x : missing) {
+          if (gvars.count(x) ||
+              !SyntacticallyIndependentOn(q, db, x, 0, len - 1)) {
+            return Status::UnsafeQuery(
+                "prefix variable '" + db.interner().Name(x) +
+                "' cannot be grounded for the relaxed seq split");
+          }
+          env2.insert(x);
+        }
+        LAHAR_ASSIGN_OR_RETURN(SafePlanPtr child, Plan(env2, len - 1));
+        LAHAR_ASSIGN_OR_RETURN(
+            SafePlanPtr node,
+            MakeSeq(std::move(child), g, len, /*exclude=*/true));
+        for (SymbolId x : missing) {
+          auto proj = std::make_shared<SafePlanNode>();
+          proj->kind = SafePlanNode::Kind::kProject;
+          proj->prefix_len = len;
+          proj->project_var = x;
+          proj->child = std::move(node);
+          node = std::move(proj);
+        }
+        return node;
+      }
+    }
+    return Status::UnsafeQuery(
+        "no safe plan exists for this query (Def 3.8 fails); evaluation is "
+        "#P-hard and only the sampling engine applies");
+  }
+
+  Result<SafePlanPtr> MakeSeq(SafePlanPtr child, const NormalizedSubgoal& g,
+                              size_t len, bool exclude) {
+    auto node = std::make_shared<SafePlanNode>();
+    node->kind = SafePlanNode::Kind::kSeq;
+    node->prefix_len = len;
+    node->seq_goal = g;
+    node->seq_exclude_left_streams = exclude;
+    node->child = std::move(child);
+    return SafePlanPtr(node);
+  }
+};
+
+}  // namespace
+
+bool CanUnifySubgoals(const Subgoal& a, const Subgoal& b,
+                      const EventDatabase& db) {
+  (void)db;
+  if (a.type != b.type) return false;
+  if (a.terms.size() != b.terms.size()) return false;
+  for (size_t i = 0; i < a.terms.size(); ++i) {
+    if (!a.terms[i].is_var && !b.terms[i].is_var &&
+        a.terms[i].constant != b.terms[i].constant) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<SafePlanPtr> CompileSafePlan(const NormalizedQuery& q,
+                                    const EventDatabase& db,
+                                    const PlanOptions& options) {
+  if (!q.AllPredicatesLocal()) {
+    return Status::UnsafeQuery(
+        "query has a non-local predicate; #P-hard (Prop. 3.18)");
+  }
+  Compiler compiler{q, db, options};
+  return compiler.Plan({}, q.subgoals.size());
+}
+
+std::string PlanToString(const SafePlanNode& plan, const Interner& interner) {
+  switch (plan.kind) {
+    case SafePlanNode::Kind::kReg: {
+      std::string out = "reg<";
+      for (size_t i = 0; i < plan.reg_vars.size(); ++i) {
+        if (i) out += ", ";
+        out += interner.Name(plan.reg_vars[i]);
+      }
+      out += ">(";
+      for (size_t i = 0; i < plan.reg_query.subgoals.size(); ++i) {
+        if (i) out += "; ";
+        out += ToString(plan.reg_query.subgoals[i].goal, interner);
+        if (plan.reg_query.subgoals[i].is_kleene) out += "+";
+      }
+      return out + ")";
+    }
+    case SafePlanNode::Kind::kProject:
+      return "pi_-" + interner.Name(plan.project_var) + "(" +
+             PlanToString(*plan.child, interner) + ")";
+    case SafePlanNode::Kind::kSeq:
+      return "seq(" + PlanToString(*plan.child, interner) + ", " +
+             ToString(plan.seq_goal.goal, interner) + ")";
+  }
+  return "?";
+}
+
+}  // namespace lahar

@@ -1,0 +1,83 @@
+// Safe plans and the plan compiler (Section 3.3.2, Algorithm 1).
+//
+// A safe plan is a left-linear tree whose leftmost leaf is a regular
+// expression operator reg<Vreg>(q) — a prefix of the query whose shared
+// variables Vreg have been eliminated by enclosing projections — combined
+// upward by seq (sequencing with the precursor/witness decomposition of
+// Eq. 3) and pi_{-x} (independent-project) operators. Selections are folded
+// into subgoal predicates during normalization, so no explicit sigma
+// operator remains.
+#ifndef LAHAR_ANALYSIS_PLAN_H_
+#define LAHAR_ANALYSIS_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/database.h"
+#include "query/normalize.h"
+
+namespace lahar {
+
+struct SafePlanNode;
+using SafePlanPtr = std::shared_ptr<const SafePlanNode>;
+
+/// \brief One operator of a safe plan.
+struct SafePlanNode {
+  enum class Kind { kReg, kProject, kSeq };
+  Kind kind = Kind::kReg;
+
+  /// Subgoals [0, prefix_len) of the normalized query are this node's scope.
+  size_t prefix_len = 0;
+
+  // kReg: the (still-parameterized) regular prefix and its grounded vars.
+  NormalizedQuery reg_query;
+  std::vector<SymbolId> reg_vars;
+
+  // kProject: the eliminated variable.
+  SymbolId project_var = 0;
+
+  // kSeq: the right-hand base subgoal. When seq_exclude_left_streams is set
+  // (assume_distinct_keys relaxation), the witness probabilities for this
+  // subgoal exclude every stream consumed by the left subplan.
+  NormalizedSubgoal seq_goal;
+  bool seq_exclude_left_streams = false;
+
+  SafePlanPtr child;  // kProject / kSeq
+};
+
+/// Options controlling plan compilation.
+struct PlanOptions {
+  /// Relaxes the cannotUnify precondition of seq: subgoals whose key terms
+  /// are syntactically different are treated as matching *distinct* keys
+  /// (e.g. At(p, l2); At(q, l3) reads "another tag q"), and the seq
+  /// operator's witness probabilities exclude the streams consumed by the
+  /// left subplan. This matches the evaluation queries of Fig. 14; without
+  /// it, such queries are rejected as potentially overlapping.
+  bool assume_distinct_keys = false;
+
+  /// The seq operator drops precursor/witness terms whose probability falls
+  /// below this (0 disables truncation — the eager ablation). With dense
+  /// witness streams the truncated sums are near-constant work per
+  /// timestep, the behaviour behind Fig. 14(b).
+  double seq_truncate = 1e-12;
+};
+
+/// Compiles a safe plan per Algorithm 1. Returns an UnsafeQuery status when
+/// no safe plan exists (the query is #P-hard, Sections 3.4), or
+/// Unimplemented for a Kleene tail that cannot fold into the reg leaf.
+Result<SafePlanPtr> CompileSafePlan(const NormalizedQuery& q,
+                                    const EventDatabase& db,
+                                    const PlanOptions& options = {});
+
+/// Renders the plan, e.g. "seq(pi_-x(reg<x>(R(x); S(x))), T('a', y))".
+std::string PlanToString(const SafePlanNode& plan, const Interner& interner);
+
+/// True if no event can unify with both subgoals (conservative syntactic
+/// check; used by the seq precondition).
+bool CanUnifySubgoals(const Subgoal& a, const Subgoal& b,
+                      const EventDatabase& db);
+
+}  // namespace lahar
+
+#endif  // LAHAR_ANALYSIS_PLAN_H_

@@ -1,0 +1,72 @@
+#include "automaton/nfa.h"
+
+namespace lahar {
+
+Result<QueryNfa> QueryNfa::Build(const NormalizedQuery& q) {
+  const size_t n = q.subgoals.size();
+  if (n == 0) return Status::InvalidArgument("query has no subgoals");
+  if (n > 31) return Status::InvalidArgument("too many subgoals (max 31)");
+
+  QueryNfa nfa;
+  auto add = [&nfa](uint8_t from, uint8_t to, SymbolMask req, bool forbid,
+                    bool always) {
+    nfa.edges_.push_back({from, to, req, forbid, always});
+  };
+
+  // State 0 is the start with the wildcard self-loop (the .* prefix: a match
+  // may begin at any timestep). State s_i is reached after subgoal i; Kleene
+  // subgoals get an extra "gap" state for in-between timesteps.
+  uint8_t next_state = 1;
+  add(0, 0, 0, false, /*always=*/true);
+
+  uint8_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const SymbolMask ma = MatchBit(i) | AcceptBit(i);
+    const SymbolMask a = AcceptBit(i);
+    uint8_t si = next_state++;
+    if (i > 0) {
+      // (not {m_i, a_i})* self-loop on the previous state, then consume a_i.
+      add(prev, prev, ma, /*forbid=*/true, false);
+    }
+    add(prev, si, a, /*forbid=*/false, false);
+    if (q.subgoals[i].is_kleene) {
+      // ((not {m,a})*, a)+ : consume further a_i's, possibly across gaps.
+      uint8_t gap = next_state++;
+      add(si, si, a, false, false);         // immediate next unfolding
+      add(si, gap, ma, /*forbid=*/true, false);
+      add(gap, gap, ma, /*forbid=*/true, false);
+      add(gap, si, a, false, false);
+    }
+    prev = si;
+  }
+  nfa.num_states_ = next_state;
+  if (nfa.num_states_ > 63) {
+    return Status::InvalidArgument("automaton too large");
+  }
+  nfa.accept_mask_ = 1ULL << prev;
+
+  nfa.edges_by_state_.resize(nfa.num_states_);
+  for (const NfaEdge& e : nfa.edges_) nfa.edges_by_state_[e.from].push_back(e);
+  return nfa;
+}
+
+StateMask QueryNfa::Transition(StateMask states, SymbolMask input) const {
+  auto key = std::make_pair(states, input);
+  if (memo_enabled_) {
+    auto it = memo_.find(key);
+    if (it != memo_.end()) return it->second;
+  }
+  StateMask out = 0;
+  StateMask rest = states;
+  while (rest != 0) {
+    int s = __builtin_ctzll(rest);
+    rest &= rest - 1;
+    for (const NfaEdge& e : edges_by_state_[s]) {
+      if (e.Matches(input)) out |= 1ULL << e.to;
+    }
+  }
+  if (memo_enabled_) memo_.emplace(key, out);
+  return out;
+}
+
+}  // namespace lahar

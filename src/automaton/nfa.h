@@ -1,0 +1,84 @@
+// The query automaton (step III of Section 3.1.1).
+//
+// The regular-expression translation of a normalized query
+//
+//   E_q = .*, {a_1}, [(not {m_2,a_2})*, {a_2}], ... per subgoal,
+//   with ((not {m_i,a_i})*, {a_i})+ for Kleene subgoals
+//
+// is built directly as a small NFA whose edges carry atomic set predicates:
+// either "input contains all of REQ" or "input is disjoint from REQ"
+// (Section 3.1.1's P and not-P forms). Evaluation tracks the *set* of live
+// NFA states as a bitmask; the set evolves deterministically with each input
+// symbol set, which is exactly the lazy subset construction the paper's
+// Markov-chain algorithm needs.
+#ifndef LAHAR_AUTOMATON_NFA_H_
+#define LAHAR_AUTOMATON_NFA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "automaton/symbols.h"
+
+namespace lahar {
+
+/// Bitmask over NFA states (state i = bit i); supports up to 63 states.
+using StateMask = uint64_t;
+
+/// \brief One NFA edge: from --pred--> to.
+struct NfaEdge {
+  uint8_t from;
+  uint8_t to;
+  SymbolMask req;     ///< the symbol set S of the atomic predicate
+  bool forbid;        ///< false: input ⊇ S matches; true: input ∩ S = ∅
+  bool always;        ///< true: matches any input (the wildcard self-loop)
+
+  bool Matches(SymbolMask input) const {
+    if (always) return true;
+    if (forbid) return (input & req) == 0;
+    return (input & req) == req;
+  }
+};
+
+/// \brief Query NFA with memoized state-set transitions.
+class QueryNfa {
+ public:
+  /// Builds the automaton for a normalized query (at most 31 subgoals).
+  static Result<QueryNfa> Build(const NormalizedQuery& q);
+
+  /// The state set before any input: {start}.
+  StateMask InitialStates() const { return 1; }
+
+  /// Advances a state set on one input symbol set. Memoized.
+  StateMask Transition(StateMask states, SymbolMask input) const;
+
+  /// True iff the state set contains the accepting state.
+  bool Accepts(StateMask states) const { return (states & accept_mask_) != 0; }
+
+  size_t num_states() const { return num_states_; }
+  const std::vector<NfaEdge>& edges() const { return edges_; }
+
+  /// Disables/enables the transition memo cache (ablation hook; on by
+  /// default).
+  void set_memoization(bool enabled) { memo_enabled_ = enabled; }
+
+ private:
+  struct KeyHash {
+    size_t operator()(const std::pair<StateMask, SymbolMask>& k) const {
+      return std::hash<uint64_t>()(k.first * 0x9e3779b97f4a7c15ULL ^ k.second);
+    }
+  };
+
+  size_t num_states_ = 0;
+  StateMask accept_mask_ = 0;
+  bool memo_enabled_ = true;
+  std::vector<NfaEdge> edges_;
+  // Edges grouped by source state for the transition loop.
+  std::vector<std::vector<NfaEdge>> edges_by_state_;
+  mutable std::unordered_map<std::pair<StateMask, SymbolMask>, StateMask,
+                             KeyHash>
+      memo_;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_AUTOMATON_NFA_H_

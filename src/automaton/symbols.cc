@@ -1,0 +1,84 @@
+#include "automaton/symbols.h"
+
+namespace lahar {
+
+bool UnifyEvent(const Subgoal& goal, const ValueTuple& key,
+                const ValueTuple& values, size_t num_key_attrs,
+                Binding* binding) {
+  if (goal.terms.size() != key.size() + values.size()) return false;
+  for (size_t i = 0; i < goal.terms.size(); ++i) {
+    const Value& v = i < num_key_attrs ? key[i] : values[i - num_key_attrs];
+    const Term& t = goal.terms[i];
+    if (!t.is_var) {
+      if (t.constant != v) return false;
+      continue;
+    }
+    auto [it, inserted] = binding->emplace(t.var, v);
+    if (!inserted && it->second != v) return false;
+  }
+  return true;
+}
+
+Result<SymbolTable> SymbolTable::Build(const NormalizedQuery& q,
+                                       const EventDatabase& db) {
+  SymbolTable table;
+  table.num_subgoals_ = q.subgoals.size();
+  if (table.num_subgoals_ > 31) {
+    return Status::InvalidArgument("too many subgoals (max 31)");
+  }
+  for (StreamId s = 0; s < db.num_streams(); ++s) {
+    const Stream& stream = db.stream(s);
+    const EventSchema* schema = db.FindSchema(stream.type());
+    if (schema == nullptr) return Status::Internal("stream without schema");
+
+    // Fast reject: can any subgoal's type and key constants fit this stream?
+    bool possible = false;
+    for (const NormalizedSubgoal& sg : q.subgoals) {
+      if (sg.goal.type != stream.type()) continue;
+      if (sg.goal.terms.size() != schema->arity()) continue;
+      bool key_ok = true;
+      for (size_t i = 0; i < schema->num_key_attrs; ++i) {
+        const Term& t = sg.goal.terms[i];
+        if (!t.is_var && t.constant != stream.key()[i]) {
+          key_ok = false;
+          break;
+        }
+      }
+      if (key_ok) {
+        possible = true;
+        break;
+      }
+    }
+    if (!possible) continue;
+
+    std::vector<SymbolMask> masks(stream.domain_size(), 0);
+    bool any = false;
+    Binding binding;
+    for (DomainIndex d = 1; d < stream.domain_size(); ++d) {
+      const ValueTuple& values = stream.TupleOf(d);
+      for (size_t i = 0; i < q.subgoals.size(); ++i) {
+        const NormalizedSubgoal& sg = q.subgoals[i];
+        if (sg.goal.type != stream.type()) continue;
+        binding.clear();
+        if (!UnifyEvent(sg.goal, stream.key(), values, schema->num_key_attrs,
+                        &binding)) {
+          continue;
+        }
+        LAHAR_ASSIGN_OR_RETURN(bool match, sg.match_pred.Eval(binding, db));
+        if (!match) continue;
+        masks[d] |= MatchBit(i);
+        LAHAR_ASSIGN_OR_RETURN(bool accept, sg.accept_pred.Eval(binding, db));
+        if (accept) masks[d] |= AcceptBit(i);
+        any = true;
+      }
+      any = any || masks[d] != 0;
+    }
+    if (any) {
+      table.streams_.push_back(s);
+      table.masks_.push_back(std::move(masks));
+    }
+  }
+  return table;
+}
+
+}  // namespace lahar

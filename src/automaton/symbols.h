@@ -1,0 +1,67 @@
+// The symbol alphabet L_q and the event-to-symbol translation (steps I and
+// II of Section 3.1.1).
+//
+// For a normalized query with subgoals g_1..g_n, L_q = {m_1..m_n, a_1..a_n}.
+// A timestep's input is the *set* of symbols produced by all events at that
+// timestep, encoded as a bitmask: bit 2i is m_{i+1}, bit 2i+1 is a_{i+1}.
+// An event produces m_i if it unifies with g_i and satisfies its match
+// predicate, and additionally a_i if it satisfies the accept predicate.
+//
+// Because a stream's key is deterministic and its value attributes range
+// over a fixed domain, the symbol set contributed by a stream is a pure
+// function of its current domain index; SymbolTable precomputes that mask
+// for every participating stream and domain index.
+#ifndef LAHAR_AUTOMATON_SYMBOLS_H_
+#define LAHAR_AUTOMATON_SYMBOLS_H_
+
+#include <vector>
+
+#include "model/database.h"
+#include "query/normalize.h"
+
+namespace lahar {
+
+/// Symbol sets are bitmasks over L_q; supports up to 31 subgoals.
+using SymbolMask = uint64_t;
+
+inline SymbolMask MatchBit(size_t subgoal) { return 1ULL << (2 * subgoal); }
+inline SymbolMask AcceptBit(size_t subgoal) {
+  return 1ULL << (2 * subgoal + 1);
+}
+
+/// Attempts to unify an event (stream key + value tuple) with a subgoal,
+/// extending `binding` in place. Returns false (and may leave partial
+/// bindings) on mismatch; callers pass a scratch binding.
+bool UnifyEvent(const Subgoal& goal, const ValueTuple& key,
+                const ValueTuple& values, size_t num_key_attrs,
+                Binding* binding);
+
+/// \brief Precomputed per-stream symbol masks for one normalized query.
+class SymbolTable {
+ public:
+  /// Builds the table. Fails if the query has more than 31 subgoals or a
+  /// predicate references an undeclared relation.
+  static Result<SymbolTable> Build(const NormalizedQuery& q,
+                                   const EventDatabase& db);
+
+  /// Streams that can produce at least one symbol for this query, in id
+  /// order. Only these matter to the Markov chain.
+  const std::vector<StreamId>& participating() const { return streams_; }
+
+  /// Symbol mask produced by participating stream (by *position* in
+  /// participating()) when it takes domain index d. Bottom yields 0.
+  SymbolMask MaskFor(size_t position, DomainIndex d) const {
+    return masks_[position][d];
+  }
+
+  size_t num_subgoals() const { return num_subgoals_; }
+
+ private:
+  size_t num_subgoals_ = 0;
+  std::vector<StreamId> streams_;
+  std::vector<std::vector<SymbolMask>> masks_;  // [position][domain index]
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_AUTOMATON_SYMBOLS_H_

@@ -1,0 +1,28 @@
+#include "common/interner.h"
+
+#include <cassert>
+
+namespace lahar {
+
+Interner::Interner() { Intern(""); }
+
+SymbolId Interner::Intern(std::string_view s) {
+  auto it = ids_.find(std::string(s));
+  if (it != ids_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(names_.size());
+  names_.emplace_back(s);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+SymbolId Interner::Lookup(std::string_view s) const {
+  auto it = ids_.find(std::string(s));
+  return it == ids_.end() ? kNotFound : it->second;
+}
+
+const std::string& Interner::Name(SymbolId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace lahar

@@ -1,0 +1,47 @@
+// String interning: maps strings to dense 32-bit symbol ids so that values,
+// relation names, and variables compare and hash as integers on hot paths.
+#ifndef LAHAR_COMMON_INTERNER_H_
+#define LAHAR_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace lahar {
+
+/// Dense id assigned to an interned string. Id 0 is always the empty string.
+using SymbolId = uint32_t;
+
+/// \brief Bidirectional string <-> SymbolId map.
+///
+/// Ids are assigned densely in insertion order, so they can index vectors.
+/// Not thread-safe; each pipeline owns one interner (usually via
+/// EventDatabase).
+class Interner {
+ public:
+  Interner();
+
+  /// Returns the id for `s`, interning it if new.
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the id for `s` if already interned, or kNotFound.
+  SymbolId Lookup(std::string_view s) const;
+
+  /// Returns the string for `id`. Requires a valid id.
+  const std::string& Name(SymbolId id) const;
+
+  /// Number of interned symbols (ids are 0..size()-1).
+  size_t size() const { return names_.size(); }
+
+  static constexpr SymbolId kNotFound = UINT32_MAX;
+
+ private:
+  std::unordered_map<std::string, SymbolId> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_COMMON_INTERNER_H_

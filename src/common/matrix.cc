@@ -1,0 +1,56 @@
+#include "common/matrix.h"
+
+namespace lahar {
+
+Matrix::Matrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Matrix::NormalizeRows() {
+  for (size_t r = 0; r < rows_; ++r) {
+    double total = 0;
+    for (size_t c = 0; c < cols_; ++c) total += At(r, c);
+    if (total <= 0) continue;
+    for (size_t c = 0; c < cols_; ++c) At(r, c) /= total;
+  }
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  assert(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      double a = At(r, k);
+      if (a == 0) continue;
+      for (size_t c = 0; c < other.cols(); ++c) {
+        out.At(r, c) += a * other.At(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::LeftMultiply(const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    double a = v[r];
+    if (a == 0) continue;
+    const double* row = Row(r);
+    for (size_t c = 0; c < cols_; ++c) out[c] += a * row[c];
+  }
+  return out;
+}
+
+double Sum(const std::vector<double>& v) {
+  double total = 0;
+  for (double x : v) total += x;
+  return total;
+}
+
+void Normalize(std::vector<double>* v) {
+  double total = Sum(*v);
+  if (total <= 0) return;
+  for (double& x : *v) x /= total;
+}
+
+}  // namespace lahar

@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+namespace lahar {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kUnsafeQuery: return "UnsafeQuery";
+    case StatusCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+Status::Status(StatusCode code, std::string msg)
+    : code_(code), msg_(std::move(msg)) {}
+
+Status Status::InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+Status Status::NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+Status Status::Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+Status Status::ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+Status Status::UnsafeQuery(std::string msg) {
+  return Status(StatusCode::kUnsafeQuery, std::move(msg));
+}
+Status Status::Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+}  // namespace lahar

@@ -1,0 +1,119 @@
+// Status and Result types for error handling without exceptions, following the
+// Arrow / RocksDB idiom: every fallible operation returns a Status (or a
+// Result<T> bundling a Status with a value).
+#ifndef LAHAR_COMMON_STATUS_H_
+#define LAHAR_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace lahar {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kParseError,
+  kUnsafeQuery,    ///< query provably #P-hard; only the sampling engine applies
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation: either OK or a code plus message.
+///
+/// Statuses are cheap to copy when OK (no allocation) and must be checked by
+/// the caller; the library never throws on data paths.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a non-OK status with the given code and message.
+  Status(StatusCode code, std::string msg);
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg);
+  static Status NotFound(std::string msg);
+  static Status AlreadyExists(std::string msg);
+  static Status OutOfRange(std::string msg);
+  static Status Unimplemented(std::string msg);
+  static Status ParseError(std::string msg);
+  static Status UnsafeQuery(std::string msg);
+  static Status Internal(std::string msg);
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<Code>: <message>" for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string msg_;
+};
+
+/// \brief A value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status: failure. OK statuses are a logic error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors for the contained value.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller (Arrow's ARROW_RETURN_NOT_OK).
+#define LAHAR_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::lahar::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+#define LAHAR_CONCAT_IMPL(x, y) x##y
+#define LAHAR_CONCAT(x, y) LAHAR_CONCAT_IMPL(x, y)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define LAHAR_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto LAHAR_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!LAHAR_CONCAT(_res_, __LINE__).ok())                       \
+    return LAHAR_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(LAHAR_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace lahar
+
+#endif  // LAHAR_COMMON_STATUS_H_

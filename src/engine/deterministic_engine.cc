@@ -1,0 +1,97 @@
+#include "engine/deterministic_engine.h"
+
+#include "analysis/bindings.h"
+#include "analysis/classify.h"
+#include "inference/viterbi.h"
+
+namespace lahar {
+
+Result<DeterministicEngine> DeterministicEngine::Create(QueryPtr q,
+                                                        const EventDatabase& db,
+                                                        Determinization mode) {
+  if (q == nullptr) return Status::InvalidArgument("null query");
+  DeterministicEngine engine;
+  engine.query_ = q;
+  engine.db_ = &db;
+  engine.mode_ = mode;
+  engine.horizon_ = db.horizon();
+  engine.paths_.resize(db.num_streams());
+
+  auto nq = Normalize(*q);
+  if (nq.ok()) {
+    Classification cls = Classify(*nq, db);
+    if (cls.query_class == QueryClass::kRegular ||
+        cls.query_class == QueryClass::kExtendedRegular) {
+      std::vector<Binding> bindings =
+          EnumerateBindings(*nq, db, nq->SharedVars());
+      bool ok = true;
+      for (const Binding& b : bindings) {
+        NormalizedQuery grounded = nq->Substitute(b);
+        auto nfa = QueryNfa::Build(grounded);
+        auto table = SymbolTable::Build(grounded, db);
+        if (!nfa.ok() || !table.ok()) {
+          ok = false;
+          break;
+        }
+        GroundedChain chain;
+        chain.nfa = std::make_shared<const QueryNfa>(std::move(*nfa));
+        chain.symbols = std::make_shared<const SymbolTable>(std::move(*table));
+        chain.state = chain.nfa->InitialStates();
+        engine.chains_.push_back(std::move(chain));
+      }
+      if (!ok) engine.chains_.clear();
+    }
+  }
+  return engine;
+}
+
+const std::vector<DomainIndex>& DeterministicEngine::path(StreamId id) {
+  std::vector<DomainIndex>& p = paths_[id];
+  if (p.empty()) {
+    const Stream& stream = db_->stream(id);
+    p = mode_ == Determinization::kViterbi ? ViterbiPath(stream)
+                                           : MlePath(stream);
+    p.resize(horizon_ + 1, kBottom);
+  }
+  return p;
+}
+
+Result<bool> DeterministicEngine::Step() {
+  if (!incremental()) {
+    return Status::InvalidArgument(
+        "Step() requires regular groundings; use Run()");
+  }
+  Timestamp next = ++t_;
+  bool any = false;
+  for (GroundedChain& chain : chains_) {
+    SymbolMask input = 0;
+    const auto& participating = chain.symbols->participating();
+    for (size_t j = 0; j < participating.size(); ++j) {
+      input |= chain.symbols->MaskFor(j, path(participating[j])[next]);
+    }
+    chain.state = chain.nfa->Transition(chain.state, input);
+    any = any || chain.nfa->Accepts(chain.state);
+  }
+  return any;
+}
+
+Result<std::vector<bool>> DeterministicEngine::Run() {
+  std::vector<bool> out(horizon_ + 1, false);
+  if (incremental()) {
+    for (Timestamp t = 1; t <= horizon_; ++t) {
+      LAHAR_ASSIGN_OR_RETURN(bool sat, Step());
+      out[t] = sat;
+    }
+    return out;
+  }
+  World world;
+  world.values.reserve(db_->num_streams());
+  for (StreamId s = 0; s < db_->num_streams(); ++s) {
+    std::vector<DomainIndex> traj = path(s);
+    traj.resize(db_->stream(s).horizon() + 1, kBottom);
+    world.values.push_back(std::move(traj));
+  }
+  return SatisfiedAt(*query_, *db_, world);
+}
+
+}  // namespace lahar

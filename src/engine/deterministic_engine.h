@@ -1,0 +1,67 @@
+// The deterministic baselines of Section 4: discard the probabilities by
+// collapsing each stream to a single trajectory — the per-timestep most
+// likely tuple (MLE, real-time scenario) or the Viterbi MAP path (archived
+// scenario) — then run the query with standard Cayuga semantics.
+//
+// Regular/extended groundings run incrementally on the query NFA (this is
+// what makes MLE the throughput ceiling in Fig. 12); other queries fall
+// back to the reference evaluator on the determinized world.
+#ifndef LAHAR_ENGINE_DETERMINISTIC_ENGINE_H_
+#define LAHAR_ENGINE_DETERMINISTIC_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "automaton/nfa.h"
+#include "engine/reference.h"
+#include "query/normalize.h"
+
+namespace lahar {
+
+/// How to determinize the streams.
+enum class Determinization {
+  kMle,      ///< per-timestep argmax of marginals (real-time baseline)
+  kViterbi,  ///< most likely trajectory (archived MAP baseline)
+};
+
+/// \brief Deterministic event detection over a determinized database.
+class DeterministicEngine {
+ public:
+  static Result<DeterministicEngine> Create(QueryPtr q,
+                                            const EventDatabase& db,
+                                            Determinization mode);
+
+  /// satisfied[t] for t = 1..horizon (index 0 unused).
+  Result<std::vector<bool>> Run();
+
+  /// Advances the incremental NFA path one timestep; returns whether q@t.
+  Result<bool> Step();
+
+  bool incremental() const { return !chains_.empty(); }
+  Timestamp time() const { return t_; }
+  Timestamp horizon() const { return horizon_; }
+
+  /// The determinized trajectory of a stream (diagnostics, Fig. 11(b)).
+  /// Computed on first use — only streams a query touches pay for
+  /// determinization.
+  const std::vector<DomainIndex>& path(StreamId id);
+
+ private:
+  struct GroundedChain {
+    std::shared_ptr<const QueryNfa> nfa;
+    std::shared_ptr<const SymbolTable> symbols;
+    StateMask state = 0;
+  };
+
+  QueryPtr query_;
+  const EventDatabase* db_ = nullptr;
+  Determinization mode_ = Determinization::kMle;
+  Timestamp horizon_ = 0;
+  Timestamp t_ = 0;
+  std::vector<std::vector<DomainIndex>> paths_;  // per stream, lazily filled
+  std::vector<GroundedChain> chains_;            // NFA path if non-empty
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_ENGINE_DETERMINISTIC_ENGINE_H_

@@ -1,0 +1,56 @@
+#include "engine/extended_engine.h"
+
+#include "analysis/bindings.h"
+
+namespace lahar {
+
+Result<ExtendedRegularEngine> ExtendedRegularEngine::Create(
+    const NormalizedQuery& q, const EventDatabase& db) {
+  ExtendedRegularEngine engine;
+  engine.horizon_ = db.horizon();
+  std::set<SymbolId> shared = q.SharedVars();
+  std::vector<Binding> bindings = EnumerateBindings(q, db, shared);
+  for (Binding& b : bindings) {
+    NormalizedQuery grounded = q.Substitute(b);
+    LAHAR_ASSIGN_OR_RETURN(RegularChain chain,
+                           RegularChain::Create(grounded, db));
+    engine.chains_.push_back(std::move(chain));
+    engine.bindings_.push_back(std::move(b));
+  }
+  engine.chain_probs_.resize(engine.chains_.size(), 0.0);
+  return engine;
+}
+
+double ExtendedRegularEngine::Step() {
+  ++t_;
+  double none = 1.0;
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    chain_probs_[i] = chains_[i].Step();
+    none *= 1.0 - chain_probs_[i];
+  }
+  return 1.0 - none;
+}
+
+std::vector<double> ExtendedRegularEngine::Run() {
+  std::vector<double> probs(horizon_ + 1, 0.0);
+  for (Timestamp t = 1; t <= horizon_; ++t) probs[t] = Step();
+  return probs;
+}
+
+std::vector<ExtendedRegularEngine::BindingSeries>
+ExtendedRegularEngine::RunPerBinding() {
+  std::vector<BindingSeries> series(chains_.size());
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    series[i].binding = bindings_[i];
+    series[i].probs.assign(horizon_ + 1, 0.0);
+  }
+  for (Timestamp t = t_ + 1; t <= horizon_; ++t) {
+    Step();
+    for (size_t i = 0; i < chains_.size(); ++i) {
+      series[i].probs[t] = chain_probs_[i];
+    }
+  }
+  return series;
+}
+
+}  // namespace lahar

@@ -1,0 +1,58 @@
+// Extended Regular Queries (Section 3.2): one regular Markov chain per
+// grounding of the shared variables; the groundings use disjoint tuples, so
+// their truths are independent and combine as 1 - prod(1 - p_i).
+//
+// Space is O(m) in the number of distinct keys m, independent of stream
+// length (Theorem 3.7), and each timestep costs O(m) chain steps.
+#ifndef LAHAR_ENGINE_EXTENDED_ENGINE_H_
+#define LAHAR_ENGINE_EXTENDED_ENGINE_H_
+
+#include <vector>
+
+#include "engine/regular_engine.h"
+
+namespace lahar {
+
+/// \brief Engine for Extended Regular (and Regular) queries.
+class ExtendedRegularEngine {
+ public:
+  /// Builds one chain per grounding of the shared variables. The query must
+  /// be (extended) regular; classification is not re-checked here.
+  static Result<ExtendedRegularEngine> Create(const NormalizedQuery& q,
+                                              const EventDatabase& db);
+
+  /// Advances every chain one timestep; returns P[q@t] at the new time.
+  double Step();
+
+  /// P[q@t] for t = 1..horizon (index 0 unused).
+  std::vector<double> Run();
+
+  /// Per-grounding time series: which binding of the shared variables
+  /// satisfies the query, and when. `series[i].probs[t]` is P[q{binding_i}
+  /// satisfied at t]; the combined Run() answer is their independent union.
+  struct BindingSeries {
+    Binding binding;
+    std::vector<double> probs;
+  };
+  std::vector<BindingSeries> RunPerBinding();
+
+  Timestamp time() const { return t_; }
+  Timestamp horizon() const { return horizon_; }
+  size_t num_chains() const { return chains_.size(); }
+
+  /// Per-grounding probabilities at the current time (diagnostics).
+  const std::vector<double>& chain_probs() const { return chain_probs_; }
+  /// The grounding behind chain i.
+  const Binding& binding(size_t i) const { return bindings_[i]; }
+
+ private:
+  std::vector<RegularChain> chains_;
+  std::vector<Binding> bindings_;
+  std::vector<double> chain_probs_;
+  Timestamp t_ = 0;
+  Timestamp horizon_ = 0;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_ENGINE_EXTENDED_ENGINE_H_

@@ -1,0 +1,91 @@
+#include "engine/lahar.h"
+
+#include "engine/extended_engine.h"
+#include "engine/regular_engine.h"
+#include "engine/safe_engine.h"
+#include "query/parser.h"
+
+namespace lahar {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kRegular: return "Regular";
+    case EngineKind::kExtendedRegular: return "ExtendedRegular";
+    case EngineKind::kSafePlan: return "SafePlan";
+    case EngineKind::kSampling: return "Sampling";
+  }
+  return "?";
+}
+
+Result<PreparedQuery> Lahar::Prepare(std::string_view text) const {
+  PreparedQuery out;
+  LAHAR_ASSIGN_OR_RETURN(out.ast, ParseQuery(text, &db_->interner()));
+  LAHAR_RETURN_NOT_OK(ValidateQuery(*out.ast, *db_));
+  LAHAR_ASSIGN_OR_RETURN(out.normalized, Normalize(*out.ast));
+  out.classification = Classify(out.normalized, *db_);
+  return out;
+}
+
+Result<QueryAnswer> Lahar::Run(std::string_view text) const {
+  LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  return Run(prepared);
+}
+
+Result<QueryAnswer> Lahar::Run(const PreparedQuery& prepared) const {
+  QueryAnswer answer;
+  answer.query_class = prepared.classification.query_class;
+
+  auto sample = [&]() -> Result<QueryAnswer> {
+    LAHAR_ASSIGN_OR_RETURN(
+        SamplingEngine engine,
+        SamplingEngine::Create(prepared.ast, *db_, options_.sampling));
+    LAHAR_ASSIGN_OR_RETURN(answer.probs, engine.Run());
+    answer.engine = EngineKind::kSampling;
+    answer.exact = false;
+    return answer;
+  };
+
+  switch (prepared.classification.query_class) {
+    case QueryClass::kRegular: {
+      LAHAR_ASSIGN_OR_RETURN(
+          RegularEngine engine,
+          RegularEngine::Create(prepared.normalized, *db_));
+      answer.probs = engine.Run();
+      answer.engine = EngineKind::kRegular;
+      return answer;
+    }
+    case QueryClass::kExtendedRegular: {
+      LAHAR_ASSIGN_OR_RETURN(
+          ExtendedRegularEngine engine,
+          ExtendedRegularEngine::Create(prepared.normalized, *db_));
+      answer.probs = engine.Run();
+      answer.engine = EngineKind::kExtendedRegular;
+      return answer;
+    }
+    case QueryClass::kSafe: {
+      auto engine =
+          SafePlanEngine::Create(prepared.normalized, *db_, options_.plan);
+      if (engine.ok()) {
+        auto probs = engine->Run();
+        if (probs.ok()) {
+          answer.probs = std::move(*probs);
+          answer.engine = EngineKind::kSafePlan;
+          return answer;
+        }
+        if (!options_.allow_sampling_fallback) return probs.status();
+      } else if (!options_.allow_sampling_fallback) {
+        return engine.status();
+      }
+      return sample();
+    }
+    case QueryClass::kUnsafe: {
+      if (!options_.allow_sampling_fallback) {
+        return Status::UnsafeQuery(prepared.classification.reason);
+      }
+      return sample();
+    }
+  }
+  return Status::Internal("bad query class");
+}
+
+}  // namespace lahar

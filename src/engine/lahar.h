@@ -1,0 +1,87 @@
+// Lahar: the top-level event processing system. Parses a query, classifies
+// it (Regular / Extended Regular / Safe / Unsafe), routes it to the
+// cheapest applicable engine, and returns per-timestep probabilities —
+// the event query evaluation problem mu(q@t) of Section 2.3.
+//
+//   EventDatabase db = ...;                 // streams + relations
+//   Lahar lahar(&db);
+//   auto result = lahar.Run("At('Joe', l : CRoom(l))");
+//   for (t) result->probs[t];               // P[query satisfied at t]
+#ifndef LAHAR_ENGINE_LAHAR_H_
+#define LAHAR_ENGINE_LAHAR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/plan.h"
+#include "engine/sampling_engine.h"
+#include "query/ast.h"
+
+namespace lahar {
+
+/// Which engine evaluated the query.
+enum class EngineKind {
+  kRegular,
+  kExtendedRegular,
+  kSafePlan,
+  kSampling,
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Options for the Lahar facade.
+struct LaharOptions {
+  PlanOptions plan;
+  SamplingOptions sampling;
+  /// Fall back to sampling when an exact engine rejects the query (unsafe
+  /// queries, or safe queries outside the implemented algebra). When false,
+  /// such queries return an error Status instead.
+  bool allow_sampling_fallback = true;
+};
+
+/// \brief A parsed, validated, normalized, and classified query.
+struct PreparedQuery {
+  QueryPtr ast;
+  NormalizedQuery normalized;
+  Classification classification;
+};
+
+/// \brief Result of evaluating a query over the whole database.
+struct QueryAnswer {
+  /// mu(q@t) for t = 1..horizon (index 0 unused).
+  std::vector<double> probs;
+  EngineKind engine = EngineKind::kRegular;
+  QueryClass query_class = QueryClass::kRegular;
+  /// False when the sampling engine produced the (epsilon, delta) estimate.
+  bool exact = true;
+};
+
+/// \brief Facade over the four engines.
+class Lahar {
+ public:
+  /// The database is non-const because parsing interns new symbols through
+  /// its interner; stream contents are never modified.
+  explicit Lahar(EventDatabase* db, LaharOptions options = {})
+      : db_(db), options_(options) {}
+
+  /// Parses and analyzes a query without running it.
+  Result<PreparedQuery> Prepare(std::string_view text) const;
+
+  /// Parses, routes, and evaluates a query text.
+  Result<QueryAnswer> Run(std::string_view text) const;
+
+  /// Evaluates an already-prepared query.
+  Result<QueryAnswer> Run(const PreparedQuery& prepared) const;
+
+  const EventDatabase& db() const { return *db_; }
+
+ private:
+  EventDatabase* db_;
+  LaharOptions options_;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_ENGINE_LAHAR_H_

@@ -1,0 +1,269 @@
+#include "engine/reference.h"
+
+#include <algorithm>
+
+#include "automaton/symbols.h"
+#include <map>
+#include <set>
+
+namespace lahar {
+namespace {
+
+// A deterministic event instance inside one world.
+struct DetEvent {
+  SymbolId type;
+  const ValueTuple* key;
+  const ValueTuple* values;
+  size_t num_key;
+};
+
+// All events of a world, indexed by timestep.
+struct WorldIndex {
+  std::vector<std::vector<DetEvent>> at;  // [t], t = 1..horizon
+
+  static WorldIndex Build(const EventDatabase& db, const World& world) {
+    WorldIndex idx;
+    idx.at.resize(db.horizon() + 1);
+    for (StreamId s = 0; s < db.num_streams(); ++s) {
+      const Stream& stream = db.stream(s);
+      const EventSchema* schema = db.FindSchema(stream.type());
+      for (Timestamp t = 1; t <= stream.horizon(); ++t) {
+        DomainIndex d = world.values[s][t];
+        if (d == kBottom) continue;
+        idx.at[t].push_back({stream.type(), &stream.key(), &stream.TupleOf(d),
+                             schema->num_key_attrs});
+      }
+    }
+    return idx;
+  }
+};
+
+// Canonical key for deduplicating result events.
+using EventKey = std::pair<std::vector<std::pair<SymbolId, uint64_t>>, Timestamp>;
+
+EventKey KeyOf(const ResultEvent& e) {
+  std::vector<std::pair<SymbolId, uint64_t>> b;
+  b.reserve(e.binding.size());
+  for (const auto& [v, val] : e.binding) {
+    uint64_t enc = (static_cast<uint64_t>(val.kind()) << 62);
+    if (val.is_symbol()) {
+      enc ^= val.symbol();
+    } else if (val.is_int()) {
+      enc ^= static_cast<uint64_t>(val.int_value()) & ~(3ULL << 62);
+    }
+    b.emplace_back(v, enc);
+  }
+  std::sort(b.begin(), b.end());
+  return {std::move(b), e.t};
+}
+
+std::vector<ResultEvent> Dedup(std::vector<ResultEvent> in) {
+  std::set<EventKey> seen;
+  std::vector<ResultEvent> out;
+  for (auto& e : in) {
+    if (seen.insert(KeyOf(e)).second) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void ProjectTo(const std::set<SymbolId>& keep, Binding* b) {
+  for (auto it = b->begin(); it != b->end();) {
+    if (keep.count(it->first)) {
+      ++it;
+    } else {
+      it = b->erase(it);
+    }
+  }
+}
+
+class Evaluator {
+ public:
+  Evaluator(const EventDatabase& db, const WorldIndex& idx)
+      : db_(db), idx_(idx) {}
+
+  Result<std::vector<ResultEvent>> Eval(const Query& q) {
+    switch (q.kind) {
+      case Query::Kind::kBase:
+        return EvalLeaf(q.base);
+      case Query::Kind::kSequence: {
+        LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> lhs, Eval(*q.child));
+        std::set<SymbolId> child_free = FreeVars(*q.child);
+        return ExtendWithBase(std::move(lhs), q.base, child_free);
+      }
+      case Query::Kind::kSelection: {
+        LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> in, Eval(*q.child));
+        std::vector<ResultEvent> out;
+        for (auto& e : in) {
+          LAHAR_ASSIGN_OR_RETURN(bool keep, q.selection.Eval(e.binding, db_));
+          if (keep) out.push_back(std::move(e));
+        }
+        return out;
+      }
+    }
+    return Status::Internal("bad query node");
+  }
+
+ private:
+  // Matches of a subgoal + predicate at timestep t, extending `base` binding.
+  Result<std::vector<Binding>> MatchesAt(const Subgoal& goal,
+                                         const Condition& pred, Timestamp t,
+                                         const Binding& base) {
+    std::vector<Binding> out;
+    if (t >= idx_.at.size()) return out;
+    for (const DetEvent& ev : idx_.at[t]) {
+      if (ev.type != goal.type) continue;
+      Binding b = base;
+      if (!UnifyEvent(goal, *ev.key, *ev.values, ev.num_key, &b)) continue;
+      LAHAR_ASSIGN_OR_RETURN(bool ok, pred.Eval(b, db_));
+      if (ok) out.push_back(std::move(b));
+    }
+    return out;
+  }
+
+  // The events returned by sigma_pred(goal) across all timesteps.
+  Result<std::vector<ResultEvent>> LeafMatches(const Subgoal& goal,
+                                               const Condition& pred) {
+    std::vector<ResultEvent> out;
+    for (Timestamp t = 1; t < idx_.at.size(); ++t) {
+      LAHAR_ASSIGN_OR_RETURN(std::vector<Binding> bs,
+                             MatchesAt(goal, pred, t, Binding{}));
+      for (auto& b : bs) out.push_back({std::move(b), t});
+    }
+    return out;
+  }
+
+  // One sequencing step: pair each lhs event with its immediate successors
+  // among sigma_pred(goal) events agreeing on shared variables (Fig. 2).
+  Result<std::vector<ResultEvent>> SeqStep(const std::vector<ResultEvent>& lhs,
+                                           const Subgoal& goal,
+                                           const Condition& pred) {
+    std::vector<ResultEvent> out;
+    for (const ResultEvent& e1 : lhs) {
+      for (Timestamp t = e1.t + 1; t < idx_.at.size(); ++t) {
+        LAHAR_ASSIGN_OR_RETURN(std::vector<Binding> bs,
+                               MatchesAt(goal, pred, t, e1.binding));
+        if (bs.empty()) continue;
+        for (auto& b : bs) out.push_back({std::move(b), t});
+        break;  // only the earliest successor timestamp counts
+      }
+    }
+    return Dedup(std::move(out));
+  }
+
+  // Kleene unfolding: extend `level` results by one more sigma_theta1(goal)
+  // event, apply theta2, and project to keep ∪ V.
+  Result<std::vector<ResultEvent>> KleeneExtend(
+      const std::vector<ResultEvent>& level, const BaseQuery& bq,
+      const std::set<SymbolId>& keep) {
+    LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> next,
+                           SeqStep(level, bq.goal, bq.pred));
+    std::vector<ResultEvent> out;
+    for (auto& e : next) {
+      LAHAR_ASSIGN_OR_RETURN(bool ok, bq.kleene_pred.Eval(e.binding, db_));
+      if (!ok) continue;
+      ProjectTo(keep, &e.binding);
+      out.push_back(std::move(e));
+    }
+    return Dedup(std::move(out));
+  }
+
+  // Evaluates a leaf base query (a subgoal or a leading Kleene plus).
+  Result<std::vector<ResultEvent>> EvalLeaf(const BaseQuery& bq) {
+    if (!bq.is_kleene) return LeafMatches(bq.goal, bq.pred);
+    // First unfolding: a single matching event satisfying theta1 and theta2.
+    LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> level,
+                           LeafMatches(bq.goal, bq.pred));
+    std::set<SymbolId> keep(bq.kleene_vars.begin(), bq.kleene_vars.end());
+    std::vector<ResultEvent> filtered;
+    for (auto& e : level) {
+      LAHAR_ASSIGN_OR_RETURN(bool ok, bq.kleene_pred.Eval(e.binding, db_));
+      if (!ok) continue;
+      ProjectTo(keep, &e.binding);
+      filtered.push_back(std::move(e));
+    }
+    return KleeneFixpoint(Dedup(std::move(filtered)), bq, keep);
+  }
+
+  // Extends lhs results with a base query on the right of a sequence.
+  Result<std::vector<ResultEvent>> ExtendWithBase(
+      std::vector<ResultEvent> lhs, const BaseQuery& bq,
+      const std::set<SymbolId>& child_free) {
+    if (!bq.is_kleene) return SeqStep(lhs, bq.goal, bq.pred);
+    std::set<SymbolId> keep = child_free;
+    keep.insert(bq.kleene_vars.begin(), bq.kleene_vars.end());
+    LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> level,
+                           KleeneExtend(lhs, bq, keep));
+    return KleeneFixpoint(std::move(level), bq, keep);
+  }
+
+  // Unions unfoldings until no new results appear (bounded by the horizon).
+  Result<std::vector<ResultEvent>> KleeneFixpoint(
+      std::vector<ResultEvent> level, const BaseQuery& bq,
+      const std::set<SymbolId>& keep) {
+    std::set<EventKey> seen;
+    std::vector<ResultEvent> all;
+    for (const auto& e : level) {
+      seen.insert(KeyOf(e));
+      all.push_back(e);
+    }
+    size_t guard = idx_.at.size() + 1;
+    while (!level.empty() && guard-- > 0) {
+      LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> next,
+                             KleeneExtend(level, bq, keep));
+      level.clear();
+      for (auto& e : next) {
+        if (seen.insert(KeyOf(e)).second) {
+          all.push_back(e);
+          level.push_back(std::move(e));
+        }
+      }
+    }
+    return all;
+  }
+
+  const EventDatabase& db_;
+  const WorldIndex& idx_;
+};
+
+}  // namespace
+
+Result<std::vector<ResultEvent>> EvaluateOnWorld(const Query& q,
+                                                 const EventDatabase& db,
+                                                 const World& world) {
+  WorldIndex idx = WorldIndex::Build(db, world);
+  Evaluator eval(db, idx);
+  LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> out, eval.Eval(q));
+  return Dedup(std::move(out));
+}
+
+Result<std::vector<bool>> SatisfiedAt(const Query& q, const EventDatabase& db,
+                                      const World& world) {
+  LAHAR_ASSIGN_OR_RETURN(std::vector<ResultEvent> events,
+                         EvaluateOnWorld(q, db, world));
+  std::vector<bool> out(db.horizon() + 1, false);
+  for (const auto& e : events) {
+    if (e.t < out.size()) out[e.t] = true;
+  }
+  return out;
+}
+
+Result<std::vector<double>> BruteForceProbabilities(const Query& q,
+                                                    const EventDatabase& db) {
+  std::vector<double> probs(db.horizon() + 1, 0.0);
+  Status failure;
+  EnumerateWorlds(db, [&](const World& w, double p) {
+    if (!failure.ok()) return;
+    Result<std::vector<bool>> sat = SatisfiedAt(q, db, w);
+    if (!sat.ok()) {
+      failure = sat.status();
+      return;
+    }
+    for (Timestamp t = 1; t < probs.size(); ++t) {
+      if ((*sat)[t]) probs[t] += p;
+    }
+  });
+  if (!failure.ok()) return failure;
+  return probs;
+}
+
+}  // namespace lahar

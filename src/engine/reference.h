@@ -1,0 +1,44 @@
+// Reference evaluator: a direct, unoptimized implementation of the formal
+// query semantics of Fig. 2 over deterministic worlds, plus brute-force
+// probability computation by possible-world enumeration.
+//
+// This is the semantic ground truth that every optimized engine is tested
+// against, the deterministic core of the MLE/Viterbi baselines, and the
+// per-world evaluator available to the sampling engine for arbitrary
+// (including unsafe) queries.
+#ifndef LAHAR_ENGINE_REFERENCE_H_
+#define LAHAR_ENGINE_REFERENCE_H_
+
+#include <vector>
+
+#include "model/world.h"
+#include "query/ast.h"
+
+namespace lahar {
+
+/// \brief One result event: a binding of the query's free variables plus
+/// the timestamp at which the match completed.
+struct ResultEvent {
+  Binding binding;
+  Timestamp t = 0;
+};
+
+/// Evaluates q on a single deterministic world per the Fig. 2 semantics.
+/// Returns every result event (deduplicated).
+Result<std::vector<ResultEvent>> EvaluateOnWorld(const Query& q,
+                                                 const EventDatabase& db,
+                                                 const World& world);
+
+/// satisfied[t] == true iff the world satisfies q at timestep t
+/// (W |= q@t). Index 0 is unused; the vector has horizon+1 entries.
+Result<std::vector<bool>> SatisfiedAt(const Query& q, const EventDatabase& db,
+                                      const World& world);
+
+/// mu(q@t) for every t by exhaustive world enumeration. Exponential; only
+/// for tiny test databases. Index 0 unused.
+Result<std::vector<double>> BruteForceProbabilities(const Query& q,
+                                                    const EventDatabase& db);
+
+}  // namespace lahar
+
+#endif  // LAHAR_ENGINE_REFERENCE_H_

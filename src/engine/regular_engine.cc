@@ -1,0 +1,214 @@
+#include "engine/regular_engine.h"
+
+#include <algorithm>
+
+namespace lahar {
+
+Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
+                                          const EventDatabase& db) {
+  RegularChain chain;
+  LAHAR_ASSIGN_OR_RETURN(QueryNfa nfa, QueryNfa::Build(q));
+  chain.nfa_ = std::make_shared<const QueryNfa>(std::move(nfa));
+  LAHAR_ASSIGN_OR_RETURN(SymbolTable table, SymbolTable::Build(q, db));
+  chain.symbols_ = std::make_shared<const SymbolTable>(std::move(table));
+  chain.db_ = &db;
+  chain.horizon_ = db.horizon();
+
+  uint64_t radix = 1;
+  size_t slot = 0;
+  for (size_t pos = 0; pos < chain.symbols_->participating().size(); ++pos) {
+    StreamId id = chain.symbols_->participating()[pos];
+    const Stream& s = db.stream(id);
+    Participant p;
+    p.id = id;
+    p.position = pos;
+    p.markovian = s.markovian();
+    p.radix = 1;
+    p.hidden_slot = 0;
+    if (s.markovian()) {
+      // The joint hidden state is the product of the Markovian streams'
+      // domains; past ~1e6 the exact chain is impractical and the caller
+      // should ground the query per key (the paper's per-key processes).
+      if (radix > 1000000 / s.domain_size()) {
+        return Status::InvalidArgument(
+            "joint hidden state of Markovian streams is too large; ground "
+            "the query per key (run one chain per stream)");
+      }
+      p.radix = radix;
+      p.hidden_slot = slot++;
+      chain.radices_.push_back(radix);
+      radix *= s.domain_size();
+      chain.markov_participants_.push_back(p);
+    } else {
+      chain.indep_participants_.push_back(p);
+    }
+    chain.participants_.push_back(p);
+  }
+  chain.states_.emplace(Key{chain.nfa_->InitialStates(), 0}, 1.0);
+  return chain;
+}
+
+// Distribution over the OR of the symbol masks contributed by all
+// *independent* participating streams at timestep `next`. Streams are
+// independent of each other and of the past, so this is computed once per
+// step and shared by every chain state; collapsing domain values with equal
+// masks keeps it tiny (typically 2-4 entries) no matter how many streams or
+// how large their domains.
+void RegularChain::BuildIndependentMaskDist(Timestamp next) {
+  indep_dist_.clear();
+  indep_dist_.emplace_back(0, 1.0);
+  std::vector<std::pair<SymbolMask, double>> stream_dist;
+  std::vector<std::pair<SymbolMask, double>> merged;
+  for (const Participant& part : indep_participants_) {
+    const Stream& s = db_->stream(part.id);
+    stream_dist.clear();
+    if (next > s.horizon() || s.MarginalAt(next).empty()) {
+      continue;  // certain bottom: contributes mask 0 with probability 1
+    }
+    const std::vector<double>& m = s.MarginalAt(next);
+    for (DomainIndex d = 0; d < m.size(); ++d) {
+      if (m[d] <= 0) continue;
+      SymbolMask mask = symbols_->MaskFor(part.position, d);
+      bool found = false;
+      for (auto& [existing, p] : stream_dist) {
+        if (existing == mask) {
+          p += m[d];
+          found = true;
+          break;
+        }
+      }
+      if (!found) stream_dist.emplace_back(mask, m[d]);
+    }
+    if (stream_dist.size() == 1 && stream_dist[0].first == 0) continue;
+    // Convolve the running OR-distribution with this stream's.
+    merged.clear();
+    for (const auto& [acc_mask, acc_p] : indep_dist_) {
+      for (const auto& [mask, p] : stream_dist) {
+        SymbolMask combined = acc_mask | mask;
+        double added = acc_p * p;
+        bool found = false;
+        for (auto& [existing, ep] : merged) {
+          if (existing == combined) {
+            ep += added;
+            found = true;
+            break;
+          }
+        }
+        if (!found) merged.emplace_back(combined, added);
+      }
+    }
+    indep_dist_.swap(merged);
+  }
+}
+
+// Enumerates the joint assignment of the *Markovian* participating streams
+// at timestep `next`, then crosses each combination with the shared
+// independent-stream mask distribution.
+void RegularChain::EnumerateSuccessors(const Key& key, double p,
+                                       Timestamp next, StateMap* out) {
+  struct Frame {
+    SymbolMask input = 0;
+    uint64_t hidden = 0;
+    double prob = 1.0;
+  };
+  std::vector<Frame> frontier{{0, 0, p}};
+  std::vector<Frame> scratch;
+  for (const Participant& part : markov_participants_) {
+    const Stream& s = db_->stream(part.id);
+    scratch.clear();
+    if (next > s.horizon()) {
+      // Stream over: certain bottom, contributes nothing to the input.
+      for (const Frame& f : frontier) scratch.push_back(f);
+    } else if (next > 1) {
+      const Matrix& cpt = s.CptAt(next - 1);
+      const DomainIndex d = static_cast<DomainIndex>(
+          (key.hidden / part.radix) % s.domain_size());
+      const double* row = cpt.Row(d);
+      for (const Frame& f : frontier) {
+        for (DomainIndex d2 = 0; d2 < s.domain_size(); ++d2) {
+          double q = row[d2];
+          if (q <= 0) continue;
+          Frame nf = f;
+          nf.prob *= q;
+          nf.input |= symbols_->MaskFor(part.position, d2);
+          nf.hidden += part.radix * d2;
+          scratch.push_back(nf);
+        }
+      }
+    } else {
+      const std::vector<double>& m = s.MarginalAt(next);
+      if (m.empty()) {
+        for (const Frame& f : frontier) scratch.push_back(f);
+      } else {
+        for (const Frame& f : frontier) {
+          for (DomainIndex d2 = 0; d2 < m.size(); ++d2) {
+            double q = m[d2];
+            if (q <= 0) continue;
+            Frame nf = f;
+            nf.prob *= q;
+            nf.input |= symbols_->MaskFor(part.position, d2);
+            nf.hidden += part.radix * d2;
+            scratch.push_back(nf);
+          }
+        }
+      }
+    }
+    frontier.swap(scratch);
+  }
+  const StateMask base_mask = key.mask & ~kAcceptedFlag;
+  const bool was_accepted = (key.mask & kAcceptedFlag) != 0;
+  for (const Frame& f : frontier) {
+    for (const auto& [imask, ip] : indep_dist_) {
+      StateMask next_mask = nfa_->Transition(base_mask, f.input | imask);
+      if (track_accept_ && (was_accepted || nfa_->Accepts(next_mask))) {
+        next_mask |= kAcceptedFlag;
+      }
+      (*out)[Key{next_mask, f.hidden}] += f.prob * ip;
+    }
+  }
+}
+
+double RegularChain::Step() {
+  Timestamp next = t_ + 1;
+  BuildIndependentMaskDist(next);
+  StateMap out;
+  out.reserve(states_.size() * 2);
+  for (const auto& [key, p] : states_) {
+    EnumerateSuccessors(key, p, next, &out);
+  }
+  states_.swap(out);
+  t_ = next;
+  return AcceptProb();
+}
+
+double RegularChain::AcceptProb() const {
+  double total = 0;
+  for (const auto& [key, p] : states_) {
+    if (nfa_->Accepts(key.mask & ~kAcceptedFlag)) total += p;
+  }
+  return total;
+}
+
+double RegularChain::AcceptedProb() const {
+  double total = 0;
+  for (const auto& [key, p] : states_) {
+    if (key.mask & kAcceptedFlag) total += p;
+  }
+  return total;
+}
+
+Result<RegularEngine> RegularEngine::Create(const NormalizedQuery& q,
+                                            const EventDatabase& db) {
+  LAHAR_ASSIGN_OR_RETURN(RegularChain chain, RegularChain::Create(q, db));
+  return RegularEngine(std::move(chain));
+}
+
+std::vector<double> RegularEngine::Run() {
+  std::vector<double> probs(chain_.horizon() + 1, 0.0);
+  for (Timestamp t = 1; t <= chain_.horizon(); ++t) {
+    probs[t] = chain_.Step();
+  }
+  return probs;
+}
+
+}  // namespace lahar

@@ -1,0 +1,131 @@
+// Exact evaluation of Regular Queries on probabilistic streams
+// (Sections 3.1.2): the query automaton is run as a Markov chain whose state
+// joins the NFA state *set* with the hidden values of the participating
+// Markovian streams; probabilities propagate by (sparse) matrix
+// multiplication. Independent streams need no hidden state, so the chain
+// collapses to a distribution over NFA state sets.
+//
+// The chain advances one timestep per Step() in O(1) amortized work per
+// (state, successor-value) pair — the streaming evaluation of Theorem 3.3.
+#ifndef LAHAR_ENGINE_REGULAR_ENGINE_H_
+#define LAHAR_ENGINE_REGULAR_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "automaton/nfa.h"
+#include "automaton/symbols.h"
+#include "model/database.h"
+#include "query/normalize.h"
+
+namespace lahar {
+
+/// \brief The Markov chain M(t) of Section 3.1.2 for one grounded regular
+/// query: a joint distribution over (NFA state set, hidden stream values).
+///
+/// Copyable: safe plans snapshot chains to compute interval probabilities.
+class RegularChain {
+ public:
+  /// Builds the chain for a normalized query that must be regular once the
+  /// caller has substituted its shared variables (this class does not check
+  /// classification; see analysis/classify.h).
+  static Result<RegularChain> Create(const NormalizedQuery& q,
+                                     const EventDatabase& db);
+
+  /// Timeline position: 0 before the first step, then 1..horizon.
+  Timestamp time() const { return t_; }
+  /// Last timestep of the chain (the database horizon).
+  Timestamp horizon() const { return horizon_; }
+
+  /// Advances one timestep and returns P[q@t] at the new time. Calling past
+  /// the horizon keeps consuming certain-bottom inputs (all streams ended).
+  double Step();
+
+  /// Current P[q@t]: total mass on state sets containing the accept state.
+  double AcceptProb() const;
+
+  /// Latches an "accepted" flag on every state from the *next* Step on:
+  /// after calling this at time a-1, AcceptedProb() at time b equals
+  /// P[q true at some t in [a, b]] — the interval probability of the
+  /// Section 3.3 reg operator.
+  void EnableAcceptTracking() { track_accept_ = true; }
+
+  /// Probability that the accepted flag is set (see EnableAcceptTracking).
+  double AcceptedProb() const;
+
+  /// Number of live (state set, hidden) pairs — the chain's working size.
+  size_t NumStates() const { return states_.size(); }
+
+  /// Streams contributing symbols to this chain (safe plans use this to
+  /// keep operator event sets disjoint).
+  const std::vector<StreamId>& participating() const {
+    return symbols_->participating();
+  }
+
+ private:
+  // Bit 63 of the state mask is the latched "accepted" flag.
+  static constexpr StateMask kAcceptedFlag = 1ULL << 63;
+
+  struct Key {
+    StateMask mask;
+    uint64_t hidden;  // mixed-radix code of Markovian stream values
+    bool operator==(const Key& o) const {
+      return mask == o.mask && hidden == o.hidden;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.mask * 0x9e3779b97f4a7c15ULL ^ k.hidden);
+    }
+  };
+  using StateMap = std::unordered_map<Key, double, KeyHash>;
+
+  // Per participating stream: how it contributes to the joint transition.
+  struct Participant {
+    StreamId id;
+    size_t position;       // index into SymbolTable::participating()
+    bool markovian;
+    uint64_t radix;        // multiplier in the hidden code (1 if independent)
+    size_t hidden_slot;    // position among Markovian participants
+  };
+
+  void BuildIndependentMaskDist(Timestamp next);
+  void EnumerateSuccessors(const Key& key, double p, Timestamp next,
+                           StateMap* out);
+
+  std::shared_ptr<const QueryNfa> nfa_;
+  std::shared_ptr<const SymbolTable> symbols_;
+  const EventDatabase* db_ = nullptr;
+  std::vector<Participant> participants_;
+  std::vector<Participant> markov_participants_;
+  std::vector<Participant> indep_participants_;
+  // Per-step OR-distribution of independent streams' symbol masks.
+  std::vector<std::pair<SymbolMask, double>> indep_dist_;
+  std::vector<uint64_t> radices_;  // per Markovian participant
+  Timestamp horizon_ = 0;
+  Timestamp t_ = 0;
+  bool track_accept_ = false;
+  StateMap states_;
+};
+
+/// \brief Engine for Regular Queries: one chain, streamed over the database.
+class RegularEngine {
+ public:
+  /// Builds the engine; `q` must already be normalized and regular.
+  static Result<RegularEngine> Create(const NormalizedQuery& q,
+                                      const EventDatabase& db);
+
+  /// P[q@t] for t = 1..horizon (index 0 unused).
+  std::vector<double> Run();
+
+  RegularChain& chain() { return chain_; }
+
+ private:
+  explicit RegularEngine(RegularChain chain) : chain_(std::move(chain)) {}
+  RegularChain chain_;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_ENGINE_REGULAR_ENGINE_H_

@@ -1,0 +1,161 @@
+#include "engine/sampling_engine.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "analysis/bindings.h"
+#include "analysis/classify.h"
+
+namespace lahar {
+
+size_t HoeffdingSamples(double epsilon, double delta) {
+  return static_cast<size_t>(
+      std::ceil(std::log(2.0 / delta) / (2.0 * epsilon * epsilon)));
+}
+
+Result<SamplingEngine> SamplingEngine::Create(QueryPtr q,
+                                              const EventDatabase& db,
+                                              const SamplingOptions& options) {
+  if (q == nullptr) return Status::InvalidArgument("null query");
+  SamplingEngine engine;
+  engine.query_ = q;
+  engine.db_ = &db;
+  engine.horizon_ = db.horizon();
+  engine.num_samples_ = options.num_samples > 0
+                            ? options.num_samples
+                            : HoeffdingSamples(options.epsilon, options.delta);
+  engine.seed_ = options.seed;
+
+  // Try the incremental NFA path: every grounding must be regular.
+  auto nq = Normalize(*q);
+  if (nq.ok()) {
+    Classification cls = Classify(*nq, db);
+    if (cls.query_class == QueryClass::kRegular ||
+        cls.query_class == QueryClass::kExtendedRegular) {
+      std::vector<Binding> bindings =
+          EnumerateBindings(*nq, db, nq->SharedVars());
+      std::unordered_map<StreamId, size_t> slot_of_stream;
+      std::vector<std::vector<size_t>> chain_slots;
+      bool ok = true;
+      for (const Binding& b : bindings) {
+        NormalizedQuery grounded = nq->Substitute(b);
+        auto nfa = QueryNfa::Build(grounded);
+        auto table = SymbolTable::Build(grounded, db);
+        if (!nfa.ok() || !table.ok()) {
+          ok = false;
+          break;
+        }
+        GroundedChain chain;
+        chain.nfa = std::make_shared<const QueryNfa>(std::move(*nfa));
+        chain.symbols = std::make_shared<const SymbolTable>(std::move(*table));
+        std::vector<size_t> slots;
+        for (StreamId s : chain.symbols->participating()) {
+          auto [it, inserted] =
+              slot_of_stream.emplace(s, slot_of_stream.size());
+          slots.push_back(it->second);
+        }
+        chain_slots.push_back(std::move(slots));
+        engine.chains_.push_back(std::move(chain));
+      }
+      if (ok) {
+        engine.slot_streams_.resize(slot_of_stream.size());
+        for (const auto& [sid, slot] : slot_of_stream) {
+          engine.slot_streams_[slot] = sid;
+        }
+        engine.chain_slots_ = std::move(chain_slots);
+        for (GroundedChain& chain : engine.chains_) {
+          chain.states.assign(engine.num_samples_,
+                              chain.nfa->InitialStates());
+        }
+        engine.values_.assign(
+            engine.num_samples_ * std::max<size_t>(1, slot_of_stream.size()),
+            kBottom);
+        Rng seeder(engine.seed_);
+        for (size_t i = 0; i < engine.num_samples_; ++i) {
+          engine.sample_rngs_.push_back(seeder.Split());
+        }
+        return engine;
+      }
+      engine.chains_.clear();
+    }
+  }
+  // General path: per-world reference evaluation in Run().
+  return engine;
+}
+
+Result<double> SamplingEngine::Step() {
+  if (!incremental()) {
+    return Status::InvalidArgument(
+        "Step() requires the incremental NFA path (regular groundings)");
+  }
+  Timestamp next = t_ + 1;
+  const size_t num_slots = slot_streams_.size();
+  size_t accepted = 0;
+  std::vector<double> row;
+  for (size_t i = 0; i < num_samples_; ++i) {
+    Rng& rng = sample_rngs_[i];
+    DomainIndex* vals = &values_[i * std::max<size_t>(1, num_slots)];
+    // Sample each participating stream's next value exactly once.
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      const Stream& s = db_->stream(slot_streams_[slot]);
+      if (next > s.horizon()) {
+        vals[slot] = kBottom;
+        continue;
+      }
+      if (s.markovian() && next > 1) {
+        const Matrix& cpt = s.CptAt(next - 1);
+        const double* r = cpt.Row(vals[slot]);
+        row.assign(r, r + cpt.cols());
+        size_t d = rng.Categorical(row);
+        vals[slot] = d >= row.size() ? kBottom : static_cast<DomainIndex>(d);
+      } else {
+        const auto& m = s.MarginalAt(next);
+        if (m.empty()) {
+          vals[slot] = kBottom;
+        } else {
+          size_t d = rng.Categorical(m);
+          vals[slot] = d >= m.size() ? kBottom : static_cast<DomainIndex>(d);
+        }
+      }
+    }
+    // Advance every chain; the sample satisfies q@t if any chain accepts.
+    bool any = false;
+    for (size_t c = 0; c < chains_.size(); ++c) {
+      GroundedChain& chain = chains_[c];
+      SymbolMask input = 0;
+      const std::vector<size_t>& slots = chain_slots_[c];
+      for (size_t j = 0; j < slots.size(); ++j) {
+        input |= chain.symbols->MaskFor(j, vals[slots[j]]);
+      }
+      chain.states[i] = chain.nfa->Transition(chain.states[i], input);
+      any = any || chain.nfa->Accepts(chain.states[i]);
+    }
+    accepted += any ? 1 : 0;
+  }
+  t_ = next;
+  return static_cast<double>(accepted) / static_cast<double>(num_samples_);
+}
+
+Result<std::vector<double>> SamplingEngine::Run() {
+  std::vector<double> probs(horizon_ + 1, 0.0);
+  if (incremental()) {
+    for (Timestamp t = 1; t <= horizon_; ++t) {
+      LAHAR_ASSIGN_OR_RETURN(probs[t], Step());
+    }
+    return probs;
+  }
+  Rng seeder(seed_);
+  for (size_t i = 0; i < num_samples_; ++i) {
+    Rng rng = seeder.Split();
+    World w = SampleWorld(*db_, &rng);
+    LAHAR_ASSIGN_OR_RETURN(std::vector<bool> sat,
+                           SatisfiedAt(*query_, *db_, w));
+    for (Timestamp t = 1; t <= horizon_; ++t) {
+      if (sat[t]) probs[t] += 1.0;
+    }
+  }
+  for (double& p : probs) p /= static_cast<double>(num_samples_);
+  return probs;
+}
+
+}  // namespace lahar

@@ -1,0 +1,55 @@
+// Online evaluation: the streaming mode of Theorems 3.3 and 3.7. A session
+// is created over a database whose streams are declared (keys and domains
+// interned) but not necessarily populated; inference output is appended one
+// timestep at a time and Advance() returns the up-to-date P[q@t] — O(1)
+// incremental work for Regular queries, O(m) for Extended Regular.
+//
+//   StreamingSession session = *StreamingSession::Create(&db,
+//       "At('Joe', l : CoffeeRoom(l))");
+//   for each arriving timestep:
+//     db.AppendMarginal(joe_stream, filter_output);  // or AppendMarkovStep
+//     double p = *session.Advance();
+//
+// Safe and Unsafe queries are rejected: their evaluation needs the archived
+// history (Theorem 3.10's growing state), exactly as in the paper.
+#ifndef LAHAR_ENGINE_STREAMING_H_
+#define LAHAR_ENGINE_STREAMING_H_
+
+#include <string_view>
+
+#include "engine/extended_engine.h"
+#include "query/ast.h"
+
+namespace lahar {
+
+/// \brief Incremental evaluation session for (Extended) Regular queries.
+class StreamingSession {
+ public:
+  /// Parses and classifies `text`; fails with UnsafeQuery if the query is
+  /// not streamable. Keys and value domains visible at creation are final:
+  /// streams added or domain values interned later are not picked up (the
+  /// paper's per-key chains are likewise fixed at query start).
+  static Result<StreamingSession> Create(EventDatabase* db,
+                                         std::string_view text);
+
+  /// Consumes timestep time()+1 (which every stream must already cover via
+  /// Append*, unless it has simply ended) and returns P[q@t] at the new
+  /// time.
+  Result<double> Advance();
+
+  /// The last consumed timestep (0 before the first Advance).
+  Timestamp time() const { return engine_.time(); }
+
+  /// Number of per-grounding chains (the O(m) of Theorem 3.7).
+  size_t num_chains() const { return engine_.num_chains(); }
+
+ private:
+  explicit StreamingSession(ExtendedRegularEngine engine)
+      : engine_(std::move(engine)) {}
+
+  ExtendedRegularEngine engine_;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_ENGINE_STREAMING_H_

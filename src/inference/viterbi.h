@@ -1,0 +1,24 @@
+// Viterbi decoding (the MAP baseline of Section 4): the single most likely
+// trajectory of a probabilistic stream under its own chain measure, Eq. (1).
+// For a Markovian stream this is classic Viterbi over the CPTs; for an
+// independent stream it degenerates to the per-timestep argmax (MLE).
+#ifndef LAHAR_INFERENCE_VITERBI_H_
+#define LAHAR_INFERENCE_VITERBI_H_
+
+#include <vector>
+
+#include "model/stream.h"
+
+namespace lahar {
+
+/// The most likely trajectory (values[1..horizon]; index 0 unused).
+/// Ties break toward the smaller domain index (bottom first).
+std::vector<DomainIndex> ViterbiPath(const Stream& stream);
+
+/// Per-timestep argmax of the marginals — the MLE determinization used in
+/// the real-time baseline. Timesteps with no distribution yield bottom.
+std::vector<DomainIndex> MlePath(const Stream& stream);
+
+}  // namespace lahar
+
+#endif  // LAHAR_INFERENCE_VITERBI_H_

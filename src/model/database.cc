@@ -1,0 +1,108 @@
+#include "model/database.h"
+
+#include <algorithm>
+
+namespace lahar {
+
+Status Relation::Insert(ValueTuple t) {
+  if (t.size() != arity_) {
+    return Status::InvalidArgument("relation tuple arity mismatch");
+  }
+  tuples_.insert(std::move(t));
+  return Status::OK();
+}
+
+Status EventDatabase::DeclareSchema(EventSchema schema) {
+  if (schema.num_key_attrs > schema.attr_names.size()) {
+    return Status::InvalidArgument("key wider than schema");
+  }
+  auto [it, inserted] = schemas_.emplace(schema.type, std::move(schema));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("schema already declared");
+  return Status::OK();
+}
+
+const EventSchema* EventDatabase::FindSchema(SymbolId type) const {
+  auto it = schemas_.find(type);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+Result<StreamId> EventDatabase::AddStream(Stream stream) {
+  const EventSchema* schema = FindSchema(stream.type());
+  if (schema == nullptr) {
+    return Status::NotFound("no schema for stream type '" +
+                            interner_->Name(stream.type()) + "'");
+  }
+  if (stream.key().size() != schema->num_key_attrs ||
+      stream.num_value_attrs() != schema->num_value_attrs()) {
+    return Status::InvalidArgument("stream shape does not match schema");
+  }
+  StreamId id = static_cast<StreamId>(streams_.size());
+  horizon_ = std::max(horizon_, stream.horizon());
+  streams_by_type_[stream.type()].push_back(id);
+  streams_.push_back(std::move(stream));
+  return id;
+}
+
+std::vector<StreamId> EventDatabase::StreamsOfType(SymbolId type) const {
+  auto it = streams_by_type_.find(type);
+  return it == streams_by_type_.end() ? std::vector<StreamId>{} : it->second;
+}
+
+Result<Relation*> EventDatabase::DeclareRelation(std::string_view name,
+                                                 size_t arity) {
+  SymbolId id = interner_->Intern(name);
+  auto it = relations_.find(id);
+  if (it != relations_.end()) {
+    if (it->second->arity() != arity) {
+      return Status::InvalidArgument("relation redeclared with new arity");
+    }
+    return it->second.get();
+  }
+  auto rel = std::make_unique<Relation>(id, arity);
+  Relation* ptr = rel.get();
+  relations_.emplace(id, std::move(rel));
+  return ptr;
+}
+
+const Relation* EventDatabase::FindRelation(SymbolId name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Relation* EventDatabase::FindRelation(SymbolId name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : it->second.get();
+}
+
+Status EventDatabase::AppendMarginal(StreamId id, std::vector<double> dist) {
+  if (id >= streams_.size()) return Status::OutOfRange("bad stream id");
+  LAHAR_RETURN_NOT_OK(streams_[id].AppendMarginal(std::move(dist)));
+  horizon_ = std::max(horizon_, streams_[id].horizon());
+  return Status::OK();
+}
+
+Status EventDatabase::AppendMarkovStep(StreamId id, Matrix cpt) {
+  if (id >= streams_.size()) return Status::OutOfRange("bad stream id");
+  LAHAR_RETURN_NOT_OK(streams_[id].AppendMarkovStep(std::move(cpt)));
+  horizon_ = std::max(horizon_, streams_[id].horizon());
+  return Status::OK();
+}
+
+size_t EventDatabase::TotalTuples() const {
+  size_t total = 0;
+  for (const Stream& s : streams_) {
+    for (Timestamp t = 1; t <= s.horizon(); ++t) {
+      const auto& m = s.MarginalAt(t);
+      for (double p : m) total += p > 0 ? 1 : 0;
+    }
+  }
+  return total;
+}
+
+Status EventDatabase::Validate() const {
+  for (const Stream& s : streams_) LAHAR_RETURN_NOT_OK(s.Validate());
+  return Status::OK();
+}
+
+}  // namespace lahar

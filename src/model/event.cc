@@ -1,0 +1,25 @@
+#include "model/event.h"
+
+#include <cmath>
+
+namespace lahar {
+
+Status ProbabilisticEvent::Validate() const {
+  double total = bottom_p;
+  if (bottom_p < -1e-9 || bottom_p > 1 + 1e-9) {
+    return Status::InvalidArgument("bottom probability out of [0,1]");
+  }
+  for (const Outcome& o : outcomes) {
+    if (o.p < -1e-9 || o.p > 1 + 1e-9) {
+      return Status::InvalidArgument("outcome probability out of [0,1]");
+    }
+    total += o.p;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("probabilities sum to " +
+                                   std::to_string(total) + ", expected 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace lahar

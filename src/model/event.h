@@ -1,0 +1,60 @@
+// Deterministic and probabilistic events (Section 2 of the paper).
+//
+// An event conforms to EventType(ID, a1..an, T): a type, a key (the ID,
+// possibly multi-attribute), value attributes, and a timestamp. A
+// probabilistic event replaces the value attributes with a partial random
+// variable: a distribution over value tuples that may also place mass on
+// bottom (the event did not happen at all).
+#ifndef LAHAR_MODEL_EVENT_H_
+#define LAHAR_MODEL_EVENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/value.h"
+
+namespace lahar {
+
+/// \brief Schema of an event type: EventType(ID, a1..an, T).
+///
+/// The first `num_key_attrs` attributes form the event key (the underlined
+/// ID in the paper); the rest are value attributes carrying the uncertainty.
+struct EventSchema {
+  SymbolId type = 0;                   ///< interned event-type name, e.g. "At"
+  std::vector<SymbolId> attr_names;    ///< key attributes first
+  size_t num_key_attrs = 1;
+
+  size_t arity() const { return attr_names.size(); }
+  size_t num_value_attrs() const { return attr_names.size() - num_key_attrs; }
+};
+
+/// \brief A deterministic event: one tuple of a stream at one timestep.
+struct Event {
+  SymbolId type = 0;
+  ValueTuple attrs;   ///< key attributes followed by value attributes
+  Timestamp t = 0;
+};
+
+/// \brief One outcome of a probabilistic event's partial random variable.
+struct Outcome {
+  ValueTuple values;  ///< the value attributes (key is fixed per stream)
+  double p = 0.0;
+};
+
+/// \brief A probabilistic event: P[e = d] over value tuples d, plus bottom.
+///
+/// Invariant (checked by Validate): sum of outcome probabilities plus
+/// bottom_p equals 1 up to tolerance, and every probability is in [0,1].
+struct ProbabilisticEvent {
+  Timestamp t = 0;
+  std::vector<Outcome> outcomes;  ///< distinct tuples with non-zero mass
+  double bottom_p = 1.0;          ///< probability the event did not occur
+
+  /// Checks the distribution invariant.
+  Status Validate() const;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_MODEL_EVENT_H_

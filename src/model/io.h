@@ -1,0 +1,41 @@
+// Plain-text serialization of probabilistic event databases, so pipelines
+// can hand streams between processes and the CLI can query saved data.
+//
+// Format (one directive per line, '#' comments, whitespace separated):
+//
+//   lahar-db 1
+//   schema <type> <num_key_attrs> <attr-name>...
+//   relation <name> <arity>
+//   rel <name> <value>...
+//   stream <type> independent|markov <horizon>
+//   key <value>...
+//   domain <tuple>...            tuple = value[,value...]
+//   marginal <t> <idx>:<p>...    idx into [bottom, domain...]; rest is 0
+//   initial <idx>:<p>...         (markov)
+//   cpt <t> <from>:<to>:<p>...   unlisted entries are 0 (rows renormalized
+//                                must already sum to 1)
+//
+// Values are symbols by default; integers are written as #<n>. Symbols
+// containing whitespace, ',' or '#' are not supported by this format.
+#ifndef LAHAR_MODEL_IO_H_
+#define LAHAR_MODEL_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "model/database.h"
+
+namespace lahar {
+
+/// Serializes the database (schemas, relations, streams).
+Status WriteDatabase(const EventDatabase& db, std::ostream* out);
+Status WriteDatabaseToFile(const EventDatabase& db, const std::string& path);
+
+/// Parses a database from the text format.
+Result<std::unique_ptr<EventDatabase>> ReadDatabase(std::istream* in);
+Result<std::unique_ptr<EventDatabase>> ReadDatabaseFromFile(
+    const std::string& path);
+
+}  // namespace lahar
+
+#endif  // LAHAR_MODEL_IO_H_

@@ -1,0 +1,259 @@
+#include "model/stream.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace lahar {
+namespace {
+
+Status CheckDistribution(const std::vector<double>& dist) {
+  double total = 0;
+  for (double p : dist) {
+    if (p < -1e-9 || p > 1 + 1e-9) {
+      return Status::InvalidArgument("probability out of [0,1]");
+    }
+    total += p;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("distribution sums to " +
+                                   std::to_string(total));
+  }
+  return Status::OK();
+}
+
+const std::vector<double> kEmptyDist;
+
+}  // namespace
+
+Stream::Stream(SymbolId type, ValueTuple key, size_t num_value_attrs,
+               Timestamp horizon, bool markovian)
+    : type_(type),
+      key_(std::move(key)),
+      num_value_attrs_(num_value_attrs),
+      horizon_(horizon),
+      markovian_(markovian) {
+  domain_.push_back(ValueTuple{});  // index 0 = bottom
+  marginals_.resize(horizon_ + 1);
+  if (markovian_) cpts_.resize(horizon_);  // cpts_[1..horizon-1]
+}
+
+DomainIndex Stream::InternTuple(const ValueTuple& values) {
+  assert(values.size() == num_value_attrs_);
+  auto it = domain_index_.find(values);
+  if (it != domain_index_.end()) return it->second;
+  DomainIndex d = static_cast<DomainIndex>(domain_.size());
+  domain_.push_back(values);
+  domain_index_.emplace(values, d);
+  return d;
+}
+
+DomainIndex Stream::LookupTuple(const ValueTuple& values) const {
+  auto it = domain_index_.find(values);
+  return it == domain_index_.end() ? kNotFound : it->second;
+}
+
+Status Stream::SetMarginal(Timestamp t, std::vector<double> dist) {
+  if (t < 1 || t > horizon_) return Status::OutOfRange("timestep out of range");
+  dist.resize(domain_.size(), 0.0);
+  LAHAR_RETURN_NOT_OK(CheckDistribution(dist));
+  marginals_[t] = std::move(dist);
+  return Status::OK();
+}
+
+Status Stream::SetInitial(std::vector<double> dist) {
+  if (!markovian_) {
+    return Status::InvalidArgument("SetInitial requires a Markovian stream");
+  }
+  return SetMarginal(1, std::move(dist));
+}
+
+Status Stream::SetCpt(Timestamp t, Matrix cpt) {
+  if (!markovian_) {
+    return Status::InvalidArgument("SetCpt requires a Markovian stream");
+  }
+  if (t < 1 || t >= horizon_) return Status::OutOfRange("CPT timestep");
+  if (cpt.rows() != domain_.size() || cpt.cols() != domain_.size()) {
+    return Status::InvalidArgument(
+        "CPT must be D x D over the stream domain; intern all tuples first");
+  }
+  for (size_t r = 0; r < cpt.rows(); ++r) {
+    double total = 0;
+    for (size_t c = 0; c < cpt.cols(); ++c) total += cpt.At(r, c);
+    if (std::fabs(total - 1.0) > 1e-6) {
+      return Status::InvalidArgument("CPT row " + std::to_string(r) +
+                                     " sums to " + std::to_string(total));
+    }
+  }
+  cpts_[t] = std::move(cpt);
+  return Status::OK();
+}
+
+Status Stream::FinalizeMarkov() {
+  if (!markovian_) {
+    return Status::InvalidArgument("FinalizeMarkov requires Markovian stream");
+  }
+  if (marginals_[1].empty()) return Status::InvalidArgument("missing initial");
+  for (Timestamp t = 1; t < horizon_; ++t) {
+    if (cpts_[t].rows() == 0) {
+      return Status::InvalidArgument("missing CPT at t=" + std::to_string(t));
+    }
+    marginals_[t + 1] = cpts_[t].LeftMultiply(marginals_[t]);
+  }
+  return Status::OK();
+}
+
+Status Stream::PruneCpts(double epsilon, size_t* entries_before,
+                         size_t* entries_after) {
+  if (!markovian_) {
+    return Status::InvalidArgument("PruneCpts requires a Markovian stream");
+  }
+  size_t before = 0, after = 0;
+  for (Timestamp t = 1; t < horizon_; ++t) {
+    Matrix& cpt = cpts_[t];
+    for (size_t r = 0; r < cpt.rows(); ++r) {
+      double kept = 0;
+      size_t kept_count = 0;
+      DomainIndex argmax = 0;
+      for (size_t c = 0; c < cpt.cols(); ++c) {
+        double p = cpt.At(r, c);
+        before += p > 0;
+        if (p > cpt.At(r, argmax)) argmax = static_cast<DomainIndex>(c);
+        if (p < epsilon) {
+          cpt.At(r, c) = 0.0;
+        } else {
+          kept += p;
+          if (p > 0) ++kept_count;
+        }
+      }
+      if (kept <= 0) {
+        // Everything pruned: keep the row's mode so the row stays stochastic.
+        cpt.At(r, argmax) = 1.0;
+        kept_count = 1;
+      } else {
+        for (size_t c = 0; c < cpt.cols(); ++c) cpt.At(r, c) /= kept;
+      }
+      after += kept_count;
+    }
+  }
+  if (entries_before != nullptr) *entries_before = before;
+  if (entries_after != nullptr) *entries_after = after;
+  return FinalizeMarkov();
+}
+
+Status Stream::AppendMarginal(std::vector<double> dist) {
+  if (markovian_) {
+    return Status::InvalidArgument(
+        "AppendMarginal requires an independent stream; use AppendMarkovStep");
+  }
+  dist.resize(domain_.size(), 0.0);
+  LAHAR_RETURN_NOT_OK(CheckDistribution(dist));
+  marginals_.push_back(std::move(dist));
+  ++horizon_;
+  return Status::OK();
+}
+
+Status Stream::AppendMarkovStep(Matrix cpt) {
+  if (!markovian_) {
+    return Status::InvalidArgument(
+        "AppendMarkovStep requires a Markovian stream");
+  }
+  if (horizon_ < 1 || marginals_[horizon_].empty()) {
+    return Status::InvalidArgument(
+        "set the initial marginal (and finalize) before appending");
+  }
+  if (cpt.rows() != domain_.size() || cpt.cols() != domain_.size()) {
+    return Status::InvalidArgument("CPT must be D x D over the stream domain");
+  }
+  for (size_t r = 0; r < cpt.rows(); ++r) {
+    double total = 0;
+    for (size_t c = 0; c < cpt.cols(); ++c) total += cpt.At(r, c);
+    if (std::fabs(total - 1.0) > 1e-6) {
+      return Status::InvalidArgument("CPT row " + std::to_string(r) +
+                                     " sums to " + std::to_string(total));
+    }
+  }
+  marginals_.push_back(cpt.LeftMultiply(marginals_[horizon_]));
+  cpts_.push_back(std::move(cpt));
+  ++horizon_;
+  return Status::OK();
+}
+
+const std::vector<double>& Stream::MarginalAt(Timestamp t) const {
+  if (t < 1 || t > horizon_) return kEmptyDist;
+  return marginals_[t];
+}
+
+const Matrix& Stream::CptAt(Timestamp t) const {
+  assert(markovian_ && t >= 1 && t < horizon_);
+  return cpts_[t];
+}
+
+double Stream::ProbAt(Timestamp t, DomainIndex d) const {
+  const auto& m = MarginalAt(t);
+  return d < m.size() ? m[d] : 0.0;
+}
+
+ProbabilisticEvent Stream::EventAt(Timestamp t) const {
+  ProbabilisticEvent e;
+  e.t = t;
+  const auto& m = MarginalAt(t);
+  e.bottom_p = m.empty() ? 1.0 : m[kBottom];
+  for (DomainIndex d = 1; d < m.size(); ++d) {
+    if (m[d] > 0) e.outcomes.push_back({domain_[d], m[d]});
+  }
+  return e;
+}
+
+std::vector<DomainIndex> Stream::SampleTrajectory(Rng* rng) const {
+  std::vector<DomainIndex> traj(horizon_ + 1, kBottom);
+  if (horizon_ == 0) return traj;
+  if (!markovian_) {
+    for (Timestamp t = 1; t <= horizon_; ++t) {
+      const auto& m = MarginalAt(t);
+      if (m.empty()) continue;  // unset timestep: certain bottom
+      size_t d = rng->Categorical(m);
+      traj[t] = d >= m.size() ? kBottom : static_cast<DomainIndex>(d);
+    }
+    return traj;
+  }
+  const auto& init = MarginalAt(1);
+  size_t d0 = rng->Categorical(init);
+  traj[1] = d0 >= init.size() ? kBottom : static_cast<DomainIndex>(d0);
+  std::vector<double> row(domain_.size());
+  for (Timestamp t = 1; t < horizon_; ++t) {
+    const Matrix& cpt = cpts_[t];
+    const double* r = cpt.Row(traj[t]);
+    row.assign(r, r + cpt.cols());
+    size_t d = rng->Categorical(row);
+    traj[t + 1] = d >= row.size() ? kBottom : static_cast<DomainIndex>(d);
+  }
+  return traj;
+}
+
+double Stream::TrajectoryProb(const std::vector<DomainIndex>& traj) const {
+  assert(traj.size() == static_cast<size_t>(horizon_) + 1);
+  if (horizon_ == 0) return 1.0;
+  double p = ProbAt(1, traj[1]);
+  for (Timestamp t = 1; t < horizon_ && p > 0; ++t) {
+    if (markovian_) {
+      p *= cpts_[t].At(traj[t], traj[t + 1]);
+    } else {
+      p *= ProbAt(t + 1, traj[t + 1]);
+    }
+  }
+  return p;
+}
+
+Status Stream::Validate() const {
+  for (Timestamp t = 1; t <= horizon_; ++t) {
+    if (marginals_[t].empty()) continue;
+    if (marginals_[t].size() != domain_.size()) {
+      return Status::Internal("marginal size mismatch at t=" +
+                              std::to_string(t));
+    }
+    LAHAR_RETURN_NOT_OK(CheckDistribution(marginals_[t]));
+  }
+  return Status::OK();
+}
+
+}  // namespace lahar

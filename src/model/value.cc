@@ -1,0 +1,24 @@
+#include "model/value.h"
+
+namespace lahar {
+
+std::string Value::ToString(const Interner& interner) const {
+  switch (kind_) {
+    case Kind::kNull: return "null";
+    case Kind::kSymbol: return "'" + interner.Name(symbol()) + "'";
+    case Kind::kInt: return std::to_string(int_);
+  }
+  return "?";
+}
+
+std::string ToString(const ValueTuple& t, const Interner& interner) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i) out += ", ";
+    out += t[i].ToString(interner);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace lahar

@@ -1,0 +1,91 @@
+// Attribute values: a compact tagged scalar that is either null, an interned
+// symbol (strings such as people, rooms), or a 64-bit integer.
+#ifndef LAHAR_MODEL_VALUE_H_
+#define LAHAR_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/interner.h"
+
+namespace lahar {
+
+/// Discrete timestep. The timeline is 1..T; 0 means "before the stream".
+using Timestamp = uint32_t;
+
+/// \brief A single attribute value: null, interned symbol, or integer.
+///
+/// Values are 16 bytes, trivially copyable, and compare/hash as integers.
+/// Symbols require the owning Interner to render as text.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kSymbol = 1, kInt = 2 };
+
+  /// Null value (used for padding / don't-care).
+  Value() : kind_(Kind::kNull), int_(0) {}
+
+  static Value Symbol(SymbolId id) {
+    Value v;
+    v.kind_ = Kind::kSymbol;
+    v.int_ = id;
+    return v;
+  }
+  static Value Int(int64_t x) {
+    Value v;
+    v.kind_ = Kind::kInt;
+    v.int_ = x;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_symbol() const { return kind_ == Kind::kSymbol; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+
+  /// Requires is_symbol().
+  SymbolId symbol() const { return static_cast<SymbolId>(int_); }
+  /// Requires is_int().
+  int64_t int_value() const { return int_; }
+
+  bool operator==(const Value& o) const {
+    return kind_ == o.kind_ && int_ == o.int_;
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  /// Total order (kind first, then payload) for use in sorted containers.
+  bool operator<(const Value& o) const {
+    if (kind_ != o.kind_) return kind_ < o.kind_;
+    return int_ < o.int_;
+  }
+
+  size_t Hash() const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(kind_) << 62) ^
+                                 static_cast<uint64_t>(int_));
+  }
+
+  /// Renders for debugging; symbols are resolved through `interner`.
+  std::string ToString(const Interner& interner) const;
+
+ private:
+  Kind kind_;
+  int64_t int_;
+};
+
+/// A tuple of values (a row, an event's attributes, or a relation tuple).
+using ValueTuple = std::vector<Value>;
+
+struct ValueTupleHash {
+  size_t operator()(const ValueTuple& t) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (const Value& v : t) h = h * 1315423911ULL + v.Hash();
+    return h;
+  }
+};
+
+/// Renders a tuple as "(a, b, c)" for debugging.
+std::string ToString(const ValueTuple& t, const Interner& interner);
+
+}  // namespace lahar
+
+#endif  // LAHAR_MODEL_VALUE_H_

@@ -1,0 +1,85 @@
+#include "model/world.h"
+
+namespace lahar {
+
+World SampleWorld(const EventDatabase& db, Rng* rng) {
+  World w;
+  w.values.reserve(db.num_streams());
+  for (StreamId s = 0; s < db.num_streams(); ++s) {
+    w.values.push_back(db.stream(s).SampleTrajectory(rng));
+  }
+  return w;
+}
+
+double WorldProb(const EventDatabase& db, const World& world) {
+  double p = 1.0;
+  for (StreamId s = 0; s < db.num_streams() && p > 0; ++s) {
+    p *= db.stream(s).TrajectoryProb(world.values[s]);
+  }
+  return p;
+}
+
+std::vector<Event> WorldEventsAt(const EventDatabase& db, const World& world,
+                                 Timestamp t) {
+  std::vector<Event> events;
+  for (StreamId s = 0; s < db.num_streams(); ++s) {
+    const Stream& stream = db.stream(s);
+    if (t < 1 || t > stream.horizon()) continue;
+    DomainIndex d = world.values[s][t];
+    if (d == kBottom) continue;
+    Event e;
+    e.type = stream.type();
+    e.t = t;
+    e.attrs = stream.key();
+    const ValueTuple& vals = stream.TupleOf(d);
+    e.attrs.insert(e.attrs.end(), vals.begin(), vals.end());
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+namespace {
+
+// Recursively assigns stream s's trajectory, timestep by timestep.
+void Enumerate(const EventDatabase& db, World* w, StreamId s, Timestamp t,
+               double prob, double* visited,
+               const std::function<void(const World&, double)>& fn) {
+  if (prob <= 0) return;
+  if (s == db.num_streams()) {
+    *visited += prob;
+    fn(*w, prob);
+    return;
+  }
+  const Stream& stream = db.stream(s);
+  if (t > stream.horizon()) {
+    Enumerate(db, w, s + 1, 1, prob, visited, fn);
+    return;
+  }
+  for (DomainIndex d = 0; d < stream.domain_size(); ++d) {
+    double step;
+    if (t == 1 || !stream.markovian()) {
+      step = stream.ProbAt(t, d);
+    } else {
+      step = stream.CptAt(t - 1).At(w->values[s][t - 1], d);
+    }
+    if (step <= 0) continue;
+    w->values[s][t] = d;
+    Enumerate(db, w, s, t + 1, prob * step, visited, fn);
+  }
+  w->values[s][t] = kBottom;
+}
+
+}  // namespace
+
+double EnumerateWorlds(const EventDatabase& db,
+                       const std::function<void(const World&, double)>& fn) {
+  World w;
+  for (StreamId s = 0; s < db.num_streams(); ++s) {
+    w.values.emplace_back(db.stream(s).horizon() + 1, kBottom);
+  }
+  double visited = 0;
+  Enumerate(db, &w, 0, 1, 1.0, &visited, fn);
+  return visited;
+}
+
+}  // namespace lahar

@@ -1,0 +1,43 @@
+// Possible worlds (Section 2.1/2.3): deterministic instantiations of a
+// probabilistic event database, with sampling, probability computation, and
+// exhaustive enumeration for brute-force reference evaluation in tests.
+#ifndef LAHAR_MODEL_WORLD_H_
+#define LAHAR_MODEL_WORLD_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/database.h"
+
+namespace lahar {
+
+/// \brief One possible world: a concrete trajectory per stream.
+///
+/// values[s][t] is the domain index taken by stream s at timestep t
+/// (t = 1..horizon of that stream; index 0 unused; kBottom = no event).
+struct World {
+  std::vector<std::vector<DomainIndex>> values;
+};
+
+/// Samples a world from the database's distribution.
+World SampleWorld(const EventDatabase& db, Rng* rng);
+
+/// Probability mu(W) of a world: product of per-stream trajectory
+/// probabilities (streams are independent; within a stream, Eq. (1)).
+double WorldProb(const EventDatabase& db, const World& world);
+
+/// The deterministic events present in `world` at timestep t (events whose
+/// stream value is not bottom), with key then value attributes.
+std::vector<Event> WorldEventsAt(const EventDatabase& db, const World& world,
+                                 Timestamp t);
+
+/// Enumerates every positive-probability world, invoking `fn(world, prob)`.
+/// Exponential in streams x timesteps; intended only for tiny test databases.
+/// Returns the total probability mass visited (should be ~1).
+double EnumerateWorlds(const EventDatabase& db,
+                       const std::function<void(const World&, double)>& fn);
+
+}  // namespace lahar
+
+#endif  // LAHAR_MODEL_WORLD_H_

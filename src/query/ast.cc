@@ -1,0 +1,239 @@
+#include "query/ast.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lahar {
+
+std::set<SymbolId> Subgoal::Vars() const {
+  std::set<SymbolId> vars;
+  for (const Term& t : terms) {
+    if (t.is_var) vars.insert(t.var);
+  }
+  return vars;
+}
+
+std::set<SymbolId> BaseQuery::FreeVars() const {
+  if (!is_kleene) return goal.Vars();
+  return std::set<SymbolId>(kleene_vars.begin(), kleene_vars.end());
+}
+
+QueryPtr MakeBase(BaseQuery base) {
+  auto q = std::make_shared<Query>();
+  q->kind = Query::Kind::kBase;
+  q->base = std::move(base);
+  return q;
+}
+
+QueryPtr MakeSequence(QueryPtr lhs, BaseQuery rhs) {
+  auto q = std::make_shared<Query>();
+  q->kind = Query::Kind::kSequence;
+  q->child = std::move(lhs);
+  q->base = std::move(rhs);
+  return q;
+}
+
+QueryPtr MakeSelection(QueryPtr child, Condition theta) {
+  auto q = std::make_shared<Query>();
+  q->kind = Query::Kind::kSelection;
+  q->child = std::move(child);
+  q->selection = std::move(theta);
+  return q;
+}
+
+std::set<SymbolId> FreeVars(const Query& q) {
+  switch (q.kind) {
+    case Query::Kind::kBase:
+      return q.base.FreeVars();
+    case Query::Kind::kSelection:
+      return FreeVars(*q.child);
+    case Query::Kind::kSequence: {
+      std::set<SymbolId> vars = FreeVars(*q.child);
+      auto rhs = q.base.FreeVars();
+      vars.insert(rhs.begin(), rhs.end());
+      return vars;
+    }
+  }
+  return {};
+}
+
+std::set<SymbolId> AllVars(const Query& q) {
+  std::set<SymbolId> vars;
+  for (const BaseQuery* bq : Goals(q)) {
+    auto v = bq->goal.Vars();
+    vars.insert(v.begin(), v.end());
+  }
+  return vars;
+}
+
+namespace {
+
+void CollectGoals(const Query& q, std::vector<const BaseQuery*>* out) {
+  switch (q.kind) {
+    case Query::Kind::kBase:
+      out->push_back(&q.base);
+      return;
+    case Query::Kind::kSelection:
+      CollectGoals(*q.child, out);
+      return;
+    case Query::Kind::kSequence:
+      CollectGoals(*q.child, out);
+      out->push_back(&q.base);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<const BaseQuery*> Goals(const Query& q) {
+  std::vector<const BaseQuery*> out;
+  CollectGoals(q, &out);
+  return out;
+}
+
+std::set<SymbolId> SharedVars(const Query& q) {
+  std::map<SymbolId, int> counts;
+  std::set<SymbolId> shared;
+  for (const BaseQuery* bq : Goals(q)) {
+    for (SymbolId v : bq->goal.Vars()) counts[v] += 1;
+    if (bq->is_kleene) {
+      // Kleene-shared variables count as shared regardless of other uses.
+      for (SymbolId v : bq->kleene_vars) shared.insert(v);
+    }
+  }
+  for (const auto& [v, n] : counts) {
+    if (n > 1) shared.insert(v);
+  }
+  return shared;
+}
+
+namespace {
+
+Status ValidateBase(const BaseQuery& bq, const EventDatabase& db) {
+  const EventSchema* schema = db.FindSchema(bq.goal.type);
+  if (schema == nullptr) {
+    return Status::NotFound("no schema for event type '" +
+                            db.interner().Name(bq.goal.type) + "'");
+  }
+  if (bq.goal.terms.size() != schema->arity()) {
+    return Status::InvalidArgument(
+        "subgoal '" + db.interner().Name(bq.goal.type) + "' has " +
+        std::to_string(bq.goal.terms.size()) + " terms, schema expects " +
+        std::to_string(schema->arity()));
+  }
+  std::set<SymbolId> gvars = bq.goal.Vars();
+  for (SymbolId v : bq.pred.Vars()) {
+    if (!gvars.count(v)) {
+      return Status::InvalidArgument(
+          "base-query predicate uses variable not in its subgoal");
+    }
+  }
+  if (bq.is_kleene) {
+    for (SymbolId v : bq.kleene_vars) {
+      if (!gvars.count(v)) {
+        return Status::InvalidArgument(
+            "Kleene shared variable not in the subgoal");
+      }
+    }
+    for (SymbolId v : bq.kleene_pred.Vars()) {
+      if (!gvars.count(v)) {
+        return Status::InvalidArgument(
+            "Kleene predicate uses variable not in its subgoal");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status ValidateNode(const Query& q, const EventDatabase& db) {
+  switch (q.kind) {
+    case Query::Kind::kBase:
+      return ValidateBase(q.base, db);
+    case Query::Kind::kSequence:
+      LAHAR_RETURN_NOT_OK(ValidateNode(*q.child, db));
+      return ValidateBase(q.base, db);
+    case Query::Kind::kSelection: {
+      LAHAR_RETURN_NOT_OK(ValidateNode(*q.child, db));
+      std::set<SymbolId> free = FreeVars(*q.child);
+      for (SymbolId v : q.selection.Vars()) {
+        if (!free.count(v)) {
+          return Status::InvalidArgument(
+              "selection uses variable '" + db.interner().Name(v) +
+              "' that is not free in its subquery");
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad query node");
+}
+
+}  // namespace
+
+Status ValidateQuery(const Query& q, const EventDatabase& db) {
+  LAHAR_RETURN_NOT_OK(ValidateNode(q, db));
+  // A Kleene subgoal's non-exported variables must be private to it.
+  std::vector<const BaseQuery*> goals = Goals(q);
+  for (size_t i = 0; i < goals.size(); ++i) {
+    if (!goals[i]->is_kleene) continue;
+    std::set<SymbolId> exported(goals[i]->kleene_vars.begin(),
+                                goals[i]->kleene_vars.end());
+    for (SymbolId v : goals[i]->goal.Vars()) {
+      if (exported.count(v)) continue;
+      for (size_t j = 0; j < goals.size(); ++j) {
+        if (j == i) continue;
+        if (goals[j]->goal.Vars().count(v)) {
+          return Status::InvalidArgument(
+              "non-shared Kleene variable '" + db.interner().Name(v) +
+              "' also occurs in another subgoal; it is renamed fresh per "
+              "unfolding, so the cross-reference cannot join");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Subgoal SubstituteSubgoal(const Subgoal& g, const Binding& subst) {
+  Subgoal out = g;
+  for (Term& t : out.terms) {
+    if (!t.is_var) continue;
+    auto it = subst.find(t.var);
+    if (it != subst.end()) t = Term::Const(it->second);
+  }
+  return out;
+}
+
+BaseQuery SubstituteBase(const BaseQuery& bq, const Binding& subst) {
+  BaseQuery out = bq;
+  out.goal = SubstituteSubgoal(bq.goal, subst);
+  out.pred = bq.pred.Substitute(subst);
+  if (bq.is_kleene) {
+    out.kleene_pred = bq.kleene_pred.Substitute(subst);
+    out.kleene_vars.clear();
+    for (SymbolId v : bq.kleene_vars) {
+      if (!subst.count(v)) out.kleene_vars.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryPtr SubstituteQuery(const Query& q, const Binding& subst) {
+  switch (q.kind) {
+    case Query::Kind::kBase:
+      return MakeBase(SubstituteBase(q.base, subst));
+    case Query::Kind::kSequence:
+      return MakeSequence(SubstituteQuery(*q.child, subst),
+                          SubstituteBase(q.base, subst));
+    case Query::Kind::kSelection:
+      return MakeSelection(SubstituteQuery(*q.child, subst),
+                           q.selection.Substitute(subst));
+  }
+  return nullptr;
+}
+
+}  // namespace lahar

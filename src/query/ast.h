@@ -1,0 +1,99 @@
+// Event query AST (Section 2.2, Definition 2.1).
+//
+// A query is built from base queries (a subgoal with an optional predicate,
+// or a parameterized Kleene plus) combined left-associatively by sequencing
+// and wrapped in selections:
+//
+//   q ::= bq | q ; bq | sigma_theta(q)
+//   bq ::= sigma_theta(g) | (sigma_theta(g))+ <V, theta2>
+#ifndef LAHAR_QUERY_AST_H_
+#define LAHAR_QUERY_AST_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "query/condition.h"
+
+namespace lahar {
+
+/// \brief A subgoal: a relational symbol with terms (no timestamp).
+///
+/// E.g. At(x, 'Room201'). The first k terms sit in key positions, where k is
+/// the schema's key arity (checked against the database at analysis time).
+struct Subgoal {
+  SymbolId type = 0;
+  std::vector<Term> terms;
+
+  /// The variables occurring in the subgoal (var(g)).
+  std::set<SymbolId> Vars() const;
+};
+
+/// \brief A base query: sigma_theta(g) or (sigma_theta(g))+<V, theta2>.
+struct BaseQuery {
+  Subgoal goal;
+  /// theta: part of the subgoal match itself (folded into the structural
+  /// match, like writing the constant directly; see Ex. 3.11 q_f).
+  Condition pred;
+
+  bool is_kleene = false;
+  /// V: variables shared (and exported) across Kleene unfoldings.
+  std::vector<SymbolId> kleene_vars;
+  /// theta2: applied to each unfolding (the a-predicate of the translation).
+  Condition kleene_pred;
+
+  /// Free variables: var(g) for a plain subgoal; V for a Kleene plus.
+  std::set<SymbolId> FreeVars() const;
+};
+
+/// \brief An event query: base / sequence / selection tree.
+///
+/// Sequencing is strictly left-associative: the right operand of a sequence
+/// is always a base query (enforced by construction).
+struct Query {
+  enum class Kind { kBase, kSequence, kSelection };
+
+  Kind kind = Kind::kBase;
+  BaseQuery base;                       ///< kBase; or the rhs of kSequence
+  std::shared_ptr<const Query> child;   ///< lhs of kSequence / kSelection
+  Condition selection;                  ///< theta of kSelection
+};
+
+using QueryPtr = std::shared_ptr<const Query>;
+
+/// Constructs a base-query leaf.
+QueryPtr MakeBase(BaseQuery base);
+/// Constructs lhs ; rhs.
+QueryPtr MakeSequence(QueryPtr lhs, BaseQuery rhs);
+/// Constructs sigma_theta(child).
+QueryPtr MakeSelection(QueryPtr child, Condition theta);
+
+/// Free variables of a query (selection does not bind; sequence unions).
+std::set<SymbolId> FreeVars(const Query& q);
+
+/// All variables occurring in subgoals (including non-exported Kleene vars).
+std::set<SymbolId> AllVars(const Query& q);
+
+/// The base queries of q in left-to-right order (goal(q)).
+std::vector<const BaseQuery*> Goals(const Query& q);
+
+/// Variables that occur in more than one base query, or are shared by a
+/// Kleene plus (the paper's "shared" variables).
+std::set<SymbolId> SharedVars(const Query& q);
+
+/// Structural well-formedness against a database:
+///  - every subgoal's type has a declared schema with matching arity,
+///  - base-query predicates and Kleene predicates use only var(g),
+///  - kleene_vars are a subset of var(g),
+///  - a Kleene subgoal's non-V variables occur in no other base query
+///    (they are renamed fresh per unfolding, so cross-references would be
+///    silently meaningless otherwise),
+///  - selection conditions use only free variables of their child.
+Status ValidateQuery(const Query& q, const EventDatabase& db);
+
+/// Substitutes constants for variables throughout the query (q{x -> d}).
+QueryPtr SubstituteQuery(const Query& q, const Binding& subst);
+
+}  // namespace lahar
+
+#endif  // LAHAR_QUERY_AST_H_

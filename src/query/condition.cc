@@ -1,0 +1,152 @@
+#include "query/condition.h"
+
+namespace lahar {
+namespace {
+
+Term SubstituteTerm(const Term& t, const Binding& subst) {
+  if (!t.is_var) return t;
+  auto it = subst.find(t.var);
+  return it == subst.end() ? t : Term::Const(it->second);
+}
+
+Result<bool> EvalCompare(const CompareAtom& a, const Binding& binding) {
+  Value lhs = Resolve(a.lhs, binding);
+  Value rhs = Resolve(a.rhs, binding);
+  if ((a.lhs.is_var && lhs.is_null()) || (a.rhs.is_var && rhs.is_null())) {
+    return Status::InvalidArgument("comparison over unbound variable");
+  }
+  switch (a.op) {
+    case CmpOp::kEq: return lhs == rhs;
+    case CmpOp::kNe: return lhs != rhs;
+    case CmpOp::kLt: return lhs < rhs;
+    case CmpOp::kLe: return !(rhs < lhs);
+    case CmpOp::kGt: return rhs < lhs;
+    case CmpOp::kGe: return !(lhs < rhs);
+  }
+  return Status::Internal("bad comparison op");
+}
+
+Result<bool> EvalRel(const RelAtom& a, const Binding& binding,
+                     const EventDatabase& db) {
+  const Relation* rel = db.FindRelation(a.rel);
+  if (rel == nullptr) {
+    return Status::NotFound("undeclared relation '" +
+                            db.interner().Name(a.rel) + "'");
+  }
+  if (rel->arity() != a.args.size()) {
+    return Status::InvalidArgument("relation arity mismatch for '" +
+                                   db.interner().Name(a.rel) + "'");
+  }
+  ValueTuple tuple;
+  tuple.reserve(a.args.size());
+  for (const Term& t : a.args) {
+    Value v = Resolve(t, binding);
+    if (t.is_var && v.is_null()) {
+      return Status::InvalidArgument("relation atom over unbound variable");
+    }
+    tuple.push_back(v);
+  }
+  bool in = rel->Contains(tuple);
+  return a.negated ? !in : in;
+}
+
+}  // namespace
+
+Value Resolve(const Term& t, const Binding& b) {
+  if (!t.is_var) return t.constant;
+  auto it = b.find(t.var);
+  return it == b.end() ? Value() : it->second;
+}
+
+std::set<SymbolId> ConditionClause::Vars() const {
+  std::set<SymbolId> vars;
+  for (const auto& atom : atoms) {
+    auto v = AtomVars(atom);
+    vars.insert(v.begin(), v.end());
+  }
+  return vars;
+}
+
+Result<bool> ConditionClause::Eval(const Binding& binding,
+                                   const EventDatabase& db) const {
+  for (const auto& atom : atoms) {
+    Result<bool> r =
+        std::holds_alternative<CompareAtom>(atom)
+            ? EvalCompare(std::get<CompareAtom>(atom), binding)
+            : EvalRel(std::get<RelAtom>(atom), binding, db);
+    if (!r.ok()) return r;
+    if (*r) return true;
+  }
+  return false;
+}
+
+ConditionClause ConditionClause::Substitute(const Binding& subst) const {
+  ConditionClause out;
+  for (const auto& atom : atoms) {
+    if (std::holds_alternative<CompareAtom>(atom)) {
+      CompareAtom a = std::get<CompareAtom>(atom);
+      a.lhs = SubstituteTerm(a.lhs, subst);
+      a.rhs = SubstituteTerm(a.rhs, subst);
+      out.atoms.emplace_back(a);
+    } else {
+      RelAtom a = std::get<RelAtom>(atom);
+      for (Term& t : a.args) t = SubstituteTerm(t, subst);
+      out.atoms.emplace_back(std::move(a));
+    }
+  }
+  return out;
+}
+
+void Condition::AddAtom(ConditionAtom atom) {
+  ConditionClause clause;
+  clause.atoms.push_back(std::move(atom));
+  clauses_.push_back(std::move(clause));
+}
+
+Condition Condition::And(const Condition& other) const {
+  Condition out = *this;
+  for (const auto& c : other.clauses_) out.clauses_.push_back(c);
+  return out;
+}
+
+std::set<SymbolId> Condition::Vars() const {
+  std::set<SymbolId> vars;
+  for (const auto& clause : clauses_) {
+    auto v = clause.Vars();
+    vars.insert(v.begin(), v.end());
+  }
+  return vars;
+}
+
+Result<bool> Condition::Eval(const Binding& binding,
+                             const EventDatabase& db) const {
+  for (const auto& clause : clauses_) {
+    LAHAR_ASSIGN_OR_RETURN(bool ok, clause.Eval(binding, db));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Condition Condition::Substitute(const Binding& subst) const {
+  Condition out;
+  for (const auto& clause : clauses_) {
+    out.AddClause(clause.Substitute(subst));
+  }
+  return out;
+}
+
+std::set<SymbolId> AtomVars(const ConditionAtom& atom) {
+  std::set<SymbolId> vars;
+  if (std::holds_alternative<CompareAtom>(atom)) {
+    const auto& a = std::get<CompareAtom>(atom);
+    if (a.lhs.is_var) vars.insert(a.lhs.var);
+    if (a.rhs.is_var) vars.insert(a.rhs.var);
+  } else {
+    for (const Term& t : std::get<RelAtom>(atom).args) {
+      if (t.is_var) vars.insert(t.var);
+    }
+  }
+  return vars;
+}
+
+}  // namespace lahar

@@ -1,0 +1,124 @@
+// Terms, bindings, and conditions (the theta predicates of Section 2.2).
+//
+// A condition is a conjunction of atoms; an atom is either a comparison
+// between terms (x = 'a', y > 20) or a (possibly negated) membership test in
+// a finite relation (Hallway(l), NOT Office(p, l)).
+#ifndef LAHAR_QUERY_CONDITION_H_
+#define LAHAR_QUERY_CONDITION_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "model/database.h"
+#include "model/value.h"
+
+namespace lahar {
+
+/// \brief A term: a variable or a constant.
+struct Term {
+  static Term Var(SymbolId v) {
+    Term t;
+    t.is_var = true;
+    t.var = v;
+    return t;
+  }
+  static Term Const(Value c) {
+    Term t;
+    t.is_var = false;
+    t.constant = c;
+    return t;
+  }
+
+  bool is_var = false;
+  SymbolId var = 0;
+  Value constant;
+
+  bool operator==(const Term& o) const {
+    if (is_var != o.is_var) return false;
+    return is_var ? var == o.var : constant == o.constant;
+  }
+};
+
+/// A partial assignment of variables to values.
+using Binding = std::unordered_map<SymbolId, Value>;
+
+/// Resolves a term under a binding. Returns null Value if an unbound
+/// variable (callers treat that as an error; see Condition::Eval).
+Value Resolve(const Term& t, const Binding& b);
+
+/// Comparison operators for Compare atoms.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief Atom: lhs op rhs.
+struct CompareAtom {
+  Term lhs;
+  CmpOp op;
+  Term rhs;
+};
+
+/// \brief Atom: [NOT] Rel(args) membership in a finite relation.
+struct RelAtom {
+  SymbolId rel = 0;
+  std::vector<Term> args;
+  bool negated = false;
+};
+
+using ConditionAtom = std::variant<CompareAtom, RelAtom>;
+
+/// \brief A disjunction of atoms (one clause of a CNF condition).
+struct ConditionClause {
+  std::vector<ConditionAtom> atoms;
+
+  std::set<SymbolId> Vars() const;
+  Result<bool> Eval(const Binding& binding, const EventDatabase& db) const;
+  ConditionClause Substitute(const Binding& subst) const;
+};
+
+/// \brief A condition in conjunctive normal form: AND of OR-clauses.
+/// The empty conjunction is true. The paper allows "complex Boolean
+/// expressions" as predicates; CNF covers them (NOT applies to relation
+/// atoms, comparisons negate by flipping the operator).
+class Condition {
+ public:
+  Condition() = default;
+
+  static Condition True() { return Condition(); }
+  bool IsTrue() const { return clauses_.empty(); }
+
+  /// Appends a single-atom clause (a plain conjunct).
+  void AddAtom(ConditionAtom atom);
+  /// Appends a disjunctive clause.
+  void AddClause(ConditionClause clause) {
+    clauses_.push_back(std::move(clause));
+  }
+
+  const std::vector<ConditionClause>& clauses() const { return clauses_; }
+
+  /// Conjunction of this condition and `other`.
+  Condition And(const Condition& other) const;
+
+  /// The set of variables mentioned by any atom (var(theta)).
+  std::set<SymbolId> Vars() const;
+
+  /// Evaluates under `binding`; every variable must be bound and every
+  /// referenced relation must exist in `db`, otherwise an error Status.
+  Result<bool> Eval(const Binding& binding, const EventDatabase& db) const;
+
+  /// Substitutes constants for the given variables (used when grounding
+  /// shared variables).
+  Condition Substitute(const Binding& subst) const;
+
+ private:
+  std::vector<ConditionClause> clauses_;
+};
+
+/// Variables of a single atom.
+std::set<SymbolId> AtomVars(const ConditionAtom& atom);
+
+}  // namespace lahar
+
+#endif  // LAHAR_QUERY_CONDITION_H_

@@ -1,0 +1,135 @@
+#include "query/normalize.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lahar {
+namespace {
+
+// Places one selection conjunct (a CNF clause) whose scope is the prefix
+// of `subgoals` (the whole current list). Pushes it to the shortest prefix
+// containing its variables; if it is then local to that prefix's last
+// subgoal it becomes that subgoal's accept predicate, otherwise it is
+// non-local.
+void PlaceConjunct(const ConditionClause& clause,
+                   std::vector<NormalizedSubgoal>* subgoals,
+                   Condition* residual) {
+  std::set<SymbolId> vars = clause.Vars();
+  if (vars.empty()) {
+    // Variable-free condition: constant truth value; attach anywhere.
+    Condition c;
+    c.AddClause(clause);
+    (*subgoals)[0].accept_pred = (*subgoals)[0].accept_pred.And(c);
+    return;
+  }
+  // j* = first index such that the prefix 0..j* covers all variables.
+  std::set<SymbolId> seen;
+  size_t jstar = subgoals->size();
+  for (size_t j = 0; j < subgoals->size(); ++j) {
+    auto gv = (*subgoals)[j].Vars();
+    seen.insert(gv.begin(), gv.end());
+    if (std::includes(seen.begin(), seen.end(), vars.begin(), vars.end())) {
+      jstar = j;
+      break;
+    }
+  }
+  Condition c;
+  c.AddClause(clause);
+  if (jstar == subgoals->size()) {
+    // Variables not all covered — ValidateQuery prevents this, but keep the
+    // conjunct rather than dropping it.
+    *residual = residual->And(c);
+    return;
+  }
+  auto gv = (*subgoals)[jstar].Vars();
+  bool local = std::includes(gv.begin(), gv.end(), vars.begin(), vars.end());
+  if (local) {
+    (*subgoals)[jstar].accept_pred = (*subgoals)[jstar].accept_pred.And(c);
+  } else {
+    *residual = residual->And(c);
+  }
+}
+
+void AppendBase(const BaseQuery& bq, std::vector<NormalizedSubgoal>* out) {
+  NormalizedSubgoal ns;
+  ns.goal = bq.goal;
+  ns.match_pred = bq.pred;
+  ns.is_kleene = bq.is_kleene;
+  ns.kleene_vars = bq.kleene_vars;
+  if (bq.is_kleene) ns.accept_pred = bq.kleene_pred;
+  out->push_back(std::move(ns));
+}
+
+Status Walk(const Query& q, std::vector<NormalizedSubgoal>* subgoals,
+            Condition* residual) {
+  switch (q.kind) {
+    case Query::Kind::kBase:
+      AppendBase(q.base, subgoals);
+      return Status::OK();
+    case Query::Kind::kSequence:
+      LAHAR_RETURN_NOT_OK(Walk(*q.child, subgoals, residual));
+      AppendBase(q.base, subgoals);
+      return Status::OK();
+    case Query::Kind::kSelection: {
+      LAHAR_RETURN_NOT_OK(Walk(*q.child, subgoals, residual));
+      if (subgoals->empty()) {
+        return Status::Internal("selection over empty query");
+      }
+      for (const ConditionClause& clause : q.selection.clauses()) {
+        PlaceConjunct(clause, subgoals, residual);
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("bad query node");
+}
+
+}  // namespace
+
+std::set<SymbolId> NormalizedQuery::SharedVars() const {
+  std::map<SymbolId, int> counts;
+  std::set<SymbolId> shared;
+  for (const NormalizedSubgoal& sg : subgoals) {
+    for (SymbolId v : sg.Vars()) counts[v] += 1;
+    if (sg.is_kleene) {
+      for (SymbolId v : sg.kleene_vars) shared.insert(v);
+    }
+  }
+  for (const auto& [v, n] : counts) {
+    if (n > 1) shared.insert(v);
+  }
+  return shared;
+}
+
+NormalizedQuery NormalizedQuery::Substitute(const Binding& subst) const {
+  NormalizedQuery out;
+  out.residual = residual.Substitute(subst);
+  for (const NormalizedSubgoal& sg : subgoals) {
+    NormalizedSubgoal ns;
+    ns.goal = sg.goal;
+    for (Term& t : ns.goal.terms) {
+      if (!t.is_var) continue;
+      auto it = subst.find(t.var);
+      if (it != subst.end()) t = Term::Const(it->second);
+    }
+    ns.match_pred = sg.match_pred.Substitute(subst);
+    ns.accept_pred = sg.accept_pred.Substitute(subst);
+    ns.is_kleene = sg.is_kleene;
+    for (SymbolId v : sg.kleene_vars) {
+      if (!subst.count(v)) ns.kleene_vars.push_back(v);
+    }
+    out.subgoals.push_back(std::move(ns));
+  }
+  return out;
+}
+
+Result<NormalizedQuery> Normalize(const Query& q) {
+  NormalizedQuery out;
+  LAHAR_RETURN_NOT_OK(Walk(q, &out.subgoals, &out.residual));
+  if (out.subgoals.empty()) {
+    return Status::InvalidArgument("query has no subgoals");
+  }
+  return out;
+}
+
+}  // namespace lahar

@@ -1,0 +1,58 @@
+// Selection push-down and normalization (Section 3.1.1).
+//
+// Rewrites a query into a flat list of subgoals, each carrying two local
+// predicates:
+//   * match_pred — part of the structural match: an event produces the m_i
+//     symbol only if it unifies with the subgoal AND satisfies match_pred
+//     (this is the base-query predicate theta, e.g. writing R(b)).
+//   * accept_pred — the sequence-level selection sigma_i localized to this
+//     subgoal: an event additionally produces a_i only if it satisfies it.
+//     Events that match structurally but fail accept_pred *block* (Ex. 3.11).
+//
+// Conjuncts whose variables span multiple subgoals cannot be localized and
+// are collected in `residual`; a query with residual conjuncts has non-local
+// predicates and is provably #P-hard (Prop. 3.18), handled only by sampling.
+#ifndef LAHAR_QUERY_NORMALIZE_H_
+#define LAHAR_QUERY_NORMALIZE_H_
+
+#include <vector>
+
+#include "query/ast.h"
+
+namespace lahar {
+
+/// \brief One subgoal of a normalized query with its localized predicates.
+struct NormalizedSubgoal {
+  Subgoal goal;
+  Condition match_pred;
+  Condition accept_pred;
+  bool is_kleene = false;
+  std::vector<SymbolId> kleene_vars;
+
+  /// var(g): variables of the subgoal.
+  std::set<SymbolId> Vars() const { return goal.Vars(); }
+};
+
+/// \brief A query in normalized (flat, selection-pushed) form.
+struct NormalizedQuery {
+  std::vector<NormalizedSubgoal> subgoals;
+  /// Conjuncts that could not be localized to a single subgoal.
+  Condition residual;
+
+  /// True iff every predicate is local (residual is empty).
+  bool AllPredicatesLocal() const { return residual.IsTrue(); }
+
+  /// Variables occurring in more than one subgoal or shared by a Kleene
+  /// plus (same notion as SharedVars on the AST).
+  std::set<SymbolId> SharedVars() const;
+
+  /// Substitutes constants for variables (grounding shared variables).
+  NormalizedQuery Substitute(const Binding& subst) const;
+};
+
+/// Normalizes a query. The query should already pass ValidateQuery.
+Result<NormalizedQuery> Normalize(const Query& q);
+
+}  // namespace lahar
+
+#endif  // LAHAR_QUERY_NORMALIZE_H_

@@ -1,0 +1,379 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace lahar {
+namespace {
+
+enum class Tok {
+  kIdent,
+  kQuoted,
+  kInt,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kSemi,
+  kComma,
+  kColon,
+  kPlus,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;   // identifier / quoted payload
+  int64_t number = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      size_t pos = i_;
+      if (i_ >= text_.size()) {
+        out.push_back({Tok::kEnd, "", 0, pos});
+        return out;
+      }
+      char c = text_[i_];
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i_;
+        while (i_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i_])) ||
+                text_[i_] == '_')) {
+          ++i_;
+        }
+        out.push_back(
+            {Tok::kIdent, std::string(text_.substr(start, i_ - start)), 0, pos});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '-' && i_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[i_ + 1])))) {
+        size_t start = i_;
+        if (c == '-') ++i_;
+        while (i_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[i_]))) {
+          ++i_;
+        }
+        Token t{Tok::kInt, "", 0, pos};
+        t.number = std::strtoll(std::string(text_.substr(start, i_ - start)).c_str(),
+                                nullptr, 10);
+        out.push_back(t);
+        continue;
+      }
+      if (c == '\'') {
+        ++i_;
+        size_t start = i_;
+        while (i_ < text_.size() && text_[i_] != '\'') ++i_;
+        if (i_ >= text_.size()) {
+          return Status::ParseError("unterminated quoted constant at offset " +
+                                    std::to_string(pos));
+        }
+        out.push_back(
+            {Tok::kQuoted, std::string(text_.substr(start, i_ - start)), 0, pos});
+        ++i_;
+        continue;
+      }
+      switch (c) {
+        case '(': out.push_back({Tok::kLParen, "", 0, pos}); ++i_; break;
+        case ')': out.push_back({Tok::kRParen, "", 0, pos}); ++i_; break;
+        case '{': out.push_back({Tok::kLBrace, "", 0, pos}); ++i_; break;
+        case '}': out.push_back({Tok::kRBrace, "", 0, pos}); ++i_; break;
+        case ';': out.push_back({Tok::kSemi, "", 0, pos}); ++i_; break;
+        case ',': out.push_back({Tok::kComma, "", 0, pos}); ++i_; break;
+        case ':': out.push_back({Tok::kColon, "", 0, pos}); ++i_; break;
+        case '+': out.push_back({Tok::kPlus, "", 0, pos}); ++i_; break;
+        case '=': out.push_back({Tok::kEq, "", 0, pos}); ++i_; break;
+        case '!':
+          if (Peek(1) == '=') {
+            out.push_back({Tok::kNe, "", 0, pos});
+            i_ += 2;
+          } else {
+            return Status::ParseError("stray '!' at offset " +
+                                      std::to_string(pos));
+          }
+          break;
+        case '<':
+          if (Peek(1) == '=') {
+            out.push_back({Tok::kLe, "", 0, pos});
+            i_ += 2;
+          } else {
+            out.push_back({Tok::kLt, "", 0, pos});
+            ++i_;
+          }
+          break;
+        case '>':
+          if (Peek(1) == '=') {
+            out.push_back({Tok::kGe, "", 0, pos});
+            i_ += 2;
+          } else {
+            out.push_back({Tok::kGt, "", 0, pos});
+            ++i_;
+          }
+          break;
+        default:
+          return Status::ParseError(std::string("unexpected character '") + c +
+                                    "' at offset " + std::to_string(pos));
+      }
+    }
+  }
+
+ private:
+  void SkipSpace() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+  }
+  char Peek(size_t ahead) const {
+    return i_ + ahead < text_.size() ? text_[i_ + ahead] : '\0';
+  }
+
+  std::string_view text_;
+  size_t i_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Interner* interner)
+      : tokens_(std::move(tokens)), interner_(interner) {}
+
+  Result<QueryPtr> ParseTop() {
+    LAHAR_ASSIGN_OR_RETURN(QueryPtr q, ParseQueryExpr());
+    if (!At(Tok::kEnd)) {
+      return Err("trailing input after query");
+    }
+    return q;
+  }
+
+ private:
+  // query := seq [WHERE cond]
+  Result<QueryPtr> ParseQueryExpr() {
+    LAHAR_ASSIGN_OR_RETURN(QueryPtr q, ParseSeq());
+    if (AtKeyword("WHERE")) {
+      Advance();
+      LAHAR_ASSIGN_OR_RETURN(Condition cond, ParseCond());
+      q = MakeSelection(std::move(q), std::move(cond));
+    }
+    return q;
+  }
+
+  // seq := unit (';' base)*
+  Result<QueryPtr> ParseSeq() {
+    LAHAR_ASSIGN_OR_RETURN(QueryPtr q, ParseUnit());
+    while (At(Tok::kSemi)) {
+      Advance();
+      if (At(Tok::kLParen)) {
+        return Err(
+            "sequencing is left-associative: a parenthesized subquery may "
+            "only appear as the first unit");
+      }
+      LAHAR_ASSIGN_OR_RETURN(BaseQuery bq, ParseBase());
+      q = MakeSequence(std::move(q), std::move(bq));
+    }
+    return q;
+  }
+
+  // unit := base | '(' query ')'
+  Result<QueryPtr> ParseUnit() {
+    if (At(Tok::kLParen)) {
+      Advance();
+      LAHAR_ASSIGN_OR_RETURN(QueryPtr q, ParseQueryExpr());
+      LAHAR_RETURN_NOT_OK(Expect(Tok::kRParen, "')'"));
+      return q;
+    }
+    LAHAR_ASSIGN_OR_RETURN(BaseQuery bq, ParseBase());
+    return MakeBase(std::move(bq));
+  }
+
+  // base := IDENT '(' terms [':' cond] ')' [kleene]
+  Result<BaseQuery> ParseBase() {
+    if (!At(Tok::kIdent)) return Err("expected a subgoal");
+    BaseQuery bq;
+    bq.goal.type = interner_->Intern(Cur().text);
+    Advance();
+    LAHAR_RETURN_NOT_OK(Expect(Tok::kLParen, "'(' after subgoal name"));
+    if (!At(Tok::kRParen) && !At(Tok::kColon)) {
+      while (true) {
+        LAHAR_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        bq.goal.terms.push_back(t);
+        if (!At(Tok::kComma)) break;
+        Advance();
+      }
+    }
+    if (At(Tok::kColon)) {
+      Advance();
+      LAHAR_ASSIGN_OR_RETURN(bq.pred, ParseCond());
+    }
+    LAHAR_RETURN_NOT_OK(Expect(Tok::kRParen, "')' closing subgoal"));
+    if (At(Tok::kPlus)) {
+      Advance();
+      bq.is_kleene = true;
+      LAHAR_RETURN_NOT_OK(Expect(Tok::kLBrace, "'{' after '+'"));
+      while (At(Tok::kIdent) && !AtKeyword("NOT")) {
+        bq.kleene_vars.push_back(interner_->Intern(Cur().text));
+        Advance();
+        if (At(Tok::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (At(Tok::kColon)) {
+        Advance();
+        LAHAR_ASSIGN_OR_RETURN(bq.kleene_pred, ParseCond());
+      }
+      LAHAR_RETURN_NOT_OK(Expect(Tok::kRBrace, "'}' closing Kleene plus"));
+    }
+    return bq;
+  }
+
+  // cond := clause (AND clause)*
+  // clause := unit (OR unit)*;  unit := atom | '(' clause ')'
+  // (parentheses group disjunctions; OR is associative so groups flatten)
+  Result<Condition> ParseCond() {
+    Condition cond;
+    while (true) {
+      ConditionClause clause;
+      LAHAR_RETURN_NOT_OK(ParseClauseInto(&clause));
+      cond.AddClause(std::move(clause));
+      if (AtKeyword("AND")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return cond;
+  }
+
+  Status ParseClauseInto(ConditionClause* clause) {
+    while (true) {
+      if (At(Tok::kLParen)) {
+        Advance();
+        LAHAR_RETURN_NOT_OK(ParseClauseInto(clause));
+        LAHAR_RETURN_NOT_OK(Expect(Tok::kRParen, "')' closing clause"));
+      } else {
+        LAHAR_ASSIGN_OR_RETURN(ConditionAtom atom, ParseAtom());
+        clause->atoms.push_back(std::move(atom));
+      }
+      if (AtKeyword("OR")) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  Result<ConditionAtom> ParseAtom() {
+    bool negated = false;
+    if (AtKeyword("NOT")) {
+      negated = true;
+      Advance();
+    }
+    // Relation atom: IDENT '(' ... — requires lookahead to distinguish from
+    // a comparison whose lhs is a variable.
+    if (At(Tok::kIdent) && PeekKind(1) == Tok::kLParen) {
+      RelAtom rel;
+      rel.negated = negated;
+      rel.rel = interner_->Intern(Cur().text);
+      Advance();
+      Advance();  // '('
+      if (!At(Tok::kRParen)) {
+        while (true) {
+          LAHAR_ASSIGN_OR_RETURN(Term t, ParseTerm());
+          rel.args.push_back(t);
+          if (!At(Tok::kComma)) break;
+          Advance();
+        }
+      }
+      LAHAR_RETURN_NOT_OK(Expect(Tok::kRParen, "')' closing relation atom"));
+      return ConditionAtom(std::move(rel));
+    }
+    if (negated) return Err("NOT applies only to relation atoms");
+    CompareAtom cmp;
+    LAHAR_ASSIGN_OR_RETURN(cmp.lhs, ParseTerm());
+    switch (Cur().kind) {
+      case Tok::kEq: cmp.op = CmpOp::kEq; break;
+      case Tok::kNe: cmp.op = CmpOp::kNe; break;
+      case Tok::kLt: cmp.op = CmpOp::kLt; break;
+      case Tok::kLe: cmp.op = CmpOp::kLe; break;
+      case Tok::kGt: cmp.op = CmpOp::kGt; break;
+      case Tok::kGe: cmp.op = CmpOp::kGe; break;
+      default: return Err("expected comparison operator");
+    }
+    Advance();
+    LAHAR_ASSIGN_OR_RETURN(cmp.rhs, ParseTerm());
+    return ConditionAtom(cmp);
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(Tok::kIdent)) {
+      Term t = Term::Var(interner_->Intern(Cur().text));
+      Advance();
+      return t;
+    }
+    if (At(Tok::kQuoted)) {
+      Term t = Term::Const(Value::Symbol(interner_->Intern(Cur().text)));
+      Advance();
+      return t;
+    }
+    if (At(Tok::kInt)) {
+      Term t = Term::Const(Value::Int(Cur().number));
+      Advance();
+      return t;
+    }
+    return Err("expected a term (variable, 'constant', or integer)");
+  }
+
+  const Token& Cur() const { return tokens_[i_]; }
+  bool At(Tok k) const { return Cur().kind == k; }
+  bool AtKeyword(const char* kw) const {
+    return Cur().kind == Tok::kIdent && Cur().text == kw;
+  }
+  Tok PeekKind(size_t ahead) const {
+    size_t j = i_ + ahead;
+    return j < tokens_.size() ? tokens_[j].kind : Tok::kEnd;
+  }
+  void Advance() {
+    if (i_ + 1 < tokens_.size()) ++i_;
+  }
+  Status Expect(Tok k, const char* what) {
+    if (!At(k)) return Err(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(msg + " at offset " + std::to_string(Cur().pos));
+  }
+
+  std::vector<Token> tokens_;
+  Interner* interner_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> ParseQuery(std::string_view text, Interner* interner) {
+  Lexer lexer(text);
+  LAHAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens), interner);
+  return parser.ParseTop();
+}
+
+}  // namespace lahar

@@ -1,0 +1,41 @@
+// Text syntax for the event query language.
+//
+// Grammar (a strict subset of Cayuga, Section 2.2):
+//
+//   query    := seq [ 'WHERE' cond ]
+//   seq      := unit ( ';' base )*
+//   unit     := base | '(' query ')'
+//   base     := IDENT '(' terms [ ':' cond ] ')' [ kleene ]
+//   kleene   := '+' '{' [ vars ] [ ':' cond ] '}'
+//   cond     := atom ( 'AND' atom )*
+//   atom     := [ 'NOT' ] IDENT '(' terms ')'     (relation membership)
+//             | term cmp term
+//   cmp      := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   term     := IDENT (a variable) | 'quoted' (a symbol) | integer
+//
+// A condition after the ':' inside a subgoal is the base-query predicate
+// theta (part of the structural match, Ex. 3.11 q_f); a WHERE applies a
+// selection around the query parsed so far (the filtering semantics of q_s).
+// Sequencing is left-associative; parenthesized subqueries may only appear
+// as the first unit, matching the paper's restriction.
+//
+// Examples:
+//   At('Joe','220'); At('Joe', l : CRoom(l)); At('Joe','220')
+//   (At(p,l1); At(p,l2)+{p : Hall(l2)}; At(p,l3))
+//       WHERE Person(p) AND Office(p,l1) AND CRoom(l3)
+#ifndef LAHAR_QUERY_PARSER_H_
+#define LAHAR_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/ast.h"
+
+namespace lahar {
+
+/// Parses `text` into a query AST, interning names through `interner`.
+/// Does not consult schemas; call ValidateQuery against a database next.
+Result<QueryPtr> ParseQuery(std::string_view text, Interner* interner);
+
+}  // namespace lahar
+
+#endif  // LAHAR_QUERY_PARSER_H_

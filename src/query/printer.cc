@@ -1,0 +1,113 @@
+#include "query/printer.h"
+
+namespace lahar {
+namespace {
+
+const char* CmpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string BaseToString(const BaseQuery& bq, const Interner& interner) {
+  std::string out = interner.Name(bq.goal.type) + "(";
+  for (size_t i = 0; i < bq.goal.terms.size(); ++i) {
+    if (i) out += ", ";
+    out += ToString(bq.goal.terms[i], interner);
+  }
+  if (!bq.pred.IsTrue()) out += " : " + ToString(bq.pred, interner);
+  out += ")";
+  if (bq.is_kleene) {
+    out += "+{";
+    for (size_t i = 0; i < bq.kleene_vars.size(); ++i) {
+      if (i) out += ", ";
+      out += interner.Name(bq.kleene_vars[i]);
+    }
+    if (!bq.kleene_pred.IsTrue()) {
+      out += " : " + ToString(bq.kleene_pred, interner);
+    }
+    out += "}";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const Term& t, const Interner& interner) {
+  if (t.is_var) return interner.Name(t.var);
+  return t.constant.ToString(interner);
+}
+
+std::string ToString(const Subgoal& g, const Interner& interner) {
+  std::string out = interner.Name(g.type) + "(";
+  for (size_t i = 0; i < g.terms.size(); ++i) {
+    if (i) out += ", ";
+    out += ToString(g.terms[i], interner);
+  }
+  return out + ")";
+}
+
+namespace {
+
+std::string AtomToString(const ConditionAtom& atom, const Interner& interner) {
+  std::string out;
+  if (std::holds_alternative<CompareAtom>(atom)) {
+    const auto& a = std::get<CompareAtom>(atom);
+    out += ToString(a.lhs, interner);
+    out += " ";
+    out += CmpName(a.op);
+    out += " ";
+    out += ToString(a.rhs, interner);
+  } else {
+    const auto& a = std::get<RelAtom>(atom);
+    if (a.negated) out += "NOT ";
+    out += interner.Name(a.rel) + "(";
+    for (size_t j = 0; j < a.args.size(); ++j) {
+      if (j) out += ", ";
+      out += ToString(a.args[j], interner);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToString(const Condition& cond, const Interner& interner) {
+  if (cond.IsTrue()) return "true";
+  std::string out;
+  for (size_t i = 0; i < cond.clauses().size(); ++i) {
+    if (i) out += " AND ";
+    const ConditionClause& clause = cond.clauses()[i];
+    bool paren = cond.clauses().size() > 1 && clause.atoms.size() > 1;
+    if (paren) out += "(";
+    for (size_t j = 0; j < clause.atoms.size(); ++j) {
+      if (j) out += " OR ";
+      out += AtomToString(clause.atoms[j], interner);
+    }
+    if (paren) out += ")";
+  }
+  return out;
+}
+
+std::string ToString(const Query& q, const Interner& interner) {
+  switch (q.kind) {
+    case Query::Kind::kBase:
+      return BaseToString(q.base, interner);
+    case Query::Kind::kSequence:
+      return ToString(*q.child, interner) + "; " +
+             BaseToString(q.base, interner);
+    case Query::Kind::kSelection:
+      return "(" + ToString(*q.child, interner) + " WHERE " +
+             ToString(q.selection, interner) + ")";
+  }
+  return "?";
+}
+
+}  // namespace lahar

@@ -1,0 +1,26 @@
+// Pretty-printer for queries and conditions; inverse of the parser (round
+// trips up to whitespace).
+#ifndef LAHAR_QUERY_PRINTER_H_
+#define LAHAR_QUERY_PRINTER_H_
+
+#include <string>
+
+#include "query/ast.h"
+
+namespace lahar {
+
+/// Renders a query in the parser's syntax.
+std::string ToString(const Query& q, const Interner& interner);
+
+/// Renders a condition.
+std::string ToString(const Condition& cond, const Interner& interner);
+
+/// Renders a term.
+std::string ToString(const Term& t, const Interner& interner);
+
+/// Renders a subgoal (without predicates).
+std::string ToString(const Subgoal& g, const Interner& interner);
+
+}  // namespace lahar
+
+#endif  // LAHAR_QUERY_PRINTER_H_

@@ -1,0 +1,143 @@
+#include "sim/floorplan.h"
+
+namespace lahar {
+
+const char* RoomTypeName(RoomType type) {
+  switch (type) {
+    case RoomType::kOffice: return "office";
+    case RoomType::kHallway: return "hallway";
+    case RoomType::kCoffeeRoom: return "coffee_room";
+    case RoomType::kLectureRoom: return "lecture_room";
+    case RoomType::kLobby: return "lobby";
+  }
+  return "?";
+}
+
+uint32_t Floorplan::Add(std::string name, RoomType type) {
+  Location loc;
+  loc.name = std::move(name);
+  loc.type = type;
+  locations_.push_back(std::move(loc));
+  return static_cast<uint32_t>(locations_.size() - 1);
+}
+
+void Floorplan::Connect(uint32_t a, uint32_t b) {
+  locations_[a].neighbors.push_back(b);
+  locations_[b].neighbors.push_back(a);
+}
+
+Floorplan Floorplan::Building(int floors, int offices_per_floor,
+                              int antenna_every) {
+  Floorplan fp;
+  uint32_t lobby = fp.Add("lobby", RoomType::kLobby);
+  fp.locations_[lobby].antenna = static_cast<int>(fp.num_antennas_++);
+  for (int f = 0; f < floors; ++f) {
+    std::string prefix = "f" + std::to_string(f + 1) + "_";
+    // Hallway segments: one per pair of offices, in a chain off the lobby.
+    int segments = (offices_per_floor + 1) / 2;
+    uint32_t prev = lobby;
+    for (int h = 0; h < segments; ++h) {
+      uint32_t hall =
+          fp.Add(prefix + "hall" + std::to_string(h + 1), RoomType::kHallway);
+      if (antenna_every > 0 && h % antenna_every == 0) {
+        fp.locations_[hall].antenna = static_cast<int>(fp.num_antennas_++);
+      }
+      fp.Connect(prev, hall);
+      // Offices hang off this segment.
+      for (int side = 0; side < 2; ++side) {
+        int office_index = h * 2 + side;
+        if (office_index >= offices_per_floor) break;
+        uint32_t office = fp.Add(
+            prefix + "office" + std::to_string(office_index + 1),
+            RoomType::kOffice);
+        fp.Connect(hall, office);
+      }
+      prev = hall;
+    }
+    // The coffee room sits alone at the end of the corridor; the floor's
+    // lecture room opens off the lobby.
+    uint32_t coffee = fp.Add(prefix + "coffee", RoomType::kCoffeeRoom);
+    fp.Connect(prev, coffee);
+    uint32_t lecture = fp.Add(prefix + "lecture", RoomType::kLectureRoom);
+    fp.Connect(lobby, lecture);
+  }
+  return fp;
+}
+
+Floorplan Floorplan::Corridor(int rooms) {
+  Floorplan fp;
+  uint32_t hall = fp.Add("hall1", RoomType::kHallway);
+  fp.locations_[hall].antenna = static_cast<int>(fp.num_antennas_++);
+  uint32_t prev = hall;
+  for (int r = 0; r < rooms; ++r) {
+    if (r > 0 && r % 2 == 0) {
+      uint32_t next = fp.Add("hall" + std::to_string(r / 2 + 1),
+                             RoomType::kHallway);
+      // Every hallway segment is sensed; only the rooms are blind spots.
+      fp.locations_[next].antenna = static_cast<int>(fp.num_antennas_++);
+      fp.Connect(prev, next);
+      prev = next;
+    }
+    uint32_t room =
+        fp.Add("room" + std::to_string(r + 1), RoomType::kOffice);
+    fp.Connect(prev, room);
+  }
+  return fp;
+}
+
+uint32_t Floorplan::AddLocation(std::string name, RoomType type,
+                                bool antenna) {
+  uint32_t id = Add(std::move(name), type);
+  if (antenna) {
+    locations_[id].antenna = static_cast<int>(num_antennas_++);
+  }
+  return id;
+}
+
+uint32_t Floorplan::Find(const std::string& name) const {
+  for (uint32_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].name == name) return i;
+  }
+  return kNotFound;
+}
+
+std::vector<uint32_t> Floorplan::OfType(RoomType type) const {
+  std::vector<uint32_t> out;
+  for (uint32_t i = 0; i < locations_.size(); ++i) {
+    if (locations_[i].type == type) out.push_back(i);
+  }
+  return out;
+}
+
+Matrix Floorplan::MotionModel(double stay, double room_stay,
+                              double coffee_bias) const {
+  const size_t N = locations_.size();
+  Matrix m(N, N, 0.0);
+  for (size_t i = 0; i < N; ++i) {
+    const Location& loc = locations_[i];
+    double self = loc.type == RoomType::kHallway ? stay : room_stay;
+    if (loc.neighbors.empty()) {
+      m.At(i, i) = 1.0;
+      continue;
+    }
+    m.At(i, i) = self;
+    double total_weight = 0;
+    for (uint32_t n : loc.neighbors) {
+      total_weight +=
+          locations_[n].type == RoomType::kCoffeeRoom ? coffee_bias : 1.0;
+    }
+    for (uint32_t n : loc.neighbors) {
+      double w =
+          locations_[n].type == RoomType::kCoffeeRoom ? coffee_bias : 1.0;
+      m.At(i, n) += (1.0 - self) * w / total_weight;
+    }
+  }
+  return m;
+}
+
+std::vector<double> Floorplan::UniformPrior() const {
+  return std::vector<double>(locations_.size(),
+                             1.0 / static_cast<double>(locations_.size()));
+}
+
+}  // namespace lahar

@@ -1,0 +1,83 @@
+#include "sim/sensor.h"
+
+#include <algorithm>
+
+namespace lahar {
+
+RfidSensorModel::RfidSensorModel(const Floorplan* floorplan, double read_rate,
+                                 double bleed_rate)
+    : floorplan_(floorplan), read_rate_(read_rate), bleed_rate_(bleed_rate) {
+  const size_t N = floorplan_->num_locations();
+  coverage_.resize(N, -1);
+  adjacent_.resize(N);
+  for (uint32_t i = 0; i < N; ++i) {
+    coverage_[i] = floorplan_->location(i).antenna;
+    for (uint32_t n : floorplan_->location(i).neighbors) {
+      int a = floorplan_->location(n).antenna;
+      if (a >= 0) adjacent_[i].push_back(a);
+    }
+    std::sort(adjacent_[i].begin(), adjacent_[i].end());
+    adjacent_[i].erase(std::unique(adjacent_[i].begin(), adjacent_[i].end()),
+                       adjacent_[i].end());
+  }
+}
+
+double RfidSensorModel::FireProb(int antenna, uint32_t loc) const {
+  if (coverage_[loc] == antenna) return read_rate_;
+  if (std::binary_search(adjacent_[loc].begin(), adjacent_[loc].end(),
+                         antenna)) {
+    return bleed_rate_;
+  }
+  return 0.0;
+}
+
+Reading RfidSensorModel::Sample(uint32_t loc, Rng* rng) const {
+  Reading reading;
+  if (coverage_[loc] >= 0 && rng->Bernoulli(read_rate_)) {
+    reading.push_back(coverage_[loc]);
+  }
+  for (int a : adjacent_[loc]) {
+    if (rng->Bernoulli(bleed_rate_)) reading.push_back(a);
+  }
+  std::sort(reading.begin(), reading.end());
+  return reading;
+}
+
+std::vector<double> RfidSensorModel::Likelihood(const Reading& reading) const {
+  const size_t N = floorplan_->num_locations();
+  std::vector<double> out(N, 1.0);
+  for (uint32_t loc = 0; loc < N; ++loc) {
+    // Antennas that could fire for this location: its own plus adjacent.
+    double p = 1.0;
+    auto fired = [&](int a) {
+      return std::binary_search(reading.begin(), reading.end(), a);
+    };
+    if (coverage_[loc] >= 0) {
+      p *= fired(coverage_[loc]) ? read_rate_ : 1.0 - read_rate_;
+    }
+    for (int a : adjacent_[loc]) {
+      p *= fired(a) ? bleed_rate_ : 1.0 - bleed_rate_;
+    }
+    // Any fired antenna not explainable from this location rules it out.
+    for (int a : reading) {
+      if (a != coverage_[loc] &&
+          !std::binary_search(adjacent_[loc].begin(), adjacent_[loc].end(),
+                              a)) {
+        p = 0.0;
+        break;
+      }
+    }
+    out[loc] = p;
+  }
+  return out;
+}
+
+Likelihoods RfidSensorModel::LikelihoodTrace(
+    const std::vector<Reading>& readings) const {
+  Likelihoods out;
+  out.reserve(readings.size());
+  for (const Reading& r : readings) out.push_back(Likelihood(r));
+  return out;
+}
+
+}  // namespace lahar

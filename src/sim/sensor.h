@@ -1,0 +1,50 @@
+// RFID sensor model: antennas detect a tag in their location with
+// probability `read_rate` (the paper cites read rates from 10% to 90% in
+// large deployments) and misfire on adjacent locations with a small
+// `bleed_rate`, reproducing both missed and conflicting readings.
+#ifndef LAHAR_SIM_SENSOR_H_
+#define LAHAR_SIM_SENSOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "inference/hmm.h"
+#include "sim/floorplan.h"
+
+namespace lahar {
+
+/// \brief One timestep's raw readings: the antenna ids that saw the tag.
+using Reading = std::vector<int>;
+
+/// \brief Probabilistic antenna model over a floorplan.
+class RfidSensorModel {
+ public:
+  RfidSensorModel(const Floorplan* floorplan, double read_rate,
+                  double bleed_rate = 0.05);
+
+  /// P[antenna a fires | tag at location loc].
+  double FireProb(int antenna, uint32_t loc) const;
+
+  /// Samples the set of firing antennas for a tag at `loc`.
+  Reading Sample(uint32_t loc, Rng* rng) const;
+
+  /// Observation likelihood vector L[loc] = P[reading | tag at loc],
+  /// the plug-in for DiscreteHmm / ParticleFilter.
+  std::vector<double> Likelihood(const Reading& reading) const;
+
+  /// Likelihood sequence for a whole reading trace.
+  Likelihoods LikelihoodTrace(const std::vector<Reading>& readings) const;
+
+ private:
+  const Floorplan* floorplan_;
+  double read_rate_;
+  double bleed_rate_;
+  // coverage_[loc] = antenna covering loc (own location), -1 if none.
+  // adjacency_[loc] = antennas covering a neighbor of loc.
+  std::vector<int> coverage_;
+  std::vector<std::vector<int>> adjacent_;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_SIM_SENSOR_H_

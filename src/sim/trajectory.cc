@@ -1,0 +1,112 @@
+#include "sim/trajectory.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace lahar {
+
+std::vector<uint32_t> ShortestPath(const Floorplan& fp, uint32_t from,
+                                   uint32_t to) {
+  const uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> parent(fp.num_locations(), kUnvisited);
+  std::deque<uint32_t> queue{from};
+  parent[from] = from;
+  while (!queue.empty()) {
+    uint32_t cur = queue.front();
+    queue.pop_front();
+    if (cur == to) break;
+    for (uint32_t n : fp.location(cur).neighbors) {
+      if (parent[n] == kUnvisited) {
+        parent[n] = cur;
+        queue.push_back(n);
+      }
+    }
+  }
+  std::vector<uint32_t> path;
+  if (parent[to] == kUnvisited) return path;
+  for (uint32_t cur = to; cur != from; cur = parent[cur]) path.push_back(cur);
+  path.push_back(from);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+TruePath RandomWalkPath(const Floorplan& fp, const Matrix& motion,
+                        uint32_t start, Timestamp horizon, Rng* rng) {
+  TruePath path(horizon + 1, start);
+  uint32_t cur = start;
+  std::vector<double> row(fp.num_locations());
+  for (Timestamp t = 1; t <= horizon; ++t) {
+    path[t] = cur;
+    const double* r = motion.Row(cur);
+    row.assign(r, r + fp.num_locations());
+    size_t next = rng->Categorical(row);
+    if (next < fp.num_locations()) cur = static_cast<uint32_t>(next);
+  }
+  return path;
+}
+
+namespace {
+
+// Geometric dwell time with the given mean (at least 1).
+Timestamp Dwell(Timestamp mean, Rng* rng) {
+  if (mean <= 1) return 1;
+  double p = 1.0 / static_cast<double>(mean);
+  Timestamp n = 1;
+  while (!rng->Bernoulli(p) && n < 10 * mean) ++n;
+  return n;
+}
+
+}  // namespace
+
+TruePath OfficeWorkerPath(const Floorplan& fp, uint32_t office,
+                          Timestamp horizon, Rng* rng,
+                          Timestamp office_stay_mean,
+                          Timestamp coffee_stay_mean) {
+  // Nearest coffee room by BFS distance.
+  uint32_t coffee = Floorplan::kNotFound;
+  size_t best = SIZE_MAX;
+  for (uint32_t c : fp.OfType(RoomType::kCoffeeRoom)) {
+    auto p = ShortestPath(fp, office, c);
+    if (!p.empty() && p.size() < best) {
+      best = p.size();
+      coffee = c;
+    }
+  }
+  TruePath path(horizon + 1, office);
+  if (coffee == Floorplan::kNotFound) return path;
+  std::vector<uint32_t> to_coffee = ShortestPath(fp, office, coffee);
+  std::vector<uint32_t> to_office(to_coffee.rbegin(), to_coffee.rend());
+
+  Timestamp t = 1;
+  auto emit = [&](uint32_t loc, Timestamp count) {
+    for (Timestamp i = 0; i < count && t <= horizon; ++i) path[t++] = loc;
+  };
+  auto walk = [&](const std::vector<uint32_t>& route) {
+    for (size_t i = 1; i < route.size() && t <= horizon; ++i) {
+      path[t++] = route[i];
+    }
+  };
+  while (t <= horizon) {
+    emit(office, Dwell(office_stay_mean, rng));
+    if (t > horizon) break;
+    walk(to_coffee);
+    emit(coffee, Dwell(coffee_stay_mean, rng));
+    walk(to_office);
+  }
+  return path;
+}
+
+TruePath EnterRoomAndStayPath(const Floorplan& fp, uint32_t start,
+                              uint32_t room, Timestamp horizon) {
+  std::vector<uint32_t> route = ShortestPath(fp, start, room);
+  TruePath path(horizon + 1, room);
+  Timestamp t = 1;
+  for (uint32_t loc : route) {
+    if (t > horizon) break;
+    path[t++] = loc;
+  }
+  while (t <= horizon) path[t++] = room;
+  return path;
+}
+
+}  // namespace lahar

@@ -1,0 +1,42 @@
+// Ground-truth trajectory scripts over a floorplan. The quality experiments
+// need *known* true paths (the paper used participant annotations; our
+// simulator knows the truth exactly), and the performance experiments need
+// many concurrently moving tags.
+#ifndef LAHAR_SIM_TRAJECTORY_H_
+#define LAHAR_SIM_TRAJECTORY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "model/value.h"
+#include "sim/floorplan.h"
+
+namespace lahar {
+
+/// A true path: path[t] for t = 1..horizon (index 0 unused).
+using TruePath = std::vector<uint32_t>;
+
+/// BFS shortest path between two locations (inclusive of both endpoints).
+std::vector<uint32_t> ShortestPath(const Floorplan& fp, uint32_t from,
+                                   uint32_t to);
+
+/// Random walk under a motion model, starting at `start`.
+TruePath RandomWalkPath(const Floorplan& fp, const Matrix& motion,
+                        uint32_t start, Timestamp horizon, Rng* rng);
+
+/// An office worker's routine: linger in the office, walk to the floor's
+/// coffee room, linger, walk back; repeat until the horizon. This is the
+/// workload behind the paper's central coffee-room query.
+TruePath OfficeWorkerPath(const Floorplan& fp, uint32_t office,
+                          Timestamp horizon, Rng* rng,
+                          Timestamp office_stay_mean = 10,
+                          Timestamp coffee_stay_mean = 5);
+
+/// The Fig. 11 scenario: walk down the hallway, enter `room`, and stay
+/// there for the rest of the trace.
+TruePath EnterRoomAndStayPath(const Floorplan& fp, uint32_t start,
+                              uint32_t room, Timestamp horizon);
+
+}  // namespace lahar
+
+#endif  // LAHAR_SIM_TRAJECTORY_H_

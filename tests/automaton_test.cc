@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "automaton/nfa.h"
+#include "automaton/symbols.h"
+#include "query/normalize.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::AddRelation;
+using ::lahar::testing::MustParse;
+
+NormalizedQuery Norm(EventDatabase* db, const std::string& text) {
+  QueryPtr q = MustParse(db, text);
+  auto nq = Normalize(*q);
+  EXPECT_OK(nq.status());
+  return *nq;
+}
+
+TEST(NfaTest, SingleSubgoalAcceptsOnA1) {
+  EventDatabase db;
+  NormalizedQuery nq = Norm(&db, "R(k, x)");
+  auto nfa = QueryNfa::Build(nq);
+  ASSERT_OK(nfa.status());
+  StateMask s = nfa->InitialStates();
+  EXPECT_FALSE(nfa->Accepts(s));
+  // Input without a1: stays at start only.
+  s = nfa->Transition(s, 0);
+  EXPECT_FALSE(nfa->Accepts(s));
+  // Input with a1 (and m1): accepts.
+  s = nfa->Transition(s, MatchBit(0) | AcceptBit(0));
+  EXPECT_TRUE(nfa->Accepts(s));
+  // Next empty input: acceptance is per-timestep, not latched.
+  s = nfa->Transition(s, 0);
+  EXPECT_FALSE(nfa->Accepts(s));
+}
+
+TEST(NfaTest, SequenceBlocksOnMatchWithoutAccept) {
+  EventDatabase db;
+  NormalizedQuery nq = Norm(&db, "(R(k, x); R(k, y)) WHERE y = 'b'");
+  auto nfa = QueryNfa::Build(nq);
+  ASSERT_OK(nfa.status());
+  const SymbolMask a1 = MatchBit(0) | AcceptBit(0);
+  const SymbolMask m2 = MatchBit(1);
+  const SymbolMask a2 = MatchBit(1) | AcceptBit(1);
+  // a1, then m2-without-a2 (the blocking event), then a2: must NOT accept
+  // from the first thread (its successor was consumed), but the m2 event
+  // also matches subgoal 1? No — distinct subgoals have distinct symbols;
+  // here every R event produces m1/a1 too, so model that faithfully:
+  const SymbolMask any_r_blocking = a1 | m2;  // R event failing y='b'
+  const SymbolMask r_b = a1 | a2;             // R event with y='b'
+  StateMask s = nfa->InitialStates();
+  s = nfa->Transition(s, any_r_blocking);  // match subgoal 1
+  s = nfa->Transition(s, any_r_blocking);  // blocks the waiting thread...
+  s = nfa->Transition(s, r_b);
+  // ...but the second event also re-matched subgoal 1, so its successor
+  // (r_b) completes a fresh thread: accept.
+  EXPECT_TRUE(nfa->Accepts(s));
+  // Pure blocker that matches only subgoal 2's shape: kills the thread.
+  StateMask s2 = nfa->InitialStates();
+  s2 = nfa->Transition(s2, a1);
+  s2 = nfa->Transition(s2, m2);  // blocking event, no new subgoal-1 match
+  s2 = nfa->Transition(s2, a2);
+  EXPECT_FALSE(nfa->Accepts(s2));
+}
+
+TEST(NfaTest, GapsDoNotBlock) {
+  EventDatabase db;
+  NormalizedQuery nq = Norm(&db, "R(k, x : x = 'a'); R(k, y : y = 'b')");
+  auto nfa = QueryNfa::Build(nq);
+  ASSERT_OK(nfa.status());
+  StateMask s = nfa->InitialStates();
+  s = nfa->Transition(s, MatchBit(0) | AcceptBit(0));
+  s = nfa->Transition(s, 0);  // bottom timestep
+  s = nfa->Transition(s, 0);
+  s = nfa->Transition(s, MatchBit(1) | AcceptBit(1));
+  EXPECT_TRUE(nfa->Accepts(s));
+}
+
+TEST(NfaTest, KleeneLoopsAcceptEachUnfolding) {
+  EventDatabase db;
+  AddRelation(&db, "Hall", {{"h"}});
+  NormalizedQuery nq = Norm(&db, "R(k, x)+{ : Hall(x)}");
+  auto nfa = QueryNfa::Build(nq);
+  ASSERT_OK(nfa.status());
+  const SymbolMask a1 = MatchBit(0) | AcceptBit(0);
+  StateMask s = nfa->InitialStates();
+  s = nfa->Transition(s, a1);
+  EXPECT_TRUE(nfa->Accepts(s));
+  s = nfa->Transition(s, a1);  // consecutive unfolding
+  EXPECT_TRUE(nfa->Accepts(s));
+  s = nfa->Transition(s, 0);   // gap
+  EXPECT_FALSE(nfa->Accepts(s));
+  s = nfa->Transition(s, a1);  // resume after the gap
+  EXPECT_TRUE(nfa->Accepts(s));
+  // A match-without-accept event ends the chain for good.
+  s = nfa->Transition(s, MatchBit(0));
+  s = nfa->Transition(s, a1);
+  EXPECT_TRUE(nfa->Accepts(s));  // ...but also starts a new one (.* prefix)
+}
+
+TEST(NfaTest, MemoizationToggleGivesSameResults) {
+  EventDatabase db;
+  NormalizedQuery nq = Norm(&db, "R(k, x : x = 'a'); R(k, y : y = 'b')");
+  auto memo = QueryNfa::Build(nq);
+  auto plain = QueryNfa::Build(nq);
+  ASSERT_OK(memo.status());
+  ASSERT_OK(plain.status());
+  plain->set_memoization(false);
+  Rng rng(3);
+  StateMask s1 = memo->InitialStates(), s2 = plain->InitialStates();
+  for (int i = 0; i < 200; ++i) {
+    SymbolMask input = rng.Next() & 0xF;
+    s1 = memo->Transition(s1, input);
+    s2 = plain->Transition(s2, input);
+    ASSERT_EQ(s1, s2);
+  }
+}
+
+TEST(NfaTest, TooManySubgoalsRejected) {
+  EventDatabase db;
+  std::string text = "R(k, x1)";
+  for (int i = 2; i <= 32; ++i) {
+    text += "; R(k, x" + std::to_string(i) + ")";
+  }
+  NormalizedQuery nq = Norm(&db, text);
+  EXPECT_FALSE(QueryNfa::Build(nq).ok());
+}
+
+TEST(SymbolTableTest, MasksReflectMatchAndAccept) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k", {{{"a", 0.5}, {"b", 0.3}}});
+  NormalizedQuery nq = Norm(&db, "(R('k', x)) WHERE x = 'a'");
+  auto table = SymbolTable::Build(nq, db);
+  ASSERT_OK(table.status());
+  ASSERT_EQ(table->participating().size(), 1u);
+  const Stream& s = db.stream(table->participating()[0]);
+  DomainIndex a = s.LookupTuple({db.Sym("a")});
+  DomainIndex b = s.LookupTuple({db.Sym("b")});
+  EXPECT_EQ(table->MaskFor(0, a), MatchBit(0) | AcceptBit(0));
+  EXPECT_EQ(table->MaskFor(0, b), MatchBit(0));  // matches, fails x='a'
+  EXPECT_EQ(table->MaskFor(0, kBottom), SymbolMask{0});
+}
+
+TEST(SymbolTableTest, KeyConstantsFilterStreams) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k1", {{{"a", 0.5}}});
+  AddIndependentStream(&db, "R", "k2", {{{"a", 0.5}}});
+  NormalizedQuery nq = Norm(&db, "R('k1', x)");
+  auto table = SymbolTable::Build(nq, db);
+  ASSERT_OK(table.status());
+  ASSERT_EQ(table->participating().size(), 1u);
+  EXPECT_EQ(db.stream(table->participating()[0]).key()[0], db.Sym("k1"));
+}
+
+TEST(SymbolTableTest, RepeatedVariableRequiresEqualValues) {
+  EventDatabase db;
+  // Schema with two value attributes: Pair(key | u, v).
+  EventSchema schema;
+  schema.type = db.interner().Intern("Pair");
+  schema.attr_names = {db.interner().Intern("id"), db.interner().Intern("u"),
+                       db.interner().Intern("v")};
+  schema.num_key_attrs = 1;
+  ASSERT_OK(db.DeclareSchema(schema));
+  Stream s(schema.type, {db.Sym("k")}, 2, 1, false);
+  DomainIndex same = s.InternTuple({db.Sym("a"), db.Sym("a")});
+  DomainIndex diff = s.InternTuple({db.Sym("a"), db.Sym("b")});
+  ASSERT_OK(s.SetMarginal(1, {0.0, 0.5, 0.5}));
+  ASSERT_TRUE(db.AddStream(std::move(s)).ok());
+  NormalizedQuery nq = Norm(&db, "Pair('k', z, z)");
+  auto table = SymbolTable::Build(nq, db);
+  ASSERT_OK(table.status());
+  EXPECT_NE(table->MaskFor(0, same), SymbolMask{0});
+  EXPECT_EQ(table->MaskFor(0, diff), SymbolMask{0});
+}
+
+TEST(SymbolTableTest, MultipleSubgoalsShareOneStream) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k", {{{"a", 0.5}, {"b", 0.3}}});
+  NormalizedQuery nq = Norm(&db, "R('k', x : x = 'a'); R('k', y : y = 'b')");
+  auto table = SymbolTable::Build(nq, db);
+  ASSERT_OK(table.status());
+  const Stream& s = db.stream(table->participating()[0]);
+  DomainIndex a = s.LookupTuple({db.Sym("a")});
+  DomainIndex b = s.LookupTuple({db.Sym("b")});
+  EXPECT_EQ(table->MaskFor(0, a), MatchBit(0) | AcceptBit(0));
+  EXPECT_EQ(table->MaskFor(0, b), MatchBit(1) | AcceptBit(1));
+}
+
+TEST(UnifyEventTest, ConstantsAndVariables) {
+  EventDatabase db;
+  Subgoal g;
+  g.type = db.interner().Intern("At");
+  g.terms = {Term::Const(db.Sym("Joe")), Term::Var(db.interner().Intern("l"))};
+  Binding b;
+  ValueTuple key = {db.Sym("Joe")};
+  ValueTuple values = {db.Sym("office")};
+  EXPECT_TRUE(UnifyEvent(g, key, values, 1, &b));
+  EXPECT_EQ(b.at(db.interner().Intern("l")), db.Sym("office"));
+  ValueTuple other_key = {db.Sym("Sue")};
+  Binding b2;
+  EXPECT_FALSE(UnifyEvent(g, other_key, values, 1, &b2));
+  // Pre-bound variable must agree.
+  Binding b3{{db.interner().Intern("l"), db.Sym("hall")}};
+  EXPECT_FALSE(UnifyEvent(g, key, values, 1, &b3));
+}
+
+}  // namespace
+}  // namespace lahar

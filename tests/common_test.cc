@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/interner.h"
+#include "common/matrix.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace lahar {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arg");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::UnsafeQuery("x").code(), StatusCode::kUnsafeQuery);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Doubler(Result<int> in) {
+  LAHAR_ASSIGN_OR_RETURN(int v, std::move(in));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Status::Internal("boom")).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(InternerTest, EmptyStringIsIdZero) {
+  Interner in;
+  EXPECT_EQ(in.Intern(""), 0u);
+}
+
+TEST(InternerTest, InternIsIdempotentAndDense) {
+  Interner in;
+  SymbolId a = in.Intern("alpha");
+  SymbolId b = in.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.Name(a), "alpha");
+  EXPECT_EQ(in.Name(b), "beta");
+  EXPECT_EQ(in.size(), 3u);  // "", alpha, beta
+}
+
+TEST(InternerTest, LookupDoesNotIntern) {
+  Interner in;
+  EXPECT_EQ(in.Lookup("missing"), Interner::kNotFound);
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BelowCoversRange) {
+  Rng rng(2);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Below(5));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.rbegin(), 4u);
+}
+
+TEST(RngTest, CategoricalMatchesWeights) {
+  Rng rng(3);
+  std::vector<double> w = {0.1, 0.6, 0.3};
+  std::vector<int> counts(3, 0);
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_NEAR(counts[0] / double(kDraws), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / double(kDraws), 0.6, 0.02);
+  EXPECT_NEAR(counts[2] / double(kDraws), 0.3, 0.02);
+}
+
+TEST(RngTest, CategoricalAllZeroReturnsSize) {
+  Rng rng(4);
+  std::vector<double> w = {0.0, 0.0};
+  EXPECT_EQ(rng.Categorical(w), w.size());
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.Split();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Matrix id(2, 2);
+  id.At(0, 0) = id.At(1, 1) = 1.0;
+  Matrix m(2, 2);
+  m.At(0, 0) = 1;
+  m.At(0, 1) = 2;
+  m.At(1, 0) = 3;
+  m.At(1, 1) = 4;
+  Matrix r = m.Multiply(id);
+  EXPECT_DOUBLE_EQ(r.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(r.At(1, 0), 3.0);
+}
+
+TEST(MatrixTest, LeftMultiplyIsRowVectorTimesMatrix) {
+  Matrix m(2, 3);
+  m.At(0, 0) = 1;
+  m.At(0, 2) = 2;
+  m.At(1, 1) = 3;
+  std::vector<double> v = {2.0, 5.0};
+  std::vector<double> r = m.LeftMultiply(v);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 2.0);
+  EXPECT_DOUBLE_EQ(r[1], 15.0);
+  EXPECT_DOUBLE_EQ(r[2], 4.0);
+}
+
+TEST(MatrixTest, NormalizeRows) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 2;
+  m.At(0, 1) = 2;
+  // Row 1 stays all-zero.
+  m.NormalizeRows();
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 0.0);
+}
+
+TEST(MatrixTest, SumAndNormalizeVector) {
+  std::vector<double> v = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Sum(v), 4.0);
+  Normalize(&v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+}  // namespace
+}  // namespace lahar

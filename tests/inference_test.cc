@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "inference/hmm.h"
+#include "inference/particle_filter.h"
+
+namespace lahar {
+namespace {
+
+// A two-state HMM with known posteriors for hand-checking.
+DiscreteHmm TwoState(double stay) {
+  Matrix t(2, 2);
+  t.At(0, 0) = stay;
+  t.At(0, 1) = 1 - stay;
+  t.At(1, 0) = 1 - stay;
+  t.At(1, 1) = stay;
+  auto hmm = DiscreteHmm::Create({0.5, 0.5}, t);
+  EXPECT_TRUE(hmm.ok());
+  return std::move(*hmm);
+}
+
+TEST(HmmTest, CreateValidatesInputs) {
+  Matrix t(2, 2, 0.5);
+  EXPECT_FALSE(DiscreteHmm::Create({0.6, 0.6}, t).ok());  // bad prior
+  Matrix bad(2, 2, 0.4);
+  EXPECT_FALSE(DiscreteHmm::Create({0.5, 0.5}, bad).ok());  // bad rows
+  EXPECT_FALSE(DiscreteHmm::Create({1.0}, t).ok());         // shape
+  EXPECT_TRUE(DiscreteHmm::Create({0.5, 0.5}, t).ok());
+}
+
+TEST(HmmTest, FilterSingleStepIsBayesRule) {
+  DiscreteHmm hmm = TwoState(0.8);
+  // Observation 4x more likely in state 0.
+  auto filtered = hmm.Filter({{0.8, 0.2}});
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NEAR((*filtered)[0][0], 0.8, 1e-12);
+  EXPECT_NEAR((*filtered)[0][1], 0.2, 1e-12);
+}
+
+TEST(HmmTest, FilterPropagatesThroughTransition) {
+  DiscreteHmm hmm = TwoState(1.0);  // frozen chain: state never changes
+  auto filtered = hmm.Filter({{0.9, 0.1}, {0.9, 0.1}});
+  ASSERT_TRUE(filtered.ok());
+  // Two independent observations of the same hidden state compound.
+  double expect = (0.9 * 0.9) / (0.9 * 0.9 + 0.1 * 0.1);
+  EXPECT_NEAR((*filtered)[1][0], expect, 1e-12);
+}
+
+TEST(HmmTest, SmoothingUsesFutureEvidence) {
+  DiscreteHmm hmm = TwoState(0.9);
+  // Uninformative now, strong evidence for state 0 later.
+  auto smoothed = hmm.Smooth({{1.0, 1.0}, {1.0, 1.0}, {0.99, 0.01}});
+  ASSERT_TRUE(smoothed.ok());
+  auto filtered = hmm.Filter({{1.0, 1.0}, {1.0, 1.0}, {0.99, 0.01}});
+  ASSERT_TRUE(filtered.ok());
+  // At t=0 the filter knows nothing; the smoother leans toward state 0.
+  EXPECT_NEAR((*filtered)[0][0], 0.5, 1e-12);
+  EXPECT_GT(smoothed->marginals[0][0], 0.7);
+}
+
+TEST(HmmTest, SmoothedMarginalsMatchFilterAtLastStep) {
+  DiscreteHmm hmm = TwoState(0.7);
+  Likelihoods obs = {{0.2, 0.8}, {0.6, 0.4}, {0.5, 0.5}};
+  auto smoothed = hmm.Smooth(obs);
+  auto filtered = hmm.Filter(obs);
+  ASSERT_TRUE(smoothed.ok());
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_NEAR(smoothed->marginals[2][0], (*filtered)[2][0], 1e-9);
+}
+
+TEST(HmmTest, CptsAreStochasticAndConsistent) {
+  DiscreteHmm hmm = TwoState(0.85);
+  Likelihoods obs = {{0.3, 0.7}, {0.9, 0.1}, {0.5, 0.5}, {0.2, 0.8}};
+  auto smoothed = hmm.Smooth(obs);
+  ASSERT_TRUE(smoothed.ok());
+  ASSERT_EQ(smoothed->cpts.size(), 3u);
+  for (size_t t = 0; t + 1 < obs.size(); ++t) {
+    const Matrix& cpt = smoothed->cpts[t];
+    // Rows are distributions.
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_NEAR(cpt.At(i, 0) + cpt.At(i, 1), 1.0, 1e-9);
+    }
+    // Chaining the smoothed marginal through the CPT reproduces the next
+    // smoothed marginal: gamma_{t+1} = gamma_t * CPT_t.
+    std::vector<double> chained = cpt.LeftMultiply(smoothed->marginals[t]);
+    EXPECT_NEAR(chained[0], smoothed->marginals[t + 1][0], 1e-9);
+    EXPECT_NEAR(chained[1], smoothed->marginals[t + 1][1], 1e-9);
+  }
+}
+
+TEST(HmmTest, MapPathPicksConsistentExplanation) {
+  DiscreteHmm hmm = TwoState(0.95);
+  // Noisy flip in the middle of a run of state-0 evidence.
+  Likelihoods obs = {{0.9, 0.1}, {0.9, 0.1}, {0.4, 0.6}, {0.9, 0.1}};
+  auto path = hmm.MapPath(obs);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<size_t>{0, 0, 0, 0}));
+}
+
+TEST(HmmTest, ZeroLikelihoodObservationIsAnError) {
+  DiscreteHmm hmm = TwoState(0.9);
+  EXPECT_FALSE(hmm.Filter({{0.0, 0.0}}).ok());
+  EXPECT_FALSE(hmm.Smooth({{0.0, 0.0}}).ok());
+}
+
+TEST(HmmTest, SampleTrajectoryFollowsTransitions) {
+  DiscreteHmm hmm = TwoState(1.0);  // frozen
+  Rng rng(3);
+  auto path = hmm.SampleTrajectory(10, &rng);
+  for (size_t t = 1; t < path.size(); ++t) EXPECT_EQ(path[t], path[0]);
+}
+
+TEST(ParticleFilterTest, ConvergesToExactFilterOnAverage) {
+  DiscreteHmm hmm = TwoState(0.8);
+  Likelihoods obs = {{0.9, 0.1}, {0.5, 0.5}, {0.2, 0.8}};
+  auto exact = hmm.Filter(obs);
+  ASSERT_TRUE(exact.ok());
+  auto approx = RunParticleFilter(hmm, obs, 20000, Rng(7));
+  for (size_t t = 0; t < obs.size(); ++t) {
+    EXPECT_NEAR(approx[t][0], (*exact)[t][0], 0.03) << t;
+  }
+}
+
+TEST(ParticleFilterTest, ChurnProducesSamplingNoise) {
+  // With few particles the histogram differs from the exact posterior —
+  // this is the "particle churn" the paper's real-time experiments show.
+  DiscreteHmm hmm = TwoState(0.5);
+  Likelihoods obs(20, {1.0, 1.0});  // uninformative
+  auto approx = RunParticleFilter(hmm, obs, 50, Rng(5));
+  double max_dev = 0;
+  for (const auto& m : approx) {
+    max_dev = std::max(max_dev, std::fabs(m[0] - 0.5));
+  }
+  EXPECT_GT(max_dev, 0.01);
+  EXPECT_LT(max_dev, 0.5);
+}
+
+TEST(ParticleFilterTest, RecoversFromTotalDepletion) {
+  DiscreteHmm hmm = TwoState(1.0);  // frozen in initial state
+  ParticleFilter pf(&hmm, 100, Rng(9));
+  // First force all particles to state 0...
+  pf.Step({1.0, 0.0});
+  // ...then observe something only possible in state 1. The frozen chain
+  // cannot move particles there; depletion recovery reseeds.
+  std::vector<double> hist = pf.Step({0.0, 1.0});
+  EXPECT_NEAR(hist[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lahar

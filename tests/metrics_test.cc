@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "metrics/quality.h"
+
+namespace lahar {
+namespace {
+
+TEST(MetricsTest, DetectionEventsClusterRuns) {
+  std::vector<bool> detected = {false, true, true, false, true, false, true};
+  EXPECT_EQ(DetectionEvents(detected), (std::vector<Timestamp>{1, 4, 6}));
+}
+
+TEST(MetricsTest, ThresholdIsStrict) {
+  std::vector<double> probs = {0, 0.5, 0.51, 0.2};
+  EXPECT_EQ(DetectionEvents(probs, 0.5), (std::vector<Timestamp>{2}));
+  EXPECT_EQ(DetectionEvents(probs, 0.1).size(), 1u);  // run starts at 1
+}
+
+TEST(MetricsTest, PerfectDetection) {
+  QualityScore s = ScoreEvents({10, 20}, {10, 20}, 0);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(MetricsTest, ToleranceWindowMatches) {
+  QualityScore s = ScoreEvents({12}, {10}, 2);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  s = ScoreEvents({13}, {10}, 2);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_EQ(s.false_positives, 1u);
+}
+
+TEST(MetricsTest, MatchingIsOneToOne) {
+  // Two detections near one truth event: only one true positive.
+  QualityScore s = ScoreEvents({9, 11}, {10}, 2);
+  EXPECT_EQ(s.true_positives, 1u);
+  EXPECT_EQ(s.false_positives, 1u);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(MetricsTest, EmptyCasesAreWellDefined) {
+  QualityScore s = ScoreEvents(std::vector<Timestamp>{}, {10}, 2);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  s = ScoreEvents(std::vector<Timestamp>{}, std::vector<Timestamp>{}, 2);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  s = ScoreEvents({5}, std::vector<Timestamp>{}, 2);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+}
+
+TEST(MetricsTest, PrecisionRecallTradeoffWithThreshold) {
+  // A strong true spike at 5, a weak true spike at 20, and noise at 10:
+  // raising rho improves precision and lowers recall against {5, 20}.
+  std::vector<double> probs(31, 0.0);
+  probs[5] = 0.9;
+  probs[10] = 0.1;  // noise
+  probs[20] = 0.3;  // weak true event
+  std::vector<Timestamp> truth = {5, 20};
+  QualityScore low = Score(probs, 0.05, truth, 1);
+  QualityScore high = Score(probs, 0.5, truth, 1);
+  EXPECT_NEAR(low.precision, 2.0 / 3, 1e-12);
+  EXPECT_NEAR(low.recall, 1.0, 1e-12);
+  EXPECT_NEAR(high.precision, 1.0, 1e-12);
+  EXPECT_NEAR(high.recall, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, InjectSkewStaysWithinBounds) {
+  Rng rng(8);
+  std::vector<Timestamp> truth = {1, 15, 30};
+  for (int i = 0; i < 100; ++i) {
+    auto skewed = InjectSkew(truth, 5, 30, &rng);
+    ASSERT_EQ(skewed.size(), truth.size());
+    for (size_t j = 0; j < skewed.size(); ++j) {
+      EXPECT_GE(skewed[j], 1u);
+      EXPECT_LE(skewed[j], 30u);
+    }
+  }
+}
+
+TEST(MetricsTest, F1IsHarmonicMean) {
+  QualityScore s = ScoreEvents({10, 50}, {10, 20, 30}, 1);
+  // tp=1, precision=0.5, recall=1/3.
+  EXPECT_NEAR(s.f1, 2 * 0.5 * (1.0 / 3) / (0.5 + 1.0 / 3), 1e-12);
+}
+
+}  // namespace
+}  // namespace lahar

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+#include "query/printer.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddCertainStream;
+using ::lahar::testing::AddRelation;
+using ::lahar::testing::DeclareUnarySchema;
+using ::lahar::testing::MustParse;
+
+// Declares schemas used across the tests: At(id | value), R/S/T(id | value),
+// and Carries(person, object | value).
+void DeclareSchemas(EventDatabase* db) {
+  for (const char* t : {"At", "R", "S", "T"}) DeclareUnarySchema(db, t);
+  EventSchema carries;
+  carries.type = db->interner().Intern("Carries");
+  carries.attr_names = {db->interner().Intern("person"),
+                        db->interner().Intern("object"),
+                        db->interner().Intern("value")};
+  carries.num_key_attrs = 2;
+  ASSERT_OK(db->DeclareSchema(carries));
+}
+
+TEST(ParserTest, SimpleSequence) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "At('Joe','220'); At('Joe', l); At('Joe','220')");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->kind, Query::Kind::kSequence);
+  EXPECT_EQ(Goals(*q).size(), 3u);
+}
+
+TEST(ParserTest, SubgoalPredicateAndKleene) {
+  EventDatabase db;
+  QueryPtr q = MustParse(
+      &db, "At(p, l1); At(p, l2)+{p : Hall(l2)}; At(p, l3)");
+  ASSERT_NE(q, nullptr);
+  auto goals = Goals(*q);
+  ASSERT_EQ(goals.size(), 3u);
+  EXPECT_TRUE(goals[1]->is_kleene);
+  ASSERT_EQ(goals[1]->kleene_vars.size(), 1u);
+  EXPECT_EQ(goals[1]->kleene_vars[0], db.interner().Intern("p"));
+  EXPECT_FALSE(goals[1]->kleene_pred.IsTrue());
+}
+
+TEST(ParserTest, WhereSelection) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db,
+                         "(At(p,l1); At(p,l3)) WHERE Person(p) AND CRoom(l3)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->kind, Query::Kind::kSelection);
+  EXPECT_EQ(q->selection.clauses().size(), 2u);
+}
+
+TEST(ParserTest, InnerBasePredicate) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "R(x : x = 'b' AND x != 'c')");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->kind, Query::Kind::kBase);
+  EXPECT_EQ(q->base.pred.clauses().size(), 2u);
+}
+
+TEST(ParserTest, ComparisonOperatorsAndInts) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "R(x : x > 3 AND x <= 10 AND x >= -2 AND x < 99)");
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->base.pred.clauses().size(), 4u);
+}
+
+TEST(ParserTest, NotRelationAtom) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "At(p, l : NOT Room(l))");
+  ASSERT_NE(q, nullptr);
+  const auto& atom = std::get<RelAtom>(q->base.pred.clauses()[0].atoms[0]);
+  EXPECT_TRUE(atom.negated);
+}
+
+TEST(ParserTest, RejectsRightNestedSequence) {
+  EventDatabase db;
+  auto q = ParseQuery("R(x); (S(y); T(z))", &db.interner());
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EventDatabase db;
+  EXPECT_FALSE(ParseQuery("R(x", &db.interner()).ok());
+  EXPECT_FALSE(ParseQuery("R(x) extra", &db.interner()).ok());
+  EXPECT_FALSE(ParseQuery("", &db.interner()).ok());
+  EXPECT_FALSE(ParseQuery("R(x); ", &db.interner()).ok());
+  EXPECT_FALSE(ParseQuery("R('unterminated)", &db.interner()).ok());
+  EXPECT_FALSE(ParseQuery("R(x) WHERE", &db.interner()).ok());
+  EXPECT_FALSE(ParseQuery("R(x)+{", &db.interner()).ok());
+}
+
+TEST(ParserTest, RoundTripsThroughPrinter) {
+  EventDatabase db;
+  const char* queries[] = {
+      "At('Joe', '220'); At('Joe', l : CRoom(l)); At('Joe', '220')",
+      "(At(p, l1); At(p, l2)+{p : Hall(l2)}; At(p, l3) WHERE Person(p))",
+      "R(x : x = 'b'); S(y)+{}",
+      "(R(x) WHERE Q(x)); S(y)",
+  };
+  for (const char* text : queries) {
+    QueryPtr q1 = MustParse(&db, text);
+    ASSERT_NE(q1, nullptr);
+    std::string printed = ToString(*q1, db.interner());
+    QueryPtr q2 = MustParse(&db, printed);
+    ASSERT_NE(q2, nullptr) << printed;
+    EXPECT_EQ(printed, ToString(*q2, db.interner())) << printed;
+  }
+}
+
+TEST(AstTest, FreeVarsOfKleeneAreSharedOnly) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "At(p, l)+{p : Hallway(l)}");
+  auto free = FreeVars(*q);
+  EXPECT_EQ(free.size(), 1u);
+  EXPECT_TRUE(free.count(db.interner().Intern("p")));
+}
+
+TEST(AstTest, SharedVarsAcrossSubgoalsAndKleene) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "At(p, l1); At(p, l2)+{p}; At(q, l3)");
+  auto shared = SharedVars(*q);
+  EXPECT_EQ(shared.size(), 1u);
+  EXPECT_TRUE(shared.count(db.interner().Intern("p")));
+}
+
+TEST(AstTest, SubstituteGroundsVariables) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "At(p, l1); At(p, l2)");
+  Binding b{{db.interner().Intern("p"), db.Sym("Joe")}};
+  QueryPtr g = SubstituteQuery(*q, b);
+  EXPECT_TRUE(SharedVars(*g).empty());
+  EXPECT_EQ(ToString(*g, db.interner()), "At('Joe', l1); At('Joe', l2)");
+}
+
+TEST(ValidateTest, ChecksSchemaArity) {
+  EventDatabase db;
+  DeclareSchemas(&db);
+  QueryPtr q = MustParse(&db, "At(p)");
+  EXPECT_FALSE(ValidateQuery(*q, db).ok());
+  q = MustParse(&db, "Unknown(p, l)");
+  EXPECT_FALSE(ValidateQuery(*q, db).ok());
+  q = MustParse(&db, "At(p, l)");
+  EXPECT_OK(ValidateQuery(*q, db));
+}
+
+TEST(ValidateTest, SelectionMustUseFreeVars) {
+  EventDatabase db;
+  DeclareSchemas(&db);
+  // l2 is not exported by the Kleene plus (only p is).
+  QueryPtr q = MustParse(&db, "(At(p, l2)+{p}) WHERE Hall(l2)");
+  EXPECT_FALSE(ValidateQuery(*q, db).ok());
+}
+
+TEST(ValidateTest, KleenePrivateVarsCannotLeak) {
+  EventDatabase db;
+  DeclareSchemas(&db);
+  // l occurs in the Kleene (not exported) and in another subgoal.
+  QueryPtr q = MustParse(&db, "At(p, l)+{p}; At(q, l)");
+  EXPECT_FALSE(ValidateQuery(*q, db).ok());
+}
+
+TEST(NormalizeTest, BasePredicateBecomesMatchPred) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "R(a); R(y : y = 'b')");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  ASSERT_EQ(nq->subgoals.size(), 2u);
+  EXPECT_FALSE(nq->subgoals[1].match_pred.IsTrue());
+  EXPECT_TRUE(nq->subgoals[1].accept_pred.IsTrue());
+}
+
+TEST(NormalizeTest, SelectionBecomesAcceptPred) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "(R(a); R(y)) WHERE y = 'b'");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  ASSERT_EQ(nq->subgoals.size(), 2u);
+  EXPECT_TRUE(nq->subgoals[1].match_pred.IsTrue());
+  EXPECT_FALSE(nq->subgoals[1].accept_pred.IsTrue());
+}
+
+TEST(NormalizeTest, PushesToShortestCoveringPrefix) {
+  EventDatabase db;
+  QueryPtr q =
+      MustParse(&db, "(At(p, l1); At(p, l2); At(p, l3)) WHERE Office(p, l1)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  // Office(p, l1) is local to subgoal 0.
+  EXPECT_FALSE(nq->subgoals[0].accept_pred.IsTrue());
+  EXPECT_TRUE(nq->subgoals[1].accept_pred.IsTrue());
+  EXPECT_TRUE(nq->subgoals[2].accept_pred.IsTrue());
+  EXPECT_TRUE(nq->AllPredicatesLocal());
+}
+
+TEST(NormalizeTest, NonLocalPredicateGoesToResidual) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "(R(x); S(y)) WHERE x = y");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  EXPECT_FALSE(nq->AllPredicatesLocal());
+}
+
+TEST(NormalizeTest, KleenePredSplitsMatchAndAccept) {
+  EventDatabase db;
+  QueryPtr q = MustParse(&db, "R(a); At(p, l : Room(l))+{ : Hall(l)}");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  EXPECT_FALSE(nq->subgoals[1].match_pred.IsTrue());   // Room(l)
+  EXPECT_FALSE(nq->subgoals[1].accept_pred.IsTrue());  // Hall(l)
+  EXPECT_TRUE(nq->subgoals[1].is_kleene);
+}
+
+TEST(ClassifyTest, PaperExamples) {
+  EventDatabase db;
+  DeclareSchemas(&db);
+  struct Case {
+    const char* text;
+    QueryClass expected;
+  };
+  const Case cases[] = {
+      // Ex. 3.2: regular.
+      {"At('Joe','a'); At('Joe', l)+{ : Hallway(l)}; At('Joe','c')",
+       QueryClass::kRegular},
+      // Ex. 3.6: extended regular (x shared, key position everywhere).
+      {"(At(x,'a'); At(x, l2)+{x : Hallway(l2)}; At(x,'c')) WHERE Person(x)",
+       QueryClass::kExtendedRegular},
+      // Ex. 3.9 (qtalk): safe (y missing from the last subgoal).
+      {"(Carries(x, y, z); Carries(x, y, w)+{x, y}; At(x, u)) "
+       "WHERE Person(x) AND Laptop(y) AND Office(z) AND LectureRoom(u)",
+       QueryClass::kSafe},
+      // Fig. 6: R(x); S(x); T('a', y) is safe, not extended regular.
+      {"R(x, u1); S(x, u2); T('a', y)", QueryClass::kSafe},
+      // Prop. 3.18 h1: non-local predicate -> unsafe.
+      {"(R(k1, x); S(k2, y)) WHERE x = y", QueryClass::kUnsafe},
+      // Prop. 3.18 h2: shared Kleene variable not in first subgoal.
+      {"R(z, w); S(x, u)+{x}", QueryClass::kUnsafe},
+      // Prop. 3.19 h3: R(); S(x); T(x).
+      {"R(z1, z2); S(x, w1); T(x, w2)", QueryClass::kUnsafe},
+      // Prop. 3.19 h4: R(x); S(); T(x).
+      {"R(x, w1); S(z1, z2); T(x, w2)", QueryClass::kUnsafe},
+  };
+  for (const Case& c : cases) {
+    QueryPtr q = MustParse(&db, c.text);
+    ASSERT_NE(q, nullptr);
+    auto nq = Normalize(*q);
+    ASSERT_OK(nq.status());
+    Classification cls = Classify(*nq, db);
+    EXPECT_EQ(cls.query_class, c.expected)
+        << c.text << " classified as " << QueryClassName(cls.query_class)
+        << " (" << cls.reason << ")";
+  }
+}
+
+TEST(ClassifyTest, ValueBindingVariableIsNotIndependent) {
+  EventDatabase db;
+  DeclareSchemas(&db);
+  // l is shared but sits in a value position: not extended regular; the
+  // smallest prefix containing l is the whole query and l is non-key.
+  QueryPtr q = MustParse(&db, "At(p, l); At(q, l)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  EXPECT_EQ(Classify(*nq, db).query_class, QueryClass::kUnsafe);
+}
+
+TEST(ClassifyTest, TwoKeySharedVarsAreExtendedRegular) {
+  EventDatabase db;
+  DeclareSchemas(&db);
+  QueryPtr q = MustParse(&db, "Carries(x, y, z1); Carries(x, y, z2)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  EXPECT_EQ(Classify(*nq, db).query_class, QueryClass::kExtendedRegular);
+}
+
+TEST(ClassifyTest, ConditionEvaluation) {
+  EventDatabase db;
+  AddRelation(&db, "Hall", {{"h1"}, {"h2"}});
+  Condition c;
+  RelAtom atom;
+  atom.rel = db.interner().Intern("Hall");
+  atom.args = {Term::Var(db.interner().Intern("l"))};
+  c.AddAtom(atom);
+  Binding b{{db.interner().Intern("l"), db.Sym("h1")}};
+  auto r = c.Eval(b, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+  b[db.interner().Intern("l")] = db.Sym("office")
+      ;
+  r = c.Eval(b, db);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  // Unbound variable is an error.
+  EXPECT_FALSE(c.Eval(Binding{}, db).ok());
+  // Undeclared relation is an error.
+  Condition c2;
+  RelAtom missing;
+  missing.rel = db.interner().Intern("Nope");
+  missing.args = {Term::Const(db.Sym("x"))};
+  c2.AddAtom(missing);
+  EXPECT_FALSE(c2.Eval(Binding{}, db).ok());
+}
+
+
+TEST(ParserTest, DisjunctionParsesIntoClauses) {
+  EventDatabase db;
+  QueryPtr q = MustParse(
+      &db, "At(p, l : Hall(l) OR Lobby(l)) ; At(p, m : m = 'a' OR m = 'b')");
+  ASSERT_NE(q, nullptr);
+  auto goals = Goals(*q);
+  ASSERT_EQ(goals.size(), 2u);
+  ASSERT_EQ(goals[0]->pred.clauses().size(), 1u);
+  EXPECT_EQ(goals[0]->pred.clauses()[0].atoms.size(), 2u);
+  // Mixed AND/OR: CNF with two clauses.
+  q = MustParse(&db, "R(x : Hall(x) OR Lobby(x) AND x != 'z')");
+  ASSERT_NE(q, nullptr);
+  ASSERT_EQ(q->base.pred.clauses().size(), 2u);
+  EXPECT_EQ(q->base.pred.clauses()[0].atoms.size(), 2u);
+  EXPECT_EQ(q->base.pred.clauses()[1].atoms.size(), 1u);
+}
+
+TEST(ParserTest, DisjunctionRoundTripsWithParens) {
+  EventDatabase db;
+  QueryPtr q1 = MustParse(
+      &db, "(R(x); S(y)) WHERE Hall(x) OR Lobby(x) AND y = 'a'");
+  std::string printed = ToString(*q1, db.interner());
+  EXPECT_NE(printed.find("(Hall(x) OR Lobby(x))"), std::string::npos);
+  QueryPtr q2 = MustParse(&db, printed);
+  ASSERT_NE(q2, nullptr);
+  EXPECT_EQ(printed, ToString(*q2, db.interner()));
+}
+
+TEST(ConditionTest, DisjunctionEvaluation) {
+  EventDatabase db;
+  AddRelation(&db, "Hall", {{"h1"}});
+  AddRelation(&db, "Lobby", {{"lb"}});
+  QueryPtr q = MustParse(&db, "R(x : Hall(x) OR Lobby(x))");
+  const Condition& cond = q->base.pred;
+  SymbolId x = db.interner().Intern("x");
+  auto eval = [&](const char* v) {
+    auto r = cond.Eval(Binding{{x, db.Sym(v)}}, db);
+    EXPECT_TRUE(r.ok());
+    return r.ok() && *r;
+  };
+  EXPECT_TRUE(eval("h1"));
+  EXPECT_TRUE(eval("lb"));
+  EXPECT_FALSE(eval("office"));
+}
+
+}  // namespace
+}  // namespace lahar

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "engine/reference.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddCertainStream;
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::AddRelation;
+using ::lahar::testing::MustParse;
+
+// Returns the single world of a fully deterministic database.
+World OnlyWorld(const EventDatabase& db) {
+  Rng rng(0);
+  return SampleWorld(db, &rng);
+}
+
+std::vector<bool> Satisfied(EventDatabase* db, const std::string& text) {
+  QueryPtr q = MustParse(db, text);
+  EXPECT_NE(q, nullptr);
+  EXPECT_OK(ValidateQuery(*q, *db));
+  auto sat = SatisfiedAt(*q, *db, OnlyWorld(*db));
+  EXPECT_TRUE(sat.ok()) << sat.status().ToString();
+  return *sat;
+}
+
+TEST(ReferenceTest, SingleSubgoalMatchesEachOccurrence) {
+  EventDatabase db;
+  AddCertainStream(&db, "R", "k", {"a", "b", "a"});
+  auto sat = Satisfied(&db, "R(k, x : x = 'a')");
+  EXPECT_EQ(sat, (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(ReferenceTest, Example311FilterVersusSelect) {
+  // The paper's Ex. 3.11: input R(a,1), R(c,2), R(b,3).
+  EventDatabase db;
+  AddCertainStream(&db, "R", "k", {"a", "c", "b"});
+  // q_f = R(a); R(b): the R(c) event does not block.
+  auto qf = Satisfied(&db, "R(k, x : x = 'a'); R(k, y : y = 'b')");
+  EXPECT_EQ(qf, (std::vector<bool>{false, false, false, true}));
+  // q_s = sigma_{y='b'}(R(a); R(y)): R(c) is the immediate successor and
+  // fails the selection, so q_s is never satisfied.
+  auto qs = Satisfied(&db, "(R(k, x : x = 'a'); R(k, y)) WHERE y = 'b'");
+  EXPECT_EQ(qs, (std::vector<bool>{false, false, false, false}));
+}
+
+TEST(ReferenceTest, SequenceSkipsBottomTimesteps) {
+  EventDatabase db;
+  AddCertainStream(&db, "R", "k", {"a", "", "", "b"});
+  auto sat = Satisfied(&db, "R(k, x : x = 'a'); R(k, y : y = 'b')");
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, false, false, true}));
+}
+
+TEST(ReferenceTest, JoeCoffeeQuery) {
+  // Ex. 2.2: office, coffee room, office.
+  EventDatabase db;
+  AddCertainStream(&db, "At", "Joe",
+                   {"220", "hall", "coffee", "hall", "220", "220"});
+  AddRelation(&db, "CRoom", {{"coffee"}});
+  auto sat = Satisfied(
+      &db, "At('Joe', l1 : l1 = '220'); At('Joe', l2 : CRoom(l2)); "
+           "At('Joe', l3 : l3 = '220')");
+  // Coffee at t=3; the next 220 sighting is t=5.
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, false, false, false, true,
+                                    false}));
+}
+
+TEST(ReferenceTest, KleenePlusChainsThroughHallways) {
+  EventDatabase db;
+  AddCertainStream(&db, "At", "Joe", {"a", "h1", "h2", "c"});
+  AddRelation(&db, "Hallway", {{"h1"}, {"h2"}});
+  auto sat = Satisfied(&db,
+                       "At('Joe', l1 : l1 = 'a'); "
+                       "At('Joe', l2)+{ : Hallway(l2)}; "
+                       "At('Joe', l3 : l3 = 'c')");
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, false, false, true}));
+}
+
+TEST(ReferenceTest, KleeneBlocksOnNonHallwayImmediateSuccessor) {
+  // After 'a', the immediate At successor is an office: the Kleene cannot
+  // start (hallway chain broken), so the query never fires.
+  EventDatabase db;
+  AddCertainStream(&db, "At", "Joe", {"a", "office", "h2", "c"});
+  AddRelation(&db, "Hallway", {{"h1"}, {"h2"}});
+  auto sat = Satisfied(&db,
+                       "At('Joe', l1 : l1 = 'a'); "
+                       "At('Joe', l2)+{ : Hallway(l2)}; "
+                       "At('Joe', l3 : l3 = 'c')");
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, false, false, false}));
+}
+
+TEST(ReferenceTest, KleeneMultipleUnfoldingsEachFire) {
+  EventDatabase db;
+  AddCertainStream(&db, "At", "Joe", {"h1", "h1", "h1"});
+  AddRelation(&db, "Hallway", {{"h1"}});
+  auto sat = Satisfied(&db, "At('Joe', l)+{ : Hallway(l)}");
+  EXPECT_EQ(sat, (std::vector<bool>{false, true, true, true}));
+}
+
+TEST(ReferenceTest, JoinAcrossStreamsViaSharedVariable) {
+  EventDatabase db;
+  AddCertainStream(&db, "At", "Joe", {"a", "b"});
+  AddCertainStream(&db, "At", "Sue", {"x", "a"});
+  // Anyone at 'a' then at 'b': only Joe's trace satisfies this.
+  auto sat = Satisfied(&db, "At(p, l1 : l1 = 'a'); At(p, l2 : l2 = 'b')");
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, true}));
+}
+
+TEST(ReferenceTest, ResultEventsCarryBindings) {
+  EventDatabase db;
+  AddCertainStream(&db, "At", "Joe", {"a", "b"});
+  QueryPtr q = MustParse(&db, "At(p, l)");
+  auto events = EvaluateOnWorld(*q, db, OnlyWorld(db));
+  ASSERT_OK(events.status());
+  ASSERT_EQ(events->size(), 2u);
+  SymbolId p = db.interner().Intern("p");
+  for (const auto& e : *events) {
+    EXPECT_EQ(e.binding.at(p), db.Sym("Joe"));
+  }
+}
+
+TEST(ReferenceTest, SimultaneousEventsBothMatch) {
+  EventDatabase db;
+  AddCertainStream(&db, "At", "Joe", {"a", "c"});
+  AddCertainStream(&db, "At", "Sue", {"b", "c"});
+  auto sat = Satisfied(&db, "At(p, l : l = 'c')");
+  EXPECT_EQ(sat, (std::vector<bool>{false, false, true}));
+  QueryPtr q = MustParse(&db, "At(p, l : l = 'c')");
+  auto events = EvaluateOnWorld(*q, db, OnlyWorld(db));
+  ASSERT_OK(events.status());
+  EXPECT_EQ(events->size(), 2u);  // one per person
+}
+
+TEST(ReferenceTest, BruteForceSingleEventProbability) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k", {{{"a", 0.4}, {"b", 0.5}}});
+  QueryPtr q = MustParse(&db, "R(k, x : x = 'a')");
+  auto probs = BruteForceProbabilities(*q, db);
+  ASSERT_OK(probs.status());
+  EXPECT_NEAR((*probs)[1], 0.4, 1e-12);
+}
+
+TEST(ReferenceTest, BruteForceSequenceProbability) {
+  EventDatabase db;
+  // P[a at 1] = 0.5, P[b at 2] = 0.5, independent: P[q@2] = 0.25.
+  AddIndependentStream(&db, "R", "k", {{{"a", 0.5}}, {{"b", 0.5}}});
+  QueryPtr q = MustParse(&db, "R(k, x : x = 'a'); R(k, y : y = 'b')");
+  auto probs = BruteForceProbabilities(*q, db);
+  ASSERT_OK(probs.status());
+  EXPECT_NEAR((*probs)[1], 0.0, 1e-12);
+  EXPECT_NEAR((*probs)[2], 0.25, 1e-12);
+}
+
+}  // namespace
+}  // namespace lahar

@@ -1,0 +1,131 @@
+// Robustness tests: hostile and randomly mangled inputs must produce error
+// Statuses, never crashes or accepted-garbage; accepted inputs must round
+// trip through the printer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automaton/nfa.h"
+#include "model/io.h"
+#include "query/normalize.h"
+#include "query/printer.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::AddMarkovStream;
+using ::lahar::testing::AddRelation;
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, TokenSoupNeverCrashes) {
+  const char* vocab[] = {"At",  "(",  ")",  ";",    ",",   ":",   "+",
+                         "{",   "}",  "x",  "'Joe'", "42",  "WHERE", "AND",
+                         "OR",  "NOT", "=",  "!=",   "<",   ">=",  "R"};
+  Rng rng(GetParam());
+  EventDatabase db;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    size_t len = 1 + rng.Below(15);
+    for (size_t i = 0; i < len; ++i) {
+      text += vocab[rng.Below(std::size(vocab))];
+      text += " ";
+    }
+    auto q = ParseQuery(text, &db.interner());
+    if (q.ok()) {
+      // Anything accepted must round trip through the printer.
+      std::string printed = ToString(**q, db.interner());
+      auto again = ParseQuery(printed, &db.interner());
+      ASSERT_TRUE(again.ok()) << "accepted '" << text
+                              << "' but rejected its printout '" << printed
+                              << "': " << again.status().ToString();
+      EXPECT_EQ(printed, ToString(**again, db.interner()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParserFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class IoFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IoFuzzTest, MangledDatabasesNeverCrash) {
+  // Serialize a real database, then mangle it line-wise.
+  EventDatabase db;
+  AddRelation(&db, "Hall", {{"h1"}});
+  AddIndependentStream(&db, "At", "Joe", {{{"a", 0.4}, {"b", 0.3}}, {{"a", 1.0}}});
+  AddMarkovStream(&db, "At", "Sue", {"a", "b"}, 3, 0.8);
+  std::stringstream ss;
+  ASSERT_OK(WriteDatabase(db, &ss));
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::string> mangled = lines;
+    switch (rng.Below(4)) {
+      case 0:  // drop a random line
+        mangled.erase(mangled.begin() + rng.Below(mangled.size()));
+        break;
+      case 1:  // duplicate a random line
+        mangled.insert(mangled.begin() + rng.Below(mangled.size()),
+                       mangled[rng.Below(mangled.size())]);
+        break;
+      case 2: {  // truncate a random line
+        std::string& l = mangled[rng.Below(mangled.size())];
+        if (!l.empty()) l.resize(rng.Below(l.size()));
+        break;
+      }
+      case 3: {  // shuffle two lines
+        size_t i = rng.Below(mangled.size());
+        size_t j = rng.Below(mangled.size());
+        std::swap(mangled[i], mangled[j]);
+        break;
+      }
+    }
+    std::string text;
+    for (const auto& l : mangled) text += l + "\n";
+    std::stringstream in(text);
+    auto result = ReadDatabase(&in);  // must not crash; ok or error both fine
+    if (result.ok()) {
+      EXPECT_OK((*result)->Validate());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IoFuzzTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(RobustnessTest, DeepQueriesParseWithoutOverflow) {
+  EventDatabase db;
+  // 200 chained subgoals: the parser is iterative over ';'.
+  std::string text = "R('k', x0)";
+  for (int i = 1; i < 200; ++i) {
+    text += "; R('k', x" + std::to_string(i) + ")";
+  }
+  auto q = ParseQuery(text, &db.interner());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(Goals(**q).size(), 200u);
+  // ...but the automaton caps at 31 subgoals with a clean error.
+  auto nq = Normalize(**q);
+  ASSERT_OK(nq.status());
+  EXPECT_FALSE(QueryNfa::Build(*nq).ok());
+}
+
+TEST(RobustnessTest, HugeConditionsParse) {
+  EventDatabase db;
+  std::string cond = "x = 'v0'";
+  for (int i = 1; i < 300; ++i) {
+    cond += (i % 2 ? " OR x = 'v" : " AND x = 'v") + std::to_string(i) + "'";
+  }
+  auto q = ParseQuery("R('k', x : " + cond + ")", &db.interner());
+  ASSERT_TRUE(q.ok());
+}
+
+}  // namespace
+}  // namespace lahar

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "engine/reference.h"
+#include "engine/sampling_engine.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::AddMarkovStream;
+using ::lahar::testing::MustParse;
+
+TEST(SamplingTest, HoeffdingSampleCounts) {
+  // n = ln(2/delta) / (2 eps^2): defaults give ~150.
+  EXPECT_EQ(HoeffdingSamples(0.1, 0.1), 150u);
+  EXPECT_GT(HoeffdingSamples(0.01, 0.1), 10000u);
+  EXPECT_GT(HoeffdingSamples(0.1, 0.01), HoeffdingSamples(0.1, 0.1));
+}
+
+TEST(SamplingTest, RegularQueryUsesIncrementalPath) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k", {{{"a", 0.5}}, {{"b", 0.5}}});
+  QueryPtr q = MustParse(&db, "R('k', x : x = 'a'); R('k', y : y = 'b')");
+  SamplingOptions opt;
+  opt.num_samples = 40000;
+  auto engine = SamplingEngine::Create(q, db, opt);
+  ASSERT_OK(engine.status());
+  EXPECT_TRUE(engine->incremental());
+  auto probs = engine->Run();
+  ASSERT_OK(probs.status());
+  auto want = BruteForceProbabilities(*q, db);
+  ASSERT_OK(want.status());
+  EXPECT_NEAR((*probs)[2], (*want)[2], 0.02);
+}
+
+TEST(SamplingTest, MarkovianSamplingMatchesExact) {
+  EventDatabase db;
+  AddMarkovStream(&db, "At", "Joe", {"room", "hall"}, 3, 0.85);
+  QueryPtr q =
+      MustParse(&db, "At('Joe', l1 : l1 = 'room'); At('Joe', l2 : l2 = 'room')");
+  SamplingOptions opt;
+  opt.num_samples = 40000;
+  auto engine = SamplingEngine::Create(q, db, opt);
+  ASSERT_OK(engine.status());
+  EXPECT_TRUE(engine->incremental());
+  auto probs = engine->Run();
+  ASSERT_OK(probs.status());
+  EXPECT_NEAR((*probs)[2], 0.5 * 0.85, 0.02);
+}
+
+TEST(SamplingTest, ExtendedQueryAcrossPeople) {
+  EventDatabase db;
+  AddIndependentStream(&db, "At", "Joe", {{{"a", 0.6}}, {{"b", 0.5}}});
+  AddIndependentStream(&db, "At", "Sue", {{{"a", 0.4}}, {{"b", 0.7}}});
+  QueryPtr q = MustParse(&db, "At(x, l1 : l1 = 'a'); At(x, l2 : l2 = 'b')");
+  SamplingOptions opt;
+  opt.num_samples = 40000;
+  auto engine = SamplingEngine::Create(q, db, opt);
+  ASSERT_OK(engine.status());
+  EXPECT_TRUE(engine->incremental());
+  auto probs = engine->Run();
+  ASSERT_OK(probs.status());
+  auto want = BruteForceProbabilities(*q, db);
+  ASSERT_OK(want.status());
+  EXPECT_NEAR((*probs)[2], (*want)[2], 0.02);
+}
+
+TEST(SamplingTest, UnsafeQueryFallsBackToGeneralPath) {
+  // h1 = sigma_{x=y}(R(x); S(y)) is #P-hard; only sampling evaluates it.
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k1", {{{"a", 0.5}, {"b", 0.3}}, {}});
+  AddIndependentStream(&db, "S", "k2", {{}, {{"a", 0.6}, {"b", 0.2}}});
+  QueryPtr q = MustParse(&db, "(R(p1, x); S(p2, y)) WHERE x = y");
+  SamplingOptions opt;
+  opt.num_samples = 20000;
+  auto engine = SamplingEngine::Create(q, db, opt);
+  ASSERT_OK(engine.status());
+  EXPECT_FALSE(engine->incremental());
+  auto probs = engine->Run();
+  ASSERT_OK(probs.status());
+  auto want = BruteForceProbabilities(*q, db);
+  ASSERT_OK(want.status());
+  for (Timestamp t = 1; t <= 2; ++t) {
+    EXPECT_NEAR((*probs)[t], (*want)[t], 0.02) << t;
+  }
+}
+
+TEST(SamplingTest, DeterministicUnderSeed) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k", {{{"a", 0.5}}});
+  QueryPtr q = MustParse(&db, "R('k', x : x = 'a')");
+  SamplingOptions opt;
+  opt.num_samples = 100;
+  opt.seed = 99;
+  auto e1 = SamplingEngine::Create(q, db, opt);
+  auto e2 = SamplingEngine::Create(q, db, opt);
+  ASSERT_OK(e1.status());
+  ASSERT_OK(e2.status());
+  auto p1 = e1->Run();
+  auto p2 = e2->Run();
+  ASSERT_OK(p1.status());
+  ASSERT_OK(p2.status());
+  EXPECT_EQ((*p1)[1], (*p2)[1]);
+}
+
+TEST(SamplingTest, StepRequiresIncrementalPath) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k1", {{{"a", 0.5}}});
+  AddIndependentStream(&db, "S", "k2", {{{"a", 0.5}}});
+  QueryPtr q = MustParse(&db, "(R(p1, x); S(p2, y)) WHERE x = y");
+  auto engine = SamplingEngine::Create(q, db, {});
+  ASSERT_OK(engine.status());
+  EXPECT_FALSE(engine->incremental());
+  EXPECT_FALSE(engine->Step().ok());
+}
+
+}  // namespace
+}  // namespace lahar

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/scenarios.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+TEST(FloorplanTest, BuildingHasExpectedInventory) {
+  Floorplan fp = Floorplan::Building(2, 10);
+  EXPECT_EQ(fp.OfType(RoomType::kOffice).size(), 20u);
+  EXPECT_EQ(fp.OfType(RoomType::kCoffeeRoom).size(), 2u);
+  EXPECT_EQ(fp.OfType(RoomType::kLectureRoom).size(), 2u);
+  EXPECT_EQ(fp.OfType(RoomType::kLobby).size(), 1u);
+  EXPECT_GT(fp.num_antennas(), 2u);
+  // Offices are never sensed: the granularity mismatch.
+  for (uint32_t office : fp.OfType(RoomType::kOffice)) {
+    EXPECT_EQ(fp.location(office).antenna, -1);
+  }
+}
+
+TEST(FloorplanTest, GraphIsConnected) {
+  Floorplan fp = Floorplan::Building(2, 10);
+  for (uint32_t i = 0; i < fp.num_locations(); ++i) {
+    EXPECT_FALSE(ShortestPath(fp, 0, i).empty()) << fp.location(i).name;
+  }
+}
+
+TEST(FloorplanTest, MotionModelIsStochastic) {
+  Floorplan fp = Floorplan::Building(2, 6);
+  Matrix m = fp.MotionModel(0.3, 0.75);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    double total = 0;
+    for (size_t c = 0; c < m.cols(); ++c) total += m.At(r, c);
+    EXPECT_NEAR(total, 1.0, 1e-9) << fp.location(r).name;
+  }
+  // Rooms are stickier than hallways.
+  uint32_t office = fp.OfType(RoomType::kOffice)[0];
+  uint32_t hall = fp.OfType(RoomType::kHallway)[0];
+  EXPECT_GT(m.At(office, office), m.At(hall, hall));
+}
+
+TEST(SensorTest, LikelihoodFavorsTrueLocation) {
+  Floorplan fp = Floorplan::Building(1, 6);
+  RfidSensorModel sensor(&fp, 0.8, 0.05);
+  uint32_t hall = fp.OfType(RoomType::kHallway)[0];
+  ASSERT_GE(fp.location(hall).antenna, 0);
+  Reading reading = {fp.location(hall).antenna};
+  std::vector<double> like = sensor.Likelihood(reading);
+  // The sensed hallway explains the reading better than anywhere else.
+  for (uint32_t i = 0; i < fp.num_locations(); ++i) {
+    if (i != hall) {
+      EXPECT_GE(like[hall], like[i]);
+    }
+  }
+}
+
+TEST(SensorTest, EmptyReadingIsAmbiguous) {
+  Floorplan fp = Floorplan::Building(1, 6);
+  RfidSensorModel sensor(&fp, 0.8, 0.05);
+  std::vector<double> like = sensor.Likelihood({});
+  // No reading: unsensed rooms are more likely than a covered hallway.
+  uint32_t office = fp.OfType(RoomType::kOffice)[0];
+  uint32_t hall = fp.OfType(RoomType::kHallway)[0];
+  EXPECT_GT(like[office], like[hall]);
+  for (double l : like) EXPECT_GT(l, 0.0);
+}
+
+TEST(SensorTest, SampleRespectsReadRate) {
+  Floorplan fp = Floorplan::Building(1, 6);
+  RfidSensorModel sensor(&fp, 0.6, 0.0);
+  uint32_t hall = fp.OfType(RoomType::kHallway)[0];
+  Rng rng(4);
+  int fired = 0;
+  const int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    fired += sensor.Sample(hall, &rng).empty() ? 0 : 1;
+  }
+  EXPECT_NEAR(fired / double(kTrials), 0.6, 0.02);
+}
+
+TEST(TrajectoryTest, ShortestPathEndpoints) {
+  Floorplan fp = Floorplan::Building(1, 8);
+  uint32_t office = fp.OfType(RoomType::kOffice)[0];
+  uint32_t coffee = fp.OfType(RoomType::kCoffeeRoom)[0];
+  auto path = ShortestPath(fp, office, coffee);
+  ASSERT_GE(path.size(), 2u);
+  EXPECT_EQ(path.front(), office);
+  EXPECT_EQ(path.back(), coffee);
+  // Consecutive steps are adjacent.
+  for (size_t i = 1; i < path.size(); ++i) {
+    const auto& n = fp.location(path[i - 1]).neighbors;
+    EXPECT_NE(std::find(n.begin(), n.end(), path[i]), n.end());
+  }
+}
+
+TEST(TrajectoryTest, OfficeWorkerVisitsCoffeeRoom) {
+  Floorplan fp = Floorplan::Building(1, 8);
+  uint32_t office = fp.OfType(RoomType::kOffice)[1];
+  uint32_t coffee = fp.OfType(RoomType::kCoffeeRoom)[0];
+  Rng rng(11);
+  TruePath path = OfficeWorkerPath(fp, office, 200, &rng);
+  std::set<uint32_t> visited(path.begin() + 1, path.end());
+  EXPECT_TRUE(visited.count(office));
+  EXPECT_TRUE(visited.count(coffee));
+  // Movement is along edges.
+  for (Timestamp t = 2; t < path.size(); ++t) {
+    if (path[t] == path[t - 1]) continue;
+    const auto& n = fp.location(path[t - 1]).neighbors;
+    EXPECT_NE(std::find(n.begin(), n.end(), path[t]), n.end()) << t;
+  }
+}
+
+TEST(TrajectoryTest, EnterRoomAndStay) {
+  Floorplan fp = Floorplan::Corridor(6);
+  uint32_t room = fp.Find("room4");
+  TruePath path = EnterRoomAndStayPath(fp, fp.Find("hall1"), room, 20);
+  EXPECT_EQ(path[1], fp.Find("hall1"));
+  EXPECT_EQ(path[20], room);
+  EXPECT_EQ(path[19], room);
+}
+
+TEST(PipelineTest, StreamsValidateAndCoverHorizon) {
+  auto scenario = OfficeScenario(2, 30, 77);
+  ASSERT_OK(scenario.status());
+  for (StreamKind kind :
+       {StreamKind::kFiltered, StreamKind::kExactFiltered,
+        StreamKind::kSmoothed, StreamKind::kSmoothedIndependent,
+        StreamKind::kTruth}) {
+    auto db = scenario->BuildDatabase(kind);
+    ASSERT_OK(db.status());
+    EXPECT_OK((*db)->Validate());
+    EXPECT_EQ((*db)->num_streams(), 2u);
+    EXPECT_EQ((*db)->horizon(), 30u);
+  }
+}
+
+TEST(PipelineTest, SmoothedBeatsFilteredAtTrackingTruth) {
+  // Smoothing uses future evidence, so on model-matched trajectories it
+  // puts more posterior mass on the true path than forward filtering.
+  // Averaged over several walkers to keep the comparison robust.
+  auto scenario = RandomWalkScenario(4, 80, 123);
+  ASSERT_OK(scenario.status());
+  auto filtered_db = scenario->BuildDatabase(StreamKind::kExactFiltered);
+  auto smoothed_db = scenario->BuildDatabase(StreamKind::kSmoothed);
+  ASSERT_OK(filtered_db.status());
+  ASSERT_OK(smoothed_db.status());
+  auto mass_on_truth = [&](const EventDatabase& db) {
+    double total = 0;
+    size_t steps = 0;
+    for (StreamId id = 0; id < db.num_streams(); ++id) {
+      const Stream& s = db.stream(id);
+      const TagTrace& tag = scenario->tags[id];
+      for (Timestamp t = 1; t <= s.horizon(); ++t, ++steps) {
+        total += s.ProbAt(t, tag.true_path[t] + 1);
+      }
+    }
+    return total / static_cast<double>(steps);
+  };
+  double filtered = mass_on_truth(**filtered_db);
+  double smoothed = mass_on_truth(**smoothed_db);
+  EXPECT_GT(smoothed, filtered);
+}
+
+TEST(PipelineTest, TruthStreamIsCertain) {
+  auto scenario = OfficeScenario(1, 20, 9);
+  ASSERT_OK(scenario.status());
+  auto db = scenario->BuildDatabase(StreamKind::kTruth);
+  ASSERT_OK(db.status());
+  const Stream& s = (*db)->stream(0);
+  for (Timestamp t = 1; t <= s.horizon(); ++t) {
+    EXPECT_NEAR(s.ProbAt(t, scenario->tags[0].true_path[t] + 1), 1.0, 1e-12);
+  }
+}
+
+TEST(PipelineTest, RelationsReflectFloorplan) {
+  auto scenario = OfficeScenario(1, 10, 5);
+  ASSERT_OK(scenario.status());
+  auto db = scenario->BuildDatabase(StreamKind::kTruth);
+  ASSERT_OK(db.status());
+  const Relation* hallway =
+      (*db)->FindRelation((*db)->interner().Intern("Hallway"));
+  const Relation* notroom =
+      (*db)->FindRelation((*db)->interner().Intern("NotRoom"));
+  const Relation* room = (*db)->FindRelation((*db)->interner().Intern("Room"));
+  ASSERT_NE(hallway, nullptr);
+  ASSERT_NE(notroom, nullptr);
+  ASSERT_NE(room, nullptr);
+  EXPECT_EQ(hallway->size() + 1, notroom->size());  // + lobby
+  EXPECT_EQ(notroom->size() + room->size(),
+            scenario->floorplan->num_locations());
+}
+
+TEST(PipelineTest, ScenariosAreDeterministicPerSeed) {
+  auto a = RandomWalkScenario(3, 15, 42);
+  auto b = RandomWalkScenario(3, 15, 42);
+  ASSERT_OK(a.status());
+  ASSERT_OK(b.status());
+  for (size_t i = 0; i < a->tags.size(); ++i) {
+    EXPECT_EQ(a->tags[i].true_path, b->tags[i].true_path);
+    EXPECT_EQ(a->tags[i].readings.size(), b->tags[i].readings.size());
+  }
+}
+
+}  // namespace
+}  // namespace lahar
