@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a01_ablations.dir/bench_a01_ablations.cc.o"
+  "CMakeFiles/bench_a01_ablations.dir/bench_a01_ablations.cc.o.d"
+  "bench_a01_ablations"
+  "bench_a01_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a01_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

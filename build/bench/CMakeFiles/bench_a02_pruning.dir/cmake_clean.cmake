@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a02_pruning.dir/bench_a02_pruning.cc.o"
+  "CMakeFiles/bench_a02_pruning.dir/bench_a02_pruning.cc.o.d"
+  "bench_a02_pruning"
+  "bench_a02_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a02_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_datastats.dir/bench_fig08_datastats.cc.o"
+  "CMakeFiles/bench_fig08_datastats.dir/bench_fig08_datastats.cc.o.d"
+  "bench_fig08_datastats"
+  "bench_fig08_datastats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_datastats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_room_occupancy.dir/bench_fig11_room_occupancy.cc.o"
+  "CMakeFiles/bench_fig11_room_occupancy.dir/bench_fig11_room_occupancy.cc.o.d"
+  "bench_fig11_room_occupancy"
+  "bench_fig11_room_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_room_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t01_query_complexity.dir/bench_t01_query_complexity.cc.o"
+  "CMakeFiles/bench_t01_query_complexity.dir/bench_t01_query_complexity.cc.o.d"
+  "bench_t01_query_complexity"
+  "bench_t01_query_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t01_query_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t02_skew.dir/bench_t02_skew.cc.o"
+  "CMakeFiles/bench_t02_skew.dir/bench_t02_skew.cc.o.d"
+  "bench_t02_skew"
+  "bench_t02_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t02_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

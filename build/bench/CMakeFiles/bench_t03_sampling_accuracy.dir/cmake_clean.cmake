@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t03_sampling_accuracy.dir/bench_t03_sampling_accuracy.cc.o"
+  "CMakeFiles/bench_t03_sampling_accuracy.dir/bench_t03_sampling_accuracy.cc.o.d"
+  "bench_t03_sampling_accuracy"
+  "bench_t03_sampling_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t03_sampling_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elder_care.dir/elder_care.cpp.o"
+  "CMakeFiles/elder_care.dir/elder_care.cpp.o.d"
+  "elder_care"
+  "elder_care.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elder_care.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lahar_cli.dir/lahar_cli.cpp.o"
+  "CMakeFiles/lahar_cli.dir/lahar_cli.cpp.o.d"
+  "lahar_cli"
+  "lahar_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lahar_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

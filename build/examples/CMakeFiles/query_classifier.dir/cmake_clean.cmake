@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_classifier.dir/query_classifier.cpp.o"
+  "CMakeFiles/query_classifier.dir/query_classifier.cpp.o.d"
+  "query_classifier"
+  "query_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

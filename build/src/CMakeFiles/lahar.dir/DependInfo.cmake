@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/bindings.cc" "src/CMakeFiles/lahar.dir/analysis/bindings.cc.o" "gcc" "src/CMakeFiles/lahar.dir/analysis/bindings.cc.o.d"
+  "/root/repo/src/analysis/classify.cc" "src/CMakeFiles/lahar.dir/analysis/classify.cc.o" "gcc" "src/CMakeFiles/lahar.dir/analysis/classify.cc.o.d"
+  "/root/repo/src/analysis/plan.cc" "src/CMakeFiles/lahar.dir/analysis/plan.cc.o" "gcc" "src/CMakeFiles/lahar.dir/analysis/plan.cc.o.d"
+  "/root/repo/src/automaton/nfa.cc" "src/CMakeFiles/lahar.dir/automaton/nfa.cc.o" "gcc" "src/CMakeFiles/lahar.dir/automaton/nfa.cc.o.d"
+  "/root/repo/src/automaton/symbols.cc" "src/CMakeFiles/lahar.dir/automaton/symbols.cc.o" "gcc" "src/CMakeFiles/lahar.dir/automaton/symbols.cc.o.d"
+  "/root/repo/src/common/interner.cc" "src/CMakeFiles/lahar.dir/common/interner.cc.o" "gcc" "src/CMakeFiles/lahar.dir/common/interner.cc.o.d"
+  "/root/repo/src/common/matrix.cc" "src/CMakeFiles/lahar.dir/common/matrix.cc.o" "gcc" "src/CMakeFiles/lahar.dir/common/matrix.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/lahar.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/lahar.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/lahar.dir/common/status.cc.o" "gcc" "src/CMakeFiles/lahar.dir/common/status.cc.o.d"
+  "/root/repo/src/engine/deterministic_engine.cc" "src/CMakeFiles/lahar.dir/engine/deterministic_engine.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/deterministic_engine.cc.o.d"
+  "/root/repo/src/engine/extended_engine.cc" "src/CMakeFiles/lahar.dir/engine/extended_engine.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/extended_engine.cc.o.d"
+  "/root/repo/src/engine/lahar.cc" "src/CMakeFiles/lahar.dir/engine/lahar.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/lahar.cc.o.d"
+  "/root/repo/src/engine/reference.cc" "src/CMakeFiles/lahar.dir/engine/reference.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/reference.cc.o.d"
+  "/root/repo/src/engine/regular_engine.cc" "src/CMakeFiles/lahar.dir/engine/regular_engine.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/regular_engine.cc.o.d"
+  "/root/repo/src/engine/safe_engine.cc" "src/CMakeFiles/lahar.dir/engine/safe_engine.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/safe_engine.cc.o.d"
+  "/root/repo/src/engine/sampling_engine.cc" "src/CMakeFiles/lahar.dir/engine/sampling_engine.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/sampling_engine.cc.o.d"
+  "/root/repo/src/engine/streaming.cc" "src/CMakeFiles/lahar.dir/engine/streaming.cc.o" "gcc" "src/CMakeFiles/lahar.dir/engine/streaming.cc.o.d"
+  "/root/repo/src/inference/hmm.cc" "src/CMakeFiles/lahar.dir/inference/hmm.cc.o" "gcc" "src/CMakeFiles/lahar.dir/inference/hmm.cc.o.d"
+  "/root/repo/src/inference/particle_filter.cc" "src/CMakeFiles/lahar.dir/inference/particle_filter.cc.o" "gcc" "src/CMakeFiles/lahar.dir/inference/particle_filter.cc.o.d"
+  "/root/repo/src/inference/viterbi.cc" "src/CMakeFiles/lahar.dir/inference/viterbi.cc.o" "gcc" "src/CMakeFiles/lahar.dir/inference/viterbi.cc.o.d"
+  "/root/repo/src/metrics/quality.cc" "src/CMakeFiles/lahar.dir/metrics/quality.cc.o" "gcc" "src/CMakeFiles/lahar.dir/metrics/quality.cc.o.d"
+  "/root/repo/src/model/database.cc" "src/CMakeFiles/lahar.dir/model/database.cc.o" "gcc" "src/CMakeFiles/lahar.dir/model/database.cc.o.d"
+  "/root/repo/src/model/event.cc" "src/CMakeFiles/lahar.dir/model/event.cc.o" "gcc" "src/CMakeFiles/lahar.dir/model/event.cc.o.d"
+  "/root/repo/src/model/io.cc" "src/CMakeFiles/lahar.dir/model/io.cc.o" "gcc" "src/CMakeFiles/lahar.dir/model/io.cc.o.d"
+  "/root/repo/src/model/stream.cc" "src/CMakeFiles/lahar.dir/model/stream.cc.o" "gcc" "src/CMakeFiles/lahar.dir/model/stream.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/CMakeFiles/lahar.dir/model/value.cc.o" "gcc" "src/CMakeFiles/lahar.dir/model/value.cc.o.d"
+  "/root/repo/src/model/world.cc" "src/CMakeFiles/lahar.dir/model/world.cc.o" "gcc" "src/CMakeFiles/lahar.dir/model/world.cc.o.d"
+  "/root/repo/src/query/ast.cc" "src/CMakeFiles/lahar.dir/query/ast.cc.o" "gcc" "src/CMakeFiles/lahar.dir/query/ast.cc.o.d"
+  "/root/repo/src/query/condition.cc" "src/CMakeFiles/lahar.dir/query/condition.cc.o" "gcc" "src/CMakeFiles/lahar.dir/query/condition.cc.o.d"
+  "/root/repo/src/query/normalize.cc" "src/CMakeFiles/lahar.dir/query/normalize.cc.o" "gcc" "src/CMakeFiles/lahar.dir/query/normalize.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/lahar.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/lahar.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/printer.cc" "src/CMakeFiles/lahar.dir/query/printer.cc.o" "gcc" "src/CMakeFiles/lahar.dir/query/printer.cc.o.d"
+  "/root/repo/src/sim/floorplan.cc" "src/CMakeFiles/lahar.dir/sim/floorplan.cc.o" "gcc" "src/CMakeFiles/lahar.dir/sim/floorplan.cc.o.d"
+  "/root/repo/src/sim/scenarios.cc" "src/CMakeFiles/lahar.dir/sim/scenarios.cc.o" "gcc" "src/CMakeFiles/lahar.dir/sim/scenarios.cc.o.d"
+  "/root/repo/src/sim/sensor.cc" "src/CMakeFiles/lahar.dir/sim/sensor.cc.o" "gcc" "src/CMakeFiles/lahar.dir/sim/sensor.cc.o.d"
+  "/root/repo/src/sim/trace_generator.cc" "src/CMakeFiles/lahar.dir/sim/trace_generator.cc.o" "gcc" "src/CMakeFiles/lahar.dir/sim/trace_generator.cc.o.d"
+  "/root/repo/src/sim/trajectory.cc" "src/CMakeFiles/lahar.dir/sim/trajectory.cc.o" "gcc" "src/CMakeFiles/lahar.dir/sim/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for lahar.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deterministic_engine_test.dir/deterministic_engine_test.cc.o"
+  "CMakeFiles/deterministic_engine_test.dir/deterministic_engine_test.cc.o.d"
+  "deterministic_engine_test"
+  "deterministic_engine_test.pdb"
+  "deterministic_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deterministic_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extended_engine_test.dir/extended_engine_test.cc.o"
+  "CMakeFiles/extended_engine_test.dir/extended_engine_test.cc.o.d"
+  "extended_engine_test"
+  "extended_engine_test.pdb"
+  "extended_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extended_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lahar_test.dir/lahar_test.cc.o"
+  "CMakeFiles/lahar_test.dir/lahar_test.cc.o.d"
+  "lahar_test"
+  "lahar_test.pdb"
+  "lahar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lahar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

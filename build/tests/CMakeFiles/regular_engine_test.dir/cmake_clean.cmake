@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regular_engine_test.dir/regular_engine_test.cc.o"
+  "CMakeFiles/regular_engine_test.dir/regular_engine_test.cc.o.d"
+  "regular_engine_test"
+  "regular_engine_test.pdb"
+  "regular_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regular_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

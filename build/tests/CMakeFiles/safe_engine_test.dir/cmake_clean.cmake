@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safe_engine_test.dir/safe_engine_test.cc.o"
+  "CMakeFiles/safe_engine_test.dir/safe_engine_test.cc.o.d"
+  "safe_engine_test"
+  "safe_engine_test.pdb"
+  "safe_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
