@@ -1,0 +1,162 @@
+// Runtime scaling experiment: standing queries x worker threads throughput
+// grid for the concurrent streaming runtime (src/runtime/). The paper runs
+// one query process per person (Section 4.3); the runtime instead advances
+// every registered query inside one tick loop, fanning the per-key chains
+// out to a shard pool. Theorems 3.3/3.7 make the chains independent, so
+// ticks/sec should scale with threads until chains run out or the
+// coordinator's commit loop dominates.
+//
+// Per cell we preload the whole replay into the ingest queue, then time
+// Start..WaitForTick(horizon): pure tick throughput, no producer in the
+// way. One `JSON {...}` line per cell (grep ^JSON for plotting).
+//
+// Note: measured speedup is bounded by the machine — on a single-core host
+// every thread count collapses onto one CPU and the grid only shows the
+// coordination overhead.
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/executor.h"
+#include "runtime/replay.h"
+
+using namespace lahar;
+using namespace lahar::bench;
+
+namespace {
+
+constexpr size_t kTags = 8;
+constexpr Timestamp kHorizon = 200;
+
+// Cycles grounded Regular and ungrounded Extended Regular templates until
+// `count` queries exist. Mirrors tests/runtime_stress_test.cc's mix.
+std::vector<std::string> MakeQueries(const Scenario& scenario, size_t count) {
+  std::vector<std::string> out;
+  const std::vector<std::string> ungrounded = {
+      "At(x, l : Room(l))",
+      "At(x, l1 : NotRoom(l1)); At(x, l2 : Room(l2))",
+  };
+  size_t i = 0;
+  while (out.size() < count) {
+    const std::string& tag = scenario.tags[i % scenario.tags.size()].name;
+    switch (i % 4) {
+      case 0:
+        out.push_back("At('" + tag + "', l : Room(l))");
+        break;
+      case 1:
+        out.push_back("At('" + tag + "', l1 : NotRoom(l1)); At('" + tag +
+                      "', l2 : Room(l2))");
+        break;
+      case 2:
+        out.push_back("At('" + tag + "', l1 : Hallway(l1)); At('" + tag +
+                      "', l2 : Hallway(l2)); At('" + tag +
+                      "', l3 : Room(l3))");
+        break;
+      default:
+        out.push_back(ungrounded[i % ungrounded.size()]);
+        break;
+    }
+    ++i;
+  }
+  return out;
+}
+
+// Runs one (queries, threads) cell; returns ticks/sec.
+double RunCell(const EventDatabase& archive,
+               const std::vector<TickBatch>& batches,
+               const std::vector<std::string>& queries, size_t threads) {
+  auto live = CloneDeclarations(archive);
+  if (!live.ok()) {
+    std::fprintf(stderr, "%s\n", live.status().ToString().c_str());
+    return 0;
+  }
+  RuntimeOptions options;
+  options.num_threads = threads;
+  options.queue_capacity = batches.size();  // preload everything
+  StreamRuntime runtime(live->get(), options);
+  for (const std::string& q : queries) {
+    auto id = runtime.Register(q);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s: %s\n", q.c_str(),
+                   id.status().ToString().c_str());
+      return 0;
+    }
+  }
+  for (const TickBatch& b : batches) {
+    if (!runtime.ingest().TryPush(b)) {
+      std::fprintf(stderr, "preload overflowed the queue\n");
+      return 0;
+    }
+  }
+  double ms = TimeMs([&] {
+    runtime.Start();
+    runtime.WaitForTick(kHorizon, std::chrono::milliseconds(600000));
+  });
+  runtime.Stop();
+  RuntimeStats stats = runtime.Stats();
+  if (stats.ticks_processed != kHorizon || stats.batches_rejected != 0) {
+    std::fprintf(stderr, "incomplete run: %s\n", stats.ToString().c_str());
+    return 0;
+  }
+  double ticks_per_sec = Throughput(kHorizon, ms);
+  JsonLine()
+      .Add("bench", std::string("t04_runtime_scaling"))
+      .Add("queries", queries.size())
+      .Add("threads", threads)
+      .Add("chains", stats.total_chains)
+      .Add("ticks", static_cast<size_t>(kHorizon))
+      .Add("time_ms", ms)
+      .Add("ticks_per_sec", ticks_per_sec)
+      .Add("tick_p99_us", stats.tick_latency.p99_us)
+      .Print();
+  return ticks_per_sec;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Runtime scaling | ticks/sec, %zu tags, horizon %u\n", kTags,
+              kHorizon);
+  auto scenario = RandomWalkScenario(kTags, kHorizon, /*seed=*/41);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto archive = scenario->BuildDatabase(StreamKind::kFiltered);
+  if (!archive.ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+    return 1;
+  }
+  auto batches = ExtractBatches(**archive);
+  if (!batches.ok()) {
+    std::fprintf(stderr, "%s\n", batches.status().ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<size_t> query_counts = {8, 32, 128};
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::printf("%-10s", "queries");
+  for (size_t t : thread_counts) std::printf(" %8zu thr", t);
+  std::printf("   speedup@4\n");
+  for (size_t q : query_counts) {
+    std::vector<std::string> queries = MakeQueries(*scenario, q);
+    // Measure the whole row first: RunCell emits its JSON line per cell,
+    // and interleaving those with a half-printed table row would mangle
+    // both.
+    std::vector<double> row;
+    for (size_t t : thread_counts) {
+      row.push_back(RunCell(**archive, *batches, queries, t));
+    }
+    std::printf("%-10zu", q);
+    double base = 0, at4 = 0;
+    for (size_t i = 0; i < thread_counts.size(); ++i) {
+      if (thread_counts[i] == 1) base = row[i];
+      if (thread_counts[i] == 4) at4 = row[i];
+      std::printf(" %12.1f", row[i]);
+    }
+    std::printf("   %8.2fx\n", base > 0 ? at4 / base : 0.0);
+  }
+  std::printf("\n(chains are independent per Thm 3.3/3.7; speedup requires"
+              " as many physical cores)\n");
+  return 0;
+}

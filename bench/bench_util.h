@@ -146,6 +146,36 @@ inline TagQualityData CollectTagQuality(const Scenario& scenario,
   return data;
 }
 
+/// \brief Builder for one flat JSON object, emitted as a single line.
+///
+/// The bench binaries print human-readable tables for eyeballing plus one
+/// JSON line per measurement (prefixed so plotting scripts can grep them
+/// out of the mixed stdout stream).
+class JsonLine {
+ public:
+  JsonLine& Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Raw(key, buf);
+  }
+  JsonLine& Add(const std::string& key, size_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  JsonLine& Add(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + value + "\"");  // keys/values here need no escaping
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+  void Print() const { std::printf("JSON %s\n", str().c_str()); }
+
+ private:
+  JsonLine& Raw(const std::string& key, const std::string& value) {
+    if (!body_.empty()) body_ += ",";
+    body_ += "\"" + key + "\":" + value;
+    return *this;
+  }
+  std::string body_;
+};
+
 /// Milliseconds spent running `fn`.
 inline double TimeMs(const std::function<void()>& fn) {
   auto start = std::chrono::steady_clock::now();

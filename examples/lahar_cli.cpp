@@ -3,20 +3,28 @@
 //   lahar_cli QUERY DBFILE          run a query, print P[q@t] per timestep
 //   lahar_cli --classify QUERY DBFILE
 //   lahar_cli --gen DBFILE          write a demo database (office workers)
+//   lahar_cli --serve DBFILE QUERY...
+//                                   replay DBFILE live through the
+//                                   concurrent runtime (docs/RUNTIME.md)
 //
 // The database format is documented in src/model/io.h; --gen produces one
 // to play with:
 //
 //   ./lahar_cli --gen /tmp/demo.db
 //   ./lahar_cli "At('tag1', l : CoffeeRoom(l))" /tmp/demo.db
+//   ./lahar_cli --serve /tmp/demo.db "At(x, l : CoffeeRoom(l))"
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "analysis/plan.h"
 #include "engine/lahar.h"
 #include "model/io.h"
 #include "query/printer.h"
+#include "runtime/executor.h"
+#include "runtime/replay.h"
 #include "sim/scenarios.h"
 
 using namespace lahar;
@@ -90,19 +98,95 @@ int RunQuery(EventDatabase* db, const std::string& query) {
   return 0;
 }
 
+// Replays an archived database through the streaming runtime as if its
+// timesteps were arriving live: standing queries are registered up front, a
+// producer thread pushes one TickBatch per timestep with backpressure, and
+// every published TickResult is printed as it completes.
+int Serve(EventDatabase* archive, const std::vector<std::string>& queries) {
+  auto live = CloneDeclarations(*archive);
+  if (!live.ok()) {
+    std::fprintf(stderr, "%s\n", live.status().ToString().c_str());
+    return 1;
+  }
+  auto batches = ExtractBatches(*archive);
+  if (!batches.ok()) {
+    std::fprintf(stderr, "%s\n", batches.status().ToString().c_str());
+    return 1;
+  }
+  RuntimeOptions options;
+  options.queue_capacity = 16;
+  StreamRuntime runtime(live->get(), options);
+  std::vector<QueryId> ids;
+  for (const std::string& q : queries) {
+    auto id = runtime.Register(q);
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s: %s\n", q.c_str(),
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# q%llu: %s\n", static_cast<unsigned long long>(*id),
+                q.c_str());
+    ids.push_back(*id);
+  }
+  std::printf("# t");
+  for (QueryId id : ids) {
+    std::printf("  P[q%llu@t]", static_cast<unsigned long long>(id));
+  }
+  std::printf("\n");
+  runtime.SetTickCallback([&](const TickResult& r) {
+    std::printf("%u", r.t);
+    for (QueryId id : ids) {
+      const double* p = r.Find(id);
+      std::printf(" %.6f", p ? *p : 0.0);
+    }
+    std::printf("\n");
+  });
+  runtime.Start();
+  std::thread producer([&] {
+    for (TickBatch& b : *batches) {
+      Status s = runtime.ingest().Push(std::move(b),
+                                       std::chrono::milliseconds(60000));
+      if (!s.ok()) {
+        std::fprintf(stderr, "push: %s\n", s.ToString().c_str());
+        break;
+      }
+    }
+    runtime.ingest().Close();  // end of stream: drain and stop
+  });
+  producer.join();
+  runtime.WaitForTick(archive->horizon(), std::chrono::milliseconds(600000));
+  runtime.Stop();
+  std::printf("\n%s", runtime.Stats().ToString().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc == 3 && std::strcmp(argv[1], "--gen") == 0) {
     return Generate(argv[2]);
   }
+  bool serve = argc >= 2 && std::strcmp(argv[1], "--serve") == 0;
+  if (serve && argc < 4) {
+    std::fprintf(stderr, "usage: %s --serve DBFILE QUERY...\n", argv[0]);
+    return 2;
+  }
+  if (serve) {
+    auto db = ReadDatabaseFromFile(argv[2]);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    return Serve(db->get(), {argv + 3, argv + argc});
+  }
   bool classify = argc == 4 && std::strcmp(argv[1], "--classify") == 0;
   if (argc != 3 && !classify) {
     std::fprintf(stderr,
                  "usage: %s QUERY DBFILE\n"
                  "       %s --classify QUERY DBFILE\n"
-                 "       %s --gen DBFILE\n",
-                 argv[0], argv[0], argv[0]);
+                 "       %s --gen DBFILE\n"
+                 "       %s --serve DBFILE QUERY...\n",
+                 argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const char* query = classify ? argv[2] : argv[1];

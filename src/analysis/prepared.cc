@@ -1,0 +1,16 @@
+#include "analysis/prepared.h"
+
+#include "query/parser.h"
+
+namespace lahar {
+
+Result<PreparedQuery> PrepareQuery(std::string_view text, EventDatabase* db) {
+  PreparedQuery out;
+  LAHAR_ASSIGN_OR_RETURN(out.ast, ParseQuery(text, &db->interner()));
+  LAHAR_RETURN_NOT_OK(ValidateQuery(*out.ast, *db));
+  LAHAR_ASSIGN_OR_RETURN(out.normalized, Normalize(*out.ast));
+  out.classification = Classify(out.normalized, *db);
+  return out;
+}
+
+}  // namespace lahar

@@ -1,0 +1,30 @@
+// A parsed, validated, normalized, and classified query — the unit of work
+// every engine consumes. Preparing once and evaluating many times is the
+// paper's standing-query model: the runtime registers hundreds of sessions
+// from one PreparedQuery batch without reparsing or reclassifying.
+#ifndef LAHAR_ANALYSIS_PREPARED_H_
+#define LAHAR_ANALYSIS_PREPARED_H_
+
+#include <string_view>
+
+#include "analysis/classify.h"
+#include "query/ast.h"
+#include "query/normalize.h"
+
+namespace lahar {
+
+/// \brief A parsed, validated, normalized, and classified query.
+struct PreparedQuery {
+  QueryPtr ast;
+  NormalizedQuery normalized;
+  Classification classification;
+};
+
+/// Parses, validates, normalizes, and classifies `text` against `db`'s
+/// schemas. The database is non-const because parsing interns new symbols
+/// through its interner; stream contents are never touched.
+Result<PreparedQuery> PrepareQuery(std::string_view text, EventDatabase* db);
+
+}  // namespace lahar
+
+#endif  // LAHAR_ANALYSIS_PREPARED_H_

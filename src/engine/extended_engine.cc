@@ -1,5 +1,7 @@
 #include "engine/extended_engine.h"
 
+#include <algorithm>
+
 #include "analysis/bindings.h"
 
 namespace lahar {
@@ -22,12 +24,21 @@ Result<ExtendedRegularEngine> ExtendedRegularEngine::Create(
 }
 
 double ExtendedRegularEngine::Step() {
+  StepChainRange(0, chains_.size());
+  return CommitParallelStep();
+}
+
+void ExtendedRegularEngine::StepChainRange(size_t begin, size_t end) {
+  end = std::min(end, chains_.size());
+  for (size_t i = begin; i < end; ++i) {
+    chain_probs_[i] = chains_[i].Step();
+  }
+}
+
+double ExtendedRegularEngine::CommitParallelStep() {
   ++t_;
   double none = 1.0;
-  for (size_t i = 0; i < chains_.size(); ++i) {
-    chain_probs_[i] = chains_[i].Step();
-    none *= 1.0 - chain_probs_[i];
-  }
+  for (double p : chain_probs_) none *= 1.0 - p;
   return 1.0 - none;
 }
 

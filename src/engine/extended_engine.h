@@ -24,6 +24,17 @@ class ExtendedRegularEngine {
   /// Advances every chain one timestep; returns P[q@t] at the new time.
   double Step();
 
+  /// Split form of Step() for sharded execution (src/runtime/): advances
+  /// only the chains in [begin, end) to time()+1. Chains are independent,
+  /// so disjoint ranges may run on different threads concurrently; the
+  /// database must not be mutated while any range is in flight.
+  void StepChainRange(size_t begin, size_t end);
+
+  /// Completes a split step once every chain range has been stepped:
+  /// advances the clock and combines the per-chain probabilities in chain
+  /// order, bit-identically to Step().
+  double CommitParallelStep();
+
   /// P[q@t] for t = 1..horizon (index 0 unused).
   std::vector<double> Run();
 

@@ -18,12 +18,7 @@ const char* EngineKindName(EngineKind kind) {
 }
 
 Result<PreparedQuery> Lahar::Prepare(std::string_view text) const {
-  PreparedQuery out;
-  LAHAR_ASSIGN_OR_RETURN(out.ast, ParseQuery(text, &db_->interner()));
-  LAHAR_RETURN_NOT_OK(ValidateQuery(*out.ast, *db_));
-  LAHAR_ASSIGN_OR_RETURN(out.normalized, Normalize(*out.ast));
-  out.classification = Classify(out.normalized, *db_);
-  return out;
+  return PrepareQuery(text, db_);
 }
 
 Result<QueryAnswer> Lahar::Run(std::string_view text) const {

@@ -16,6 +16,7 @@
 
 #include "analysis/classify.h"
 #include "analysis/plan.h"
+#include "analysis/prepared.h"
 #include "engine/sampling_engine.h"
 #include "query/ast.h"
 
@@ -39,13 +40,6 @@ struct LaharOptions {
   /// queries, or safe queries outside the implemented algebra). When false,
   /// such queries return an error Status instead.
   bool allow_sampling_fallback = true;
-};
-
-/// \brief A parsed, validated, normalized, and classified query.
-struct PreparedQuery {
-  QueryPtr ast;
-  NormalizedQuery normalized;
-  Classification classification;
 };
 
 /// \brief Result of evaluating a query over the whole database.

@@ -1,27 +1,37 @@
 #include "engine/streaming.h"
 
 #include "analysis/classify.h"
-#include "query/parser.h"
 
 namespace lahar {
 
 Result<StreamingSession> StreamingSession::Create(EventDatabase* db,
                                                   std::string_view text) {
-  LAHAR_ASSIGN_OR_RETURN(QueryPtr ast, ParseQuery(text, &db->interner()));
-  LAHAR_RETURN_NOT_OK(ValidateQuery(*ast, *db));
-  LAHAR_ASSIGN_OR_RETURN(NormalizedQuery normalized, Normalize(*ast));
-  Classification cls = Classify(normalized, *db);
-  if (cls.query_class != QueryClass::kRegular &&
-      cls.query_class != QueryClass::kExtendedRegular) {
+  LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(text, db));
+  return Create(db, prepared);
+}
+
+Result<StreamingSession> StreamingSession::Create(
+    EventDatabase* db, const PreparedQuery& prepared) {
+  QueryClass cls = prepared.classification.query_class;
+  if (cls != QueryClass::kRegular && cls != QueryClass::kExtendedRegular) {
     return Status::UnsafeQuery(
         "only Regular and Extended Regular queries evaluate in streaming "
         "fashion (Thms 3.3/3.7); Safe queries need the archived history");
   }
   LAHAR_ASSIGN_OR_RETURN(ExtendedRegularEngine engine,
-                         ExtendedRegularEngine::Create(normalized, *db));
+                         ExtendedRegularEngine::Create(prepared.normalized,
+                                                       *db));
   return StreamingSession(std::move(engine));
 }
 
 Result<double> StreamingSession::Advance() { return engine_.Step(); }
+
+void StreamingSession::AdvanceChains(size_t begin, size_t end) {
+  engine_.StepChainRange(begin, end);
+}
+
+double StreamingSession::CommitAdvance() {
+  return engine_.CommitParallelStep();
+}
 
 }  // namespace lahar

@@ -17,6 +17,7 @@
 
 #include <string_view>
 
+#include "analysis/prepared.h"
 #include "engine/extended_engine.h"
 #include "query/ast.h"
 
@@ -25,23 +26,44 @@ namespace lahar {
 /// \brief Incremental evaluation session for (Extended) Regular queries.
 class StreamingSession {
  public:
-  /// Parses and classifies `text`; fails with UnsafeQuery if the query is
-  /// not streamable. Keys and value domains visible at creation are final:
+  /// Parses and classifies `text`, then delegates to the PreparedQuery
+  /// overload. Keys and value domains visible at creation are final:
   /// streams added or domain values interned later are not picked up (the
   /// paper's per-key chains are likewise fixed at query start).
   static Result<StreamingSession> Create(EventDatabase* db,
                                          std::string_view text);
+
+  /// Creates a session from an already-prepared query, skipping the
+  /// reparse/reclassify work — the path used when registering many standing
+  /// queries at once (see src/runtime/registry.h). Fails with UnsafeQuery
+  /// if the prepared query is not streamable.
+  static Result<StreamingSession> Create(EventDatabase* db,
+                                         const PreparedQuery& prepared);
 
   /// Consumes timestep time()+1 (which every stream must already cover via
   /// Append*, unless it has simply ended) and returns P[q@t] at the new
   /// time.
   Result<double> Advance();
 
+  /// Split form of Advance() for the sharded runtime executor: advances
+  /// only the chains in [begin, end) to time()+1. Disjoint ranges may run
+  /// on different threads; the database must be quiescent meanwhile.
+  void AdvanceChains(size_t begin, size_t end);
+
+  /// Completes a split advance once every chain range has been stepped:
+  /// bumps time() and returns P[q@t], combined bit-identically to
+  /// Advance().
+  double CommitAdvance();
+
   /// The last consumed timestep (0 before the first Advance).
   Timestamp time() const { return engine_.time(); }
 
   /// Number of per-grounding chains (the O(m) of Theorem 3.7).
   size_t num_chains() const { return engine_.num_chains(); }
+
+  /// The underlying engine (diagnostics: per-chain probabilities and
+  /// bindings).
+  const ExtendedRegularEngine& engine() const { return engine_; }
 
  private:
   explicit StreamingSession(ExtendedRegularEngine engine)

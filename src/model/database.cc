@@ -82,6 +82,13 @@ Status EventDatabase::AppendMarginal(StreamId id, std::vector<double> dist) {
   return Status::OK();
 }
 
+Status EventDatabase::AppendInitial(StreamId id, std::vector<double> dist) {
+  if (id >= streams_.size()) return Status::OutOfRange("bad stream id");
+  LAHAR_RETURN_NOT_OK(streams_[id].AppendInitial(std::move(dist)));
+  horizon_ = std::max(horizon_, streams_[id].horizon());
+  return Status::OK();
+}
+
 Status EventDatabase::AppendMarkovStep(StreamId id, Matrix cpt) {
   if (id >= streams_.size()) return Status::OutOfRange("bad stream id");
   LAHAR_RETURN_NOT_OK(streams_[id].AppendMarkovStep(std::move(cpt)));

@@ -92,8 +92,9 @@ class EventDatabase {
   }
 
   /// Appends one timestep to a stream (see Stream::AppendMarginal /
-  /// AppendMarkovStep) and advances the database clock.
+  /// AppendInitial / AppendMarkovStep) and advances the database clock.
   Status AppendMarginal(StreamId id, std::vector<double> dist);
+  Status AppendInitial(StreamId id, std::vector<double> dist);
   Status AppendMarkovStep(StreamId id, Matrix cpt);
 
   /// Largest horizon across streams (the database clock T).

@@ -152,6 +152,23 @@ Status Stream::AppendMarginal(std::vector<double> dist) {
   return Status::OK();
 }
 
+Status Stream::AppendInitial(std::vector<double> dist) {
+  if (!markovian_) {
+    return Status::InvalidArgument(
+        "AppendInitial requires a Markovian stream; use AppendMarginal");
+  }
+  if (horizon_ != 0) {
+    return Status::InvalidArgument(
+        "AppendInitial requires an empty stream (horizon 0)");
+  }
+  dist.resize(domain_.size(), 0.0);
+  LAHAR_RETURN_NOT_OK(CheckDistribution(dist));
+  marginals_.push_back(std::move(dist));
+  cpts_.emplace_back();  // index 0 placeholder; CPTs live at 1..horizon-1
+  horizon_ = 1;
+  return Status::OK();
+}
+
 Status Stream::AppendMarkovStep(Matrix cpt) {
   if (!markovian_) {
     return Status::InvalidArgument(

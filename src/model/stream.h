@@ -91,6 +91,12 @@ class Stream {
   /// The domain must already be fully interned.
   Status AppendMarginal(std::vector<double> dist);
 
+  /// Appends the initial marginal (timestep 1) to an *empty* Markovian
+  /// stream, giving it horizon 1 — the streaming counterpart of
+  /// SetInitial + FinalizeMarkov for a stream declared with horizon 0.
+  /// Subsequent timesteps arrive via AppendMarkovStep.
+  Status AppendInitial(std::vector<double> dist);
+
   /// Appends one timestep to a Markovian stream: `cpt` governs the
   /// transition from the current last timestep to the new one; the new
   /// marginal is chained automatically. Requires a set initial marginal.

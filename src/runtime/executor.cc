@@ -1,0 +1,311 @@
+#include "runtime/executor.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace lahar {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const double* TickResult::Find(QueryId id) const {
+  auto it = std::lower_bound(
+      probs.begin(), probs.end(), id,
+      [](const std::pair<QueryId, double>& p, QueryId q) { return p.first < q; });
+  return it != probs.end() && it->first == id ? &it->second : nullptr;
+}
+
+StreamRuntime::StreamRuntime(EventDatabase* db, RuntimeOptions options)
+    : db_(db),
+      options_(options),
+      num_threads_(options.num_threads != 0
+                       ? options.num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())),
+      queue_(options.queue_capacity),
+      registry_(db) {
+  tick_ = db_->horizon();
+  published_tick_ = tick_;
+  for (StreamId id = 0; id < db_->num_streams(); ++id) {
+    watermark_.Track(id, db_->stream(id).horizon());
+  }
+  shard_counters_.resize(num_threads_ > 1 ? num_threads_ : 0);
+  shard_work_.resize(num_threads_ > 1 ? num_threads_ : 1);
+}
+
+StreamRuntime::~StreamRuntime() { Stop(); }
+
+Result<QueryId> StreamRuntime::Register(std::string_view text) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return registry_.Register(text, tick_);
+}
+
+Result<QueryId> StreamRuntime::Register(const PreparedQuery& prepared,
+                                        std::string_view text) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return registry_.Register(prepared, text, tick_);
+}
+
+Status StreamRuntime::Unregister(QueryId id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return registry_.Unregister(id);
+}
+
+void StreamRuntime::MarkStreamEnded(StreamId id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  watermark_.MarkEnded(id);
+}
+
+void StreamRuntime::SetTickCallback(
+    std::function<void(const TickResult&)> callback) {
+  tick_callback_ = std::move(callback);
+}
+
+void StreamRuntime::Start() {
+  if (started_.exchange(true)) return;
+  running_.store(true);
+  if (num_threads_ > 1) {
+    for (size_t i = 0; i < num_threads_; ++i) {
+      shards_.emplace_back([this, i] { ShardLoop(i); });
+    }
+  }
+  coordinator_ = std::thread([this] { CoordinatorLoop(); });
+}
+
+void StreamRuntime::Stop() {
+  if (!started_.load() || stop_.exchange(true)) {
+    // Either never started or already stopping; still join if needed.
+    if (coordinator_.joinable()) coordinator_.join();
+    for (std::thread& t : shards_) {
+      if (t.joinable()) t.join();
+    }
+    running_.store(false);
+    return;
+  }
+  queue_.Close();
+  if (coordinator_.joinable()) coordinator_.join();
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    shard_stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : shards_) {
+    if (t.joinable()) t.join();
+  }
+  running_.store(false);
+  tick_cv_.notify_all();
+}
+
+bool StreamRuntime::running() const { return running_.load(); }
+
+Timestamp StreamRuntime::tick() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return published_tick_;
+}
+
+std::shared_ptr<const TickResult> StreamRuntime::Latest() const {
+  std::lock_guard<std::mutex> lock(tick_mu_);
+  return latest_;
+}
+
+bool StreamRuntime::WaitForTick(Timestamp t,
+                                std::chrono::milliseconds timeout) const {
+  std::unique_lock<std::mutex> lock(tick_mu_);
+  tick_cv_.wait_for(lock, timeout, [&] {
+    return published_tick_ >= t || !running_.load();
+  });
+  return published_tick_ >= t;
+}
+
+RuntimeStats StreamRuntime::Stats() const {
+  RuntimeStats out;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    out.tick = tick_;
+    out.ticks_processed = ticks_processed_;
+    out.num_queries = registry_.size();
+    out.total_chains = registry_.total_chains();
+    out.num_threads = num_threads_;
+    out.batches_applied = batches_applied_;
+    out.batches_rejected = batches_rejected_;
+    out.last_ingest_error =
+        last_ingest_error_.ok() ? "" : last_ingest_error_.ToString();
+    out.tick_latency = tick_latency_.Summarize();
+    for (const auto& q : registry_.queries()) {
+      QueryStats qs;
+      qs.id = q->id;
+      qs.text = q->text;
+      qs.num_chains = q->session->num_chains();
+      qs.ticks = q->ticks;
+      qs.advance = q->advance_latency.Summarize();
+      out.queries.push_back(std::move(qs));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(work_mu_);
+    for (size_t i = 0; i < shard_counters_.size(); ++i) {
+      ShardStats ss;
+      ss.shard = i;
+      ss.ticks = shard_counters_[i].ticks;
+      ss.chains_stepped = shard_counters_[i].chains;
+      ss.tick = shard_counters_[i].latency.Summarize();
+      out.shards.push_back(std::move(ss));
+    }
+  }
+  out.queue_depth = queue_.size();
+  out.queue_capacity = queue_.capacity();
+  out.queue_dropped = queue_.dropped();
+  return out;
+}
+
+void StreamRuntime::RebuildPartitions() {
+  const size_t num_shards = shard_work_.size();
+  for (auto& w : shard_work_) w.clear();
+  size_t total = registry_.total_chains();
+  if (total == 0 || num_shards == 0) {
+    work_version_ = registry_.version();
+    return;
+  }
+  // Deterministic greedy fill: walk queries in registration order, slicing
+  // each session's chain range into whatever room the current shard has
+  // left. Every shard ends up within one chain of total/num_shards.
+  const size_t quota = (total + num_shards - 1) / num_shards;
+  size_t shard = 0;
+  size_t filled = 0;
+  for (const auto& q : registry_.queries()) {
+    size_t begin = 0;
+    const size_t n = q->session->num_chains();
+    while (begin < n) {
+      if (filled >= quota && shard + 1 < num_shards) {
+        ++shard;
+        filled = 0;
+      }
+      size_t take = std::min(n - begin, quota - filled);
+      if (take == 0) take = n - begin;  // last shard absorbs the remainder
+      shard_work_[shard].push_back(WorkItem{q.get(), begin, begin + take});
+      begin += take;
+      filled += take;
+    }
+  }
+  work_version_ = registry_.version();
+}
+
+std::shared_ptr<const TickResult> StreamRuntime::RunTick() {
+  const uint64_t t0 = NowNs();
+  if (work_version_ != registry_.version()) RebuildPartitions();
+
+  if (num_threads_ > 1) {
+    // Fan the chain ranges out to the shard pool and wait for the barrier.
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      ++work_generation_;
+      pending_shards_ = num_threads_;
+    }
+    work_cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      done_cv_.wait(lock, [&] { return pending_shards_ == 0; });
+    }
+  } else {
+    for (const WorkItem& w : shard_work_[0]) {
+      const uint64_t q0 = NowNs();
+      w.query->session->AdvanceChains(w.begin, w.end);
+      w.query->tick_ns.fetch_add(NowNs() - q0, std::memory_order_relaxed);
+    }
+  }
+
+  ++tick_;
+  ++ticks_processed_;
+  auto snapshot = std::make_shared<TickResult>();
+  snapshot->t = tick_;
+  snapshot->probs.reserve(registry_.size());
+  for (const auto& q : registry_.queries()) {
+    // Commit in registration order: the combine is bit-identical to a
+    // sequential Advance() on each session.
+    const uint64_t c0 = NowNs();
+    double p = q->session->CommitAdvance();
+    uint64_t ns =
+        q->tick_ns.exchange(0, std::memory_order_relaxed) + (NowNs() - c0);
+    q->advance_latency.Record(ns);
+    ++q->ticks;
+    snapshot->probs.emplace_back(q->id, p);
+  }
+  tick_latency_.Record(NowNs() - t0);
+
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    published_tick_ = tick_;
+    latest_ = snapshot;
+  }
+  tick_cv_.notify_all();
+  return snapshot;
+}
+
+void StreamRuntime::CoordinatorLoop() {
+  std::vector<std::shared_ptr<const TickResult>> completed;
+  while (true) {
+    std::optional<TickBatch> batch = queue_.PopWait(options_.poll_interval);
+    completed.clear();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (batch.has_value()) {
+        Status s = ApplyBatch(db_, *batch, &watermark_);
+        if (s.ok()) {
+          ++batches_applied_;
+        } else {
+          ++batches_rejected_;
+          last_ingest_error_ = s;
+        }
+      }
+      while (true) {
+        Timestamp safe = watermark_.Safe();
+        if (safe == Watermark::kUnbounded || safe <= tick_) break;
+        completed.push_back(RunTick());
+      }
+    }
+    if (tick_callback_) {
+      for (const auto& snap : completed) tick_callback_(*snap);
+    }
+    if (stop_.load()) break;
+    if (queue_.closed() && queue_.size() == 0) break;  // drained; all ticks ran
+  }
+  running_.store(false);
+  tick_cv_.notify_all();
+}
+
+void StreamRuntime::ShardLoop(size_t shard) {
+  uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(work_mu_);
+      work_cv_.wait(lock,
+                    [&] { return work_generation_ != seen || shard_stop_; });
+      if (shard_stop_) return;
+      seen = work_generation_;
+    }
+    const uint64_t t0 = NowNs();
+    uint64_t chains = 0;
+    for (const WorkItem& w : shard_work_[shard]) {
+      const uint64_t q0 = NowNs();
+      w.query->session->AdvanceChains(w.begin, w.end);
+      w.query->tick_ns.fetch_add(NowNs() - q0, std::memory_order_relaxed);
+      chains += w.end - w.begin;
+    }
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      ShardCounters& c = shard_counters_[shard];
+      ++c.ticks;
+      c.chains += chains;
+      c.latency.Record(NowNs() - t0);
+      if (--pending_shards_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lahar

@@ -1,0 +1,189 @@
+// The multi-query streaming runtime: owns an EventDatabase, a registry of
+// standing StreamingSessions, and a sharded worker pool that advances every
+// registered query once per arriving timestep.
+//
+// Data flow per tick t:
+//
+//   producers --TickBatch--> IngestQueue --> coordinator applies batches to
+//   the database and advances the Watermark; once every stream covers t,
+//   the coordinator fans the sessions' chains out to the shard pool
+//   (StreamingSession::AdvanceChains on disjoint ranges), barriers, then
+//   commits each session in registration order (CommitAdvance) and
+//   publishes an immutable TickResult snapshot.
+//
+// Theorems 3.3/3.7 make each query's step O(1)/O(m) and independent of
+// every other query — and the per-key chains within an Extended Regular
+// query independent of each other — so the fan-out changes wall-clock time
+// only; the published probabilities are bit-identical to advancing each
+// session sequentially.
+//
+// Threading contract: the database is written only by the coordinator, and
+// only while no chain work is in flight; shard threads read it during the
+// fan-out window. Register/Unregister take the same state mutex the tick
+// loop holds, so query add/remove lands between ticks ("hot" but never
+// mid-tick). TickResult snapshots are immutable and handed to readers as
+// shared_ptrs, so polling never contends with tick execution beyond a
+// pointer copy.
+#ifndef LAHAR_RUNTIME_EXECUTOR_H_
+#define LAHAR_RUNTIME_EXECUTOR_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/ingest.h"
+#include "runtime/registry.h"
+#include "runtime/stats.h"
+
+namespace lahar {
+
+/// \brief Immutable per-tick snapshot: P[q@t] for every standing query.
+struct TickResult {
+  Timestamp t = 0;
+  /// (QueryId, probability) in registration order (ascending id).
+  std::vector<std::pair<QueryId, double>> probs;
+
+  /// Probability for one query, or nullptr if it was not registered at t.
+  const double* Find(QueryId id) const;
+};
+
+/// Options for StreamRuntime.
+struct RuntimeOptions {
+  /// Worker threads stepping chains. 0 means hardware_concurrency; 1 runs
+  /// chain work inline on the coordinator (no shard pool).
+  size_t num_threads = 0;
+  /// IngestQueue capacity, in TickBatches.
+  size_t queue_capacity = 256;
+  /// How long the coordinator sleeps on an empty queue before rechecking
+  /// for shutdown.
+  std::chrono::milliseconds poll_interval{5};
+};
+
+/// \brief Concurrent multi-query streaming runtime over one database.
+class StreamRuntime {
+ public:
+  /// The runtime adopts the database's current horizon as its starting
+  /// tick: a preloaded archive is treated as already-consumed history
+  /// (sessions registered later replay it to catch up), and fresh ticks
+  /// begin at horizon+1. The caller keeps `db` alive and must not touch it
+  /// while the runtime is running.
+  explicit StreamRuntime(EventDatabase* db, RuntimeOptions options = {});
+  ~StreamRuntime();
+
+  StreamRuntime(const StreamRuntime&) = delete;
+  StreamRuntime& operator=(const StreamRuntime&) = delete;
+
+  /// Registers a standing query (see QueryRegistry::Register). Safe to call
+  /// before Start or while running; while running, the registration lands
+  /// between ticks and the session is caught up to the current tick.
+  Result<QueryId> Register(std::string_view text);
+  Result<QueryId> Register(const PreparedQuery& prepared,
+                           std::string_view text);
+  Status Unregister(QueryId id);
+
+  /// The ingestion queue producers push TickBatches into.
+  IngestQueue& ingest() { return queue_; }
+
+  /// Excludes a stream from the watermark (it has ended; sessions keep
+  /// consuming certain-bottom for it).
+  void MarkStreamEnded(StreamId id);
+
+  /// Launches the shard pool and the coordinator. Start/Stop are one-shot:
+  /// a stopped runtime stays stopped.
+  void Start();
+
+  /// Stops ingesting (closes the queue), finishes the tick in flight, and
+  /// joins all threads. Idempotent.
+  void Stop();
+
+  bool running() const;
+
+  /// Last completed tick (== database horizon at construction before any
+  /// tick runs).
+  Timestamp tick() const;
+
+  /// Latest published snapshot (nullptr before the first tick). Costs one
+  /// mutex-protected shared_ptr copy; never blocks on tick execution.
+  std::shared_ptr<const TickResult> Latest() const;
+
+  /// Blocks until tick `t` has completed, the runtime stops, or `timeout`
+  /// expires. Returns true iff tick() >= t.
+  bool WaitForTick(Timestamp t, std::chrono::milliseconds timeout) const;
+
+  /// Called on the coordinator thread after every tick with the published
+  /// snapshot. Must be set before Start; keep it fast and do not call back
+  /// into the runtime from it.
+  void SetTickCallback(std::function<void(const TickResult&)> callback);
+
+  /// Snapshot of all counters. Callable any time; may wait for the tick in
+  /// flight.
+  RuntimeStats Stats() const;
+
+ private:
+  // One contiguous chain range of one session, assigned to one shard.
+  struct WorkItem {
+    StandingQuery* query;
+    size_t begin;
+    size_t end;
+  };
+
+  void CoordinatorLoop();
+  void ShardLoop(size_t shard);
+  // Executes one tick; requires state_mu_ held and watermark coverage.
+  std::shared_ptr<const TickResult> RunTick();
+  // Rebuilds shard_work_ from the registry; requires state_mu_ held and no
+  // tick in flight.
+  void RebuildPartitions();
+
+  EventDatabase* db_;
+  RuntimeOptions options_;
+  size_t num_threads_;
+  IngestQueue queue_;
+
+  // --- state guarded by state_mu_ ---------------------------------------
+  mutable std::mutex state_mu_;
+  QueryRegistry registry_;
+  Watermark watermark_;
+  Timestamp tick_ = 0;
+  uint64_t ticks_processed_ = 0;
+  uint64_t batches_applied_ = 0;
+  uint64_t batches_rejected_ = 0;
+  Status last_ingest_error_;
+  LatencyRecorder tick_latency_;
+  uint64_t work_version_ = ~0ULL;  // registry version the partitions match
+  std::vector<std::vector<WorkItem>> shard_work_;
+
+  // --- shard pool handshake (work_mu_) -----------------------------------
+  struct ShardCounters {
+    uint64_t ticks = 0;
+    uint64_t chains = 0;
+    LatencyRecorder latency;
+  };
+  mutable std::mutex work_mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  uint64_t work_generation_ = 0;
+  size_t pending_shards_ = 0;
+  bool shard_stop_ = false;
+  std::vector<ShardCounters> shard_counters_;
+
+  // --- published results (tick_mu_) --------------------------------------
+  mutable std::mutex tick_mu_;
+  mutable std::condition_variable tick_cv_;
+  Timestamp published_tick_ = 0;
+  std::shared_ptr<const TickResult> latest_;
+
+  std::function<void(const TickResult&)> tick_callback_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> shards_;
+  std::thread coordinator_;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_RUNTIME_EXECUTOR_H_

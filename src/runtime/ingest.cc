@@ -1,0 +1,146 @@
+#include "runtime/ingest.h"
+
+#include <algorithm>
+#include <string>
+
+namespace lahar {
+
+bool IngestQueue::TryPush(TickBatch batch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_ || batches_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    batches_.push_back(std::move(batch));
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+Status IngestQueue::Push(TickBatch batch, std::chrono::milliseconds deadline) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!not_full_.wait_for(lock, deadline, [&] {
+          return closed_ || batches_.size() < capacity_;
+        })) {
+      return Status::OutOfRange("ingest queue full past deadline (" +
+                                std::to_string(deadline.count()) + "ms)");
+    }
+    if (closed_) return Status::InvalidArgument("ingest queue closed");
+    batches_.push_back(std::move(batch));
+  }
+  not_empty_.notify_one();
+  return Status::OK();
+}
+
+std::optional<TickBatch> IngestQueue::Pop() {
+  std::optional<TickBatch> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (batches_.empty()) return std::nullopt;
+    out = std::move(batches_.front());
+    batches_.pop_front();
+  }
+  not_full_.notify_one();
+  return out;
+}
+
+std::optional<TickBatch> IngestQueue::PopWait(
+    std::chrono::milliseconds timeout) {
+  std::optional<TickBatch> out;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout,
+                        [&] { return closed_ || !batches_.empty(); });
+    if (batches_.empty()) return std::nullopt;
+    out = std::move(batches_.front());
+    batches_.pop_front();
+  }
+  not_full_.notify_one();
+  return out;
+}
+
+void IngestQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t IngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batches_.size();
+}
+
+uint64_t IngestQueue::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void Watermark::Track(StreamId id, Timestamp covered) {
+  if (id >= covered_.size()) {
+    covered_.resize(id + 1, 0);
+    tracked_.resize(id + 1, false);
+  }
+  if (!tracked_[id]) {
+    tracked_[id] = true;
+    ++num_tracked_;
+  }
+  covered_[id] = covered;
+}
+
+void Watermark::Advance(StreamId id, Timestamp t) {
+  if (id >= covered_.size() || !tracked_[id]) return;
+  if (covered_[id] != kEnded) covered_[id] = std::max(covered_[id], t);
+}
+
+void Watermark::MarkEnded(StreamId id) {
+  if (id >= covered_.size() || !tracked_[id]) return;
+  covered_[id] = kEnded;
+}
+
+Timestamp Watermark::Safe() const {
+  Timestamp safe = kEnded;
+  for (size_t i = 0; i < covered_.size(); ++i) {
+    if (tracked_[i] && covered_[i] != kEnded) {
+      safe = std::min(safe, covered_[i]);
+    }
+  }
+  return safe;
+}
+
+Status ApplyBatch(EventDatabase* db, const TickBatch& batch,
+                  Watermark* watermark) {
+  for (const StreamUpdate& u : batch.updates) {
+    if (u.stream >= db->num_streams()) {
+      return Status::OutOfRange("batch references unknown stream " +
+                                std::to_string(u.stream));
+    }
+    const Stream& s = db->stream(u.stream);
+    if (batch.t != s.horizon() + 1) {
+      return Status::InvalidArgument(
+          "batch for t=" + std::to_string(batch.t) + " but stream " +
+          std::to_string(u.stream) + " is at horizon " +
+          std::to_string(s.horizon()) + " (ticks must arrive in order)");
+    }
+    if (u.cpt.has_value()) {
+      LAHAR_RETURN_NOT_OK(db->AppendMarkovStep(u.stream, *u.cpt));
+    } else if (s.markovian()) {
+      LAHAR_RETURN_NOT_OK(db->AppendInitial(u.stream, u.marginal));
+    } else {
+      LAHAR_RETURN_NOT_OK(db->AppendMarginal(u.stream, u.marginal));
+    }
+    if (watermark != nullptr) watermark->Advance(u.stream, batch.t);
+  }
+  return Status::OK();
+}
+
+}  // namespace lahar

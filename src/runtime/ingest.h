@@ -1,0 +1,130 @@
+// Ingestion for the multi-query streaming runtime: per-timestep batches of
+// inference output (marginals for independent streams, CPTs for Markovian
+// ones) flow through a bounded MPSC queue into the runtime's database.
+//
+// Backpressure is explicit: TryPush never blocks (the caller decides to
+// drop), Push blocks until space frees up or a deadline expires. A
+// Watermark tracks the highest timestep each stream has covered; the
+// executor only runs tick t once min-over-streams reaches t, so no session
+// ever reads a half-filled timestep.
+#ifndef LAHAR_RUNTIME_INGEST_H_
+#define LAHAR_RUNTIME_INGEST_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "model/database.h"
+
+namespace lahar {
+
+/// \brief One stream's payload for one timestep.
+///
+/// Exactly one of `marginal` / `cpt` is set, matching the stream's flavour:
+/// independent streams take a marginal every timestep; Markovian streams
+/// take a marginal at t=1 (the initial distribution) and a CPT afterwards.
+struct StreamUpdate {
+  StreamId stream = 0;
+  std::vector<double> marginal;
+  std::optional<Matrix> cpt;
+};
+
+/// \brief Everything the producers learned about timestep `t`.
+///
+/// A batch need not cover every stream (multiple producers can each own a
+/// stream subset and push their own batches for the same tick); the
+/// watermark holds tick execution until the union of batches covers t.
+struct TickBatch {
+  Timestamp t = 0;
+  std::vector<StreamUpdate> updates;
+};
+
+/// \brief Bounded multi-producer single-consumer queue of TickBatches.
+class IngestQueue {
+ public:
+  explicit IngestQueue(size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking push; returns false (and counts a drop) when the queue is
+  /// full or closed.
+  bool TryPush(TickBatch batch);
+
+  /// Blocking push with a deadline. Returns OutOfRange when the queue stays
+  /// full past the deadline, InvalidArgument when the queue is closed.
+  Status Push(TickBatch batch, std::chrono::milliseconds deadline);
+
+  /// Non-blocking pop (consumer side).
+  std::optional<TickBatch> Pop();
+
+  /// Pops, waiting up to `timeout` for a batch. Returns nullopt on timeout
+  /// or when the queue is closed and drained.
+  std::optional<TickBatch> PopWait(std::chrono::milliseconds timeout);
+
+  /// Rejects all future pushes and wakes every waiter. Queued batches can
+  /// still be popped; PopWait returns immediately once drained.
+  void Close();
+
+  bool closed() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Number of TryPush calls rejected because the queue was full or closed.
+  uint64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<TickBatch> batches_;
+  bool closed_ = false;
+  uint64_t dropped_ = 0;
+};
+
+/// \brief Tracks, per stream, the highest timestep whose data has been
+/// applied to the database. Safe() is the min across tracked streams: the
+/// highest tick every session may consume.
+class Watermark {
+ public:
+  /// Safe() when no stream gates ticks (none tracked, or all ended): there
+  /// is no bound to enforce, but also nothing arriving — the executor runs
+  /// no further ticks.
+  static constexpr Timestamp kUnbounded = UINT32_MAX;
+
+  /// Starts tracking `id` with `covered` timesteps already present.
+  void Track(StreamId id, Timestamp covered);
+
+  /// Records that `id` now covers timestep `t` (monotone; lower t ignored).
+  void Advance(StreamId id, Timestamp t);
+
+  /// Excludes `id` from Safe(): the stream has ended and will not gate
+  /// ticks any more (its sessions keep consuming certain-bottom).
+  void MarkEnded(StreamId id);
+
+  /// Min covered timestep across tracked, non-ended streams; kUnbounded
+  /// when nothing gates (no tracked streams or all ended).
+  Timestamp Safe() const;
+
+  size_t num_tracked() const { return num_tracked_; }
+
+ private:
+  static constexpr Timestamp kEnded = kUnbounded;
+  std::vector<Timestamp> covered_;  // indexed by StreamId; kEnded = excluded
+  std::vector<bool> tracked_;
+  size_t num_tracked_ = 0;
+};
+
+/// Applies one batch to the database: marginals append to independent
+/// streams (or seed empty Markovian streams at t=1), CPTs append Markov
+/// steps. Every update must target timestep stream.horizon()+1 == batch.t;
+/// on error the batch may be partially applied and the caller should treat
+/// the runtime's data as ended at the previous tick. Advances `watermark`
+/// for each applied stream.
+Status ApplyBatch(EventDatabase* db, const TickBatch& batch,
+                  Watermark* watermark);
+
+}  // namespace lahar
+
+#endif  // LAHAR_RUNTIME_INGEST_H_

@@ -1,0 +1,62 @@
+#include "runtime/registry.h"
+
+#include <algorithm>
+
+namespace lahar {
+
+Result<QueryId> QueryRegistry::Register(std::string_view text,
+                                        Timestamp tick) {
+  LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(text, db_));
+  return Register(prepared, text, tick);
+}
+
+Result<QueryId> QueryRegistry::Register(const PreparedQuery& prepared,
+                                        std::string_view text,
+                                        Timestamp tick) {
+  LAHAR_ASSIGN_OR_RETURN(StreamingSession session,
+                         StreamingSession::Create(db_, prepared));
+  auto q = std::make_unique<StandingQuery>();
+  q->id = next_id_++;
+  q->text = std::string(text);
+  q->query_class = prepared.classification.query_class;
+  q->session =
+      std::make_unique<StreamingSession>(std::move(session));
+  // Catch up to the runtime's clock: the database already stores timesteps
+  // 1..tick, so replaying them aligns the session with the standing pool.
+  while (q->session->time() < tick) {
+    LAHAR_ASSIGN_OR_RETURN(double p, q->session->Advance());
+    (void)p;
+  }
+  QueryId id = q->id;
+  queries_.push_back(std::move(q));
+  ++version_;
+  return id;
+}
+
+Status QueryRegistry::Unregister(QueryId id) {
+  auto it = std::find_if(
+      queries_.begin(), queries_.end(),
+      [id](const std::unique_ptr<StandingQuery>& q) { return q->id == id; });
+  if (it == queries_.end()) {
+    return Status::NotFound("no registered query with id " +
+                            std::to_string(id));
+  }
+  queries_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+StandingQuery* QueryRegistry::Find(QueryId id) {
+  for (auto& q : queries_) {
+    if (q->id == id) return q.get();
+  }
+  return nullptr;
+}
+
+size_t QueryRegistry::total_chains() const {
+  size_t total = 0;
+  for (const auto& q : queries_) total += q->session->num_chains();
+  return total;
+}
+
+}  // namespace lahar

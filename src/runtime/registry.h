@@ -1,0 +1,80 @@
+// Standing-query lifecycle for the streaming runtime: register (prepare →
+// classify → reject non-streamable with UnsafeQuery → create the session →
+// catch it up to the current tick), look up, and unregister by QueryId.
+//
+// The registry is not internally synchronized: StreamRuntime guards every
+// call with its state mutex, which is exactly what makes add/remove "hot" —
+// it happens between ticks, never during one.
+#ifndef LAHAR_RUNTIME_REGISTRY_H_
+#define LAHAR_RUNTIME_REGISTRY_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/streaming.h"
+#include "runtime/stats.h"
+
+namespace lahar {
+
+/// \brief One registered standing query and its runtime bookkeeping.
+struct StandingQuery {
+  QueryId id = 0;
+  std::string text;
+  QueryClass query_class = QueryClass::kRegular;
+  std::unique_ptr<StreamingSession> session;
+
+  // Written by shard threads during a tick (relaxed adds), read and reset
+  // by the coordinator after the tick barrier.
+  std::atomic<uint64_t> tick_ns{0};
+  uint64_t ticks = 0;
+  LatencyRecorder advance_latency;
+};
+
+/// \brief Registry of standing queries over one database.
+class QueryRegistry {
+ public:
+  explicit QueryRegistry(EventDatabase* db) : db_(db) {}
+
+  /// Parses, classifies, and registers `text`. Rejects Safe/Unsafe queries
+  /// with UnsafeQuery (they need the archived history; run them through
+  /// Lahar::Run instead). The new session is caught up to `tick` by
+  /// replaying the database's stored prefix, so it joins the next tick in
+  /// lockstep with the existing queries.
+  Result<QueryId> Register(std::string_view text, Timestamp tick);
+
+  /// Same, from an already-prepared query (no reparse/reclassify) — the
+  /// batch-registration path.
+  Result<QueryId> Register(const PreparedQuery& prepared,
+                           std::string_view text, Timestamp tick);
+
+  /// Removes a query. NotFound if the id is unknown.
+  Status Unregister(QueryId id);
+
+  StandingQuery* Find(QueryId id);
+
+  /// Queries in registration order — the executor's combine order, which
+  /// makes per-tick results deterministic.
+  const std::vector<std::unique_ptr<StandingQuery>>& queries() const {
+    return queries_;
+  }
+
+  size_t size() const { return queries_.size(); }
+  size_t total_chains() const;
+
+  /// Bumped on every Register/Unregister; the executor rebuilds its shard
+  /// partitions when it observes a new version.
+  uint64_t version() const { return version_; }
+
+ private:
+  EventDatabase* db_;
+  std::vector<std::unique_ptr<StandingQuery>> queries_;
+  QueryId next_id_ = 1;
+  uint64_t version_ = 0;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_RUNTIME_REGISTRY_H_

@@ -1,0 +1,41 @@
+// Replay helpers: turn an archived EventDatabase into a live feed for the
+// streaming runtime. CloneDeclarations copies the *shape* of a database
+// (interner, schemas, relations, streams with fully interned domains but no
+// data); ExtractBatches slices its contents into per-timestep TickBatches.
+// Replaying the batches into the clone reproduces the archive bit-for-bit,
+// which is what makes "runtime results == sequential replay == archived
+// evaluation" a testable identity (tests/runtime_stress_test.cc).
+#ifndef LAHAR_RUNTIME_REPLAY_H_
+#define LAHAR_RUNTIME_REPLAY_H_
+
+#include <memory>
+#include <vector>
+
+#include "runtime/ingest.h"
+
+namespace lahar {
+
+/// Clones schemas, relations, and stream declarations (type, key, domain in
+/// interning order) of `src` into a fresh database with horizon 0. Symbol
+/// ids are preserved by re-interning in id order, so queries prepared
+/// against the clone classify identically.
+Result<std::unique_ptr<EventDatabase>> CloneDeclarations(
+    const EventDatabase& src);
+
+/// The TickBatch covering timestep `t` of every stream in `src`: marginals
+/// for independent streams (certain-bottom when unset), initial marginal or
+/// CPT for Markovian ones. Streams whose horizon ended before `t` are
+/// padded so the watermark keeps moving: independent streams get a
+/// certain-bottom marginal (bit-identical to the engines' own ended-stream
+/// handling), Markovian ones an identity CPT, which *holds the last value*
+/// rather than ending the stream — prefer MarkStreamEnded when that
+/// distinction matters (sim workloads share one horizon, so it rarely
+/// does).
+Result<TickBatch> BatchForTick(const EventDatabase& src, Timestamp t);
+
+/// All batches for t = 1..src.horizon().
+Result<std::vector<TickBatch>> ExtractBatches(const EventDatabase& src);
+
+}  // namespace lahar
+
+#endif  // LAHAR_RUNTIME_REPLAY_H_

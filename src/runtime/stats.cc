@@ -1,0 +1,153 @@
+#include "runtime/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lahar {
+namespace {
+
+// Index of the power-of-two bucket holding `ns` (0 for ns <= 1).
+size_t BucketOf(uint64_t ns) {
+  size_t b = 0;
+  while (ns > 1) {
+    ns >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+// Geometric midpoint of bucket b, in nanoseconds.
+double BucketMid(size_t b) {
+  return std::sqrt(static_cast<double>(1ULL << b) *
+                   static_cast<double>(b + 1 < 64 ? (1ULL << (b + 1)) : ~0ULL));
+}
+
+std::string FormatUs(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  return buf;
+}
+
+void AppendJsonLatency(std::string* out, const char* name,
+                       const LatencySummary& s) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "\"%s\":{\"count\":%llu,\"min_us\":%.3f,\"mean_us\":%.3f,"
+                "\"p50_us\":%.3f,\"p99_us\":%.3f,\"max_us\":%.3f}",
+                name, static_cast<unsigned long long>(s.count), s.min_us,
+                s.mean_us, s.p50_us, s.p99_us, s.max_us);
+  *out += buf;
+}
+
+}  // namespace
+
+void LatencyRecorder::Record(uint64_t ns) {
+  ++counts_[std::min(BucketOf(ns), kBuckets - 1)];
+  ++count_;
+  min_ns_ = std::min(min_ns_, ns);
+  max_ns_ = std::max(max_ns_, ns);
+  sum_ns_ += static_cast<double>(ns);
+}
+
+LatencySummary LatencyRecorder::Summarize() const {
+  LatencySummary s;
+  s.count = count_;
+  if (count_ == 0) return s;
+  s.min_us = static_cast<double>(min_ns_) / 1000.0;
+  s.max_us = static_cast<double>(max_ns_) / 1000.0;
+  s.mean_us = sum_ns_ / static_cast<double>(count_) / 1000.0;
+  auto percentile = [&](double p) {
+    uint64_t rank = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(count_)));
+    rank = std::max<uint64_t>(rank, 1);
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += counts_[b];
+      if (seen >= rank) {
+        // Clamp the histogram estimate into the observed range.
+        return std::min(static_cast<double>(max_ns_),
+                        std::max(static_cast<double>(min_ns_),
+                                 BucketMid(b))) /
+               1000.0;
+      }
+    }
+    return s.max_us;
+  };
+  s.p50_us = percentile(0.50);
+  s.p99_us = percentile(0.99);
+  return s;
+}
+
+void LatencyRecorder::Reset() { *this = LatencyRecorder(); }
+
+std::string RuntimeStats::ToString() const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "runtime: tick=%u ticks_processed=%llu queries=%zu "
+                "chains=%zu threads=%zu\n",
+                tick, static_cast<unsigned long long>(ticks_processed),
+                num_queries, total_chains, num_threads);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "ingest:  depth=%zu/%zu dropped=%llu applied=%llu "
+                "rejected=%llu%s%s\n",
+                queue_depth, queue_capacity,
+                static_cast<unsigned long long>(queue_dropped),
+                static_cast<unsigned long long>(batches_applied),
+                static_cast<unsigned long long>(batches_rejected),
+                last_ingest_error.empty() ? "" : " last_error=",
+                last_ingest_error.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "tick latency (us): min=%s mean=%s p50=%s p99=%s max=%s\n",
+                FormatUs(tick_latency.min_us).c_str(),
+                FormatUs(tick_latency.mean_us).c_str(),
+                FormatUs(tick_latency.p50_us).c_str(),
+                FormatUs(tick_latency.p99_us).c_str(),
+                FormatUs(tick_latency.max_us).c_str());
+  out += buf;
+  for (const ShardStats& s : shards) {
+    std::snprintf(buf, sizeof(buf),
+                  "  shard %zu: ticks=%llu chains=%llu mean=%sus p99=%sus\n",
+                  s.shard, static_cast<unsigned long long>(s.ticks),
+                  static_cast<unsigned long long>(s.chains_stepped),
+                  FormatUs(s.tick.mean_us).c_str(),
+                  FormatUs(s.tick.p99_us).c_str());
+    out += buf;
+  }
+  for (const QueryStats& q : queries) {
+    std::snprintf(buf, sizeof(buf),
+                  "  query %llu: chains=%zu ticks=%llu mean=%sus p99=%sus  %s\n",
+                  static_cast<unsigned long long>(q.id), q.num_chains,
+                  static_cast<unsigned long long>(q.ticks),
+                  FormatUs(q.advance.mean_us).c_str(),
+                  FormatUs(q.advance.p99_us).c_str(),
+                  q.text.size() > 48 ? (q.text.substr(0, 45) + "...").c_str()
+                                     : q.text.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string RuntimeStats::ToJson() const {
+  std::string out = "{";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "\"tick\":%u,\"ticks_processed\":%llu,\"queries\":%zu,"
+                "\"chains\":%zu,\"threads\":%zu,\"queue_depth\":%zu,"
+                "\"queue_capacity\":%zu,\"queue_dropped\":%llu,"
+                "\"batches_applied\":%llu,\"batches_rejected\":%llu,",
+                tick, static_cast<unsigned long long>(ticks_processed),
+                num_queries, total_chains, num_threads, queue_depth,
+                queue_capacity, static_cast<unsigned long long>(queue_dropped),
+                static_cast<unsigned long long>(batches_applied),
+                static_cast<unsigned long long>(batches_rejected));
+  out += buf;
+  AppendJsonLatency(&out, "tick_latency", tick_latency);
+  out += "}";
+  return out;
+}
+
+}  // namespace lahar

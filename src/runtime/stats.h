@@ -1,0 +1,95 @@
+// Counters for the multi-query streaming runtime: per-query and per-shard
+// advance latency, ticks processed, queue depth, and drops. Everything is a
+// plain struct so benches and the CLI can print or serialize them without
+// pulling in the runtime itself.
+#ifndef LAHAR_RUNTIME_STATS_H_
+#define LAHAR_RUNTIME_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/value.h"
+
+namespace lahar {
+
+/// Stable identifier of a registered standing query (see runtime/registry.h).
+using QueryId = uint64_t;
+
+/// \brief Summary of a latency distribution, in microseconds.
+///
+/// Percentiles come from a log-scale histogram (power-of-two nanosecond
+/// buckets), so they are accurate to within a factor of ~2 — enough to spot
+/// stragglers, not a substitute for a profiler.
+struct LatencySummary {
+  uint64_t count = 0;
+  double min_us = 0;
+  double mean_us = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double max_us = 0;
+};
+
+/// \brief Cheap fixed-size latency histogram (no allocation on record).
+class LatencyRecorder {
+ public:
+  void Record(uint64_t ns);
+  LatencySummary Summarize() const;
+  void Reset();
+
+ private:
+  static constexpr size_t kBuckets = 64;  // bucket b covers [2^b, 2^{b+1}) ns
+  std::array<uint64_t, kBuckets> counts_{};
+  uint64_t count_ = 0;
+  uint64_t min_ns_ = UINT64_MAX;
+  uint64_t max_ns_ = 0;
+  double sum_ns_ = 0;
+};
+
+/// \brief Per-query counters, snapshot at Stats() time.
+struct QueryStats {
+  QueryId id = 0;
+  std::string text;
+  size_t num_chains = 0;
+  uint64_t ticks = 0;
+  /// Wall time spent stepping this query's chains per tick (summed across
+  /// the shards that shared them).
+  LatencySummary advance;
+};
+
+/// \brief Per-shard counters, snapshot at Stats() time.
+struct ShardStats {
+  size_t shard = 0;
+  uint64_t ticks = 0;
+  uint64_t chains_stepped = 0;
+  /// Wall time the shard spent on its work items per tick.
+  LatencySummary tick;
+};
+
+/// \brief Full runtime snapshot.
+struct RuntimeStats {
+  Timestamp tick = 0;            ///< last completed tick
+  uint64_t ticks_processed = 0;  ///< ticks executed since Start
+  size_t num_queries = 0;
+  size_t total_chains = 0;
+  size_t num_threads = 0;
+  size_t queue_depth = 0;
+  size_t queue_capacity = 0;
+  uint64_t queue_dropped = 0;    ///< TryPush rejections observed by the queue
+  uint64_t batches_applied = 0;
+  uint64_t batches_rejected = 0;  ///< malformed batches skipped by ingest
+  std::string last_ingest_error;  ///< empty when every batch applied cleanly
+  LatencySummary tick_latency;    ///< end-to-end per-tick wall time
+  std::vector<QueryStats> queries;
+  std::vector<ShardStats> shards;
+
+  /// Multi-line human-readable table.
+  std::string ToString() const;
+  /// One JSON object (the shape bench_t04_runtime_scaling emits per cell).
+  std::string ToJson() const;
+};
+
+}  // namespace lahar
+
+#endif  // LAHAR_RUNTIME_STATS_H_

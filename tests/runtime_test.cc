@@ -1,0 +1,475 @@
+// Unit tests for the concurrent streaming runtime: ingestion queue and
+// backpressure, watermark gating, declaration cloning / batch replay, the
+// standing-query registry, and StreamRuntime end-to-end equivalence with
+// sequential StreamingSession evaluation. The heavier many-query /
+// many-tick equivalence run lives in runtime_stress_test.cc.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "engine/streaming.h"
+#include "runtime/executor.h"
+#include "runtime/ingest.h"
+#include "runtime/registry.h"
+#include "runtime/replay.h"
+#include "runtime/stats.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::AddMarkovStream;
+using namespace std::chrono_literals;
+
+TickBatch MakeBatch(Timestamp t) {
+  TickBatch b;
+  b.t = t;
+  return b;
+}
+
+TEST(IngestQueueTest, FifoAndCapacity) {
+  IngestQueue q(2);
+  EXPECT_TRUE(q.TryPush(MakeBatch(1)));
+  EXPECT_TRUE(q.TryPush(MakeBatch(2)));
+  EXPECT_FALSE(q.TryPush(MakeBatch(3)));  // full: dropped
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.dropped(), 1u);
+  auto a = q.Pop();
+  auto b = q.Pop();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->t, 1u);
+  EXPECT_EQ(b->t, 2u);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(IngestQueueTest, PushDeadlineExpiresWhenFull) {
+  IngestQueue q(1);
+  ASSERT_TRUE(q.TryPush(MakeBatch(1)));
+  Status s = q.Push(MakeBatch(2), 10ms);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(IngestQueueTest, PushUnblocksWhenConsumerDrains) {
+  IngestQueue q(1);
+  ASSERT_TRUE(q.TryPush(MakeBatch(1)));
+  std::thread consumer([&] {
+    std::this_thread::sleep_for(20ms);
+    q.Pop();
+  });
+  EXPECT_OK(q.Push(MakeBatch(2), 5000ms));
+  consumer.join();
+  auto b = q.Pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->t, 2u);
+}
+
+TEST(IngestQueueTest, CloseRejectsPushesAndWakesWaiters) {
+  IngestQueue q(1);
+  ASSERT_TRUE(q.TryPush(MakeBatch(1)));
+  std::thread closer([&] {
+    std::this_thread::sleep_for(20ms);
+    q.Close();
+  });
+  Status s = q.Push(MakeBatch(2), 5000ms);  // blocked on full, then closed
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  closer.join();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryPush(MakeBatch(3)));
+  // Queued batches survive Close and drain normally.
+  auto b = q.Pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->t, 1u);
+  // PopWait on a closed, drained queue returns immediately.
+  auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopWait(5000ms).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 1000ms);
+}
+
+TEST(WatermarkTest, SafeIsMinOverTrackedStreams) {
+  Watermark w;
+  EXPECT_EQ(w.Safe(), Watermark::kUnbounded);  // nothing tracked
+  w.Track(0, 3);
+  w.Track(1, 5);
+  EXPECT_EQ(w.Safe(), 3u);
+  w.Advance(0, 7);
+  EXPECT_EQ(w.Safe(), 5u);
+  w.Advance(1, 4);  // non-monotone advances are ignored
+  EXPECT_EQ(w.Safe(), 5u);
+}
+
+TEST(WatermarkTest, EndedStreamsStopGating) {
+  Watermark w;
+  w.Track(0, 2);
+  w.Track(1, 10);
+  EXPECT_EQ(w.Safe(), 2u);
+  w.MarkEnded(0);
+  EXPECT_EQ(w.Safe(), 10u);
+  w.MarkEnded(1);
+  EXPECT_EQ(w.Safe(), Watermark::kUnbounded);  // all ended: nothing gates
+}
+
+TEST(ApplyBatchTest, AppendsMarginalsAndAdvancesWatermark) {
+  EventDatabase db;
+  StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  Watermark w;
+  w.Track(id, db.stream(id).horizon());
+  TickBatch batch = MakeBatch(2);
+  batch.updates.push_back({id, {0.25, 0.75}, std::nullopt});
+  ASSERT_OK(ApplyBatch(&db, batch, &w));
+  EXPECT_EQ(db.stream(id).horizon(), 2u);
+  EXPECT_EQ(w.Safe(), 2u);
+  EXPECT_EQ(db.stream(id).MarginalAt(2)[1], 0.75);
+}
+
+TEST(ApplyBatchTest, RejectsWrongTimestep) {
+  EventDatabase db;
+  StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  Watermark w;
+  w.Track(id, 1);
+  TickBatch batch = MakeBatch(4);  // horizon is 1, so only t=2 is valid
+  batch.updates.push_back({id, {0.5, 0.5}, std::nullopt});
+  EXPECT_FALSE(ApplyBatch(&db, batch, &w).ok());
+  EXPECT_EQ(w.Safe(), 1u);
+}
+
+TEST(ApplyBatchTest, SeedsMarkovianStreamThenChainsCpts) {
+  // A Markovian stream declared empty: the t=1 batch carries the initial
+  // marginal, later ticks carry CPTs — the streaming counterpart of
+  // SetInitial + SetCpt + FinalizeMarkov.
+  EventDatabase db;
+  lahar::testing::DeclareUnarySchema(&db, "At");
+  Stream s(db.interner().Intern("At"), {db.Sym("Joe")}, 1, 0,
+           /*markovian=*/true);
+  s.InternTuple({db.Sym("a")});
+  s.InternTuple({db.Sym("b")});
+  auto id = db.AddStream(std::move(s));
+  ASSERT_TRUE(id.ok());
+  Watermark w;
+  w.Track(*id, 0);
+
+  TickBatch init = MakeBatch(1);
+  init.updates.push_back({*id, {0.0, 0.5, 0.5}, std::nullopt});
+  ASSERT_OK(ApplyBatch(&db, init, &w));
+  EXPECT_EQ(w.Safe(), 1u);
+
+  Matrix cpt(3, 3, 0.0);
+  cpt.At(0, 0) = 1.0;
+  cpt.At(1, 1) = 0.9;
+  cpt.At(1, 2) = 0.1;
+  cpt.At(2, 2) = 1.0;
+  TickBatch step = MakeBatch(2);
+  step.updates.push_back({*id, {}, cpt});
+  ASSERT_OK(ApplyBatch(&db, step, &w));
+  EXPECT_EQ(w.Safe(), 2u);
+  const Stream& stream = db.stream(*id);
+  EXPECT_EQ(stream.horizon(), 2u);
+  EXPECT_NEAR(stream.MarginalAt(2)[1], 0.45, 1e-12);
+  EXPECT_NEAR(stream.MarginalAt(2)[2], 0.55, 1e-12);
+}
+
+TEST(ReplayTest, CloneDeclarationsPreservesSymbolsAndDomains) {
+  EventDatabase db;
+  AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}, {"b", 0.3}}});
+  AddMarkovStream(&db, "At", "Sue", {"a", "b", "c"}, 3, 0.8);
+  lahar::testing::AddRelation(&db, "Room", {{"a"}, {"b"}});
+  auto clone = CloneDeclarations(db);
+  ASSERT_OK(clone.status());
+  EXPECT_EQ((*clone)->num_streams(), db.num_streams());
+  EXPECT_EQ((*clone)->horizon(), 0u);
+  // Symbol ids survive, so values interned against either database agree.
+  EXPECT_EQ((*clone)->interner().Intern("Sue"), db.interner().Intern("Sue"));
+  for (StreamId id = 0; id < db.num_streams(); ++id) {
+    const Stream& src = db.stream(id);
+    const Stream& dst = (*clone)->stream(id);
+    EXPECT_EQ(dst.horizon(), 0u);
+    EXPECT_EQ(dst.markovian(), src.markovian());
+    EXPECT_EQ(dst.domain_size(), src.domain_size());
+  }
+  const Relation* room =
+      (*clone)->FindRelation((*clone)->interner().Intern("Room"));
+  ASSERT_NE(room, nullptr);
+  EXPECT_EQ(room->size(), 2u);
+}
+
+TEST(ReplayTest, ExtractedBatchesReproduceTheArchiveBitForBit) {
+  EventDatabase db;
+  AddIndependentStream(&db, "At", "Joe",
+                       {{{"a", 0.7}, {"b", 0.2}},
+                        {{"b", 0.6}},
+                        {{"a", 0.9}, {"b", 0.1}}});
+  AddMarkovStream(&db, "At", "Sue", {"a", "b"}, 3, 0.9);
+  auto clone = CloneDeclarations(db);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(db);
+  ASSERT_OK(batches.status());
+  ASSERT_EQ(batches->size(), 3u);
+  Watermark w;
+  for (StreamId id = 0; id < (*clone)->num_streams(); ++id) w.Track(id, 0);
+  for (const TickBatch& b : *batches) {
+    ASSERT_OK(ApplyBatch(clone->get(), b, &w));
+  }
+  EXPECT_EQ((*clone)->horizon(), db.horizon());
+  for (StreamId id = 0; id < db.num_streams(); ++id) {
+    const Stream& src = db.stream(id);
+    const Stream& dst = (*clone)->stream(id);
+    ASSERT_EQ(dst.horizon(), src.horizon());
+    for (Timestamp t = 1; t <= src.horizon(); ++t) {
+      EXPECT_EQ(dst.MarginalAt(t), src.MarginalAt(t)) << "t=" << t;
+    }
+  }
+}
+
+TEST(RegistryTest, RegistersStreamableAndRejectsUnsafe) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k1", {{{"u", 0.5}}});
+  AddIndependentStream(&db, "S", "k1", {{{"v", 0.5}}});
+  AddIndependentStream(&db, "T", "a", {{{"w", 0.5}}});
+  QueryRegistry registry(&db);
+  uint64_t v0 = registry.version();
+  auto id = registry.Register("R('k1', u : u = 'u')", /*tick=*/0);
+  ASSERT_OK(id.status());
+  EXPECT_NE(registry.version(), v0);
+  EXPECT_NE(registry.Find(*id), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+
+  // Unsafe queries need archived history; the registry refuses them.
+  auto bad = registry.Register("R(x, u1); S(x, u2); T('a', y)", /*tick=*/0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsafeQuery);
+  EXPECT_EQ(registry.size(), 1u);
+
+  ASSERT_OK(registry.Unregister(*id));
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Unregister(*id).code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, PreparedOverloadSkipsReparse) {
+  EventDatabase db;
+  AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  auto prepared = PrepareQuery("At('Joe', l : l = 'a')", &db);
+  ASSERT_OK(prepared.status());
+  QueryRegistry registry(&db);
+  auto id = registry.Register(*prepared, "At('Joe', l : l = 'a')", /*tick=*/1);
+  ASSERT_OK(id.status());
+  EXPECT_EQ(registry.Find(*id)->session->time(), 1u);  // caught up
+}
+
+TEST(RegistryTest, LateRegistrationCatchesUpToTheTick) {
+  // Register after 3 timesteps are archived: the session replays the prefix
+  // and lands at the same probability a from-the-start session reports.
+  EventDatabase db;
+  AddIndependentStream(&db, "At", "Joe",
+                       {{{"a", 0.7}, {"b", 0.2}},
+                        {{"b", 0.6}, {"a", 0.3}},
+                        {{"a", 0.9}, {"b", 0.1}}});
+  auto baseline = StreamingSession::Create(&db, "At('Joe', l : l = 'a')");
+  ASSERT_OK(baseline.status());
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_OK(baseline->Advance().status());
+  }
+  QueryRegistry registry(&db);
+  auto id = registry.Register("At('Joe', l : l = 'a')", /*tick=*/3);
+  ASSERT_OK(id.status());
+  StandingQuery* q = registry.Find(*id);
+  ASSERT_NE(q, nullptr);
+  EXPECT_EQ(q->session->time(), 3u);
+  // Bit-identical: the catch-up replays the same Advance() sequence, so the
+  // per-chain state matches a from-the-start session exactly.
+  EXPECT_EQ(q->session->engine().chain_probs(),
+            baseline->engine().chain_probs());
+}
+
+// Feeds `batches` into `runtime` and collects every published TickResult.
+std::vector<TickResult> RunToCompletion(StreamRuntime* runtime,
+                                        std::vector<TickBatch> batches) {
+  std::vector<TickResult> results;
+  runtime->SetTickCallback(
+      [&](const TickResult& r) { results.push_back(r); });
+  runtime->Start();
+  Timestamp last = 0;
+  for (TickBatch& b : batches) {
+    last = b.t;
+    EXPECT_OK(runtime->ingest().Push(std::move(b), 10000ms));
+  }
+  EXPECT_TRUE(runtime->WaitForTick(last, 10000ms));
+  runtime->Stop();
+  return results;
+}
+
+TEST(StreamRuntimeTest, MatchesSequentialSessionsBitForBit) {
+  // Archive a small mixed database, replay it through the runtime, and
+  // compare every tick against sequential StreamingSession evaluation on
+  // the archive itself.
+  EventDatabase archive;
+  AddIndependentStream(&archive, "At", "Joe",
+                       {{{"a", 0.7}, {"b", 0.2}},
+                        {{"b", 0.6}, {"a", 0.3}},
+                        {{"b", 0.5}},
+                        {{"a", 0.9}}});
+  AddMarkovStream(&archive, "At", "Sue", {"a", "b"}, 4, 0.85);
+  const std::vector<std::string> queries = {
+      "At('Joe', l : l = 'a')",
+      "At('Sue', l1 : l1 = 'a'); At('Sue', l2 : l2 = 'b')",
+      "At(x, l : l = 'b')",  // Extended Regular: one chain per tag
+  };
+
+  std::vector<std::vector<double>> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto session = StreamingSession::Create(&archive, queries[i]);
+    ASSERT_OK(session.status());
+    for (Timestamp t = 1; t <= archive.horizon(); ++t) {
+      auto p = session->Advance();
+      ASSERT_OK(p.status());
+      expected[i].push_back(*p);
+    }
+  }
+
+  for (size_t threads : {1u, 4u}) {
+    auto clone = CloneDeclarations(archive);
+    ASSERT_OK(clone.status());
+    auto batches = ExtractBatches(archive);
+    ASSERT_OK(batches.status());
+    RuntimeOptions options;
+    options.num_threads = threads;
+    options.queue_capacity = 2;  // exercise blocking Push
+    StreamRuntime runtime(clone->get(), options);
+    std::vector<QueryId> ids;
+    for (const std::string& q : queries) {
+      auto id = runtime.Register(q);
+      ASSERT_OK(id.status());
+      ids.push_back(*id);
+    }
+    std::vector<TickResult> results =
+        RunToCompletion(&runtime, std::move(*batches));
+    ASSERT_EQ(results.size(), archive.horizon()) << threads << " threads";
+    for (size_t t = 0; t < results.size(); ++t) {
+      EXPECT_EQ(results[t].t, t + 1);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const double* p = results[t].Find(ids[i]);
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(*p, expected[i][t])
+            << queries[i] << " at t=" << t + 1 << ", " << threads
+            << " threads";
+      }
+    }
+    EXPECT_EQ(runtime.tick(), archive.horizon());
+    auto latest = runtime.Latest();
+    ASSERT_NE(latest, nullptr);
+    EXPECT_EQ(latest->t, archive.horizon());
+  }
+}
+
+TEST(StreamRuntimeTest, HotRegisterJoinsInLockstep) {
+  EventDatabase archive;
+  AddIndependentStream(&archive, "At", "Joe",
+                       {{{"a", 0.7}, {"b", 0.2}},
+                        {{"b", 0.6}, {"a", 0.3}},
+                        {{"b", 0.5}, {"a", 0.1}},
+                        {{"a", 0.9}}});
+  const std::string query = "At('Joe', l : l = 'a')";
+  auto baseline = StreamingSession::Create(&archive, query);
+  ASSERT_OK(baseline.status());
+  std::vector<double> expected;
+  for (Timestamp t = 1; t <= archive.horizon(); ++t) {
+    auto p = baseline->Advance();
+    ASSERT_OK(p.status());
+    expected.push_back(*p);
+  }
+
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  RuntimeOptions options;
+  options.num_threads = 2;
+  StreamRuntime runtime(clone->get(), options);
+  runtime.Start();
+  // Feed the first two ticks with no queries registered...
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_OK(runtime.ingest().Push(std::move((*batches)[i]), 10000ms));
+  }
+  ASSERT_TRUE(runtime.WaitForTick(2, 10000ms));
+  // ...then register: the session must replay t=1..2 and join at t=3 with
+  // the same state a from-the-start session would have.
+  auto id = runtime.Register(query);
+  ASSERT_OK(id.status());
+  for (size_t i = 2; i < batches->size(); ++i) {
+    ASSERT_OK(runtime.ingest().Push(std::move((*batches)[i]), 10000ms));
+  }
+  ASSERT_TRUE(runtime.WaitForTick(4, 10000ms));
+  auto latest = runtime.Latest();
+  ASSERT_NE(latest, nullptr);
+  const double* p = latest->Find(*id);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, expected[3]);
+  ASSERT_OK(runtime.Unregister(*id));
+  runtime.Stop();
+}
+
+TEST(StreamRuntimeTest, StatsCountTicksQueriesAndQueue) {
+  EventDatabase archive;
+  AddIndependentStream(&archive, "At", "Joe",
+                       {{{"a", 0.5}}, {{"a", 0.4}}, {{"a", 0.3}}});
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  RuntimeOptions options;
+  options.num_threads = 2;
+  StreamRuntime runtime(clone->get(), options);
+  auto id = runtime.Register("At('Joe', l : l = 'a')");
+  ASSERT_OK(id.status());
+  RunToCompletion(&runtime, std::move(*batches));
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.tick, 3u);
+  EXPECT_EQ(stats.ticks_processed, 3u);
+  EXPECT_EQ(stats.num_queries, 1u);
+  EXPECT_EQ(stats.num_threads, 2u);
+  EXPECT_EQ(stats.batches_applied, 3u);
+  EXPECT_EQ(stats.batches_rejected, 0u);
+  EXPECT_TRUE(stats.last_ingest_error.empty());
+  EXPECT_EQ(stats.tick_latency.count, 3u);
+  ASSERT_EQ(stats.queries.size(), 1u);
+  EXPECT_EQ(stats.queries[0].id, *id);
+  EXPECT_EQ(stats.queries[0].ticks, 3u);
+  EXPECT_EQ(stats.queries[0].advance.count, 3u);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  uint64_t chains = 0;
+  for (const ShardStats& s : stats.shards) chains += s.chains_stepped;
+  EXPECT_EQ(chains, 3u);  // 1 chain x 3 ticks
+  // Both serializations render without blowing up.
+  EXPECT_NE(stats.ToString().find("ticks"), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"tick\""), std::string::npos);
+}
+
+TEST(StreamRuntimeTest, MalformedBatchIsCountedNotFatal) {
+  EventDatabase archive;
+  AddIndependentStream(&archive, "At", "Joe", {{{"a", 0.5}}, {{"a", 0.4}}});
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  StreamRuntime runtime(clone->get(), RuntimeOptions{.num_threads = 1});
+  ASSERT_OK(runtime.Register("At('Joe', l : l = 'a')").status());
+  runtime.Start();
+  TickBatch bogus;
+  bogus.t = 7;  // nothing covers t=6 yet
+  bogus.updates.push_back({0, {0.5, 0.5}, std::nullopt});
+  ASSERT_OK(runtime.ingest().Push(std::move(bogus), 10000ms));
+  for (TickBatch& b : *batches) {
+    ASSERT_OK(runtime.ingest().Push(std::move(b), 10000ms));
+  }
+  ASSERT_TRUE(runtime.WaitForTick(2, 10000ms));
+  runtime.Stop();
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.batches_applied, 2u);
+  EXPECT_EQ(stats.batches_rejected, 1u);
+  EXPECT_FALSE(stats.last_ingest_error.empty());
+  EXPECT_EQ(stats.tick, 2u);
+}
+
+}  // namespace
+}  // namespace lahar
