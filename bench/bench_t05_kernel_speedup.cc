@@ -1,0 +1,158 @@
+// Kernel speedup experiment: ticks/sec of the Extended Regular hot path
+// under its three execution modes —
+//
+//   map    — the dynamic hash-map path (the pre-kernel implementation),
+//   kernel — compiled transition kernels, each chain owning its state,
+//   soa    — compiled kernels with all chains' state packed into the
+//            engine's contiguous SoA arena (the default configuration).
+//
+// The workload is the paper's Section 4.3 shape: m tags moving through the
+// building, one per-key chain each, on both the archived Markovian streams
+// (smoothed + CPTs; joint hidden state) and the real-time independent
+// streams (filtered marginals). All modes produce bit-identical
+// probabilities (tests/kernel_equivalence_test.cc), so only the clock
+// distinguishes them.
+//
+// One `JSON {...}` line per (workload, config) cell — grep ^JSON and feed
+// two runs to bench/compare.py to gate regressions. `--smoke` shrinks the
+// workload to a ~2s ctest smoke check.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/extended_engine.h"
+#include "query/normalize.h"
+#include "query/parser.h"
+
+using namespace lahar;
+using namespace lahar::bench;
+
+namespace {
+
+struct BenchConfig {
+  const char* name;
+  ChainOptions options;
+};
+
+std::vector<BenchConfig> Configs() {
+  BenchConfig map{"map", {}};
+  map.options.kernel.max_flat_states = 0;
+  BenchConfig kernel{"kernel", {}};
+  kernel.options.soa_arena = false;
+  BenchConfig soa{"soa", {}};
+  return {map, kernel, soa};
+}
+
+struct CellResult {
+  double ticks_per_sec = 0;
+  double checksum = 0;  // sum of all published probs; must match across modes
+};
+
+// Times repeated full Run() passes (engine creation excluded) until the
+// cell has run for at least `min_ms`.
+CellResult RunCell(const NormalizedQuery& nq, const EventDatabase& db,
+                   const char* workload, const BenchConfig& config,
+                   double min_ms) {
+  CellResult result;
+  double total_ms = 0;
+  size_t reps = 0;
+  size_t chains = 0, compiled = 0;
+  Timestamp horizon = db.horizon();
+  while (total_ms < min_ms || reps == 0) {
+    auto engine = ExtendedRegularEngine::Create(nq, db, config.options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return result;
+    }
+    chains = engine->num_chains();
+    compiled = engine->num_compiled();
+    std::vector<double> probs;
+    total_ms += TimeMs([&] { probs = engine->Run(); });
+    if (reps == 0) {
+      for (double p : probs) result.checksum += p;
+    }
+    ++reps;
+  }
+  result.ticks_per_sec = Throughput(horizon * reps, total_ms);
+  JsonLine()
+      .Add("bench", std::string("t05_kernel_speedup"))
+      .Add("workload", std::string(workload))
+      .Add("config", std::string(config.name))
+      .Add("chains", chains)
+      .Add("compiled", compiled)
+      .Add("ticks", static_cast<size_t>(horizon) * reps)
+      .Add("time_ms", total_ms)
+      .Add("ticks_per_sec", result.ticks_per_sec)
+      .Print();
+  return result;
+}
+
+int RunWorkload(const Scenario& scenario, StreamKind kind,
+                const char* workload, double min_ms) {
+  auto db = scenario.BuildDatabase(kind);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const std::string query =
+      "At(x, l1 : NotRoom(l1)); At(x, l2 : Room(l2))";
+  auto q = ParseQuery(query, &(*db)->interner());
+  if (!q.ok()) {
+    std::fprintf(stderr, "%s\n", q.status().ToString().c_str());
+    return 1;
+  }
+  auto nq = Normalize(**q);
+  if (!nq.ok()) {
+    std::fprintf(stderr, "%s\n", nq.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n%s streams | m chains, horizon %u\n", workload,
+              (*db)->horizon());
+  std::printf("%-8s %14s %10s\n", "config", "ticks/sec", "speedup");
+  double base = 0, base_checksum = 0;
+  int rc = 0;
+  for (const BenchConfig& config : Configs()) {
+    CellResult r = RunCell(*nq, **db, workload, config, min_ms);
+    if (std::strcmp(config.name, "map") == 0) {
+      base = r.ticks_per_sec;
+      base_checksum = r.checksum;
+    } else if (r.checksum != base_checksum) {
+      // The kernel contract is bit-identity; a drifting checksum is a bug,
+      // not a measurement artifact.
+      std::fprintf(stderr, "FAIL: %s/%s checksum %.17g != map %.17g\n",
+                   workload, config.name, r.checksum, base_checksum);
+      rc = 1;
+    }
+    std::printf("%-8s %14.1f %9.2fx\n", config.name, r.ticks_per_sec,
+                base > 0 ? r.ticks_per_sec / base : 0.0);
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  const size_t tags = smoke ? 16 : 64;
+  const Timestamp horizon = smoke ? 50 : 200;
+  const double min_ms = smoke ? 50 : 500;
+
+  std::printf("Kernel speedup | %zu tags, horizon %u%s\n", tags, horizon,
+              smoke ? " (smoke)" : "");
+  auto scenario = RandomWalkScenario(tags, horizon, /*seed=*/43);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  int rc = 0;
+  rc |= RunWorkload(*scenario, StreamKind::kSmoothed, "markov", min_ms);
+  rc |= RunWorkload(*scenario, StreamKind::kFiltered, "independent", min_ms);
+  std::printf("\n(map/kernel/soa are bit-identical; see "
+              "tests/kernel_equivalence_test.cc)\n");
+  return rc;
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Compare two benchmark runs and fail on throughput regressions.
+
+Usage:
+    bench/compare.py BASELINE CURRENT [--threshold 0.10] [--metric ticks_per_sec]
+
+Each input file holds one JSON object per line — either raw JSON or the
+`JSON {...}`-prefixed lines the bench binaries print (so a captured stdout
+works as-is:  ./bench_t05_kernel_speedup | grep ^JSON > current.json).
+
+Records are keyed by every non-metric field (bench, workload, config,
+chains, ...; run-size fields like ticks/time_ms are ignored). For each key
+present in both files the metric is compared; a drop of more than
+--threshold (default 10%) is a regression and the script exits 1. Keys
+present in only one file are reported but not fatal, so adding a new bench
+cell doesn't break the gate.
+"""
+
+import argparse
+import json
+import sys
+
+# Fields describing how long the cell ran rather than what it measured;
+# excluded from the match key along with the metric itself.
+RUN_SIZE_FIELDS = {"ticks", "time_ms", "reps", "tick_p99_us"}
+
+
+def load(path, metric):
+    records = {}
+    with open(path) as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if line.startswith("JSON "):
+                line = line[len("JSON "):]
+            if not line.startswith("{"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise SystemExit(f"{path}:{line_no}: bad JSON line: {e}")
+            if metric not in obj:
+                continue
+            key = tuple(
+                sorted((k, v) for k, v in obj.items()
+                       if k != metric and k not in RUN_SIZE_FIELDS))
+            records[key] = float(obj[metric])
+    return records
+
+
+def describe(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="fatal fractional drop (default 0.10 = 10%%)")
+    parser.add_argument("--metric", default="ticks_per_sec",
+                        help="JSON field to compare (higher is better)")
+    args = parser.parse_args()
+
+    base = load(args.baseline, args.metric)
+    cur = load(args.current, args.metric)
+    if not base:
+        raise SystemExit(f"{args.baseline}: no records with '{args.metric}'")
+    if not cur:
+        raise SystemExit(f"{args.current}: no records with '{args.metric}'")
+
+    regressions = []
+    for key in sorted(base):
+        if key not in cur:
+            print(f"[only-baseline] {describe(key)}")
+            continue
+        old, new = base[key], cur[key]
+        delta = (new - old) / old if old > 0 else 0.0
+        status = "ok"
+        if old > 0 and delta < -args.threshold:
+            status = "REGRESSION"
+            regressions.append(key)
+        print(f"[{status}] {describe(key)}: "
+              f"{old:.1f} -> {new:.1f} ({delta:+.1%})")
+    for key in sorted(set(cur) - set(base)):
+        print(f"[only-current] {describe(key)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%} on {args.metric}", file=sys.stderr)
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0%} on {args.metric}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

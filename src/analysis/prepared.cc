@@ -10,6 +10,7 @@ Result<PreparedQuery> PrepareQuery(std::string_view text, EventDatabase* db) {
   LAHAR_RETURN_NOT_OK(ValidateQuery(*out.ast, *db));
   LAHAR_ASSIGN_OR_RETURN(out.normalized, Normalize(*out.ast));
   out.classification = Classify(out.normalized, *db);
+  out.kernel_cache = std::make_shared<KernelCache>();
   return out;
 }
 

@@ -5,9 +5,11 @@
 #ifndef LAHAR_ANALYSIS_PREPARED_H_
 #define LAHAR_ANALYSIS_PREPARED_H_
 
+#include <memory>
 #include <string_view>
 
 #include "analysis/classify.h"
+#include "automaton/kernel.h"
 #include "query/ast.h"
 #include "query/normalize.h"
 
@@ -18,6 +20,11 @@ struct PreparedQuery {
   QueryPtr ast;
   NormalizedQuery normalized;
   Classification classification;
+  /// Compiled-kernel cache shared by every session created from this
+  /// prepared query: the runtime registers many sessions per query and all
+  /// their groundings share one automaton structure, so the kernel compiles
+  /// once here instead of once per session (see automaton/kernel.h).
+  std::shared_ptr<KernelCache> kernel_cache;
 };
 
 /// Parses, validates, normalizes, and classifies `text` against `db`'s

@@ -57,6 +57,9 @@ class QueryNfa {
   size_t num_states() const { return num_states_; }
   const std::vector<NfaEdge>& edges() const { return edges_; }
 
+  /// Bitmask of accepting states (kernel compilation fingerprints this).
+  StateMask accept_mask() const { return accept_mask_; }
+
   /// Disables/enables the transition memo cache (ablation hook; on by
   /// default).
   void set_memoization(bool enabled) { memo_enabled_ = enabled; }

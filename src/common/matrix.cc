@@ -30,15 +30,23 @@ Matrix Matrix::Multiply(const Matrix& other) const {
 }
 
 std::vector<double> Matrix::LeftMultiply(const std::vector<double>& v) const {
+  std::vector<double> out;
+  LeftMultiplyInto(v, &out);
+  return out;
+}
+
+void Matrix::LeftMultiplyInto(const std::vector<double>& v,
+                              std::vector<double>* out) const {
   assert(v.size() == rows_);
-  std::vector<double> out(cols_, 0.0);
+  assert(out != &v);
+  out->assign(cols_, 0.0);
+  double* dst = out->data();
   for (size_t r = 0; r < rows_; ++r) {
     double a = v[r];
     if (a == 0) continue;
     const double* row = Row(r);
-    for (size_t c = 0; c < cols_; ++c) out[c] += a * row[c];
+    for (size_t c = 0; c < cols_; ++c) dst[c] += a * row[c];
   }
-  return out;
 }
 
 double Sum(const std::vector<double>& v) {

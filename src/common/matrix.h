@@ -44,6 +44,13 @@ class Matrix {
   /// Returns v * this (row vector times matrix). Requires v.size() == rows().
   std::vector<double> LeftMultiply(const std::vector<double>& v) const;
 
+  /// v * this written into `out` (resized to cols()), allocation-free when
+  /// `out` already has capacity — the double-buffered form the inference
+  /// loops use. `out` must not alias `v`. Accumulation order matches
+  /// LeftMultiply exactly.
+  void LeftMultiplyInto(const std::vector<double>& v,
+                        std::vector<double>* out) const;
+
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;

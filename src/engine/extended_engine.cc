@@ -7,19 +7,39 @@
 namespace lahar {
 
 Result<ExtendedRegularEngine> ExtendedRegularEngine::Create(
-    const NormalizedQuery& q, const EventDatabase& db) {
+    const NormalizedQuery& q, const EventDatabase& db,
+    const ChainOptions& options) {
   ExtendedRegularEngine engine;
   engine.horizon_ = db.horizon();
   std::set<SymbolId> shared = q.SharedVars();
   std::vector<Binding> bindings = EnumerateBindings(q, db, shared);
+  // The groundings share one automaton structure, so without a caller cache
+  // a Create-local one still collapses the m compilations into one.
+  KernelCache local_cache;
+  ChainOptions opts = options;
+  if (opts.kernel_cache == nullptr) opts.kernel_cache = &local_cache;
   for (Binding& b : bindings) {
     NormalizedQuery grounded = q.Substitute(b);
     LAHAR_ASSIGN_OR_RETURN(RegularChain chain,
-                           RegularChain::Create(grounded, db));
+                           RegularChain::Create(grounded, db, opts));
     engine.chains_.push_back(std::move(chain));
     engine.bindings_.push_back(std::move(b));
   }
   engine.chain_probs_.resize(engine.chains_.size(), 0.0);
+  if (options.soa_arena) {
+    size_t total = 0;
+    for (const RegularChain& c : engine.chains_) total += 2 * c.FlatStride();
+    if (total > 0) {
+      engine.arena_.assign(total, 0.0);
+      double* base = engine.arena_.data();
+      for (RegularChain& c : engine.chains_) {
+        const size_t stride = c.FlatStride();
+        if (stride == 0) continue;
+        c.BindArena(base, base + stride);
+        base += 2 * stride;
+      }
+    }
+  }
   return engine;
 }
 

@@ -18,8 +18,17 @@ class ExtendedRegularEngine {
  public:
   /// Builds one chain per grounding of the shared variables. The query must
   /// be (extended) regular; classification is not re-checked here.
+  ///
+  /// All groundings share one NFA structure, so their compiled kernels
+  /// dedupe through a cache (options.kernel_cache, or a Create-local one):
+  /// the m per-key chains hold one shared CompiledKernel. When
+  /// options.soa_arena is set (default), the compiled chains' state vectors
+  /// are additionally packed into one engine-owned contiguous arena
+  /// ([chain0 cur | chain0 nxt | chain1 cur | ...]) so a timestep walks
+  /// memory linearly instead of m scattered heap blocks.
   static Result<ExtendedRegularEngine> Create(const NormalizedQuery& q,
-                                              const EventDatabase& db);
+                                              const EventDatabase& db,
+                                              const ChainOptions& options = {});
 
   /// Advances every chain one timestep; returns P[q@t] at the new time.
   double Step();
@@ -56,10 +65,26 @@ class ExtendedRegularEngine {
   /// The grounding behind chain i.
   const Binding& binding(size_t i) const { return bindings_[i]; }
 
+  /// Relative per-step cost of chain i (runtime shard balancing).
+  size_t ChainCost(size_t i) const { return chains_[i].StepCost(); }
+  /// Number of chains running on a compiled kernel (vs. the map path).
+  size_t num_compiled() const {
+    size_t n = 0;
+    for (const RegularChain& c : chains_) n += c.compiled() ? 1 : 0;
+    return n;
+  }
+  /// Doubles in the shared SoA state arena (0 when unused).
+  size_t arena_size() const { return arena_.size(); }
+
  private:
   std::vector<RegularChain> chains_;
   std::vector<Binding> bindings_;
   std::vector<double> chain_probs_;
+  // Contiguous cur|nxt state buffers of all compiled chains (SoA batching).
+  // Chains hold raw pointers into this vector; the engine is movable (the
+  // heap buffer survives a move) but each chain's copy ctor re-owns its
+  // slice, so copied engines simply stop using the arena.
+  std::vector<double> arena_;
   Timestamp t_ = 0;
   Timestamp horizon_ = 0;
 };

@@ -3,9 +3,27 @@
 #include <algorithm>
 
 namespace lahar {
+namespace {
+
+// Canonical live-state order shared by both execution paths: ascending
+// (mask, hidden), with the latched accept flag (bit 63) making accepted
+// states sort after unaccepted ones — exactly the kernel path's flat layout
+// (plane, mask index, hidden). Enumerating sources in this order makes the
+// two paths' floating-point accumulation sequences, and therefore their
+// probabilities, bit-identical.
+template <typename Pair>
+void SortCanonical(std::vector<Pair>* v) {
+  std::sort(v->begin(), v->end(), [](const Pair& x, const Pair& y) {
+    return x.first.mask != y.first.mask ? x.first.mask < y.first.mask
+                                        : x.first.hidden < y.first.hidden;
+  });
+}
+
+}  // namespace
 
 Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
-                                          const EventDatabase& db) {
+                                          const EventDatabase& db,
+                                          const ChainOptions& options) {
   RegularChain chain;
   LAHAR_ASSIGN_OR_RETURN(QueryNfa nfa, QueryNfa::Build(q));
   chain.nfa_ = std::make_shared<const QueryNfa>(std::move(nfa));
@@ -37,6 +55,8 @@ Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
       p.radix = radix;
       p.hidden_slot = slot++;
       chain.radices_.push_back(radix);
+      chain.kernel_domains_.push_back(
+          static_cast<uint32_t>(s.domain_size()));
       radix *= s.domain_size();
       chain.markov_participants_.push_back(p);
     } else {
@@ -44,8 +64,129 @@ Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
     }
     chain.participants_.push_back(p);
   }
-  chain.states_.emplace(Key{chain.nfa_->InitialStates(), 0}, 1.0);
+
+  // Compile the transition kernel (budget permitting); the dynamic map path
+  // stays available as the fallback and the semantic reference.
+  if (options.kernel.max_flat_states > 0) {
+    std::vector<KernelStream> profile;
+    profile.reserve(chain.participants_.size());
+    for (const Participant& p : chain.participants_) {
+      const Stream& s = db.stream(p.id);
+      KernelStream ks;
+      ks.markovian = p.markovian;
+      ks.radix = p.radix;
+      ks.domain_size = static_cast<uint32_t>(s.domain_size());
+      ks.masks.reserve(s.domain_size());
+      for (DomainIndex d = 0; d < s.domain_size(); ++d) {
+        ks.masks.push_back(chain.symbols_->MaskFor(p.position, d));
+      }
+      profile.push_back(std::move(ks));
+    }
+    std::shared_ptr<const CompiledKernel> kernel =
+        options.kernel_cache != nullptr
+            ? options.kernel_cache->FindOrCompile(*chain.nfa_, profile,
+                                                  options.kernel)
+            : CompileKernel(
+                  *chain.nfa_, profile, options.kernel,
+                  KernelSignature(*chain.nfa_, profile, options.kernel));
+    if (kernel != nullptr) {
+      int idx = kernel->MaskIndexOf(chain.nfa_->InitialStates());
+      if (idx >= 0) {
+        chain.kernel_ = std::move(kernel);
+        const size_t stride = chain.kernel_->num_flat();
+        chain.flat_.assign(2 * stride, 0.0);
+        chain.cur_ = chain.flat_.data();
+        chain.nxt_ = chain.flat_.data() + stride;
+        chain.cur_[static_cast<size_t>(idx) * chain.kernel_->R] = 1.0;
+      }
+    }
+  }
+  if (chain.kernel_ == nullptr) {
+    chain.states_.emplace(Key{chain.nfa_->InitialStates(), 0}, 1.0);
+  }
   return chain;
+}
+
+RegularChain::RegularChain(const RegularChain& o)
+    : nfa_(o.nfa_),
+      symbols_(o.symbols_),
+      db_(o.db_),
+      participants_(o.participants_),
+      markov_participants_(o.markov_participants_),
+      indep_participants_(o.indep_participants_),
+      indep_dist_(o.indep_dist_),
+      radices_(o.radices_),
+      kernel_domains_(o.kernel_domains_),
+      horizon_(o.horizon_),
+      t_(o.t_),
+      track_accept_(o.track_accept_),
+      states_(o.states_),
+      kernel_(o.kernel_),
+      planes_(o.planes_) {
+  FixupStorage(o);
+}
+
+RegularChain& RegularChain::operator=(const RegularChain& o) {
+  if (this != &o) {
+    RegularChain tmp(o);
+    *this = std::move(tmp);
+  }
+  return *this;
+}
+
+RegularChain::RegularChain(RegularChain&& o) noexcept {
+  *this = std::move(o);
+}
+
+RegularChain& RegularChain::operator=(RegularChain&& o) noexcept {
+  if (this == &o) return *this;
+  nfa_ = std::move(o.nfa_);
+  symbols_ = std::move(o.symbols_);
+  db_ = o.db_;
+  participants_ = std::move(o.participants_);
+  markov_participants_ = std::move(o.markov_participants_);
+  indep_participants_ = std::move(o.indep_participants_);
+  indep_dist_ = std::move(o.indep_dist_);
+  radices_ = std::move(o.radices_);
+  kernel_domains_ = std::move(o.kernel_domains_);
+  horizon_ = o.horizon_;
+  t_ = o.t_;
+  track_accept_ = o.track_accept_;
+  states_ = std::move(o.states_);
+  kernel_ = std::move(o.kernel_);
+  planes_ = o.planes_;
+  // Moving flat_ transfers its heap buffer, so the source's cur_/nxt_
+  // pointer values stay valid for *this (owned storage) and external arena
+  // pointers transfer as-is (arena-bound storage).
+  flat_ = std::move(o.flat_);
+  cur_ = o.cur_;
+  nxt_ = o.nxt_;
+  scratch_ = std::move(o.scratch_);
+  o.cur_ = nullptr;
+  o.nxt_ = nullptr;
+  o.kernel_.reset();
+  o.states_.clear();
+  return *this;
+}
+
+void RegularChain::FixupStorage(const RegularChain& o) {
+  if (kernel_ == nullptr || o.cur_ == nullptr) {
+    cur_ = nullptr;
+    nxt_ = nullptr;
+    return;
+  }
+  const size_t stride = planes_ * kernel_->num_flat();
+  if (!o.flat_.empty()) {
+    flat_ = o.flat_;
+    cur_ = flat_.data() + (o.cur_ - o.flat_.data());
+    nxt_ = flat_.data() + (o.nxt_ - o.flat_.data());
+  } else {
+    // The source lives in an engine-owned arena; the copy owns its storage.
+    flat_.assign(2 * stride, 0.0);
+    std::copy(o.cur_, o.cur_ + stride, flat_.data());
+    cur_ = flat_.data();
+    nxt_ = flat_.data() + stride;
+  }
 }
 
 // Distribution over the OR of the symbol masks contributed by all
@@ -57,8 +198,9 @@ Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
 void RegularChain::BuildIndependentMaskDist(Timestamp next) {
   indep_dist_.clear();
   indep_dist_.emplace_back(0, 1.0);
-  std::vector<std::pair<SymbolMask, double>> stream_dist;
-  std::vector<std::pair<SymbolMask, double>> merged;
+  std::vector<std::pair<SymbolMask, double>>& stream_dist =
+      scratch_.stream_dist;
+  std::vector<std::pair<SymbolMask, double>>& merged = scratch_.merged;
   for (const Participant& part : indep_participants_) {
     const Stream& s = db_->stream(part.id);
     stream_dist.clear();
@@ -103,7 +245,9 @@ void RegularChain::BuildIndependentMaskDist(Timestamp next) {
 
 // Enumerates the joint assignment of the *Markovian* participating streams
 // at timestep `next`, then crosses each combination with the shared
-// independent-stream mask distribution.
+// independent-stream mask distribution. Frames carry the probability
+// product *without* the source weight p; the final accumulate groups it as
+// (p * frame) * indep — the exact multiplication tree the kernel path uses.
 void RegularChain::EnumerateSuccessors(const Key& key, double p,
                                        Timestamp next, StateMap* out) {
   struct Frame {
@@ -111,7 +255,7 @@ void RegularChain::EnumerateSuccessors(const Key& key, double p,
     uint64_t hidden = 0;
     double prob = 1.0;
   };
-  std::vector<Frame> frontier{{0, 0, p}};
+  std::vector<Frame> frontier{{0, 0, 1.0}};
   std::vector<Frame> scratch;
   for (const Participant& part : markov_participants_) {
     const Stream& s = db_->stream(part.id);
@@ -158,32 +302,223 @@ void RegularChain::EnumerateSuccessors(const Key& key, double p,
   const StateMask base_mask = key.mask & ~kAcceptedFlag;
   const bool was_accepted = (key.mask & kAcceptedFlag) != 0;
   for (const Frame& f : frontier) {
+    const double w = p * f.prob;
     for (const auto& [imask, ip] : indep_dist_) {
       StateMask next_mask = nfa_->Transition(base_mask, f.input | imask);
       if (track_accept_ && (was_accepted || nfa_->Accepts(next_mask))) {
         next_mask |= kAcceptedFlag;
       }
-      (*out)[Key{next_mask, f.hidden}] += f.prob * ip;
+      (*out)[Key{next_mask, f.hidden}] += w * ip;
     }
   }
+}
+
+void RegularChain::StepMap(Timestamp next) {
+  std::vector<std::pair<Key, double>>& sorted = scratch_.sorted;
+  sorted.assign(states_.begin(), states_.end());
+  SortCanonical(&sorted);
+  StateMap out;
+  out.reserve(states_.size() * 2);
+  for (const auto& [key, p] : sorted) {
+    EnumerateSuccessors(key, p, next, &out);
+  }
+  states_.swap(out);
+}
+
+// Builds the per-step CSR rows: for every live joint hidden code h, the
+// (successor code h2, probability) pairs in exactly the enumeration order
+// (and with the same partial-product grouping) as EnumerateSuccessors.
+void RegularChain::BuildHiddenRows(Timestamp next) {
+  const uint64_t R = kernel_->R;
+  Scratch& s = scratch_;
+  s.row_ptr.assign(R + 1, 0);
+  s.csr_h.clear();
+  s.csr_p.clear();
+  for (uint64_t h = 0; h < R; ++h) {
+    if (s.live[h]) {
+      s.frames.clear();
+      s.frames.emplace_back(0, 1.0);
+      for (const Participant& part : markov_participants_) {
+        const Stream& st = db_->stream(part.id);
+        const uint32_t dom = kernel_domains_[part.hidden_slot];
+        s.frames2.clear();
+        if (next > st.horizon()) {
+          s.frames2 = s.frames;  // ended: digit 0, probability 1
+        } else if (next > 1) {
+          const Matrix& cpt = st.CptAt(next - 1);
+          const DomainIndex d =
+              static_cast<DomainIndex>((h / part.radix) % dom);
+          const double* row = cpt.Row(d);
+          for (const auto& [h2, pr] : s.frames) {
+            for (DomainIndex d2 = 0; d2 < dom; ++d2) {
+              const double q = row[d2];
+              if (q <= 0) continue;
+              s.frames2.emplace_back(h2 + part.radix * d2, pr * q);
+            }
+          }
+        } else {
+          const std::vector<double>& m = st.MarginalAt(next);
+          if (m.empty()) {
+            s.frames2 = s.frames;
+          } else {
+            for (const auto& [h2, pr] : s.frames) {
+              for (DomainIndex d2 = 0; d2 < m.size(); ++d2) {
+                const double q = m[d2];
+                if (q <= 0) continue;
+                s.frames2.emplace_back(h2 + part.radix * d2, pr * q);
+              }
+            }
+          }
+        }
+        s.frames.swap(s.frames2);
+      }
+      for (const auto& [h2, pr] : s.frames) {
+        s.csr_h.push_back(static_cast<uint32_t>(h2));
+        s.csr_p.push_back(pr);
+      }
+    }
+    s.row_ptr[h + 1] = static_cast<uint32_t>(s.csr_h.size());
+  }
+}
+
+bool RegularChain::StepKernel(Timestamp next) {
+  const CompiledKernel& k = *kernel_;
+  const size_t M = k.masks.size();
+  const uint64_t R = k.R;
+  const size_t E = indep_dist_.size();
+  Scratch& s = scratch_;
+
+  // Structural guards: the compiled digit layout and mask classes assume
+  // the domains fixed at creation. A surprise (a stream domain that grew,
+  // an independent mask outside the compiled alphabet) falls back to the
+  // dynamic map path for the rest of the chain's life.
+  for (size_t i = 0; i < markov_participants_.size(); ++i) {
+    const Stream& st = db_->stream(markov_participants_[i].id);
+    if (st.domain_size() != kernel_domains_[i]) {
+      DematerializeToMap();
+      return false;
+    }
+  }
+  s.indep_p.resize(E);
+  s.step_cls.assign(static_cast<size_t>(k.num_markov_classes) * E, 0);
+  for (size_t e = 0; e < E; ++e) {
+    const int ic = k.IndepClassOf(indep_dist_[e].first);
+    if (ic < 0) {
+      DematerializeToMap();
+      return false;
+    }
+    s.indep_p[e] = indep_dist_[e].second;
+    for (uint32_t mc = 0; mc < k.num_markov_classes; ++mc) {
+      s.step_cls[static_cast<size_t>(mc) * E + e] =
+          k.pair_class[static_cast<size_t>(mc) * k.indep_masks.size() + ic];
+    }
+  }
+
+  // Live joint hidden codes across all planes and state sets: the CSR rows
+  // below are built once per live code and shared by every state set — the
+  // work the map path redoes per (state set, hidden) pair.
+  s.live.assign(R, 0);
+  const size_t stride = planes_ * M * R;
+  for (size_t block = 0; block < planes_ * M; ++block) {
+    const double* src = cur_ + block * R;
+    for (uint64_t h = 0; h < R; ++h) {
+      if (src[h] != 0.0) s.live[h] = 1;
+    }
+  }
+  BuildHiddenRows(next);
+
+  // Double-buffered sparse mat-vec over the flat state. Source order
+  // (plane, mask index, hidden) is the canonical order; see SortCanonical.
+  std::fill(nxt_, nxt_ + stride, 0.0);
+  const uint32_t C = k.num_inputs;
+  for (size_t a = 0; a < planes_; ++a) {
+    for (size_t mi = 0; mi < M; ++mi) {
+      const double* src = cur_ + (a * M + mi) * R;
+      const uint32_t* trow = &k.trans[mi * C];
+      for (uint64_t h = 0; h < R; ++h) {
+        const double p = src[h];
+        if (p == 0.0) continue;
+        for (uint32_t j = s.row_ptr[h]; j < s.row_ptr[h + 1]; ++j) {
+          const uint64_t h2 = s.csr_h[j];
+          const double w = p * s.csr_p[j];
+          const uint32_t* cls = &s.step_cls[k.markov_class[h2] * E];
+          for (size_t e = 0; e < E; ++e) {
+            const uint32_t tr = trow[cls[e]];
+            const size_t a2 = track_accept_ ? (a | (tr & 1u)) : 0;
+            nxt_[(a2 * M + (tr >> 1)) * R + h2] += w * s.indep_p[e];
+          }
+        }
+      }
+    }
+  }
+  std::swap(cur_, nxt_);
+  return true;
+}
+
+void RegularChain::DematerializeToMap() {
+  const CompiledKernel& k = *kernel_;
+  const size_t M = k.masks.size();
+  const uint64_t R = k.R;
+  states_.clear();
+  for (size_t a = 0; a < planes_; ++a) {
+    for (size_t mi = 0; mi < M; ++mi) {
+      const double* src = cur_ + (a * M + mi) * R;
+      const StateMask mask = k.masks[mi] | (a != 0 ? kAcceptedFlag : 0);
+      for (uint64_t h = 0; h < R; ++h) {
+        if (src[h] != 0.0) states_.emplace(Key{mask, h}, src[h]);
+      }
+    }
+  }
+  kernel_.reset();
+  flat_.clear();
+  flat_.shrink_to_fit();
+  cur_ = nullptr;
+  nxt_ = nullptr;
+  planes_ = 1;
 }
 
 double RegularChain::Step() {
   Timestamp next = t_ + 1;
   BuildIndependentMaskDist(next);
-  StateMap out;
-  out.reserve(states_.size() * 2);
-  for (const auto& [key, p] : states_) {
-    EnumerateSuccessors(key, p, next, &out);
-  }
-  states_.swap(out);
+  const bool stepped = kernel_ != nullptr && StepKernel(next);
+  if (!stepped) StepMap(next);
   t_ = next;
   return AcceptProb();
 }
 
+void RegularChain::EnableAcceptTracking() {
+  track_accept_ = true;
+  if (kernel_ != nullptr && planes_ == 1) {
+    // Grow to two planes (unaccepted, accepted). If the chain lived in an
+    // engine arena it switches to owned storage — accept tracking is a
+    // safe-plan feature and those chains are never arena-batched.
+    const size_t plane = kernel_->num_flat();
+    std::vector<double> grown(4 * plane, 0.0);
+    std::copy(cur_, cur_ + plane, grown.data());
+    flat_ = std::move(grown);
+    planes_ = 2;
+    cur_ = flat_.data();
+    nxt_ = flat_.data() + 2 * plane;
+  }
+}
+
 double RegularChain::AcceptProb() const {
   double total = 0;
-  for (const auto& [key, p] : states_) {
+  if (kernel_ != nullptr) {
+    const size_t M = kernel_->masks.size();
+    const uint64_t R = kernel_->R;
+    for (size_t a = 0; a < planes_; ++a) {
+      for (size_t mi = 0; mi < M; ++mi) {
+        if (!kernel_->accepts[mi]) continue;
+        const double* src = cur_ + (a * M + mi) * R;
+        for (uint64_t h = 0; h < R; ++h) total += src[h];
+      }
+    }
+    return total;
+  }
+  std::vector<std::pair<Key, double>> sorted(states_.begin(), states_.end());
+  SortCanonical(&sorted);
+  for (const auto& [key, p] : sorted) {
     if (nfa_->Accepts(key.mask & ~kAcceptedFlag)) total += p;
   }
   return total;
@@ -191,15 +526,56 @@ double RegularChain::AcceptProb() const {
 
 double RegularChain::AcceptedProb() const {
   double total = 0;
-  for (const auto& [key, p] : states_) {
+  if (kernel_ != nullptr) {
+    if (planes_ < 2) return 0.0;
+    const size_t plane = kernel_->num_flat();
+    const double* src = cur_ + plane;
+    for (size_t i = 0; i < plane; ++i) total += src[i];
+    return total;
+  }
+  std::vector<std::pair<Key, double>> sorted(states_.begin(), states_.end());
+  SortCanonical(&sorted);
+  for (const auto& [key, p] : sorted) {
     if (key.mask & kAcceptedFlag) total += p;
   }
   return total;
 }
 
+size_t RegularChain::NumStates() const {
+  if (kernel_ == nullptr) return states_.size();
+  const size_t stride = planes_ * kernel_->num_flat();
+  size_t live = 0;
+  for (size_t i = 0; i < stride; ++i) {
+    if (cur_[i] != 0.0) ++live;
+  }
+  return live;
+}
+
+size_t RegularChain::FlatStride() const {
+  return kernel_ != nullptr ? planes_ * kernel_->num_flat() : 0;
+}
+
+size_t RegularChain::StepCost() const {
+  return kernel_ != nullptr ? FlatStride()
+                            : std::max<size_t>(1, states_.size());
+}
+
+void RegularChain::BindArena(double* cur, double* nxt) {
+  if (kernel_ == nullptr) return;
+  const size_t stride = FlatStride();
+  std::copy(cur_, cur_ + stride, cur);
+  std::fill(nxt, nxt + stride, 0.0);
+  flat_.clear();
+  flat_.shrink_to_fit();
+  cur_ = cur;
+  nxt_ = nxt;
+}
+
 Result<RegularEngine> RegularEngine::Create(const NormalizedQuery& q,
-                                            const EventDatabase& db) {
-  LAHAR_ASSIGN_OR_RETURN(RegularChain chain, RegularChain::Create(q, db));
+                                            const EventDatabase& db,
+                                            const ChainOptions& options) {
+  LAHAR_ASSIGN_OR_RETURN(RegularChain chain,
+                         RegularChain::Create(q, db, options));
   return RegularEngine(std::move(chain));
 }
 

@@ -7,6 +7,17 @@
 //
 // The chain advances one timestep per Step() in O(1) amortized work per
 // (state, successor-value) pair — the streaming evaluation of Theorem 3.3.
+//
+// Two execution paths implement the same semantics (see docs/PERF.md):
+//
+//  * the compiled-kernel path (default): the reachable joint space is
+//    enumerated once at Create time (automaton/kernel.h) and Step() is a
+//    double-buffered flat-array sparse mat-vec — no hashing, no per-step
+//    allocation;
+//  * the dynamic map path: the original hash-map evaluation, used when the
+//    reachable space exceeds ChainOptions::kernel budgets (or the kernel is
+//    disabled). Both paths enumerate successors in one canonical order, so
+//    their per-tick probabilities are bit-identical.
 #ifndef LAHAR_ENGINE_REGULAR_ENGINE_H_
 #define LAHAR_ENGINE_REGULAR_ENGINE_H_
 
@@ -14,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "automaton/kernel.h"
 #include "automaton/nfa.h"
 #include "automaton/symbols.h"
 #include "model/database.h"
@@ -21,17 +33,39 @@
 
 namespace lahar {
 
+/// Options controlling chain construction (kernel compilation and batching).
+struct ChainOptions {
+  /// Kernel budgets; kernel.max_flat_states = 0 forces the dynamic map path.
+  KernelLimits kernel;
+  /// Optional cross-chain kernel reuse (e.g. PreparedQuery::kernel_cache).
+  /// Engines fall back to a local cache when null; kernels are held by
+  /// shared_ptr, so the cache may outlive or die before the chains.
+  KernelCache* kernel_cache = nullptr;
+  /// Extended engine only: pack the compiled chains' state vectors into one
+  /// contiguous SoA arena (see ExtendedRegularEngine).
+  bool soa_arena = true;
+};
+
 /// \brief The Markov chain M(t) of Section 3.1.2 for one grounded regular
 /// query: a joint distribution over (NFA state set, hidden stream values).
 ///
 /// Copyable: safe plans snapshot chains to compute interval probabilities.
+/// Copies share the immutable compiled structures (NFA, symbol table,
+/// kernel) via shared_ptr and only duplicate the live state vector.
 class RegularChain {
  public:
   /// Builds the chain for a normalized query that must be regular once the
   /// caller has substituted its shared variables (this class does not check
   /// classification; see analysis/classify.h).
   static Result<RegularChain> Create(const NormalizedQuery& q,
-                                     const EventDatabase& db);
+                                     const EventDatabase& db,
+                                     const ChainOptions& options = {});
+
+  RegularChain() = default;
+  RegularChain(const RegularChain& o);
+  RegularChain& operator=(const RegularChain& o);
+  RegularChain(RegularChain&& o) noexcept;
+  RegularChain& operator=(RegularChain&& o) noexcept;
 
   /// Timeline position: 0 before the first step, then 1..horizon.
   Timestamp time() const { return t_; }
@@ -49,19 +83,36 @@ class RegularChain {
   /// after calling this at time a-1, AcceptedProb() at time b equals
   /// P[q true at some t in [a, b]] — the interval probability of the
   /// Section 3.3 reg operator.
-  void EnableAcceptTracking() { track_accept_ = true; }
+  void EnableAcceptTracking();
 
   /// Probability that the accepted flag is set (see EnableAcceptTracking).
   double AcceptedProb() const;
 
   /// Number of live (state set, hidden) pairs — the chain's working size.
-  size_t NumStates() const { return states_.size(); }
+  size_t NumStates() const;
 
   /// Streams contributing symbols to this chain (safe plans use this to
   /// keep operator event sets disjoint).
   const std::vector<StreamId>& participating() const {
     return symbols_->participating();
   }
+
+  /// True when this chain stepped onto a compiled kernel (vs. the map path).
+  bool compiled() const { return kernel_ != nullptr; }
+
+  /// Doubles per state buffer on the kernel path (planes x |masks| x R);
+  /// 0 on the map path. A chain owns two such buffers (double-buffering).
+  size_t FlatStride() const;
+
+  /// Relative per-step cost estimate, used by the runtime executor to
+  /// balance chain ranges across shards.
+  size_t StepCost() const;
+
+  /// Moves the chain's kernel state into caller-owned storage (the extended
+  /// engine's SoA arena). `cur` and `nxt` must each hold FlatStride()
+  /// doubles and stay valid for the chain's lifetime; the current state is
+  /// copied into `cur`. No-op on the map path.
+  void BindArena(double* cur, double* nxt);
 
  private:
   // Bit 63 of the state mask is the latched "accepted" flag.
@@ -93,6 +144,20 @@ class RegularChain {
   void BuildIndependentMaskDist(Timestamp next);
   void EnumerateSuccessors(const Key& key, double p, Timestamp next,
                            StateMap* out);
+  // Map-path step over the canonically sorted live states.
+  void StepMap(Timestamp next);
+  // Kernel-path step; returns false after falling back to the map path
+  // (the state was dematerialized and the step must be re-run on the map).
+  bool StepKernel(Timestamp next);
+  // Builds the per-step CSR rows (successor hidden code, probability) for
+  // every live joint hidden code; mirrors EnumerateSuccessors' enumeration
+  // order exactly.
+  void BuildHiddenRows(Timestamp next);
+  // Abandons the kernel mid-stream: converts the flat state back into the
+  // dynamic map (used when a structural assumption breaks, e.g. a stream's
+  // domain grew after creation).
+  void DematerializeToMap();
+  void FixupStorage(const RegularChain& o);
 
   std::shared_ptr<const QueryNfa> nfa_;
   std::shared_ptr<const SymbolTable> symbols_;
@@ -103,10 +168,37 @@ class RegularChain {
   // Per-step OR-distribution of independent streams' symbol masks.
   std::vector<std::pair<SymbolMask, double>> indep_dist_;
   std::vector<uint64_t> radices_;  // per Markovian participant
+  // Markovian domain sizes the kernel was compiled against (per hidden
+  // slot); checked each step so a domain change falls back to the map path.
+  std::vector<uint32_t> kernel_domains_;
   Timestamp horizon_ = 0;
   Timestamp t_ = 0;
   bool track_accept_ = false;
+
+  // --- dynamic map path ----------------------------------------------------
   StateMap states_;
+
+  // --- compiled kernel path ------------------------------------------------
+  std::shared_ptr<const CompiledKernel> kernel_;
+  size_t planes_ = 1;            // 2 once accept tracking is enabled
+  std::vector<double> flat_;     // owned cur|nxt storage (empty when arena-bound)
+  double* cur_ = nullptr;
+  double* nxt_ = nullptr;
+
+  // Per-step scratch (reused, never copied with meaning).
+  struct Scratch {
+    std::vector<std::pair<SymbolMask, double>> stream_dist;
+    std::vector<std::pair<SymbolMask, double>> merged;
+    std::vector<std::pair<Key, double>> sorted;   // map path canonical order
+    std::vector<uint8_t> live;                    // [R]
+    std::vector<uint32_t> row_ptr;                // [R + 1]
+    std::vector<uint32_t> csr_h;
+    std::vector<double> csr_p;
+    std::vector<std::pair<uint64_t, double>> frames, frames2;
+    std::vector<uint32_t> step_cls;               // [markov classes x E]
+    std::vector<double> indep_p;                  // [E]
+  };
+  Scratch scratch_;
 };
 
 /// \brief Engine for Regular Queries: one chain, streamed over the database.
@@ -114,7 +206,8 @@ class RegularEngine {
  public:
   /// Builds the engine; `q` must already be normalized and regular.
   static Result<RegularEngine> Create(const NormalizedQuery& q,
-                                      const EventDatabase& db);
+                                      const EventDatabase& db,
+                                      const ChainOptions& options = {});
 
   /// P[q@t] for t = 1..horizon (index 0 unused).
   std::vector<double> Run();

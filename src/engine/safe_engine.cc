@@ -46,9 +46,15 @@ struct TsPairHash {
 class SafePlanEngine::RegEval : public SafePlanEngine::NodeEval {
  public:
   static Result<std::unique_ptr<RegEval>> Make(const NormalizedQuery& grounded,
-                                               const EventDatabase& db) {
+                                               const EventDatabase& db,
+                                               KernelCache* kernel_cache) {
+    // One cache per plan: the project operator grounds the same subquery
+    // once per key, and every grounding (plus every per-timestep snapshot
+    // copy) shares a single compiled kernel.
+    ChainOptions options;
+    options.kernel_cache = kernel_cache;
     LAHAR_ASSIGN_OR_RETURN(RegularChain chain,
-                           RegularChain::Create(grounded, db));
+                           RegularChain::Create(grounded, db, options));
     auto eval = std::make_unique<RegEval>();
     eval->horizon_ = chain.horizon();
     for (StreamId s : chain.participating()) eval->used_.insert(s);
@@ -280,12 +286,13 @@ Result<std::unique_ptr<NodeEval>> MakeEval(const SafePlanNode& node,
                                            const NormalizedQuery& full_query,
                                            const Binding& binding,
                                            const EventDatabase& db,
-                                           const PlanOptions& options) {
+                                           const PlanOptions& options,
+                                           KernelCache* kernel_cache) {
   switch (node.kind) {
     case SafePlanNode::Kind::kReg: {
       NormalizedQuery grounded = node.reg_query.Substitute(binding);
       LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<SafePlanEngine::RegEval> eval,
-                             SafePlanEngine::RegEval::Make(grounded, db));
+                             SafePlanEngine::RegEval::Make(grounded, db, kernel_cache));
       return std::unique_ptr<NodeEval>(std::move(eval));
     }
     case SafePlanNode::Kind::kProject: {
@@ -297,7 +304,8 @@ Result<std::unique_ptr<NodeEval>> MakeEval(const SafePlanNode& node,
         extended[node.project_var] = v;
         LAHAR_ASSIGN_OR_RETURN(
             std::unique_ptr<NodeEval> child,
-            MakeEval(*node.child, full_query, extended, db, options));
+            MakeEval(*node.child, full_query, extended, db, options,
+                     kernel_cache));
         children.push_back(std::move(child));
       }
       return std::unique_ptr<NodeEval>(
@@ -306,7 +314,8 @@ Result<std::unique_ptr<NodeEval>> MakeEval(const SafePlanNode& node,
     case SafePlanNode::Kind::kSeq: {
       LAHAR_ASSIGN_OR_RETURN(
           std::unique_ptr<NodeEval> child,
-          MakeEval(*node.child, full_query, binding, db, options));
+          MakeEval(*node.child, full_query, binding, db, options,
+                   kernel_cache));
       LAHAR_ASSIGN_OR_RETURN(
           std::unique_ptr<SafePlanEngine::SeqEval> eval,
           SafePlanEngine::SeqEval::Make(std::move(child), node.seq_goal,
@@ -328,8 +337,10 @@ Result<SafePlanEngine> SafePlanEngine::Create(const NormalizedQuery& q,
   engine.db_ = &db;
   engine.options_ = options;
   LAHAR_ASSIGN_OR_RETURN(engine.plan_, CompileSafePlan(q, db, options));
-  LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<NodeEval> root,
-                         MakeEval(*engine.plan_, q, Binding{}, db, options));
+  KernelCache kernel_cache;  // shared by every reg leaf of this plan
+  LAHAR_ASSIGN_OR_RETURN(
+      std::unique_ptr<NodeEval> root,
+      MakeEval(*engine.plan_, q, Binding{}, db, options, &kernel_cache));
   auto holder = std::shared_ptr<NodeEval>(std::move(root));
   engine.root_ = holder.get();
   engine.root_holder_ = holder;

@@ -18,9 +18,11 @@ Result<StreamingSession> StreamingSession::Create(
         "only Regular and Extended Regular queries evaluate in streaming "
         "fashion (Thms 3.3/3.7); Safe queries need the archived history");
   }
+  ChainOptions options;
+  options.kernel_cache = prepared.kernel_cache.get();
   LAHAR_ASSIGN_OR_RETURN(ExtendedRegularEngine engine,
                          ExtendedRegularEngine::Create(prepared.normalized,
-                                                       *db));
+                                                       *db, options));
   return StreamingSession(std::move(engine));
 }
 

@@ -49,8 +49,12 @@ Result<std::vector<std::vector<double>>> DiscreteHmm::Filter(
   const size_t N = num_states();
   std::vector<std::vector<double>> out(T, std::vector<double>(N, 0.0));
   std::vector<double> alpha = prior_;
+  std::vector<double> scratch;
   for (size_t t = 0; t < T; ++t) {
-    if (t > 0) alpha = transition_.LeftMultiply(alpha);
+    if (t > 0) {
+      transition_.LeftMultiplyInto(alpha, &scratch);
+      alpha.swap(scratch);
+    }
     for (size_t s = 0; s < N; ++s) alpha[s] *= likelihoods[t][s];
     double total = Sum(alpha);
     if (total <= 0) {
@@ -73,8 +77,12 @@ Result<DiscreteHmm::Smoothed> DiscreteHmm::Smooth(
   // Scaled forward pass.
   std::vector<std::vector<double>> alpha(T, std::vector<double>(N, 0.0));
   std::vector<double> cur = prior_;
+  std::vector<double> scratch;
   for (size_t t = 0; t < T; ++t) {
-    if (t > 0) cur = transition_.LeftMultiply(cur);
+    if (t > 0) {
+      transition_.LeftMultiplyInto(cur, &scratch);
+      cur.swap(scratch);
+    }
     for (size_t s = 0; s < N; ++s) cur[s] *= likelihoods[t][s];
     double total = Sum(cur);
     if (total <= 0) {
@@ -165,7 +173,7 @@ Result<std::vector<size_t>> DiscreteHmm::MapPath(
       }
     }
     for (size_t j = 0; j < N; ++j) next[j] += safe_log(likelihoods[t][j]);
-    delta = next;
+    delta.swap(next);  // next is refilled at the top of the loop
   }
   size_t best = 0;
   for (size_t s = 1; s < N; ++s) {

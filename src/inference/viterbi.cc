@@ -57,7 +57,7 @@ std::vector<DomainIndex> ViterbiPath(const Stream& stream) {
         }
       }
     }
-    delta = next;
+    delta.swap(next);  // next is refilled at the top of the loop
   }
 
   std::vector<DomainIndex> path(T + 1, kBottom);

@@ -167,30 +167,41 @@ RuntimeStats StreamRuntime::Stats() const {
 void StreamRuntime::RebuildPartitions() {
   const size_t num_shards = shard_work_.size();
   for (auto& w : shard_work_) w.clear();
-  size_t total = registry_.total_chains();
-  if (total == 0 || num_shards == 0) {
+  if (registry_.total_chains() == 0 || num_shards == 0) {
     work_version_ = registry_.version();
     return;
   }
-  // Deterministic greedy fill: walk queries in registration order, slicing
-  // each session's chain range into whatever room the current shard has
-  // left. Every shard ends up within one chain of total/num_shards.
-  const size_t quota = (total + num_shards - 1) / num_shards;
-  size_t shard = 0;
-  size_t filled = 0;
+  // Deterministic cost-weighted greedy fill: walk queries in registration
+  // order, weighting each chain by its per-step cost estimate (flat-state
+  // size on the compiled-kernel path, live map size otherwise) so a shard
+  // holding a few heavy chains balances against one holding many light
+  // ones. Costs drift as map-path chains grow, but partitions are only
+  // rebuilt on registry changes — the estimate is a snapshot, not a bound.
+  uint64_t total_cost = 0;
   for (const auto& q : registry_.queries()) {
-    size_t begin = 0;
+    for (size_t i = 0; i < q->session->num_chains(); ++i) {
+      total_cost += q->session->engine().ChainCost(i);
+    }
+  }
+  const uint64_t quota = (total_cost + num_shards - 1) / num_shards;
+  size_t shard = 0;
+  uint64_t filled = 0;
+  for (const auto& q : registry_.queries()) {
     const size_t n = q->session->num_chains();
-    while (begin < n) {
+    size_t begin = 0;
+    for (size_t i = 0; i < n; ++i) {
       if (filled >= quota && shard + 1 < num_shards) {
+        if (i > begin) {
+          shard_work_[shard].push_back(WorkItem{q.get(), begin, i});
+          begin = i;
+        }
         ++shard;
         filled = 0;
       }
-      size_t take = std::min(n - begin, quota - filled);
-      if (take == 0) take = n - begin;  // last shard absorbs the remainder
-      shard_work_[shard].push_back(WorkItem{q.get(), begin, begin + take});
-      begin += take;
-      filled += take;
+      filled += q->session->engine().ChainCost(i);
+    }
+    if (begin < n) {
+      shard_work_[shard].push_back(WorkItem{q.get(), begin, n});
     }
   }
   work_version_ = registry_.version();

@@ -151,6 +151,32 @@ TEST(MatrixTest, LeftMultiplyIsRowVectorTimesMatrix) {
   EXPECT_DOUBLE_EQ(r[2], 4.0);
 }
 
+TEST(MatrixTest, LeftMultiplyIntoMatchesLeftMultiply) {
+  Matrix m(3, 2);
+  m.At(0, 0) = 0.5;
+  m.At(0, 1) = 0.5;
+  m.At(1, 0) = 0.25;
+  m.At(2, 1) = 1.0;
+  std::vector<double> v = {0.1, 0.7, 0.2};
+  std::vector<double> expected = m.LeftMultiply(v);
+  std::vector<double> out;
+  m.LeftMultiplyInto(v, &out);
+  ASSERT_EQ(out.size(), expected.size());
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], expected[i]);
+}
+
+TEST(MatrixTest, LeftMultiplyIntoReusesAndOverwritesOutput) {
+  Matrix m(2, 2);
+  m.At(0, 0) = 1;
+  m.At(1, 1) = 2;
+  std::vector<double> v = {3.0, 4.0};
+  std::vector<double> out = {9.0, 9.0, 9.0};  // stale, larger than cols()
+  m.LeftMultiplyInto(v, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], 8.0);
+}
+
 TEST(MatrixTest, NormalizeRows) {
   Matrix m(2, 2);
   m.At(0, 0) = 2;

@@ -1,0 +1,211 @@
+// The compiled-kernel path's contract is *bit-identical* probabilities to
+// the dynamic map path (the semantic reference): both enumerate successors
+// in one canonical order with the same multiplication tree, so every
+// comparison here is EXPECT_EQ on doubles, not EXPECT_NEAR.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/extended_engine.h"
+#include "engine/regular_engine.h"
+#include "query/normalize.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::AddMarkovStream;
+using ::lahar::testing::AddRelation;
+using ::lahar::testing::MustParse;
+using ::lahar::testing::StepDist;
+
+ChainOptions MapOnly() {
+  ChainOptions o;
+  o.kernel.max_flat_states = 0;  // force the dynamic map path
+  return o;
+}
+
+// Steps a kernel-path chain and a map-path chain in lockstep over the whole
+// horizon (plus a few past-horizon steps) and demands equality on every
+// tick. `expect_compiled` asserts the kernel path actually engaged, so a
+// silently-failed compilation can't turn this into map-vs-map.
+void ExpectPathsIdentical(EventDatabase* db, const std::string& text,
+                          bool expect_compiled = true) {
+  QueryPtr q = MustParse(db, text);
+  ASSERT_NE(q, nullptr);
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  auto kernel_chain = RegularChain::Create(*nq, *db);
+  ASSERT_OK(kernel_chain.status());
+  auto map_chain = RegularChain::Create(*nq, *db, MapOnly());
+  ASSERT_OK(map_chain.status());
+  EXPECT_EQ(kernel_chain->compiled(), expect_compiled) << text;
+  EXPECT_FALSE(map_chain->compiled());
+  for (Timestamp t = 1; t <= db->horizon() + 3; ++t) {
+    double pk = kernel_chain->Step();
+    double pm = map_chain->Step();
+    EXPECT_EQ(pk, pm) << text << " diverges at t=" << t;
+    EXPECT_EQ(kernel_chain->AcceptProb(), map_chain->AcceptProb());
+    EXPECT_EQ(kernel_chain->NumStates(), map_chain->NumStates());
+  }
+}
+
+TEST(KernelEquivalenceTest, IndependentSequence) {
+  EventDatabase db;
+  AddIndependentStream(&db, "At", "Joe",
+                       {{{"a", 0.8}, {"h", 0.1}},
+                        {{"h", 0.6}, {"a", 0.2}},
+                        {{"h", 0.5}, {"c", 0.4}},
+                        {{"c", 0.7}, {"h", 0.2}}});
+  ExpectPathsIdentical(&db,
+                       "At('Joe', l1 : l1 = 'a'); At('Joe', l2 : l2 = 'c')");
+}
+
+TEST(KernelEquivalenceTest, KleenePlus) {
+  EventDatabase db;
+  AddRelation(&db, "Hall", {{"h"}});
+  AddIndependentStream(&db, "At", "Joe",
+                       {{{"a", 0.8}, {"h", 0.1}},
+                        {{"h", 0.6}, {"a", 0.2}},
+                        {{"h", 0.5}, {"c", 0.4}},
+                        {{"c", 0.7}, {"h", 0.2}}});
+  ExpectPathsIdentical(&db,
+                       "At('Joe', l1 : l1 = 'a'); "
+                       "At('Joe', l2)+{ : Hall(l2)}; "
+                       "At('Joe', l3 : l3 = 'c')");
+}
+
+TEST(KernelEquivalenceTest, MarkovianChain) {
+  EventDatabase db;
+  AddMarkovStream(&db, "At", "Joe", {"room", "hall", "lobby"}, 6, 0.6);
+  ExpectPathsIdentical(&db,
+                       "At('Joe', l1 : l1 = 'room'); "
+                       "At('Joe', l2 : l2 = 'room'); "
+                       "At('Joe', l3 : l3 = 'room')");
+}
+
+TEST(KernelEquivalenceTest, MixedMarkovAndIndependentStreams) {
+  EventDatabase db;
+  AddMarkovStream(&db, "At", "Joe", {"room", "hall"}, 5, 0.7);
+  AddIndependentStream(&db, "Door", "d1",
+                       {{{"open", 0.3}},
+                        {{"open", 0.9}},
+                        {{"shut", 0.5}, {"open", 0.4}},
+                        {{"open", 0.2}},
+                        {{"open", 0.6}}});
+  ExpectPathsIdentical(&db,
+                       "At('Joe', l : l = 'room'); Door('d1', s : s = 'open')");
+}
+
+TEST(KernelEquivalenceTest, AcceptTrackingInterval) {
+  EventDatabase db;
+  AddMarkovStream(&db, "At", "Joe", {"room", "hall"}, 6, 0.8);
+  QueryPtr q = MustParse(
+      &db, "At('Joe', l1 : l1 = 'room'); At('Joe', l2 : l2 = 'hall')");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  auto kc = RegularChain::Create(*nq, db);
+  auto mc = RegularChain::Create(*nq, db, MapOnly());
+  ASSERT_OK(kc.status());
+  ASSERT_OK(mc.status());
+  ASSERT_TRUE(kc->compiled());
+  // Advance to t=2, then latch: AcceptedProb at t is P[q in [3, t]].
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(kc->Step(), mc->Step());
+  }
+  kc->EnableAcceptTracking();
+  mc->EnableAcceptTracking();
+  for (Timestamp t = 3; t <= db.horizon(); ++t) {
+    EXPECT_EQ(kc->Step(), mc->Step()) << "t=" << t;
+    EXPECT_EQ(kc->AcceptedProb(), mc->AcceptedProb()) << "t=" << t;
+  }
+}
+
+TEST(KernelEquivalenceTest, SnapshotCopiesShareKernelAndStayIdentical) {
+  EventDatabase db;
+  AddMarkovStream(&db, "At", "Joe", {"room", "hall"}, 6, 0.8);
+  QueryPtr q = MustParse(
+      &db, "At('Joe', l1 : l1 = 'room'); At('Joe', l2 : l2 = 'hall')");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  auto chain = RegularChain::Create(*nq, db);
+  ASSERT_OK(chain.status());
+  ASSERT_TRUE(chain->compiled());
+  chain->Step();
+  RegularChain copy = *chain;  // the safe-plan snapshot pattern
+  EXPECT_TRUE(copy.compiled());
+  // Copy and original evolve identically and independently.
+  for (Timestamp t = 2; t <= db.horizon(); ++t) {
+    EXPECT_EQ(copy.Step(), chain->Step());
+  }
+}
+
+TEST(KernelEquivalenceTest, TinyBudgetFallsBackToMapPath) {
+  EventDatabase db;
+  AddMarkovStream(&db, "At", "Joe", {"room", "hall", "lobby"}, 5, 0.6);
+  QueryPtr q = MustParse(
+      &db, "At('Joe', l1 : l1 = 'room'); At('Joe', l2 : l2 = 'room')");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  ChainOptions tiny;
+  tiny.kernel.max_flat_states = 2;  // too small for 4 hidden codes
+  auto budget_chain = RegularChain::Create(*nq, db, tiny);
+  auto map_chain = RegularChain::Create(*nq, db, MapOnly());
+  ASSERT_OK(budget_chain.status());
+  ASSERT_OK(map_chain.status());
+  EXPECT_FALSE(budget_chain->compiled());
+  for (Timestamp t = 1; t <= db.horizon(); ++t) {
+    EXPECT_EQ(budget_chain->Step(), map_chain->Step());
+  }
+}
+
+TEST(KernelEquivalenceTest, ExtendedEngineBatchedVsMap) {
+  EventDatabase db;
+  for (const char* who : {"A", "B", "C", "D"}) {
+    AddMarkovStream(&db, "At", who, {"room", "hall"}, 6, 0.75);
+  }
+  QueryPtr q = MustParse(
+      &db, "At(x, l1 : l1 = 'room'); At(x, l2 : l2 = 'hall')");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  auto batched = ExtendedRegularEngine::Create(*nq, db);
+  auto mapped = ExtendedRegularEngine::Create(*nq, db, MapOnly());
+  ASSERT_OK(batched.status());
+  ASSERT_OK(mapped.status());
+  ASSERT_EQ(batched->num_chains(), 4u);
+  EXPECT_EQ(batched->num_compiled(), 4u);
+  EXPECT_EQ(mapped->num_compiled(), 0u);
+  EXPECT_GT(batched->arena_size(), 0u);
+  for (Timestamp t = 1; t <= db.horizon(); ++t) {
+    EXPECT_EQ(batched->Step(), mapped->Step()) << "t=" << t;
+    for (size_t i = 0; i < batched->num_chains(); ++i) {
+      EXPECT_EQ(batched->chain_probs()[i], mapped->chain_probs()[i]);
+    }
+  }
+}
+
+TEST(KernelEquivalenceTest, ExtendedEngineWithoutArenaStillIdentical) {
+  EventDatabase db;
+  for (const char* who : {"A", "B"}) {
+    AddMarkovStream(&db, "At", who, {"room", "hall"}, 4, 0.6);
+  }
+  QueryPtr q = MustParse(
+      &db, "At(x, l1 : l1 = 'room'); At(x, l2 : l2 = 'hall')");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  ChainOptions no_arena;
+  no_arena.soa_arena = false;
+  auto owned = ExtendedRegularEngine::Create(*nq, db, no_arena);
+  auto batched = ExtendedRegularEngine::Create(*nq, db);
+  ASSERT_OK(owned.status());
+  ASSERT_OK(batched.status());
+  EXPECT_EQ(owned->arena_size(), 0u);
+  for (Timestamp t = 1; t <= db.horizon(); ++t) {
+    EXPECT_EQ(owned->Step(), batched->Step());
+  }
+}
+
+}  // namespace
+}  // namespace lahar
