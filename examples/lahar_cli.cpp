@@ -115,6 +115,10 @@ int Serve(EventDatabase* archive, const std::vector<std::string>& queries) {
   }
   RuntimeOptions options;
   options.queue_capacity = 16;
+  // Serve every query class: Safe queries compile to incremental plans
+  // (distinct-keys assumption, as in batch mode) and Unsafe or
+  // plan-less Safe queries fall back to approximate sampling sessions.
+  options.session.plan.assume_distinct_keys = true;
   StreamRuntime runtime(live->get(), options);
   std::vector<QueryId> ids;
   for (const std::string& q : queries) {
@@ -124,9 +128,14 @@ int Serve(EventDatabase* archive, const std::vector<std::string>& queries) {
                    id.status().ToString().c_str());
       return 1;
     }
-    std::printf("# q%llu: %s\n", static_cast<unsigned long long>(*id),
-                q.c_str());
     ids.push_back(*id);
+  }
+  for (const QueryStats& qs : runtime.Stats().queries) {
+    std::printf("# q%llu [%s via %s%s]: %s\n",
+                static_cast<unsigned long long>(qs.id),
+                qs.query_class.c_str(), qs.engine.c_str(),
+                qs.exact ? "" : ", (eps,delta)-approximate",
+                qs.text.c_str());
   }
   std::printf("# t");
   for (QueryId id : ids) {

@@ -1,5 +1,7 @@
 #include "automaton/symbols.h"
 
+#include <algorithm>
+
 namespace lahar {
 
 bool UnifyEvent(const Subgoal& goal, const ValueTuple& key,
@@ -19,9 +21,36 @@ bool UnifyEvent(const Subgoal& goal, const ValueTuple& key,
   return true;
 }
 
+Status SymbolTable::ComputeMasks(const NormalizedQuery& q,
+                                 const EventDatabase& db, const Stream& stream,
+                                 size_t num_key_attrs, DomainIndex from,
+                                 std::vector<SymbolMask>* masks) {
+  Binding binding;
+  for (DomainIndex d = std::max<DomainIndex>(from, 1);
+       d < stream.domain_size(); ++d) {
+    const ValueTuple& values = stream.TupleOf(d);
+    for (size_t i = 0; i < q.subgoals.size(); ++i) {
+      const NormalizedSubgoal& sg = q.subgoals[i];
+      if (sg.goal.type != stream.type()) continue;
+      binding.clear();
+      if (!UnifyEvent(sg.goal, stream.key(), values, num_key_attrs,
+                      &binding)) {
+        continue;
+      }
+      LAHAR_ASSIGN_OR_RETURN(bool match, sg.match_pred.Eval(binding, db));
+      if (!match) continue;
+      (*masks)[d] |= MatchBit(i);
+      LAHAR_ASSIGN_OR_RETURN(bool accept, sg.accept_pred.Eval(binding, db));
+      if (accept) (*masks)[d] |= AcceptBit(i);
+    }
+  }
+  return Status::OK();
+}
+
 Result<SymbolTable> SymbolTable::Build(const NormalizedQuery& q,
                                        const EventDatabase& db) {
   SymbolTable table;
+  table.query_ = q;
   table.num_subgoals_ = q.subgoals.size();
   if (table.num_subgoals_ > 31) {
     return Status::InvalidArgument("too many subgoals (max 31)");
@@ -52,31 +81,40 @@ Result<SymbolTable> SymbolTable::Build(const NormalizedQuery& q,
     if (!possible) continue;
 
     std::vector<SymbolMask> masks(stream.domain_size(), 0);
+    LAHAR_RETURN_NOT_OK(
+        ComputeMasks(q, db, stream, schema->num_key_attrs, 1, &masks));
     bool any = false;
-    Binding binding;
-    for (DomainIndex d = 1; d < stream.domain_size(); ++d) {
-      const ValueTuple& values = stream.TupleOf(d);
-      for (size_t i = 0; i < q.subgoals.size(); ++i) {
-        const NormalizedSubgoal& sg = q.subgoals[i];
-        if (sg.goal.type != stream.type()) continue;
-        binding.clear();
-        if (!UnifyEvent(sg.goal, stream.key(), values, schema->num_key_attrs,
-                        &binding)) {
-          continue;
-        }
-        LAHAR_ASSIGN_OR_RETURN(bool match, sg.match_pred.Eval(binding, db));
-        if (!match) continue;
-        masks[d] |= MatchBit(i);
-        LAHAR_ASSIGN_OR_RETURN(bool accept, sg.accept_pred.Eval(binding, db));
-        if (accept) masks[d] |= AcceptBit(i);
-        any = true;
-      }
-      any = any || masks[d] != 0;
-    }
+    for (SymbolMask m : masks) any = any || m != 0;
     if (any) {
       table.streams_.push_back(s);
       table.masks_.push_back(std::move(masks));
     }
+  }
+  return table;
+}
+
+bool SymbolTable::CoversDomains(const EventDatabase& db) const {
+  for (size_t pos = 0; pos < streams_.size(); ++pos) {
+    if (db.stream(streams_[pos]).domain_size() > masks_[pos].size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<SymbolTable> SymbolTable::WithGrownDomains(
+    const EventDatabase& db) const {
+  SymbolTable table(*this);
+  for (size_t pos = 0; pos < table.streams_.size(); ++pos) {
+    const Stream& stream = db.stream(table.streams_[pos]);
+    std::vector<SymbolMask>& masks = table.masks_[pos];
+    if (stream.domain_size() <= masks.size()) continue;
+    const EventSchema* schema = db.FindSchema(stream.type());
+    if (schema == nullptr) return Status::Internal("stream without schema");
+    const DomainIndex from = static_cast<DomainIndex>(masks.size());
+    masks.resize(stream.domain_size(), 0);
+    LAHAR_RETURN_NOT_OK(ComputeMasks(table.query_, db, stream,
+                                     schema->num_key_attrs, from, &masks));
   }
   return table;
 }

@@ -45,18 +45,45 @@ class SymbolTable {
                                    const EventDatabase& db);
 
   /// Streams that can produce at least one symbol for this query, in id
-  /// order. Only these matter to the Markov chain.
+  /// order. Only these matter to the Markov chain. Participation is fixed
+  /// at Build time: streams added later (or whose first matching value is
+  /// interned later) are not picked up — re-ground the query instead.
   const std::vector<StreamId>& participating() const { return streams_; }
 
   /// Symbol mask produced by participating stream (by *position* in
   /// participating()) when it takes domain index d. Bottom yields 0.
+  /// Domain indices interned after the table was built yield 0 (no
+  /// symbols) until the holder swaps in WithGrownDomains().
   SymbolMask MaskFor(size_t position, DomainIndex d) const {
-    return masks_[position][d];
+    const std::vector<SymbolMask>& m = masks_[position];
+    return d < m.size() ? m[d] : 0;
   }
+
+  /// Domain indices covered for participating stream `position`.
+  size_t domain_size(size_t position) const { return masks_[position].size(); }
+
+  /// True when every participating stream's current domain is covered —
+  /// i.e. no value was interned since the table was built (or last grown).
+  bool CoversDomains(const EventDatabase& db) const;
+
+  /// Returns a copy whose masks also cover domain indices interned after
+  /// this table was built (streams grow mid-stream in live serving; see
+  /// docs/RUNTIME.md). The copy is independent, so each holder upgrades
+  /// its own shared_ptr — no mutation is visible to concurrent readers.
+  Result<SymbolTable> WithGrownDomains(const EventDatabase& db) const;
 
   size_t num_subgoals() const { return num_subgoals_; }
 
  private:
+  // Fills masks[from..) for one participating stream (masks is already
+  // sized to the stream's domain); shared by Build and WithGrownDomains.
+  static Status ComputeMasks(const NormalizedQuery& q, const EventDatabase& db,
+                             const Stream& stream, size_t num_key_attrs,
+                             DomainIndex from, std::vector<SymbolMask>* masks);
+
+  // The normalized query is retained so WithGrownDomains can evaluate the
+  // match/accept predicates on newly interned values.
+  NormalizedQuery query_;
   size_t num_subgoals_ = 0;
   std::vector<StreamId> streams_;
   std::vector<std::vector<SymbolMask>> masks_;  // [position][domain index]

@@ -48,11 +48,44 @@ Status Status::Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
 }
 
+Status& Status::SetPayload(std::string key, std::string value) & {
+  for (auto& kv : payload_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return *this;
+    }
+  }
+  payload_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Status&& Status::WithPayload(std::string key, std::string value) && {
+  SetPayload(std::move(key), std::move(value));
+  return std::move(*this);
+}
+
+const std::string* Status::GetPayload(std::string_view key) const {
+  for (const auto& kv : payload_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = CodeName(code_);
   out += ": ";
   out += msg_;
+  if (!payload_.empty()) {
+    out += " [";
+    for (size_t i = 0; i < payload_.size(); ++i) {
+      if (i > 0) out += ' ';
+      out += payload_[i].first;
+      out += '=';
+      out += payload_[i].second;
+    }
+    out += ']';
+  }
   return out;
 }
 

@@ -6,8 +6,10 @@
 
 #include <cassert>
 #include <optional>
+#include <string_view>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace lahar {
 
@@ -23,6 +25,12 @@ enum class StatusCode {
   kUnsafeQuery,    ///< query provably #P-hard; only the sampling engine applies
   kInternal,
 };
+
+/// Payload key carrying the QueryClass name ("Regular", "ExtendedRegular",
+/// "Safe", "Unsafe") on statuses produced by query routing, so callers can
+/// distinguish a provably-hard query from one a given engine merely does
+/// not support yet (see engine/session.h).
+inline constexpr const char* kQueryClassPayload = "query_class";
 
 /// \brief Outcome of a fallible operation: either OK or a code plus message.
 ///
@@ -51,12 +59,25 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return msg_; }
 
-  /// Renders "OK" or "<Code>: <message>" for logs and test failures.
+  /// Attaches a small machine-readable (key, value) pair to a non-OK
+  /// status, following the absl::Status payload idiom. Setting a key twice
+  /// overwrites it; payloads on OK statuses are ignored by ToString.
+  Status& SetPayload(std::string key, std::string value) &;
+  Status&& WithPayload(std::string key, std::string value) &&;
+
+  /// Returns the payload for `key`, or nullptr when absent.
+  const std::string* GetPayload(std::string_view key) const;
+
+  /// Renders "OK" or "<Code>: <message> [key=value ...]" for logs and test
+  /// failures.
   std::string ToString() const;
 
  private:
   StatusCode code_ = StatusCode::kOk;
   std::string msg_;
+  // Non-OK statuses are already off the fast path, so a tiny vector beats a
+  // map for the one or two payloads ever attached.
+  std::vector<std::pair<std::string, std::string>> payload_;
 };
 
 /// \brief A value of type T or a non-OK Status explaining its absence.

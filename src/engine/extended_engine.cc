@@ -57,6 +57,10 @@ void ExtendedRegularEngine::StepChainRange(size_t begin, size_t end) {
 
 double ExtendedRegularEngine::CommitParallelStep() {
   ++t_;
+  // A single grounding needs no union, and 1 - (1 - p) is not an IEEE
+  // no-op: returning p directly keeps Regular-class answers bit-identical
+  // to RegularEngine's.
+  if (chain_probs_.size() == 1) return chain_probs_[0];
   double none = 1.0;
   for (double p : chain_probs_) none *= 1.0 - p;
   return 1.0 - none;

@@ -67,6 +67,14 @@ class ExtendedRegularEngine {
 
   /// Relative per-step cost of chain i (runtime shard balancing).
   size_t ChainCost(size_t i) const { return chains_[i].StepCost(); }
+  /// First error latched by any chain (e.g. a failed symbol-table refresh
+  /// after mid-stream domain growth); OK in normal operation.
+  Status ChainStatus() const {
+    for (const RegularChain& c : chains_) {
+      if (!c.status().ok()) return c.status();
+    }
+    return Status::OK();
+  }
   /// Number of chains running on a compiled kernel (vs. the map path).
   size_t num_compiled() const {
     size_t n = 0;

@@ -3,6 +3,7 @@
 #include "engine/extended_engine.h"
 #include "engine/regular_engine.h"
 #include "engine/safe_engine.h"
+#include "engine/session.h"
 #include "query/parser.h"
 
 namespace lahar {
@@ -24,6 +25,17 @@ Result<PreparedQuery> Lahar::Prepare(std::string_view text) const {
 Result<QueryAnswer> Lahar::Run(std::string_view text) const {
   LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
   return Run(prepared);
+}
+
+Result<std::unique_ptr<QuerySession>> Lahar::OpenSession(
+    std::string_view text) const {
+  LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(text));
+  return CreateQuerySession(db_, prepared, options_);
+}
+
+Result<std::unique_ptr<QuerySession>> Lahar::OpenSession(
+    const PreparedQuery& prepared) const {
+  return CreateQuerySession(db_, prepared, options_);
 }
 
 Result<QueryAnswer> Lahar::Run(const PreparedQuery& prepared) const {
@@ -75,7 +87,9 @@ Result<QueryAnswer> Lahar::Run(const PreparedQuery& prepared) const {
     }
     case QueryClass::kUnsafe: {
       if (!options_.allow_sampling_fallback) {
-        return Status::UnsafeQuery(prepared.classification.reason);
+        return Status::UnsafeQuery(prepared.classification.reason)
+            .WithPayload(kQueryClassPayload,
+                         QueryClassName(QueryClass::kUnsafe));
       }
       return sample();
     }

@@ -10,6 +10,7 @@
 #ifndef LAHAR_ENGINE_LAHAR_H_
 #define LAHAR_ENGINE_LAHAR_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -52,6 +53,8 @@ struct QueryAnswer {
   bool exact = true;
 };
 
+class QuerySession;  // engine/session.h
+
 /// \brief Facade over the four engines.
 class Lahar {
  public:
@@ -68,6 +71,16 @@ class Lahar {
 
   /// Evaluates an already-prepared query.
   Result<QueryAnswer> Run(const PreparedQuery& prepared) const;
+
+  /// Opens an incremental standing-query session for `text`, routed to the
+  /// cheapest engine able to serve it (see engine/session.h). Every query
+  /// class is servable; with allow_sampling_fallback disabled, Safe queries
+  /// without a compilable plan and Unsafe queries are rejected with the
+  /// class in the kQueryClassPayload payload.
+  Result<std::unique_ptr<QuerySession>> OpenSession(
+      std::string_view text) const;
+  Result<std::unique_ptr<QuerySession>> OpenSession(
+      const PreparedQuery& prepared) const;
 
   const EventDatabase& db() const { return *db_; }
 

@@ -120,6 +120,7 @@ RegularChain::RegularChain(const RegularChain& o)
       horizon_(o.horizon_),
       t_(o.t_),
       track_accept_(o.track_accept_),
+      status_(o.status_),
       states_(o.states_),
       kernel_(o.kernel_),
       planes_(o.planes_) {
@@ -152,6 +153,7 @@ RegularChain& RegularChain::operator=(RegularChain&& o) noexcept {
   horizon_ = o.horizon_;
   t_ = o.t_;
   track_accept_ = o.track_accept_;
+  status_ = std::move(o.status_);
   states_ = std::move(o.states_);
   kernel_ = std::move(o.kernel_);
   planes_ = o.planes_;
@@ -477,8 +479,24 @@ void RegularChain::DematerializeToMap() {
   planes_ = 1;
 }
 
+void RegularChain::RefreshSymbols() {
+  Result<SymbolTable> grown = symbols_->WithGrownDomains(*db_);
+  if (!grown.ok()) {
+    // Keep serving with the old table — MaskFor bounds-checks, so unknown
+    // values contribute no symbols — and surface the failure via status().
+    if (status_.ok()) status_ = grown.status();
+    return;
+  }
+  symbols_ = std::make_shared<const SymbolTable>(std::move(*grown));
+}
+
 double RegularChain::Step() {
   Timestamp next = t_ + 1;
+  // Live serving interns domain values mid-stream; extend the symbol table
+  // before reading it. If the grown value's mask falls outside the compiled
+  // alphabet, StepKernel's structural guard dematerializes to the map path;
+  // a mask already in the alphabet keeps the kernel running bit-identically.
+  if (!symbols_->CoversDomains(*db_)) RefreshSymbols();
   BuildIndependentMaskDist(next);
   const bool stepped = kernel_ != nullptr && StepKernel(next);
   if (!stepped) StepMap(next);

@@ -100,6 +100,12 @@ class RegularChain {
   /// True when this chain stepped onto a compiled kernel (vs. the map path).
   bool compiled() const { return kernel_ != nullptr; }
 
+  /// First error latched by Step() (e.g. a failed symbol-table refresh
+  /// after mid-stream domain growth); OK in normal operation. A chain with
+  /// a latched error keeps stepping, treating unknown values as producing
+  /// no symbols.
+  const Status& status() const { return status_; }
+
   /// Doubles per state buffer on the kernel path (planes x |masks| x R);
   /// 0 on the map path. A chain owns two such buffers (double-buffering).
   size_t FlatStride() const;
@@ -157,6 +163,10 @@ class RegularChain {
   // dynamic map (used when a structural assumption breaks, e.g. a stream's
   // domain grew after creation).
   void DematerializeToMap();
+  // Swaps in a symbol table extended over domain values interned since
+  // creation (copy-on-grow: the old table stays untouched for other chains
+  // sharing it). On failure, latches status_ and keeps the old table.
+  void RefreshSymbols();
   void FixupStorage(const RegularChain& o);
 
   std::shared_ptr<const QueryNfa> nfa_;
@@ -174,6 +184,7 @@ class RegularChain {
   Timestamp horizon_ = 0;
   Timestamp t_ = 0;
   bool track_accept_ = false;
+  Status status_;  // first Step()-time error (see status())
 
   // --- dynamic map path ----------------------------------------------------
   StateMap states_;

@@ -19,6 +19,15 @@ class SafePlanEngine::NodeEval {
   /// P[subquery satisfied at some t in [ts, tf]]; ts >= 1.
   virtual Result<double> Prob(Timestamp ts, Timestamp tf) = 0;
 
+  /// Extends the node's tables to cover timesteps up to `t`. Already
+  /// computed entries are never recomputed: the tables grow monotonically
+  /// in tf (Section 3.3's lazy evaluation), so extension is bit-identical
+  /// to building them at the larger horizon in the first place.
+  virtual Status ExtendTo(Timestamp t) = 0;
+
+  /// Relative per-tick cost estimate (runtime shard balancing).
+  virtual size_t StepCost() const = 0;
+
   /// Streams whose events this subplan's probability depends on.
   const std::set<StreamId>& used_streams() const { return used_; }
 
@@ -69,6 +78,15 @@ class SafePlanEngine::RegEval : public SafePlanEngine::NodeEval {
     return RowValue(ts, tf);
   }
 
+  // The chains read the database live and rows extend on demand, so growing
+  // the leaf is just widening the clamp.
+  Status ExtendTo(Timestamp t) override {
+    if (t > horizon_) horizon_ = t;
+    return Status::OK();
+  }
+
+  size_t StepCost() const override { return snapshots_.front().StepCost(); }
+
  private:
   // A partially computed row: the accept-tracking chain frozen at the last
   // computed timestep, extended only as far as callers actually ask — the
@@ -116,68 +134,62 @@ class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
       const Binding& binding, const EventDatabase& db, bool exclude_left,
       double truncate) {
     auto eval = std::make_unique<SeqEval>();
+    eval->db_ = &db;
     eval->truncate_ = truncate;
-    eval->horizon_ = db.horizon();
+    eval->exclude_left_ = exclude_left;
     eval->used_ = child->used_streams();
     eval->child_ = std::move(child);
 
     // Ground the subgoal and localize its predicates.
-    Subgoal goal_sub = goal.goal;
-    for (Term& t : goal_sub.terms) {
+    eval->goal_sub_ = goal.goal;
+    for (Term& t : eval->goal_sub_.terms) {
       if (!t.is_var) continue;
       auto it = binding.find(t.var);
       if (it != binding.end()) t = Term::Const(it->second);
     }
-    Condition match = goal.match_pred.Substitute(binding);
-    Condition accept = goal.accept_pred.Substitute(binding);
+    eval->match_ = goal.match_pred.Substitute(binding);
+    eval->accept_ = goal.accept_pred.Substitute(binding);
 
-    // Per-timestep probability that *some* stream produces a witness event.
-    eval->w_.assign(eval->horizon_ + 1, 0.0);
-    std::vector<double> none(eval->horizon_ + 1, 1.0);
-    const EventSchema* schema = db.FindSchema(goal_sub.type);
-    if (schema == nullptr) {
+    eval->schema_ = db.FindSchema(eval->goal_sub_.type);
+    if (eval->schema_ == nullptr) {
       return Status::NotFound("no schema for seq subgoal");
     }
-    for (StreamId sid : db.StreamsOfType(goal_sub.type)) {
-      if (exclude_left && eval->child_->used_streams().count(sid)) continue;
-      const Stream& stream = db.stream(sid);
-      // Which domain values match the (grounded) subgoal?
-      std::vector<bool> matches(stream.domain_size(), false);
-      std::vector<bool> matches_m_only(stream.domain_size(), false);
-      bool stream_can_match = false;
-      Binding scratch;
-      for (DomainIndex d = 1; d < stream.domain_size(); ++d) {
-        scratch.clear();
-        if (!UnifyEvent(goal_sub, stream.key(), stream.TupleOf(d),
-                        schema->num_key_attrs, &scratch)) {
-          continue;
-        }
-        LAHAR_ASSIGN_OR_RETURN(bool m, match.Eval(scratch, db));
-        if (!m) continue;
-        LAHAR_ASSIGN_OR_RETURN(bool a, accept.Eval(scratch, db));
-        if (a) {
-          matches[d] = true;
-        } else {
-          matches_m_only[d] = true;
-        }
-        stream_can_match = true;
+    // Classify every candidate witness stream up front so structural errors
+    // (Markovian witness streams) surface at Create time, as they did when
+    // the whole table was built eagerly.
+    for (StreamId sid : db.StreamsOfType(eval->goal_sub_.type)) {
+      if (eval->exclude_left_ && eval->child_->used_streams().count(sid)) {
+        continue;
       }
-      if (!stream_can_match) continue;
-      if (stream.markovian()) {
-        return Status::InvalidArgument(
-            "the seq operator requires witness streams of type '" +
-            db.interner().Name(stream.type()) +
-            "' to be independent across time (Section 3.3 assumption); "
-            "archived Markovian streams are only supported inside reg "
-            "leaves");
-      }
-      eval->used_.insert(sid);
-      for (Timestamp t = 1; t <= stream.horizon(); ++t) {
+      LAHAR_RETURN_NOT_OK(eval->RefreshWitness(sid));
+    }
+    eval->w_.assign(1, 0.0);
+    LAHAR_RETURN_NOT_OK(eval->ExtendTo(db.horizon()));
+    return eval;
+  }
+
+  // Per-timestep probability that *some* stream produces a witness event,
+  // appended one column per new timestep. Per t, the (1 - pa) factors
+  // multiply in StreamsOfType order — the same sequence a from-scratch
+  // build walks — so extension is bit-identical to eager evaluation.
+  Status ExtendTo(Timestamp target) override {
+    LAHAR_RETURN_NOT_OK(child_->ExtendTo(target));
+    if (target <= horizon_) return Status::OK();
+    w_.resize(target + 1, 0.0);
+    for (Timestamp t = horizon_ + 1; t <= target; ++t) {
+      double none = 1.0;
+      for (StreamId sid : db_->StreamsOfType(goal_sub_.type)) {
+        if (exclude_left_ && child_->used_streams().count(sid)) continue;
+        const Stream& stream = db_->stream(sid);
+        if (t > stream.horizon()) continue;
+        LAHAR_RETURN_NOT_OK(RefreshWitness(sid));
+        const Witness& wit = witnesses_[sid];
+        if (!wit.can_match) continue;
         const auto& marg = stream.MarginalAt(t);
         double pa = 0, pm_only = 0;
         for (DomainIndex d = 1; d < marg.size(); ++d) {
-          if (matches[d]) pa += marg[d];
-          if (matches_m_only[d]) pm_only += marg[d];
+          if (wit.matches[d]) pa += marg[d];
+          if (wit.matches_m_only[d]) pm_only += marg[d];
         }
         if (pm_only > 1e-12) {
           return Status::Unimplemented(
@@ -186,14 +198,15 @@ class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
               "semantics); rewrite the condition into the subgoal predicate "
               "(':' form) or use the sampling engine");
         }
-        none[t] *= 1.0 - pa;
+        none *= 1.0 - pa;
       }
+      w_[t] = 1.0 - none;
     }
-    for (Timestamp t = 1; t <= eval->horizon_; ++t) {
-      eval->w_[t] = 1.0 - none[t];
-    }
-    return eval;
+    horizon_ = target;
+    return Status::OK();
   }
+
+  size_t StepCost() const override { return child_->StepCost() + 1; }
 
   Result<double> Prob(Timestamp ts, Timestamp tf) override {
     if (ts < 1) ts = 1;
@@ -247,9 +260,63 @@ class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
   }
 
  private:
+  // Which of a stream's domain values satisfy the grounded subgoal, cached
+  // across ExtendTo calls and re-evaluated only for domain values interned
+  // after the last refresh.
+  struct Witness {
+    std::vector<bool> matches;         // accept-qualified values
+    std::vector<bool> matches_m_only;  // match- but not accept-qualified
+    bool can_match = false;
+  };
+
+  Status RefreshWitness(StreamId sid) {
+    const Stream& stream = db_->stream(sid);
+    Witness& wit = witnesses_[sid];
+    if (wit.matches.size() >= stream.domain_size()) return Status::OK();
+    DomainIndex from = static_cast<DomainIndex>(wit.matches.size());
+    if (from < 1) from = 1;  // index 0 is bottom
+    wit.matches.resize(stream.domain_size(), false);
+    wit.matches_m_only.resize(stream.domain_size(), false);
+    Binding scratch;
+    for (DomainIndex d = from; d < stream.domain_size(); ++d) {
+      scratch.clear();
+      if (!UnifyEvent(goal_sub_, stream.key(), stream.TupleOf(d),
+                      schema_->num_key_attrs, &scratch)) {
+        continue;
+      }
+      LAHAR_ASSIGN_OR_RETURN(bool m, match_.Eval(scratch, *db_));
+      if (!m) continue;
+      LAHAR_ASSIGN_OR_RETURN(bool a, accept_.Eval(scratch, *db_));
+      if (a) {
+        wit.matches[d] = true;
+      } else {
+        wit.matches_m_only[d] = true;
+      }
+      wit.can_match = true;
+    }
+    if (!wit.can_match) return Status::OK();
+    if (stream.markovian()) {
+      return Status::InvalidArgument(
+          "the seq operator requires witness streams of type '" +
+          db_->interner().Name(stream.type()) +
+          "' to be independent across time (Section 3.3 assumption); "
+          "archived Markovian streams are only supported inside reg "
+          "leaves");
+    }
+    used_.insert(sid);
+    return Status::OK();
+  }
+
+  const EventDatabase* db_ = nullptr;
+  const EventSchema* schema_ = nullptr;
+  Subgoal goal_sub_;   // grounded right-hand subgoal
+  Condition match_;    // localized predicates
+  Condition accept_;
+  bool exclude_left_ = false;
   Timestamp horizon_ = 0;
   double truncate_ = 1e-12;
   std::unique_ptr<NodeEval> child_;
+  std::unordered_map<StreamId, Witness> witnesses_;
   std::vector<double> w_;  // witness probability per timestep
   std::unordered_map<std::pair<Timestamp, Timestamp>, double, TsPairHash>
       memo_;
@@ -273,6 +340,17 @@ class SafePlanEngine::ProjectEval : public SafePlanEngine::NodeEval {
       none *= 1.0 - p;
     }
     return 1.0 - none;
+  }
+
+  Status ExtendTo(Timestamp t) override {
+    for (const auto& c : children_) LAHAR_RETURN_NOT_OK(c->ExtendTo(t));
+    return Status::OK();
+  }
+
+  size_t StepCost() const override {
+    size_t total = 1;
+    for (const auto& c : children_) total += c->StepCost();
+    return total;
   }
 
  private:
@@ -348,6 +426,7 @@ Result<SafePlanEngine> SafePlanEngine::Create(const NormalizedQuery& q,
 }
 
 Result<std::vector<double>> SafePlanEngine::Run() {
+  LAHAR_RETURN_NOT_OK(root_->ExtendTo(db_->horizon()));
   std::vector<double> out(db_->horizon() + 1, 0.0);
   for (Timestamp t = 1; t <= db_->horizon(); ++t) {
     LAHAR_ASSIGN_OR_RETURN(out[t], root_->Prob(t, t));
@@ -358,5 +437,14 @@ Result<std::vector<double>> SafePlanEngine::Run() {
 Result<double> SafePlanEngine::IntervalProb(Timestamp ts, Timestamp tf) {
   return root_->Prob(ts, tf);
 }
+
+Status SafePlanEngine::ExtendTo(Timestamp t) { return root_->ExtendTo(t); }
+
+Result<double> SafePlanEngine::AdvanceTo(Timestamp t) {
+  LAHAR_RETURN_NOT_OK(root_->ExtendTo(t));
+  return root_->Prob(t, t);
+}
+
+size_t SafePlanEngine::StepCost() const { return root_->StepCost(); }
 
 }  // namespace lahar

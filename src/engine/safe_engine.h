@@ -47,6 +47,23 @@ class SafePlanEngine {
   /// P[q satisfied at some t in [ts, tf]] from the plan root.
   Result<double> IntervalProb(Timestamp ts, Timestamp tf);
 
+  /// Extends the lazy evaluation structures to cover timesteps up to `t`
+  /// after the database grew: reg-leaf rows and seq witness tables gain one
+  /// column per appended timestep instead of being recomputed — the
+  /// incremental mode behind SafeQuerySession (engine/session.h). Run()
+  /// calls this implicitly, so batch results always cover the live horizon.
+  Status ExtendTo(Timestamp t);
+
+  /// Incremental per-tick evaluation: extends the tables to `t` and returns
+  /// mu(q@t), bit-identical to probs[t] of a batch Run() over the same
+  /// data (the tables extend monotonically in tf, so the arithmetic is the
+  /// same either way).
+  Result<double> AdvanceTo(Timestamp t);
+
+  /// Relative per-tick cost estimate (runtime shard balancing): sums the
+  /// reg leaves' chain step costs.
+  size_t StepCost() const;
+
   /// The compiled plan (for inspection / the query_classifier example).
   const SafePlanNode& plan() const { return *plan_; }
 

@@ -25,6 +25,8 @@ Result<SamplingEngine> SamplingEngine::Create(QueryPtr q,
                             ? options.num_samples
                             : HoeffdingSamples(options.epsilon, options.delta);
   engine.seed_ = options.seed;
+  engine.accepted_.assign(engine.num_samples_, 0);
+  engine.sample_status_.assign(engine.num_samples_, Status::OK());
 
   // Try the incremental NFA path: every grounding must be regular.
   auto nq = Normalize(*q);
@@ -79,61 +81,138 @@ Result<SamplingEngine> SamplingEngine::Create(QueryPtr q,
       engine.chains_.clear();
     }
   }
-  // General path: per-world reference evaluation in Run().
+  // General path: batch per-world reference evaluation in Run(), per-tick
+  // world-prefix extension in Step(). Seeded identically to the NFA path so
+  // incremental estimates are reproducible.
+  Rng seeder(engine.seed_);
+  for (size_t i = 0; i < engine.num_samples_; ++i) {
+    engine.sample_rngs_.push_back(seeder.Split());
+  }
+  engine.worlds_.resize(engine.num_samples_);
   return engine;
 }
 
-Result<double> SamplingEngine::Step() {
-  if (!incremental()) {
-    return Status::InvalidArgument(
-        "Step() requires the incremental NFA path (regular groundings)");
-  }
-  Timestamp next = t_ + 1;
+void SamplingEngine::StepNfaSample(size_t i, Timestamp next,
+                                   std::vector<double>* row) {
   const size_t num_slots = slot_streams_.size();
-  size_t accepted = 0;
-  std::vector<double> row;
-  for (size_t i = 0; i < num_samples_; ++i) {
-    Rng& rng = sample_rngs_[i];
-    DomainIndex* vals = &values_[i * std::max<size_t>(1, num_slots)];
-    // Sample each participating stream's next value exactly once.
-    for (size_t slot = 0; slot < num_slots; ++slot) {
-      const Stream& s = db_->stream(slot_streams_[slot]);
-      if (next > s.horizon()) {
+  Rng& rng = sample_rngs_[i];
+  DomainIndex* vals = &values_[i * std::max<size_t>(1, num_slots)];
+  // Sample each participating stream's next value exactly once.
+  for (size_t slot = 0; slot < num_slots; ++slot) {
+    const Stream& s = db_->stream(slot_streams_[slot]);
+    if (next > s.horizon()) {
+      vals[slot] = kBottom;
+      continue;
+    }
+    if (s.markovian() && next > 1) {
+      const Matrix& cpt = s.CptAt(next - 1);
+      const double* r = cpt.Row(vals[slot]);
+      row->assign(r, r + cpt.cols());
+      size_t d = rng.Categorical(*row);
+      vals[slot] = d >= row->size() ? kBottom : static_cast<DomainIndex>(d);
+    } else {
+      const auto& m = s.MarginalAt(next);
+      if (m.empty()) {
         vals[slot] = kBottom;
-        continue;
-      }
-      if (s.markovian() && next > 1) {
-        const Matrix& cpt = s.CptAt(next - 1);
-        const double* r = cpt.Row(vals[slot]);
-        row.assign(r, r + cpt.cols());
-        size_t d = rng.Categorical(row);
-        vals[slot] = d >= row.size() ? kBottom : static_cast<DomainIndex>(d);
       } else {
-        const auto& m = s.MarginalAt(next);
+        size_t d = rng.Categorical(m);
+        vals[slot] = d >= m.size() ? kBottom : static_cast<DomainIndex>(d);
+      }
+    }
+  }
+  // Advance every chain; the sample satisfies q@t if any chain accepts.
+  bool any = false;
+  for (size_t c = 0; c < chains_.size(); ++c) {
+    GroundedChain& chain = chains_[c];
+    SymbolMask input = 0;
+    const std::vector<size_t>& slots = chain_slots_[c];
+    for (size_t j = 0; j < slots.size(); ++j) {
+      input |= chain.symbols->MaskFor(j, vals[slots[j]]);
+    }
+    chain.states[i] = chain.nfa->Transition(chain.states[i], input);
+    any = any || chain.nfa->Accepts(chain.states[i]);
+  }
+  accepted_[i] = any ? 1 : 0;
+}
+
+Status SamplingEngine::StepWorldSample(size_t i, Timestamp next) {
+  // Extend the sample's world prefix to every stream's live horizon,
+  // forward-sampling exactly as Stream::SampleTrajectory does, then
+  // re-evaluate the reference semantics on the (deterministic) prefix.
+  World& w = worlds_[i];
+  Rng& rng = sample_rngs_[i];
+  if (w.values.size() < db_->num_streams()) {
+    w.values.resize(db_->num_streams());
+  }
+  for (StreamId s = 0; s < db_->num_streams(); ++s) {
+    const Stream& stream = db_->stream(s);
+    std::vector<DomainIndex>& traj = w.values[s];
+    if (traj.empty()) traj.push_back(kBottom);  // index 0 unused
+    for (Timestamp t = static_cast<Timestamp>(traj.size());
+         t <= stream.horizon(); ++t) {
+      if (stream.markovian() && t > 1) {
+        const Matrix& cpt = stream.CptAt(t - 1);
+        const double* r = cpt.Row(traj[t - 1]);
+        std::vector<double> row(r, r + cpt.cols());
+        size_t d = rng.Categorical(row);
+        traj.push_back(d >= row.size() ? kBottom
+                                       : static_cast<DomainIndex>(d));
+      } else {
+        const auto& m = stream.MarginalAt(t);
         if (m.empty()) {
-          vals[slot] = kBottom;
+          traj.push_back(kBottom);
         } else {
           size_t d = rng.Categorical(m);
-          vals[slot] = d >= m.size() ? kBottom : static_cast<DomainIndex>(d);
+          traj.push_back(d >= m.size() ? kBottom
+                                       : static_cast<DomainIndex>(d));
         }
       }
     }
-    // Advance every chain; the sample satisfies q@t if any chain accepts.
-    bool any = false;
-    for (size_t c = 0; c < chains_.size(); ++c) {
-      GroundedChain& chain = chains_[c];
-      SymbolMask input = 0;
-      const std::vector<size_t>& slots = chain_slots_[c];
-      for (size_t j = 0; j < slots.size(); ++j) {
-        input |= chain.symbols->MaskFor(j, vals[slots[j]]);
-      }
-      chain.states[i] = chain.nfa->Transition(chain.states[i], input);
-      any = any || chain.nfa->Accepts(chain.states[i]);
-    }
-    accepted += any ? 1 : 0;
   }
-  t_ = next;
+  LAHAR_ASSIGN_OR_RETURN(std::vector<bool> sat,
+                         SatisfiedAt(*query_, *db_, w));
+  accepted_[i] =
+      next < static_cast<Timestamp>(sat.size()) && sat[next] ? 1 : 0;
+  return Status::OK();
+}
+
+Status SamplingEngine::PrepareStep() {
+  for (GroundedChain& chain : chains_) {
+    if (chain.symbols->CoversDomains(*db_)) continue;
+    LAHAR_ASSIGN_OR_RETURN(SymbolTable grown,
+                           chain.symbols->WithGrownDomains(*db_));
+    chain.symbols = std::make_shared<const SymbolTable>(std::move(grown));
+  }
+  return Status::OK();
+}
+
+void SamplingEngine::StepSampleRange(size_t begin, size_t end) {
+  end = std::min(end, num_samples_);
+  Timestamp next = t_ + 1;
+  if (incremental()) {
+    std::vector<double> row;
+    for (size_t i = begin; i < end; ++i) StepNfaSample(i, next, &row);
+  } else {
+    for (size_t i = begin; i < end; ++i) {
+      sample_status_[i] = StepWorldSample(i, next);
+    }
+  }
+}
+
+Result<double> SamplingEngine::CommitStep() {
+  t_ = t_ + 1;
+  size_t accepted = 0;
+  for (size_t i = 0; i < accepted_.size(); ++i) {
+    if (!sample_status_.empty()) LAHAR_RETURN_NOT_OK(sample_status_[i]);
+    accepted += accepted_[i];
+  }
   return static_cast<double>(accepted) / static_cast<double>(num_samples_);
+}
+
+Result<double> SamplingEngine::Step() {
+  LAHAR_RETURN_NOT_OK(PrepareStep());
+  StepSampleRange(0, num_samples_);
+  return CommitStep();
 }
 
 Result<std::vector<double>> SamplingEngine::Run() {

@@ -45,9 +45,31 @@ class SamplingEngine {
   /// Estimated mu(q@t) for t = 1..horizon (index 0 unused).
   Result<std::vector<double>> Run();
 
-  /// Advances the incremental NFA path one timestep and returns the
-  /// estimate at the new time. Only valid when incremental() is true.
+  /// Advances one timestep and returns the estimate at the new time.
+  /// Regular groundings use the incremental NFA path; everything else
+  /// extends per-sample world prefixes and re-evaluates the reference
+  /// semantics on each — O(t * |W|) per tick, but it hosts even unsafe
+  /// queries as standing queries. Equivalent to StepSampleRange(0, n)
+  /// followed by CommitStep().
   Result<double> Step();
+
+  /// Single-threaded preparation before a (possibly sharded) step: extends
+  /// the NFA path's shared symbol tables over domain values interned since
+  /// the last tick. Must not run concurrently with StepSampleRange; Step()
+  /// calls it itself. No-op on the general path.
+  Status PrepareStep();
+
+  /// Split form of Step() for the sharded runtime executor: advances only
+  /// the samples in [begin, end) to time()+1. Samples are independent, so
+  /// disjoint ranges may run on different threads; the database must be
+  /// quiescent meanwhile. Errors are recorded per sample and surface at
+  /// CommitStep.
+  void StepSampleRange(size_t begin, size_t end);
+
+  /// Completes a split step once every sample range has been advanced:
+  /// bumps time() and returns the acceptance fraction (an integer count
+  /// over samples, so the estimate is independent of sharding).
+  Result<double> CommitStep();
 
   bool incremental() const { return !chains_.empty(); }
   size_t num_samples() const { return num_samples_; }
@@ -55,6 +77,9 @@ class SamplingEngine {
   Timestamp horizon() const { return horizon_; }
 
  private:
+  // One tick of one sample; `next` is t_ + 1.
+  void StepNfaSample(size_t i, Timestamp next, std::vector<double>* row);
+  Status StepWorldSample(size_t i, Timestamp next);
   // One grounded regular query: its automaton, symbol table, and the
   // per-sample NFA state masks.
   struct GroundedChain {
@@ -78,6 +103,14 @@ class SamplingEngine {
   std::vector<std::vector<size_t>> chain_slots_;
   std::vector<DomainIndex> values_;  // [sample * num_slots + slot]
   std::vector<Rng> sample_rngs_;     // one generator per sample
+  // Per-sample outcome of the tick in flight (written by StepSampleRange,
+  // folded by CommitStep). uint8_t, not vector<bool>: samples on different
+  // shards must not share bytes.
+  std::vector<uint8_t> accepted_;
+  std::vector<Status> sample_status_;
+  // General path only: per-sample sampled world prefixes, extended lazily
+  // as streams grow (empty until the first Step).
+  std::vector<World> worlds_;
 };
 
 }  // namespace lahar

@@ -1,0 +1,145 @@
+#include "engine/session.h"
+
+#include <utility>
+
+#include "engine/safe_engine.h"
+#include "engine/sampling_engine.h"
+#include "engine/streaming.h"
+
+namespace lahar {
+
+Result<double> QuerySession::Advance() {
+  PrepareAdvance();
+  AdvanceShard(0, num_units());
+  return CommitAdvance();
+}
+
+size_t QuerySession::StepCost() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_units(); ++i) total += UnitCost(i);
+  return total;
+}
+
+namespace {
+
+// Incremental serving of a Safe query: each tick extends the plan's
+// memoized reg-leaf rows and seq/pi tables by one column (they grow
+// monotonically in tf, Section 3.3) instead of recomputing Run() over the
+// whole horizon. The plan is a single sequential unit: its memo tables are
+// shared across the whole tree, so AdvanceShard computes the tick's answer
+// on whichever shard owns the unit and CommitAdvance publishes it.
+class SafeQuerySession : public QuerySession {
+ public:
+  explicit SafeQuerySession(SafePlanEngine engine)
+      : QuerySession(QueryClass::kSafe, EngineKind::kSafePlan,
+                     /*exact=*/true),
+        engine_(std::move(engine)) {}
+
+  Timestamp time() const override { return t_; }
+  size_t num_units() const override { return 1; }
+  size_t UnitCost(size_t) const override { return engine_.StepCost(); }
+
+  void AdvanceShard(size_t begin, size_t end) override {
+    if (begin >= end) return;
+    pending_ = engine_.AdvanceTo(t_ + 1);
+  }
+
+  Result<double> CommitAdvance() override {
+    ++t_;
+    Result<double> out = std::move(pending_);
+    pending_ = Status::Internal("CommitAdvance without AdvanceShard");
+    return out;
+  }
+
+ private:
+  SafePlanEngine engine_;
+  Timestamp t_ = 0;
+  Result<double> pending_ = Status::Internal("no advance in flight");
+};
+
+// Approximate serving of Safe-without-plan and Unsafe queries: the sampling
+// engine steps its per-sample state one tick at a time, so even provably
+// #P-hard queries (Section 3.4) host as standing queries with the
+// (epsilon, delta) guarantee of Prop. 3.20. Units are samples.
+class SamplingSession : public QuerySession {
+ public:
+  SamplingSession(SamplingEngine engine, QueryClass query_class)
+      : QuerySession(query_class, EngineKind::kSampling, /*exact=*/false),
+        engine_(std::move(engine)) {}
+
+  Timestamp time() const override { return engine_.time(); }
+  size_t num_units() const override { return engine_.num_samples(); }
+  size_t UnitCost(size_t) const override { return 1; }
+
+  void PrepareAdvance() override {
+    Status s = engine_.PrepareStep();
+    if (prepare_status_.ok()) prepare_status_ = std::move(s);
+  }
+
+  void AdvanceShard(size_t begin, size_t end) override {
+    engine_.StepSampleRange(begin, end);
+  }
+
+  Result<double> CommitAdvance() override {
+    // Commit unconditionally so time() stays in step with the executor's
+    // tick even when the prepare failed; the error wins over the estimate.
+    Result<double> p = engine_.CommitStep();
+    Status prep = std::exchange(prepare_status_, Status::OK());
+    if (!prep.ok()) return prep;
+    return p;
+  }
+
+ private:
+  SamplingEngine engine_;
+  Status prepare_status_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<QuerySession>> CreateQuerySession(
+    EventDatabase* db, const PreparedQuery& prepared,
+    const LaharOptions& options) {
+  QueryClass cls = prepared.classification.query_class;
+
+  auto sample = [&]() -> Result<std::unique_ptr<QuerySession>> {
+    LAHAR_ASSIGN_OR_RETURN(
+        SamplingEngine engine,
+        SamplingEngine::Create(prepared.ast, *db, options.sampling));
+    return std::unique_ptr<QuerySession>(
+        new SamplingSession(std::move(engine), cls));
+  };
+
+  switch (cls) {
+    case QueryClass::kRegular:
+    case QueryClass::kExtendedRegular: {
+      LAHAR_ASSIGN_OR_RETURN(StreamingSession session,
+                             StreamingSession::Create(db, prepared));
+      return std::unique_ptr<QuerySession>(
+          new StreamingSession(std::move(session)));
+    }
+    case QueryClass::kSafe: {
+      auto engine =
+          SafePlanEngine::Create(prepared.normalized, *db, options.plan);
+      if (engine.ok()) {
+        return std::unique_ptr<QuerySession>(
+            new SafeQuerySession(std::move(*engine)));
+      }
+      if (!options.allow_sampling_fallback) {
+        Status status = engine.status();
+        return std::move(status).WithPayload(kQueryClassPayload,
+                                             QueryClassName(cls));
+      }
+      return sample();
+    }
+    case QueryClass::kUnsafe: {
+      if (!options.allow_sampling_fallback) {
+        return Status::UnsafeQuery(prepared.classification.reason)
+            .WithPayload(kQueryClassPayload, QueryClassName(cls));
+      }
+      return sample();
+    }
+  }
+  return Status::Internal("bad query class");
+}
+
+}  // namespace lahar

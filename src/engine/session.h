@@ -1,0 +1,101 @@
+// The engine-agnostic standing-query abstraction: one QuerySession per
+// registered query, regardless of its class. Every evaluation path —
+// the streaming kernels of Theorems 3.3/3.7, the safe-plan algebra of
+// Section 3.3, and the Monte-Carlo sampler of Section 3.5 — implements the
+// same incremental protocol, so the runtime (src/runtime/) multiplexes all
+// four query classes through a single serving path:
+//
+//   class            session              per-tick cost   answers
+//   Regular          StreamingSession     O(1)            exact
+//   ExtendedRegular  StreamingSession     O(m)            exact
+//   Safe             SafeQuerySession     lazy tables     exact
+//   Unsafe           SamplingSession      O(T * |W|)      (eps, delta)
+//
+// The protocol has two forms. Advance() consumes one timestep and returns
+// P[q@t] at the new time. The split AdvanceShard(begin, end) /
+// CommitAdvance() form is what the sharded executor speaks: disjoint unit
+// ranges of one session may be stepped on different threads while the
+// database is quiescent, and the commit (single-threaded, in registration
+// order) combines them bit-identically to a plain Advance().
+#ifndef LAHAR_ENGINE_SESSION_H_
+#define LAHAR_ENGINE_SESSION_H_
+
+#include <memory>
+
+#include "analysis/prepared.h"
+#include "engine/lahar.h"
+
+namespace lahar {
+
+/// \brief Incremental evaluation session for one standing query.
+class QuerySession {
+ public:
+  virtual ~QuerySession() = default;
+
+  /// Consumes timestep time()+1 (which every participating stream must
+  /// already cover via Append*, unless it has ended) and returns P[q@t] at
+  /// the new time. Equivalent to AdvanceShard(0, num_units()) followed by
+  /// CommitAdvance().
+  virtual Result<double> Advance();
+
+  /// The last consumed timestep (0 before the first Advance).
+  virtual Timestamp time() const = 0;
+
+  /// Number of independently steppable units: per-grounding chains for the
+  /// streaming engines, Monte-Carlo samples for the sampling engine, 1 for
+  /// a safe plan (its memo tables are a single sequential unit).
+  virtual size_t num_units() const = 0;
+
+  /// Relative per-tick cost estimate of unit `i` (shard balancing).
+  virtual size_t UnitCost(size_t i) const = 0;
+
+  /// Total per-tick cost estimate: sum of UnitCost over all units.
+  size_t StepCost() const;
+
+  /// Single-threaded preparation before the tick's shard fan-out: sessions
+  /// refresh state shared across units here (e.g. the sampling engine's
+  /// symbol tables after a stream interned new domain values). The executor
+  /// calls it once per tick before the first AdvanceShard; errors latch
+  /// inside the session and surface at CommitAdvance. Default: no-op.
+  virtual void PrepareAdvance() {}
+
+  /// Advances only the units in [begin, end) to time()+1. Disjoint ranges
+  /// may run on different threads; the database must be quiescent and
+  /// CommitAdvance must not be called while any range is in flight.
+  virtual void AdvanceShard(size_t begin, size_t end) = 0;
+
+  /// Completes a split advance once every unit range has been stepped:
+  /// bumps time() and returns P[q@t], combined bit-identically to
+  /// Advance(). Errors raised by shard work (e.g. a safe-plan operator
+  /// hitting an unsupported construct mid-stream) surface here.
+  virtual Result<double> CommitAdvance() = 0;
+
+  QueryClass query_class() const { return query_class_; }
+  EngineKind engine_kind() const { return engine_kind_; }
+  /// False when answers carry the sampling engine's (eps, delta) guarantee
+  /// instead of being exact.
+  bool exact() const { return exact_; }
+
+ protected:
+  QuerySession(QueryClass query_class, EngineKind engine_kind, bool exact)
+      : query_class_(query_class), engine_kind_(engine_kind), exact_(exact) {}
+
+ private:
+  QueryClass query_class_;
+  EngineKind engine_kind_;
+  bool exact_;
+};
+
+/// Routes a prepared query to the cheapest session able to serve it:
+/// Regular/ExtendedRegular -> StreamingSession, Safe -> SafeQuerySession
+/// (falling back to sampling when no safe plan compiles and
+/// options.allow_sampling_fallback is set), Unsafe -> SamplingSession (or
+/// an UnsafeQuery error when fallback is disabled). Rejections carry the
+/// query's class in the kQueryClassPayload status payload.
+Result<std::unique_ptr<QuerySession>> CreateQuerySession(
+    EventDatabase* db, const PreparedQuery& prepared,
+    const LaharOptions& options = {});
+
+}  // namespace lahar
+
+#endif  // LAHAR_ENGINE_SESSION_H_

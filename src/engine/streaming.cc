@@ -15,25 +15,33 @@ Result<StreamingSession> StreamingSession::Create(
   QueryClass cls = prepared.classification.query_class;
   if (cls != QueryClass::kRegular && cls != QueryClass::kExtendedRegular) {
     return Status::UnsafeQuery(
-        "only Regular and Extended Regular queries evaluate in streaming "
-        "fashion (Thms 3.3/3.7); Safe queries need the archived history");
+               "only Regular and Extended Regular queries evaluate in "
+               "streaming fashion (Thms 3.3/3.7); Safe queries need the "
+               "archived history")
+        .WithPayload(kQueryClassPayload, QueryClassName(cls));
   }
   ChainOptions options;
   options.kernel_cache = prepared.kernel_cache.get();
   LAHAR_ASSIGN_OR_RETURN(ExtendedRegularEngine engine,
                          ExtendedRegularEngine::Create(prepared.normalized,
                                                        *db, options));
-  return StreamingSession(std::move(engine));
+  return StreamingSession(std::move(engine), cls);
 }
 
-Result<double> StreamingSession::Advance() { return engine_.Step(); }
+Result<double> StreamingSession::Advance() {
+  double p = engine_.Step();
+  LAHAR_RETURN_NOT_OK(engine_.ChainStatus());
+  return p;
+}
 
-void StreamingSession::AdvanceChains(size_t begin, size_t end) {
+void StreamingSession::AdvanceShard(size_t begin, size_t end) {
   engine_.StepChainRange(begin, end);
 }
 
-double StreamingSession::CommitAdvance() {
-  return engine_.CommitParallelStep();
+Result<double> StreamingSession::CommitAdvance() {
+  double p = engine_.CommitParallelStep();
+  LAHAR_RETURN_NOT_OK(engine_.ChainStatus());
+  return p;
 }
 
 }  // namespace lahar

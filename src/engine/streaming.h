@@ -11,7 +11,8 @@
 //     double p = *session.Advance();
 //
 // Safe and Unsafe queries are rejected: their evaluation needs the archived
-// history (Theorem 3.10's growing state), exactly as in the paper.
+// history (Theorem 3.10's growing state). They are still served incrementally
+// through the other QuerySession implementations (see engine/session.h).
 #ifndef LAHAR_ENGINE_STREAMING_H_
 #define LAHAR_ENGINE_STREAMING_H_
 
@@ -19,12 +20,13 @@
 
 #include "analysis/prepared.h"
 #include "engine/extended_engine.h"
+#include "engine/session.h"
 #include "query/ast.h"
 
 namespace lahar {
 
 /// \brief Incremental evaluation session for (Extended) Regular queries.
-class StreamingSession {
+class StreamingSession : public QuerySession {
  public:
   /// Parses and classifies `text`, then delegates to the PreparedQuery
   /// overload. Keys and value domains visible at creation are final:
@@ -36,29 +38,34 @@ class StreamingSession {
   /// Creates a session from an already-prepared query, skipping the
   /// reparse/reclassify work — the path used when registering many standing
   /// queries at once (see src/runtime/registry.h). Fails with UnsafeQuery
-  /// if the prepared query is not streamable.
+  /// (carrying the class in the kQueryClassPayload payload) if the prepared
+  /// query is not streamable.
   static Result<StreamingSession> Create(EventDatabase* db,
                                          const PreparedQuery& prepared);
 
   /// Consumes timestep time()+1 (which every stream must already cover via
   /// Append*, unless it has simply ended) and returns P[q@t] at the new
   /// time.
-  Result<double> Advance();
+  Result<double> Advance() override;
 
   /// Split form of Advance() for the sharded runtime executor: advances
   /// only the chains in [begin, end) to time()+1. Disjoint ranges may run
   /// on different threads; the database must be quiescent meanwhile.
-  void AdvanceChains(size_t begin, size_t end);
+  void AdvanceShard(size_t begin, size_t end) override;
 
   /// Completes a split advance once every chain range has been stepped:
   /// bumps time() and returns P[q@t], combined bit-identically to
   /// Advance().
-  double CommitAdvance();
+  Result<double> CommitAdvance() override;
 
   /// The last consumed timestep (0 before the first Advance).
-  Timestamp time() const { return engine_.time(); }
+  Timestamp time() const override { return engine_.time(); }
 
-  /// Number of per-grounding chains (the O(m) of Theorem 3.7).
+  /// Units are the per-grounding chains (the O(m) of Theorem 3.7).
+  size_t num_units() const override { return engine_.num_chains(); }
+  size_t UnitCost(size_t i) const override { return engine_.ChainCost(i); }
+
+  /// Number of per-grounding chains (alias of num_units for diagnostics).
   size_t num_chains() const { return engine_.num_chains(); }
 
   /// The underlying engine (diagnostics: per-chain probabilities and
@@ -66,8 +73,13 @@ class StreamingSession {
   const ExtendedRegularEngine& engine() const { return engine_; }
 
  private:
-  explicit StreamingSession(ExtendedRegularEngine engine)
-      : engine_(std::move(engine)) {}
+  StreamingSession(ExtendedRegularEngine engine, QueryClass query_class)
+      : QuerySession(query_class,
+                     query_class == QueryClass::kRegular
+                         ? EngineKind::kRegular
+                         : EngineKind::kExtendedRegular,
+                     /*exact=*/true),
+        engine_(std::move(engine)) {}
 
   ExtendedRegularEngine engine_;
 };

@@ -29,7 +29,7 @@ StreamRuntime::StreamRuntime(EventDatabase* db, RuntimeOptions options)
                        ? options.num_threads
                        : std::max(1u, std::thread::hardware_concurrency())),
       queue_(options.queue_capacity),
-      registry_(db) {
+      registry_(db, options.session) {
   tick_ = db_->horizon();
   published_tick_ = tick_;
   for (StreamId id = 0; id < db_->num_streams(); ++id) {
@@ -137,14 +137,26 @@ RuntimeStats StreamRuntime::Stats() const {
     out.last_ingest_error =
         last_ingest_error_.ok() ? "" : last_ingest_error_.ToString();
     out.tick_latency = tick_latency_.Summarize();
+    size_t class_counts[4] = {0, 0, 0, 0};
     for (const auto& q : registry_.queries()) {
       QueryStats qs;
       qs.id = q->id;
       qs.text = q->text;
-      qs.num_chains = q->session->num_chains();
+      qs.query_class = QueryClassName(q->query_class);
+      qs.engine = EngineKindName(q->engine);
+      qs.exact = q->exact;
+      qs.num_chains = q->session->num_units();
       qs.ticks = q->ticks;
+      qs.errors = q->errors;
+      qs.last_error = q->last_error.ok() ? "" : q->last_error.ToString();
       qs.advance = q->advance_latency.Summarize();
       out.queries.push_back(std::move(qs));
+      ++class_counts[static_cast<size_t>(q->query_class)];
+    }
+    for (QueryClass c : {QueryClass::kRegular, QueryClass::kExtendedRegular,
+                         QueryClass::kSafe, QueryClass::kUnsafe}) {
+      out.class_counts.emplace_back(QueryClassName(c),
+                                    class_counts[static_cast<size_t>(c)]);
     }
   }
   {
@@ -172,22 +184,21 @@ void StreamRuntime::RebuildPartitions() {
     return;
   }
   // Deterministic cost-weighted greedy fill: walk queries in registration
-  // order, weighting each chain by its per-step cost estimate (flat-state
-  // size on the compiled-kernel path, live map size otherwise) so a shard
-  // holding a few heavy chains balances against one holding many light
-  // ones. Costs drift as map-path chains grow, but partitions are only
-  // rebuilt on registry changes — the estimate is a snapshot, not a bound.
+  // order, weighting each unit by its session's per-step cost estimate
+  // (UnitCost: flat-state size for compiled chains, live map size on the
+  // map path, whole-plan cost for a safe session) so a shard holding a few
+  // heavy units balances against one holding many light ones. Costs drift
+  // as map-path chains grow, but partitions are only rebuilt on registry
+  // changes — the estimate is a snapshot, not a bound.
   uint64_t total_cost = 0;
   for (const auto& q : registry_.queries()) {
-    for (size_t i = 0; i < q->session->num_chains(); ++i) {
-      total_cost += q->session->engine().ChainCost(i);
-    }
+    total_cost += q->session->StepCost();
   }
   const uint64_t quota = (total_cost + num_shards - 1) / num_shards;
   size_t shard = 0;
   uint64_t filled = 0;
   for (const auto& q : registry_.queries()) {
-    const size_t n = q->session->num_chains();
+    const size_t n = q->session->num_units();
     size_t begin = 0;
     for (size_t i = 0; i < n; ++i) {
       if (filled >= quota && shard + 1 < num_shards) {
@@ -198,7 +209,7 @@ void StreamRuntime::RebuildPartitions() {
         ++shard;
         filled = 0;
       }
-      filled += q->session->engine().ChainCost(i);
+      filled += q->session->UnitCost(i);
     }
     if (begin < n) {
       shard_work_[shard].push_back(WorkItem{q.get(), begin, n});
@@ -210,6 +221,12 @@ void StreamRuntime::RebuildPartitions() {
 std::shared_ptr<const TickResult> StreamRuntime::RunTick() {
   const uint64_t t0 = NowNs();
   if (work_version_ != registry_.version()) RebuildPartitions();
+
+  // Single-threaded prepare phase: sessions refresh state shared across
+  // their units (e.g. sampling symbol tables after mid-stream domain
+  // growth) before any shard touches them. Errors latch inside the session
+  // and surface at CommitAdvance below.
+  for (const auto& q : registry_.queries()) q->session->PrepareAdvance();
 
   if (num_threads_ > 1) {
     // Fan the chain ranges out to the shard pool and wait for the barrier.
@@ -226,7 +243,7 @@ std::shared_ptr<const TickResult> StreamRuntime::RunTick() {
   } else {
     for (const WorkItem& w : shard_work_[0]) {
       const uint64_t q0 = NowNs();
-      w.query->session->AdvanceChains(w.begin, w.end);
+      w.query->session->AdvanceShard(w.begin, w.end);
       w.query->tick_ns.fetch_add(NowNs() - q0, std::memory_order_relaxed);
     }
   }
@@ -240,12 +257,20 @@ std::shared_ptr<const TickResult> StreamRuntime::RunTick() {
     // Commit in registration order: the combine is bit-identical to a
     // sequential Advance() on each session.
     const uint64_t c0 = NowNs();
-    double p = q->session->CommitAdvance();
+    Result<double> p = q->session->CommitAdvance();
     uint64_t ns =
         q->tick_ns.exchange(0, std::memory_order_relaxed) + (NowNs() - c0);
     q->advance_latency.Record(ns);
     ++q->ticks;
-    snapshot->probs.emplace_back(q->id, p);
+    if (p.ok()) {
+      snapshot->probs.emplace_back(q->id, *p);
+    } else {
+      // An erroring query is omitted from the snapshot but stays registered
+      // (its session keeps consuming ticks); the failure is visible through
+      // Stats until the caller unregisters it.
+      ++q->errors;
+      q->last_error = p.status();
+    }
   }
   tick_latency_.Record(NowNs() - t0);
 
@@ -304,7 +329,7 @@ void StreamRuntime::ShardLoop(size_t shard) {
     uint64_t chains = 0;
     for (const WorkItem& w : shard_work_[shard]) {
       const uint64_t q0 = NowNs();
-      w.query->session->AdvanceChains(w.begin, w.end);
+      w.query->session->AdvanceShard(w.begin, w.end);
       w.query->tick_ns.fetch_add(NowNs() - q0, std::memory_order_relaxed);
       chains += w.end - w.begin;
     }

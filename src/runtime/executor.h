@@ -1,21 +1,22 @@
 // The multi-query streaming runtime: owns an EventDatabase, a registry of
-// standing StreamingSessions, and a sharded worker pool that advances every
-// registered query once per arriving timestep.
+// standing QuerySessions (one per registered query, of whatever class), and
+// a sharded worker pool that advances every registered query once per
+// arriving timestep.
 //
 // Data flow per tick t:
 //
 //   producers --TickBatch--> IngestQueue --> coordinator applies batches to
 //   the database and advances the Watermark; once every stream covers t,
-//   the coordinator fans the sessions' chains out to the shard pool
-//   (StreamingSession::AdvanceChains on disjoint ranges), barriers, then
+//   the coordinator fans the sessions' units out to the shard pool
+//   (QuerySession::AdvanceShard on disjoint ranges), barriers, then
 //   commits each session in registration order (CommitAdvance) and
 //   publishes an immutable TickResult snapshot.
 //
-// Theorems 3.3/3.7 make each query's step O(1)/O(m) and independent of
-// every other query — and the per-key chains within an Extended Regular
-// query independent of each other — so the fan-out changes wall-clock time
-// only; the published probabilities are bit-identical to advancing each
-// session sequentially.
+// Sessions expose independently steppable units — per-grounding chains for
+// the streaming engines (Theorems 3.3/3.7), Monte-Carlo samples for
+// sampling sessions, one sequential unit per safe plan — so the fan-out
+// changes wall-clock time only; the published probabilities are
+// bit-identical to advancing each session sequentially.
 //
 // Threading contract: the database is written only by the coordinator, and
 // only while no chain work is in flight; shard threads read it during the
@@ -43,10 +44,13 @@ namespace lahar {
 /// \brief Immutable per-tick snapshot: P[q@t] for every standing query.
 struct TickResult {
   Timestamp t = 0;
-  /// (QueryId, probability) in registration order (ascending id).
+  /// (QueryId, probability) in registration order (ascending id). A query
+  /// whose CommitAdvance failed this tick is absent (see
+  /// StandingQuery::last_error in the stats).
   std::vector<std::pair<QueryId, double>> probs;
 
-  /// Probability for one query, or nullptr if it was not registered at t.
+  /// Probability for one query, or nullptr if it was not registered at t
+  /// (or errored this tick).
   const double* Find(QueryId id) const;
 };
 
@@ -60,6 +64,9 @@ struct RuntimeOptions {
   /// How long the coordinator sleeps on an empty queue before rechecking
   /// for shutdown.
   std::chrono::milliseconds poll_interval{5};
+  /// Session routing options (safe-plan compilation, sampling parameters,
+  /// and whether Safe/Unsafe queries may fall back to sampling).
+  LaharOptions session;
 };
 
 /// \brief Concurrent multi-query streaming runtime over one database.
@@ -123,7 +130,7 @@ class StreamRuntime {
   RuntimeStats Stats() const;
 
  private:
-  // One contiguous chain range of one session, assigned to one shard.
+  // One contiguous unit range of one session, assigned to one shard.
   struct WorkItem {
     StandingQuery* query;
     size_t begin;

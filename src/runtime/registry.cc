@@ -13,14 +13,15 @@ Result<QueryId> QueryRegistry::Register(std::string_view text,
 Result<QueryId> QueryRegistry::Register(const PreparedQuery& prepared,
                                         std::string_view text,
                                         Timestamp tick) {
-  LAHAR_ASSIGN_OR_RETURN(StreamingSession session,
-                         StreamingSession::Create(db_, prepared));
+  LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<QuerySession> session,
+                         CreateQuerySession(db_, prepared, options_));
   auto q = std::make_unique<StandingQuery>();
   q->id = next_id_++;
   q->text = std::string(text);
   q->query_class = prepared.classification.query_class;
-  q->session =
-      std::make_unique<StreamingSession>(std::move(session));
+  q->engine = session->engine_kind();
+  q->exact = session->exact();
+  q->session = std::move(session);
   // Catch up to the runtime's clock: the database already stores timesteps
   // 1..tick, so replaying them aligns the session with the standing pool.
   while (q->session->time() < tick) {
@@ -55,7 +56,7 @@ StandingQuery* QueryRegistry::Find(QueryId id) {
 
 size_t QueryRegistry::total_chains() const {
   size_t total = 0;
-  for (const auto& q : queries_) total += q->session->num_chains();
+  for (const auto& q : queries_) total += q->session->num_units();
   return total;
 }
 

@@ -1,6 +1,8 @@
 // Standing-query lifecycle for the streaming runtime: register (prepare →
-// classify → reject non-streamable with UnsafeQuery → create the session →
-// catch it up to the current tick), look up, and unregister by QueryId.
+// classify → route to a QuerySession for the query's class → catch it up to
+// the current tick), look up, and unregister by QueryId. Every query class
+// is servable (see engine/session.h); with sampling fallback disabled,
+// rejections carry the class in the kQueryClassPayload status payload.
 //
 // The registry is not internally synchronized: StreamRuntime guards every
 // call with its state mutex, which is exactly what makes add/remove "hot" —
@@ -14,7 +16,7 @@
 #include <string_view>
 #include <vector>
 
-#include "engine/streaming.h"
+#include "engine/session.h"
 #include "runtime/stats.h"
 
 namespace lahar {
@@ -24,23 +26,28 @@ struct StandingQuery {
   QueryId id = 0;
   std::string text;
   QueryClass query_class = QueryClass::kRegular;
-  std::unique_ptr<StreamingSession> session;
+  EngineKind engine = EngineKind::kRegular;
+  bool exact = true;
+  std::unique_ptr<QuerySession> session;
 
   // Written by shard threads during a tick (relaxed adds), read and reset
   // by the coordinator after the tick barrier.
   std::atomic<uint64_t> tick_ns{0};
   uint64_t ticks = 0;
+  uint64_t errors = 0;       ///< ticks whose CommitAdvance failed
+  Status last_error;         ///< most recent CommitAdvance failure
   LatencyRecorder advance_latency;
 };
 
 /// \brief Registry of standing queries over one database.
 class QueryRegistry {
  public:
-  explicit QueryRegistry(EventDatabase* db) : db_(db) {}
+  explicit QueryRegistry(EventDatabase* db, LaharOptions options = {})
+      : db_(db), options_(options) {}
 
-  /// Parses, classifies, and registers `text`. Rejects Safe/Unsafe queries
-  /// with UnsafeQuery (they need the archived history; run them through
-  /// Lahar::Run instead). The new session is caught up to `tick` by
+  /// Parses, classifies, and registers `text`, routing it to the session
+  /// implementation for its class (streaming kernels, incremental safe
+  /// plan, or sampling). The new session is caught up to `tick` by
   /// replaying the database's stored prefix, so it joins the next tick in
   /// lockstep with the existing queries.
   Result<QueryId> Register(std::string_view text, Timestamp tick);
@@ -62,6 +69,9 @@ class QueryRegistry {
   }
 
   size_t size() const { return queries_.size(); }
+
+  /// Total shardable units across all sessions (chains for the streaming
+  /// engines, samples for sampling sessions, 1 per safe plan).
   size_t total_chains() const;
 
   /// Bumped on every Register/Unregister; the executor rebuilds its shard
@@ -70,6 +80,7 @@ class QueryRegistry {
 
  private:
   EventDatabase* db_;
+  LaharOptions options_;
   std::vector<std::unique_ptr<StandingQuery>> queries_;
   QueryId next_id_ = 1;
   uint64_t version_ = 0;

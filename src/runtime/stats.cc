@@ -86,10 +86,18 @@ std::string RuntimeStats::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "runtime: tick=%u ticks_processed=%llu queries=%zu "
-                "chains=%zu threads=%zu\n",
+                "units=%zu threads=%zu\n",
                 tick, static_cast<unsigned long long>(ticks_processed),
                 num_queries, total_chains, num_threads);
   out += buf;
+  if (!class_counts.empty()) {
+    out += "classes:";
+    for (const auto& [name, count] : class_counts) {
+      std::snprintf(buf, sizeof(buf), " %s=%zu", name.c_str(), count);
+      out += buf;
+    }
+    out += "\n";
+  }
   std::snprintf(buf, sizeof(buf),
                 "ingest:  depth=%zu/%zu dropped=%llu applied=%llu "
                 "rejected=%llu%s%s\n",
@@ -119,11 +127,16 @@ std::string RuntimeStats::ToString() const {
   }
   for (const QueryStats& q : queries) {
     std::snprintf(buf, sizeof(buf),
-                  "  query %llu: chains=%zu ticks=%llu mean=%sus p99=%sus  %s\n",
-                  static_cast<unsigned long long>(q.id), q.num_chains,
+                  "  query %llu: class=%s engine=%s%s units=%zu ticks=%llu "
+                  "mean=%sus p99=%sus%s%s  %s\n",
+                  static_cast<unsigned long long>(q.id),
+                  q.query_class.c_str(), q.engine.c_str(),
+                  q.exact ? "" : " (sampled)", q.num_chains,
                   static_cast<unsigned long long>(q.ticks),
                   FormatUs(q.advance.mean_us).c_str(),
                   FormatUs(q.advance.p99_us).c_str(),
+                  q.last_error.empty() ? "" : " last_error=",
+                  q.last_error.c_str(),
                   q.text.size() > 48 ? (q.text.substr(0, 45) + "...").c_str()
                                      : q.text.c_str());
     out += buf;
@@ -145,6 +158,15 @@ std::string RuntimeStats::ToJson() const {
                 static_cast<unsigned long long>(batches_applied),
                 static_cast<unsigned long long>(batches_rejected));
   out += buf;
+  if (!class_counts.empty()) {
+    out += "\"classes\":{";
+    for (size_t i = 0; i < class_counts.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s\"%s\":%zu", i > 0 ? "," : "",
+                    class_counts[i].first.c_str(), class_counts[i].second);
+      out += buf;
+    }
+    out += "},";
+  }
   AppendJsonLatency(&out, "tick_latency", tick_latency);
   out += "}";
   return out;

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/value.h"
@@ -51,9 +52,19 @@ class LatencyRecorder {
 struct QueryStats {
   QueryId id = 0;
   std::string text;
+  /// Query class and serving engine names (strings so this header stays
+  /// free of analysis/engine includes).
+  std::string query_class;
+  std::string engine;
+  /// False when the session serves (epsilon, delta) sampling estimates.
+  bool exact = true;
+  /// Shardable units: chains for streaming sessions, samples for sampling
+  /// sessions, 1 for a safe plan.
   size_t num_chains = 0;
   uint64_t ticks = 0;
-  /// Wall time spent stepping this query's chains per tick (summed across
+  uint64_t errors = 0;      ///< ticks whose CommitAdvance failed
+  std::string last_error;   ///< empty when the last commit succeeded
+  /// Wall time spent stepping this query's units per tick (summed across
   /// the shards that shared them).
   LatencySummary advance;
 };
@@ -80,6 +91,10 @@ struct RuntimeStats {
   uint64_t batches_applied = 0;
   uint64_t batches_rejected = 0;  ///< malformed batches skipped by ingest
   std::string last_ingest_error;  ///< empty when every batch applied cleanly
+  /// Registered queries per class, (class name, count) in class order —
+  /// every class the runtime is currently serving, including approximate
+  /// sampling sessions.
+  std::vector<std::pair<std::string, size_t>> class_counts;
   LatencySummary tick_latency;    ///< end-to-end per-tick wall time
   std::vector<QueryStats> queries;
   std::vector<ShardStats> shards;

@@ -8,6 +8,7 @@
 // replay of the same data.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <thread>
 #include <vector>
@@ -143,6 +144,158 @@ TEST(RuntimeStressTest, ThousandTicksMatchSequentialReplayBitForBit) {
   // chain, ungrounded ones a chain per key binding).
   EXPECT_EQ(stats.total_chains, expected_chains);
   EXPECT_GT(stats.total_chains, queries.size());
+}
+
+// Mixed-class serving under churn: one standing query per class (Regular,
+// Extended Regular, Safe plan, Unsafe-via-sampling) runs for the whole
+// stream while a churn thread registers and drops extra queries
+// concurrently with ingest. The exact sessions are asserted bit-identical
+// to a sequential replay; the sampling session is asserted healthy (the
+// interleaving of world-prefix extension differs between a live and an
+// archived database, so its estimates are deterministic but not comparable
+// across the two).
+TEST(RuntimeStressTest, MixedClassWorkloadSurvivesConcurrentChurn) {
+  constexpr size_t kMixedTags = 3;
+  constexpr Timestamp kMixedHorizon = 120;
+  PipelineConfig config;
+  config.num_particles = 32;
+  auto scenario =
+      RandomWalkScenario(kMixedTags, kMixedHorizon, /*seed=*/7, config);
+  ASSERT_OK(scenario.status());
+  auto archive = scenario->BuildDatabase(StreamKind::kFiltered);
+  ASSERT_OK(archive.status());
+
+  LaharOptions session_options;
+  session_options.plan.assume_distinct_keys = true;  // for the Safe query
+  session_options.sampling.num_samples = 16;
+  session_options.sampling.seed = 2008;
+
+  // One stable query per class; `exact` marks the ones with a bit-identical
+  // sequential replay.
+  struct StableQuery {
+    std::string text;
+    std::string query_class;
+    bool exact;
+  };
+  const std::vector<StableQuery> stable = {
+      {"At('tag1', l : Room(l))", "Regular", true},
+      {"At(x, l1 : NotRoom(l1)); At(x, l2 : Room(l2))", "ExtendedRegular",
+       true},
+      {"At(p, l1); At(p, l2); At(q, l3)", "Safe", true},
+      {"(At(x, l1); At(y, l2)) WHERE l1 = l2", "Unsafe", false},
+  };
+
+  // Sequential ground truth for the exact classes over the archive.
+  std::vector<std::vector<double>> expected(stable.size());
+  {
+    Lahar sequential(archive->get(), session_options);
+    for (size_t i = 0; i < stable.size(); ++i) {
+      if (!stable[i].exact) continue;
+      auto session = sequential.OpenSession(stable[i].text);
+      ASSERT_TRUE(session.ok())
+          << session.status().ToString() << " for " << stable[i].text;
+      for (Timestamp t = 1; t <= kMixedHorizon; ++t) {
+        auto p = (*session)->Advance();
+        ASSERT_OK(p.status());
+        expected[i].push_back(*p);
+      }
+    }
+  }
+
+  auto live = CloneDeclarations(**archive);
+  ASSERT_OK(live.status());
+  auto batches = ExtractBatches(**archive);
+  ASSERT_OK(batches.status());
+
+  RuntimeOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8;
+  options.session = session_options;
+  StreamRuntime runtime(live->get(), options);
+  std::vector<QueryId> ids;
+  for (const StableQuery& q : stable) {
+    auto id = runtime.Register(q.text);
+    ASSERT_TRUE(id.ok()) << id.status().ToString() << " for " << q.text;
+    ids.push_back(*id);
+  }
+
+  std::vector<TickResult> results;
+  results.reserve(kMixedHorizon);
+  runtime.SetTickCallback(
+      [&](const TickResult& r) { results.push_back(r); });
+  runtime.Start();
+
+  // Churn registrations (every class but Unsafe: sampling catch-up over a
+  // long prefix is quadratic) while the producer is pushing ticks.
+  const std::vector<std::string> churn_pool = {
+      "At('tag2', l : Hallway(l))",
+      "At(x, l : Room(l))",
+      "At(p, l1); At(p, l2); At(q, l3)",
+      "At('tag3', l1 : Room(l1)); At('tag3', l2 : NotRoom(l2))",
+  };
+  std::atomic<bool> done{false};
+  std::atomic<size_t> churned{0};
+  std::thread churn([&] {
+    size_t i = 0;
+    while (!done.load()) {
+      auto id = runtime.Register(churn_pool[i++ % churn_pool.size()]);
+      if (id.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_OK(runtime.Unregister(*id));
+        churned.fetch_add(1);
+      }
+    }
+  });
+
+  std::thread producer([&] {
+    for (TickBatch& b : *batches) {
+      Status s = runtime.ingest().Push(std::move(b), 120000ms);
+      EXPECT_OK(s);
+    }
+  });
+  producer.join();
+  ASSERT_TRUE(runtime.WaitForTick(kMixedHorizon, 120000ms));
+  done.store(true);
+  churn.join();
+  runtime.Stop();
+
+  ASSERT_EQ(results.size(), kMixedHorizon);
+  for (size_t t = 0; t < results.size(); ++t) {
+    for (size_t i = 0; i < stable.size(); ++i) {
+      const double* p = results[t].Find(ids[i]);
+      ASSERT_NE(p, nullptr) << stable[i].text << " at t=" << t + 1;
+      if (stable[i].exact) {
+        EXPECT_EQ(*p, expected[i][t]) << stable[i].text << " at t=" << t + 1;
+      } else {
+        EXPECT_GE(*p, 0.0);
+        EXPECT_LE(*p, 1.0);
+      }
+    }
+  }
+
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.ticks_processed, kMixedHorizon);
+  // Every class was served, every stable session stayed healthy.
+  for (const StableQuery& q : stable) {
+    bool found = false;
+    for (const auto& [cls, count] : stats.class_counts) {
+      if (cls == q.query_class) {
+        EXPECT_GE(count, 1u) << cls;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << q.query_class;
+  }
+  for (const QueryStats& qs : stats.queries) {
+    for (size_t i = 0; i < stable.size(); ++i) {
+      if (qs.id != ids[i]) continue;
+      EXPECT_EQ(qs.query_class, stable[i].query_class) << stable[i].text;
+      EXPECT_EQ(qs.exact, stable[i].exact) << stable[i].text;
+      EXPECT_EQ(qs.errors, 0u) << stable[i].text << ": " << qs.last_error;
+      EXPECT_EQ(qs.ticks, kMixedHorizon) << stable[i].text;
+    }
+  }
+  EXPECT_GT(churned.load(), 0u);
 }
 
 }  // namespace

@@ -222,7 +222,7 @@ TEST(ReplayTest, ExtractedBatchesReproduceTheArchiveBitForBit) {
   }
 }
 
-TEST(RegistryTest, RegistersStreamableAndRejectsUnsafe) {
+TEST(RegistryTest, ServesEveryClassAndTagsRejections) {
   EventDatabase db;
   AddIndependentStream(&db, "R", "k1", {{{"u", 0.5}}});
   AddIndependentStream(&db, "S", "k1", {{{"v", 0.5}}});
@@ -235,11 +235,30 @@ TEST(RegistryTest, RegistersStreamableAndRejectsUnsafe) {
   EXPECT_NE(registry.Find(*id), nullptr);
   EXPECT_EQ(registry.size(), 1u);
 
-  // Unsafe queries need archived history; the registry refuses them.
-  auto bad = registry.Register("R(x, u1); S(x, u2); T('a', y)", /*tick=*/0);
+  // Unsafe queries host as approximate sampling sessions by default.
+  auto unsafe_id = registry.Register("(R(x, u1); S(y, u2)) WHERE u1 = u2",
+                                     /*tick=*/0);
+  ASSERT_OK(unsafe_id.status());
+  StandingQuery* unsafe_q = registry.Find(*unsafe_id);
+  ASSERT_NE(unsafe_q, nullptr);
+  EXPECT_EQ(unsafe_q->query_class, QueryClass::kUnsafe);
+  EXPECT_EQ(unsafe_q->engine, EngineKind::kSampling);
+  EXPECT_FALSE(unsafe_q->exact);
+  EXPECT_EQ(registry.size(), 2u);
+  ASSERT_OK(registry.Unregister(*unsafe_id));
+
+  // With the sampling fallback disabled, the rejection names the query
+  // class in the status payload so callers can route on it.
+  LaharOptions exact_only;
+  exact_only.allow_sampling_fallback = false;
+  QueryRegistry strict(&db, exact_only);
+  auto bad = strict.Register("(R(x, u1); S(y, u2)) WHERE u1 = u2", /*tick=*/0);
   EXPECT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kUnsafeQuery);
-  EXPECT_EQ(registry.size(), 1u);
+  const std::string* cls = bad.status().GetPayload(kQueryClassPayload);
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(*cls, "Unsafe");
+  EXPECT_EQ(strict.size(), 0u);
 
   ASSERT_OK(registry.Unregister(*id));
   EXPECT_EQ(registry.size(), 0u);
@@ -278,7 +297,9 @@ TEST(RegistryTest, LateRegistrationCatchesUpToTheTick) {
   EXPECT_EQ(q->session->time(), 3u);
   // Bit-identical: the catch-up replays the same Advance() sequence, so the
   // per-chain state matches a from-the-start session exactly.
-  EXPECT_EQ(q->session->engine().chain_probs(),
+  auto* streaming = dynamic_cast<StreamingSession*>(q->session.get());
+  ASSERT_NE(streaming, nullptr);
+  EXPECT_EQ(streaming->engine().chain_probs(),
             baseline->engine().chain_probs());
 }
 
@@ -452,7 +473,9 @@ TEST(StreamRuntimeTest, MalformedBatchIsCountedNotFatal) {
   ASSERT_OK(clone.status());
   auto batches = ExtractBatches(archive);
   ASSERT_OK(batches.status());
-  StreamRuntime runtime(clone->get(), RuntimeOptions{.num_threads = 1});
+  RuntimeOptions options;
+  options.num_threads = 1;
+  StreamRuntime runtime(clone->get(), options);
   ASSERT_OK(runtime.Register("At('Joe', l : l = 'a')").status());
   runtime.Start();
   TickBatch bogus;

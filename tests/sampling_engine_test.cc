@@ -104,15 +104,26 @@ TEST(SamplingTest, DeterministicUnderSeed) {
   EXPECT_EQ((*p1)[1], (*p2)[1]);
 }
 
-TEST(SamplingTest, StepRequiresIncrementalPath) {
+TEST(SamplingTest, GeneralPathStepsIncrementally) {
+  // Queries outside the NFA fragment used to be batch-only; the session
+  // layer added per-sample world prefixes, so Step() works here too.
   EventDatabase db;
-  AddIndependentStream(&db, "R", "k1", {{{"a", 0.5}}});
-  AddIndependentStream(&db, "S", "k2", {{{"a", 0.5}}});
+  AddIndependentStream(&db, "R", "k1", {{{"a", 0.6}}, {{"a", 0.5}}});
+  AddIndependentStream(&db, "S", "k2", {{{"a", 0.7}}, {{"a", 0.5}}});
   QueryPtr q = MustParse(&db, "(R(p1, x); S(p2, y)) WHERE x = y");
-  auto engine = SamplingEngine::Create(q, db, {});
+  SamplingOptions opt;
+  opt.num_samples = 20000;
+  auto engine = SamplingEngine::Create(q, db, opt);
   ASSERT_OK(engine.status());
-  EXPECT_FALSE(engine->incremental());
-  EXPECT_FALSE(engine->Step().ok());
+  EXPECT_FALSE(engine->incremental());  // no NFA: world-prefix path
+  auto want = BruteForceProbabilities(*q, db);
+  ASSERT_OK(want.status());
+  for (Timestamp t = 1; t <= 2; ++t) {
+    auto p = engine->Step();
+    ASSERT_OK(p.status());
+    EXPECT_EQ(engine->time(), t);
+    EXPECT_NEAR(*p, (*want)[t], 0.02) << t;
+  }
 }
 
 }  // namespace

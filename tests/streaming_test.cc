@@ -127,10 +127,25 @@ TEST(StreamingSessionTest, RejectsNonStreamableQueries) {
   AddIndependentStream(&db, "R", "k1", {{{"u", 0.5}}});
   AddIndependentStream(&db, "S", "k1", {{{"v", 0.5}}});
   AddIndependentStream(&db, "T", "a", {{{"w", 0.5}}});
-  auto session =
-      StreamingSession::Create(&db, "R(x, u1); S(x, u2); T('a', y)");
-  EXPECT_FALSE(session.ok());
-  EXPECT_EQ(session.status().code(), StatusCode::kUnsafeQuery);
+  // Safe but non-streamable: needs the archived history.
+  auto safe = StreamingSession::Create(&db, "R(x, u1); S(x, u2); T('a', y)");
+  EXPECT_FALSE(safe.ok());
+  EXPECT_EQ(safe.status().code(), StatusCode::kUnsafeQuery);
+  // The rejection carries the query class so callers can route the query
+  // to an archive-backed or sampling engine instead.
+  const std::string* cls = safe.status().GetPayload(kQueryClassPayload);
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(*cls, "Safe");
+  // The class also shows up in the rendered message.
+  EXPECT_NE(safe.status().ToString().find("query_class=Safe"),
+            std::string::npos);
+
+  auto unsafe = StreamingSession::Create(
+      &db, "(R(x, u1); S(y, u2)) WHERE u1 = u2");
+  EXPECT_FALSE(unsafe.ok());
+  const std::string* ucls = unsafe.status().GetPayload(kQueryClassPayload);
+  ASSERT_NE(ucls, nullptr);
+  EXPECT_EQ(*ucls, "Unsafe");
 }
 
 TEST(PruneTest, DropsSmallEntriesAndStaysStochastic) {
