@@ -7,6 +7,14 @@
 //                                   replay DBFILE live through the
 //                                   concurrent runtime (docs/RUNTIME.md)
 //
+// Serve-mode flags (anywhere after --serve):
+//   --checkpoint-every N            checkpoint the runtime every N ticks
+//   --checkpoint-path FILE          where to write it (default lahar.ckpt)
+//   --restore FILE                  resume from a checkpoint: queries come
+//                                   from the snapshot (none on the command
+//                                   line) and already-consumed ticks are
+//                                   skipped on replay
+//
 // The database format is documented in src/model/io.h; --gen produces one
 // to play with:
 //
@@ -14,7 +22,10 @@
 //   ./lahar_cli "At('tag1', l : CoffeeRoom(l))" /tmp/demo.db
 //   ./lahar_cli --serve /tmp/demo.db "At(x, l : CoffeeRoom(l))"
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -98,11 +109,35 @@ int RunQuery(EventDatabase* db, const std::string& query) {
   return 0;
 }
 
+// Serve-mode checkpoint configuration (see the usage comment up top).
+struct ServeConfig {
+  size_t checkpoint_every = 0;  // 0 = never checkpoint
+  std::string checkpoint_path = "lahar.ckpt";
+  std::string restore_path;  // empty = fresh start
+};
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return bool(out);
+}
+
 // Replays an archived database through the streaming runtime as if its
 // timesteps were arriving live: standing queries are registered up front, a
 // producer thread pushes one TickBatch per timestep with backpressure, and
 // every published TickResult is printed as it completes.
-int Serve(EventDatabase* archive, const std::vector<std::string>& queries) {
+int Serve(EventDatabase* archive, const std::vector<std::string>& queries,
+          const ServeConfig& config) {
   auto live = CloneDeclarations(*archive);
   if (!live.ok()) {
     std::fprintf(stderr, "%s\n", live.status().ToString().c_str());
@@ -121,6 +156,21 @@ int Serve(EventDatabase* archive, const std::vector<std::string>& queries) {
   options.session.plan.assume_distinct_keys = true;
   StreamRuntime runtime(live->get(), options);
   std::vector<QueryId> ids;
+  if (!config.restore_path.empty()) {
+    std::string snapshot;
+    if (!ReadFileBytes(config.restore_path, &snapshot)) {
+      std::fprintf(stderr, "cannot read checkpoint %s\n",
+                   config.restore_path.c_str());
+      return 1;
+    }
+    if (Status s = runtime.Restore(snapshot); !s.ok()) {
+      std::fprintf(stderr, "restore: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    for (const QueryStats& qs : runtime.Stats().queries) ids.push_back(qs.id);
+    std::printf("# restored %zu queries at tick %u from %s\n", ids.size(),
+                runtime.tick(), config.restore_path.c_str());
+  }
   for (const std::string& q : queries) {
     auto id = runtime.Register(q);
     if (!id.ok()) {
@@ -149,10 +199,26 @@ int Serve(EventDatabase* archive, const std::vector<std::string>& queries) {
       std::printf(" %.6f", p ? *p : 0.0);
     }
     std::printf("\n");
+    if (config.checkpoint_every > 0 && r.t % config.checkpoint_every == 0) {
+      // Checkpoint() is callback-safe: the coordinator holds no locks here,
+      // and the snapshot lands exactly at tick r.t.
+      auto snapshot = runtime.Checkpoint();
+      if (!snapshot.ok()) {
+        std::fprintf(stderr, "checkpoint: %s\n",
+                     snapshot.status().ToString().c_str());
+      } else if (!WriteFileBytes(config.checkpoint_path, *snapshot)) {
+        std::fprintf(stderr, "checkpoint: cannot write %s\n",
+                     config.checkpoint_path.c_str());
+      }
+    }
   });
+  const Timestamp resume_from = runtime.tick();
   runtime.Start();
   std::thread producer([&] {
     for (TickBatch& b : *batches) {
+      // On restore, ticks the checkpoint already covers are history; the
+      // runtime would reject them as duplicates anyway, so skip the push.
+      if (b.t <= resume_from) continue;
       Status s = runtime.ingest().Push(std::move(b),
                                        std::chrono::milliseconds(60000));
       if (!s.ok()) {
@@ -176,17 +242,52 @@ int main(int argc, char** argv) {
     return Generate(argv[2]);
   }
   bool serve = argc >= 2 && std::strcmp(argv[1], "--serve") == 0;
-  if (serve && argc < 4) {
-    std::fprintf(stderr, "usage: %s --serve DBFILE QUERY...\n", argv[0]);
-    return 2;
-  }
   if (serve) {
-    auto db = ReadDatabaseFromFile(argv[2]);
+    ServeConfig config;
+    std::string dbfile;
+    std::vector<std::string> queries;
+    bool bad = false;
+    for (int i = 2; i < argc; ++i) {
+      auto flag_value = [&](const char* name) -> const char* {
+        if (std::strcmp(argv[i], name) != 0) return nullptr;
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s needs a value\n", name);
+          bad = true;
+          return nullptr;
+        }
+        return argv[++i];
+      };
+      if (const char* v = flag_value("--checkpoint-every")) {
+        config.checkpoint_every = static_cast<size_t>(std::atoll(v));
+      } else if (const char* v = flag_value("--checkpoint-path")) {
+        config.checkpoint_path = v;
+      } else if (const char* v = flag_value("--restore")) {
+        config.restore_path = v;
+      } else if (!bad) {
+        if (dbfile.empty()) {
+          dbfile = argv[i];
+        } else {
+          queries.emplace_back(argv[i]);
+        }
+      }
+    }
+    // Queries may all come from a restored checkpoint; otherwise at least
+    // one must be given on the command line.
+    if (bad || dbfile.empty() ||
+        (queries.empty() && config.restore_path.empty())) {
+      std::fprintf(stderr,
+                   "usage: %s --serve [--checkpoint-every N] "
+                   "[--checkpoint-path FILE] [--restore FILE] "
+                   "DBFILE QUERY...\n",
+                   argv[0]);
+      return 2;
+    }
+    auto db = ReadDatabaseFromFile(dbfile);
     if (!db.ok()) {
       std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
       return 1;
     }
-    return Serve(db->get(), {argv + 3, argv + argc});
+    return Serve(db->get(), queries, config);
   }
   bool classify = argc == 4 && std::strcmp(argv[1], "--classify") == 0;
   if (argc != 3 && !classify) {

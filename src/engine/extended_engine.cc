@@ -72,6 +72,32 @@ std::vector<double> ExtendedRegularEngine::Run() {
   return probs;
 }
 
+void ExtendedRegularEngine::SaveState(serial::Writer* w) const {
+  w->U32(t_);
+  w->DoubleVec(chain_probs_);
+  w->U64(chains_.size());
+  for (const RegularChain& c : chains_) c.SaveState(w);
+}
+
+Status ExtendedRegularEngine::LoadState(serial::Reader* r) {
+  uint32_t t;
+  std::vector<double> probs;
+  uint64_t num_chains;
+  LAHAR_RETURN_NOT_OK(r->U32(&t));
+  LAHAR_RETURN_NOT_OK(r->DoubleVec(&probs));
+  LAHAR_RETURN_NOT_OK(r->U64(&num_chains));
+  if (num_chains != chains_.size() || probs.size() != chains_.size()) {
+    return Status::InvalidArgument(
+        "engine snapshot has " + std::to_string(num_chains) +
+        " chains, this engine has " + std::to_string(chains_.size()) +
+        " (different query or database?)");
+  }
+  for (RegularChain& c : chains_) LAHAR_RETURN_NOT_OK(c.LoadState(r));
+  chain_probs_ = std::move(probs);
+  t_ = t;
+  return Status::OK();
+}
+
 std::vector<ExtendedRegularEngine::BindingSeries>
 ExtendedRegularEngine::RunPerBinding() {
   std::vector<BindingSeries> series(chains_.size());

@@ -84,6 +84,14 @@ class ExtendedRegularEngine {
   /// Doubles in the shared SoA state arena (0 when unused).
   size_t arena_size() const { return arena_.size(); }
 
+  /// Serializes the clock, chain probabilities, and every chain's state
+  /// distribution (checkpointing). LoadState restores into an engine built
+  /// by the same query over an identical database snapshot — chain count
+  /// and per-chain hidden-slot layout must match — after which stepping
+  /// continues bit-identically.
+  void SaveState(serial::Writer* w) const;
+  Status LoadState(serial::Reader* r);
+
  private:
   std::vector<RegularChain> chains_;
   std::vector<Binding> bindings_;

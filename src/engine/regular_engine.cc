@@ -589,6 +589,132 @@ void RegularChain::BindArena(double* cur, double* nxt) {
   nxt_ = nxt;
 }
 
+void RegularChain::SaveState(serial::Writer* w) const {
+  w->U32(t_);
+  w->U8(track_accept_ ? 1 : 0);
+  // Per-slot domain sizes at save time. Decoding digits with the *current*
+  // domain size matches exactly how EnumerateSuccessors interprets hidden
+  // codes, and the restored chain (built over the restored database, which
+  // has these same sizes) re-encodes with its own radices.
+  w->U64(markov_participants_.size());
+  std::vector<uint64_t> domains(markov_participants_.size());
+  for (size_t i = 0; i < markov_participants_.size(); ++i) {
+    domains[i] = db_->stream(markov_participants_[i].id).domain_size();
+    w->U64(domains[i]);
+  }
+  // Live entries in canonical (mask, hidden) order — kernel flat-walk and
+  // sorted map produce the same sequence.
+  std::vector<std::pair<Key, double>> entries;
+  if (kernel_ != nullptr) {
+    const CompiledKernel& k = *kernel_;
+    const size_t M = k.masks.size();
+    const uint64_t R = k.R;
+    for (size_t a = 0; a < planes_; ++a) {
+      for (size_t mi = 0; mi < M; ++mi) {
+        const double* src = cur_ + (a * M + mi) * R;
+        const StateMask mask = k.masks[mi] | (a != 0 ? kAcceptedFlag : 0);
+        for (uint64_t h = 0; h < R; ++h) {
+          if (src[h] != 0.0) entries.push_back({Key{mask, h}, src[h]});
+        }
+      }
+    }
+    SortCanonical(&entries);
+  } else {
+    entries.assign(states_.begin(), states_.end());
+    SortCanonical(&entries);
+  }
+  w->U64(entries.size());
+  for (const auto& [key, p] : entries) {
+    w->U64(key.mask);
+    for (size_t i = 0; i < markov_participants_.size(); ++i) {
+      w->U64((key.hidden / radices_[i]) % domains[i]);
+    }
+    w->F64(p);
+  }
+}
+
+Status RegularChain::LoadState(serial::Reader* r) {
+  uint32_t t;
+  uint8_t track;
+  uint64_t num_slots;
+  LAHAR_RETURN_NOT_OK(r->U32(&t));
+  LAHAR_RETURN_NOT_OK(r->U8(&track));
+  LAHAR_RETURN_NOT_OK(r->U64(&num_slots));
+  if (num_slots != markov_participants_.size()) {
+    return Status::InvalidArgument(
+        "chain snapshot has " + std::to_string(num_slots) +
+        " Markovian slots, this chain has " +
+        std::to_string(markov_participants_.size()) +
+        " (different query or database?)");
+  }
+  std::vector<uint64_t> domains(num_slots);
+  for (size_t i = 0; i < num_slots; ++i) {
+    LAHAR_RETURN_NOT_OK(r->U64(&domains[i]));
+    const uint64_t here = db_->stream(markov_participants_[i].id).domain_size();
+    if (domains[i] != here) {
+      return Status::InvalidArgument(
+          "chain snapshot slot " + std::to_string(i) + " has domain size " +
+          std::to_string(domains[i]) + ", restored database has " +
+          std::to_string(here) + " (snapshot/database mismatch)");
+    }
+  }
+  uint64_t num_entries;
+  LAHAR_RETURN_NOT_OK(r->U64(&num_entries));
+  std::vector<std::pair<Key, double>> entries;
+  entries.reserve(num_entries);
+  bool any_accept_flag = false;
+  for (uint64_t e = 0; e < num_entries; ++e) {
+    Key key{0, 0};
+    LAHAR_RETURN_NOT_OK(r->U64(&key.mask));
+    for (size_t i = 0; i < num_slots; ++i) {
+      uint64_t digit;
+      LAHAR_RETURN_NOT_OK(r->U64(&digit));
+      if (digit >= domains[i]) {
+        return Status::InvalidArgument("chain snapshot digit out of domain");
+      }
+      key.hidden += radices_[i] * digit;
+    }
+    double p;
+    LAHAR_RETURN_NOT_OK(r->F64(&p));
+    any_accept_flag = any_accept_flag || (key.mask & kAcceptedFlag) != 0;
+    entries.push_back({key, p});
+  }
+  if (track != 0 && !track_accept_) EnableAcceptTracking();
+  // Route into whichever path this chain was built with. The kernel can
+  // only host the state if every saved mask is in its reachable set (and
+  // accept-flagged mass has a second plane); otherwise fall back to the
+  // map, which hosts anything.
+  bool use_kernel = kernel_ != nullptr && (!any_accept_flag || planes_ == 2);
+  if (use_kernel) {
+    for (const auto& [key, p] : entries) {
+      if (kernel_->MaskIndexOf(key.mask & ~kAcceptedFlag) < 0 ||
+          key.hidden >= kernel_->R) {
+        use_kernel = false;
+        break;
+      }
+    }
+  }
+  if (kernel_ != nullptr && !use_kernel) DematerializeToMap();
+  if (use_kernel) {
+    const CompiledKernel& k = *kernel_;
+    const size_t M = k.masks.size();
+    std::fill(cur_, cur_ + planes_ * k.num_flat(), 0.0);
+    std::fill(nxt_, nxt_ + planes_ * k.num_flat(), 0.0);
+    for (const auto& [key, p] : entries) {
+      const size_t a = (key.mask & kAcceptedFlag) != 0 ? 1 : 0;
+      const size_t mi = static_cast<size_t>(k.MaskIndexOf(key.mask &
+                                                          ~kAcceptedFlag));
+      cur_[(a * M + mi) * k.R + key.hidden] = p;
+    }
+  } else {
+    states_.clear();
+    for (const auto& [key, p] : entries) states_[key] += p;
+  }
+  t_ = t;
+  status_ = Status::OK();
+  return Status::OK();
+}
+
 Result<RegularEngine> RegularEngine::Create(const NormalizedQuery& q,
                                             const EventDatabase& db,
                                             const ChainOptions& options) {

@@ -28,6 +28,7 @@
 #include "automaton/kernel.h"
 #include "automaton/nfa.h"
 #include "automaton/symbols.h"
+#include "common/serial.h"
 #include "model/database.h"
 #include "query/normalize.h"
 
@@ -119,6 +120,18 @@ class RegularChain {
   /// doubles and stay valid for the chain's lifetime; the current state is
   /// copied into `cur`. No-op on the map path.
   void BindArena(double* cur, double* nxt);
+
+  /// Serializes the live distribution for checkpointing: the clock, accept
+  /// tracking, and every nonzero (state set, hidden) pair in canonical
+  /// order. Hidden codes are stored as per-slot domain digits (not raw
+  /// mixed-radix codes), so a chain rebuilt over the restored database —
+  /// whose radices may differ if the domain grew after this chain was
+  /// created — re-encodes them for its own layout. Execution path (kernel
+  /// vs. map) is NOT part of the state: both are bit-identical, and the
+  /// restored chain uses whichever it was built with (dematerializing only
+  /// if the saved distribution doesn't fit its kernel).
+  void SaveState(serial::Writer* w) const;
+  Status LoadState(serial::Reader* r);
 
  private:
   // Bit 63 of the state mask is the latched "accepted" flag.

@@ -23,6 +23,7 @@
 #include <memory>
 
 #include "analysis/prepared.h"
+#include "common/serial.h"
 #include "engine/lahar.h"
 
 namespace lahar {
@@ -75,6 +76,28 @@ class QuerySession {
   /// False when answers carry the sampling engine's (eps, delta) guarantee
   /// instead of being exact.
   bool exact() const { return exact_; }
+
+  /// True when the session serializes its state directly (SaveState /
+  /// LoadState). Sessions without direct support are restored by replaying
+  /// the database prefix instead — bit-identical either way (replay is the
+  /// same catch-up path hot registration uses; the sampler's determinism
+  /// comes from its fixed seed).
+  virtual bool SupportsStateRestore() const { return false; }
+
+  /// Serializes the session's evaluation state (checkpoint). Only valid
+  /// when SupportsStateRestore(); the blob is opaque and versioned by the
+  /// enclosing checkpoint, and must be loaded into a session created over
+  /// an identical database snapshot by the same query text.
+  virtual Status SaveState(serial::Writer* w) const {
+    (void)w;
+    return Status::Unimplemented("session does not serialize state");
+  }
+
+  /// Restores state written by SaveState on an equivalent session.
+  virtual Status LoadState(serial::Reader* r) {
+    (void)r;
+    return Status::Unimplemented("session does not serialize state");
+  }
 
  protected:
   QuerySession(QueryClass query_class, EngineKind engine_kind, bool exact)

@@ -65,6 +65,17 @@ class StreamingSession : public QuerySession {
   size_t num_units() const override { return engine_.num_chains(); }
   size_t UnitCost(size_t i) const override { return engine_.ChainCost(i); }
 
+  /// Streaming state is O(chains), so checkpoints serialize it directly
+  /// instead of replaying the archived prefix.
+  bool SupportsStateRestore() const override { return true; }
+  Status SaveState(serial::Writer* w) const override {
+    engine_.SaveState(w);
+    return Status::OK();
+  }
+  Status LoadState(serial::Reader* r) override {
+    return engine_.LoadState(r);
+  }
+
   /// Number of per-grounding chains (alias of num_units for diagnostics).
   size_t num_chains() const { return engine_.num_chains(); }
 

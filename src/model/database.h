@@ -107,6 +107,14 @@ class EventDatabase {
   /// Validates all streams.
   Status Validate() const;
 
+  /// Binary snapshot of the whole database (interner, schemas, relations,
+  /// streams, clock) for checkpointing. Deterministic: iteration over the
+  /// unordered containers is sorted before writing, so identical databases
+  /// produce identical bytes. LoadFrom rebuilds an equivalent database with
+  /// the same symbol ids and stream ids.
+  Status SaveTo(serial::Writer* w) const;
+  static Result<std::unique_ptr<EventDatabase>> LoadFrom(serial::Reader* r);
+
  private:
   std::unique_ptr<Interner> interner_;
   std::unordered_map<SymbolId, EventSchema> schemas_;

@@ -261,6 +261,118 @@ double Stream::TrajectoryProb(const std::vector<DomainIndex>& traj) const {
   return p;
 }
 
+void WriteValueTuple(const ValueTuple& t, serial::Writer* w) {
+  w->U64(t.size());
+  for (const Value& v : t) {
+    w->U8(static_cast<uint8_t>(v.kind()));
+    w->U64(v.is_symbol() ? static_cast<uint64_t>(v.symbol())
+                         : static_cast<uint64_t>(v.is_int() ? v.int_value()
+                                                            : 0));
+  }
+}
+
+Status ReadValueTuple(serial::Reader* r, ValueTuple* out) {
+  uint64_t n;
+  LAHAR_RETURN_NOT_OK(r->U64(&n));
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t kind;
+    uint64_t payload;
+    LAHAR_RETURN_NOT_OK(r->U8(&kind));
+    LAHAR_RETURN_NOT_OK(r->U64(&payload));
+    switch (static_cast<Value::Kind>(kind)) {
+      case Value::Kind::kNull:
+        out->push_back(Value());
+        break;
+      case Value::Kind::kSymbol:
+        out->push_back(Value::Symbol(static_cast<SymbolId>(payload)));
+        break;
+      case Value::Kind::kInt:
+        out->push_back(Value::Int(static_cast<int64_t>(payload)));
+        break;
+      default:
+        return Status::InvalidArgument("unknown value kind in snapshot");
+    }
+  }
+  return Status::OK();
+}
+
+void Stream::SaveTo(serial::Writer* w) const {
+  w->U32(type_);
+  WriteValueTuple(key_, w);
+  w->U64(num_value_attrs_);
+  w->U32(horizon_);
+  w->U8(markovian_ ? 1 : 0);
+  // Domain, skipping the implicit bottom at index 0.
+  w->U64(domain_.size() - 1);
+  for (size_t d = 1; d < domain_.size(); ++d) WriteValueTuple(domain_[d], w);
+  // Marginals for t = 1..horizon. Empty vectors (unset certain-bottom
+  // timesteps) and short vectors (recorded before domain growth) are kept
+  // as-is, hence the per-timestep presence flag plus exact length.
+  for (Timestamp t = 1; t <= horizon_; ++t) {
+    const auto& m = marginals_[t];
+    w->U8(m.empty() ? 0 : 1);
+    if (!m.empty()) w->DoubleVec(m);
+  }
+  // CPT vector, field-exact: append-built Markovian streams store
+  // cpts_.size() == horizon_, Set-built ones horizon_ at declaration time,
+  // independent streams 0.
+  w->U64(cpts_.size());
+  for (const Matrix& cpt : cpts_) {
+    w->U64(cpt.rows());
+    w->U64(cpt.cols());
+    for (size_t r = 0; r < cpt.rows(); ++r) {
+      for (size_t c = 0; c < cpt.cols(); ++c) w->F64(cpt.At(r, c));
+    }
+  }
+}
+
+Result<Stream> Stream::LoadFrom(serial::Reader* r) {
+  uint32_t type, horizon;
+  ValueTuple key;
+  uint64_t num_value_attrs, domain_count;
+  uint8_t markovian;
+  LAHAR_RETURN_NOT_OK(r->U32(&type));
+  LAHAR_RETURN_NOT_OK(ReadValueTuple(r, &key));
+  LAHAR_RETURN_NOT_OK(r->U64(&num_value_attrs));
+  LAHAR_RETURN_NOT_OK(r->U32(&horizon));
+  LAHAR_RETURN_NOT_OK(r->U8(&markovian));
+  LAHAR_RETURN_NOT_OK(r->U64(&domain_count));
+  Stream s(type, std::move(key), num_value_attrs, horizon, markovian != 0);
+  for (uint64_t d = 0; d < domain_count; ++d) {
+    ValueTuple tuple;
+    LAHAR_RETURN_NOT_OK(ReadValueTuple(r, &tuple));
+    if (tuple.size() != num_value_attrs) {
+      return Status::InvalidArgument("domain tuple arity mismatch in snapshot");
+    }
+    s.InternTuple(tuple);
+  }
+  for (Timestamp t = 1; t <= horizon; ++t) {
+    uint8_t present;
+    LAHAR_RETURN_NOT_OK(r->U8(&present));
+    if (present != 0) {
+      LAHAR_RETURN_NOT_OK(r->DoubleVec(&s.marginals_[t]));
+    }
+  }
+  uint64_t num_cpts;
+  LAHAR_RETURN_NOT_OK(r->U64(&num_cpts));
+  s.cpts_.resize(num_cpts);
+  for (uint64_t i = 0; i < num_cpts; ++i) {
+    uint64_t rows, cols;
+    LAHAR_RETURN_NOT_OK(r->U64(&rows));
+    LAHAR_RETURN_NOT_OK(r->U64(&cols));
+    Matrix m(rows, cols);
+    for (uint64_t rr = 0; rr < rows; ++rr) {
+      for (uint64_t cc = 0; cc < cols; ++cc) {
+        LAHAR_RETURN_NOT_OK(r->F64(&m.At(rr, cc)));
+      }
+    }
+    s.cpts_[i] = std::move(m);
+  }
+  return s;
+}
+
 Status Stream::Validate() const {
   for (Timestamp t = 1; t <= horizon_; ++t) {
     if (marginals_[t].empty()) continue;

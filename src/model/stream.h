@@ -21,11 +21,16 @@
 
 #include "common/matrix.h"
 #include "common/rng.h"
+#include "common/serial.h"
 #include "common/status.h"
 #include "model/event.h"
 #include "model/value.h"
 
 namespace lahar {
+
+/// Serializes a value tuple (per value: kind byte + 64-bit payload).
+void WriteValueTuple(const ValueTuple& t, serial::Writer* w);
+Status ReadValueTuple(serial::Reader* r, ValueTuple* out);
 
 /// Dense index into a stream's value-tuple domain; 0 is bottom.
 using DomainIndex = uint32_t;
@@ -123,6 +128,13 @@ class Stream {
 
   /// Checks all stored distributions.
   Status Validate() const;
+
+  /// Field-exact binary snapshot for checkpointing. Unlike the Append/Set
+  /// API, this preserves unset (certain-bottom) timesteps and marginals
+  /// recorded before later domain growth exactly as stored, so LoadFrom
+  /// reproduces the stream state bit-for-bit.
+  void SaveTo(serial::Writer* w) const;
+  static Result<Stream> LoadFrom(serial::Reader* r);
 
  private:
   SymbolId type_;

@@ -1,0 +1,122 @@
+// StreamRuntime::Checkpoint / Restore. Kept out of executor.cc so the tick
+// loop stays focused; format documented in runtime/checkpoint.h.
+#include <string>
+#include <vector>
+
+#include "runtime/checkpoint.h"
+#include "runtime/executor.h"
+
+namespace lahar {
+
+Result<std::string> StreamRuntime::Checkpoint() const {
+  // The state mutex serializes against the coordinator: a checkpoint taken
+  // while running lands between ticks, seeing a database and session pool
+  // that are exactly at tick_.
+  std::lock_guard<std::mutex> lock(state_mu_);
+  serial::Writer w;
+  w.U32(kCheckpointMagic);
+  w.U32(kCheckpointVersion);
+  LAHAR_RETURN_NOT_OK(db_->SaveTo(&w));
+  w.U32(tick_);
+  std::vector<StreamId> ended;
+  for (StreamId id = 0; id < db_->num_streams(); ++id) {
+    if (watermark_.ended(id)) ended.push_back(id);
+  }
+  w.U64(ended.size());
+  for (StreamId id : ended) w.U32(id);
+  w.U64(registry_.size());
+  for (const auto& q : registry_.queries()) {
+    w.U64(q->id);
+    w.Str(q->text);
+    if (q->session->SupportsStateRestore()) {
+      serial::Writer state;
+      LAHAR_RETURN_NOT_OK(q->session->SaveState(&state));
+      w.U8(1);
+      w.Str(state.str());
+    } else {
+      // Safe-plan and sampling sessions rebuild by replaying the database
+      // prefix on restore — the same bit-identical catch-up path hot
+      // registration uses (the sampler's determinism comes from its seed).
+      w.U8(0);
+    }
+  }
+  return w.str();
+}
+
+Status StreamRuntime::Restore(std::string_view snapshot) {
+  if (started_.load()) {
+    return Status::InvalidArgument(
+        "Restore requires a runtime that has not been started");
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  if (registry_.size() != 0) {
+    return Status::InvalidArgument(
+        "Restore requires an empty registry (queries come from the "
+        "snapshot)");
+  }
+  serial::Reader r(snapshot);
+  uint32_t magic, version;
+  LAHAR_RETURN_NOT_OK(r.U32(&magic));
+  if (magic != kCheckpointMagic) {
+    return Status::InvalidArgument("not a lahar checkpoint (bad magic)");
+  }
+  LAHAR_RETURN_NOT_OK(r.U32(&version));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        "unsupported checkpoint version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kCheckpointVersion) +
+        ")");
+  }
+  LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<EventDatabase> loaded,
+                         EventDatabase::LoadFrom(&r));
+  uint32_t tick;
+  LAHAR_RETURN_NOT_OK(r.U32(&tick));
+  uint64_t num_ended;
+  LAHAR_RETURN_NOT_OK(r.U64(&num_ended));
+  std::vector<StreamId> ended(num_ended);
+  for (uint64_t i = 0; i < num_ended; ++i) {
+    LAHAR_RETURN_NOT_OK(r.U32(&ended[i]));
+  }
+
+  // Swap the snapshot's content into the caller's database in place: the
+  // registry and every session hold the db_ pointer, so the object must
+  // stay put.
+  *db_ = std::move(*loaded);
+  tick_ = tick;
+  watermark_ = Watermark();
+  for (StreamId id = 0; id < db_->num_streams(); ++id) {
+    watermark_.Track(id, db_->stream(id).horizon());
+  }
+  for (StreamId id : ended) watermark_.MarkEnded(id);
+  // Buffered updates were never part of the checkpoint; producers resend
+  // everything newer than the checkpoint tick.
+  reorder_.Clear();
+
+  uint64_t num_queries;
+  LAHAR_RETURN_NOT_OK(r.U64(&num_queries));
+  for (uint64_t i = 0; i < num_queries; ++i) {
+    uint64_t id;
+    std::string text;
+    uint8_t has_state;
+    LAHAR_RETURN_NOT_OK(r.U64(&id));
+    LAHAR_RETURN_NOT_OK(r.Str(&text));
+    LAHAR_RETURN_NOT_OK(r.U8(&has_state));
+    if (has_state != 0) {
+      std::string blob;
+      LAHAR_RETURN_NOT_OK(r.Str(&blob));
+      serial::Reader state(blob);
+      LAHAR_RETURN_NOT_OK(registry_.RestoreQuery(id, text, tick_, &state));
+    } else {
+      LAHAR_RETURN_NOT_OK(registry_.RestoreQuery(id, text, tick_, nullptr));
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> tick_lock(tick_mu_);
+    published_tick_ = tick_;
+    latest_.reset();
+  }
+  return Status::OK();
+}
+
+}  // namespace lahar

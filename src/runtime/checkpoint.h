@@ -1,0 +1,34 @@
+// Versioned binary checkpoint format for StreamRuntime (see
+// StreamRuntime::Checkpoint / Restore in runtime/executor.h).
+//
+// Layout (all little-endian, via common/serial.h):
+//
+//   u32  magic        'LCKP'
+//   u32  version      kCheckpointVersion
+//   ...  database     EventDatabase::SaveTo
+//   u32  tick         last completed tick
+//   u64  num_ended    streams excluded from the watermark, then that many
+//   u32  stream id    ended stream ids
+//   u64  num_queries  then per query, in registration order:
+//     u64 id          original QueryId (preserved on restore)
+//     str text        query text (reparsed/reclassified on restore)
+//     u8  has_state   1 when the session serialized its state directly
+//     str state       opaque session blob (present iff has_state)
+//
+// Sessions without direct state (safe plans, samplers) are restored by
+// replaying the database prefix — the same bit-identical catch-up path hot
+// registration uses. Reorder-buffered updates are NOT checkpointed:
+// producers must resend ticks newer than the checkpoint tick.
+#ifndef LAHAR_RUNTIME_CHECKPOINT_H_
+#define LAHAR_RUNTIME_CHECKPOINT_H_
+
+#include <cstdint>
+
+namespace lahar {
+
+inline constexpr uint32_t kCheckpointMagic = 0x504B434CU;  // "LCKP"
+inline constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace lahar
+
+#endif  // LAHAR_RUNTIME_CHECKPOINT_H_

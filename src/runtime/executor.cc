@@ -29,13 +29,16 @@ StreamRuntime::StreamRuntime(EventDatabase* db, RuntimeOptions options)
                        ? options.num_threads
                        : std::max(1u, std::thread::hardware_concurrency())),
       queue_(options.queue_capacity),
-      registry_(db, options.session) {
+      registry_(db, options.session),
+      reorder_(options.reorder_window) {
   tick_ = db_->horizon();
   published_tick_ = tick_;
   for (StreamId id = 0; id < db_->num_streams(); ++id) {
     watermark_.Track(id, db_->stream(id).horizon());
   }
-  shard_counters_.resize(num_threads_ > 1 ? num_threads_ : 0);
+  // Counter slot 0 doubles as the inline path's: with one thread the
+  // coordinator steps the work itself but its ticks/chains still count.
+  shard_counters_.resize(num_threads_ > 1 ? num_threads_ : 1);
   shard_work_.resize(num_threads_ > 1 ? num_threads_ : 1);
 }
 
@@ -64,6 +67,7 @@ void StreamRuntime::MarkStreamEnded(StreamId id) {
 
 void StreamRuntime::SetTickCallback(
     std::function<void(const TickResult&)> callback) {
+  std::lock_guard<std::mutex> lock(callback_mu_);
   tick_callback_ = std::move(callback);
 }
 
@@ -136,6 +140,10 @@ RuntimeStats StreamRuntime::Stats() const {
     out.batches_rejected = batches_rejected_;
     out.last_ingest_error =
         last_ingest_error_.ok() ? "" : last_ingest_error_.ToString();
+    out.reorder_depth = reorder_.depth();
+    out.reorder_window = reorder_.window();
+    out.reorder_late_dropped = reorder_.late_dropped();
+    out.reorder_merged = reorder_.merged();
     out.tick_latency = tick_latency_.Summarize();
     size_t class_counts[4] = {0, 0, 0, 0};
     for (const auto& q : registry_.queries()) {
@@ -173,6 +181,7 @@ RuntimeStats StreamRuntime::Stats() const {
   out.queue_depth = queue_.size();
   out.queue_capacity = queue_.capacity();
   out.queue_dropped = queue_.dropped();
+  out.queue_closed_rejected = queue_.closed_rejected();
   return out;
 }
 
@@ -241,10 +250,22 @@ std::shared_ptr<const TickResult> StreamRuntime::RunTick() {
       done_cv_.wait(lock, [&] { return pending_shards_ == 0; });
     }
   } else {
+    const uint64_t s0 = NowNs();
+    uint64_t chains = 0;
     for (const WorkItem& w : shard_work_[0]) {
       const uint64_t q0 = NowNs();
       w.query->session->AdvanceShard(w.begin, w.end);
       w.query->tick_ns.fetch_add(NowNs() - q0, std::memory_order_relaxed);
+      chains += w.end - w.begin;
+    }
+    // The inline path is still "shard 0" for observability: without this,
+    // single-threaded runs report no ShardStats and chains_stepped is lost.
+    {
+      std::lock_guard<std::mutex> lock(work_mu_);
+      ShardCounters& c = shard_counters_[0];
+      ++c.ticks;
+      c.chains += chains;
+      c.latency.Record(NowNs() - s0);
     }
   }
 
@@ -291,12 +312,34 @@ void StreamRuntime::CoordinatorLoop() {
     {
       std::lock_guard<std::mutex> lock(state_mu_);
       if (batch.has_value()) {
-        Status s = ApplyBatch(db_, *batch, &watermark_);
+        // Route through the reorder stage: due updates apply now (as one
+        // transaction), ahead-of-time ones are buffered, stale ones are
+        // benign duplicates. A rejected batch (out of window, unknown
+        // stream, or failed validation) changes nothing — the producer can
+        // retry it once the gap is filled.
+        const Timestamp t = batch->t;
+        std::vector<StreamUpdate> due;
+        Status s = reorder_.Offer(*db_, *std::move(batch), &due);
+        if (s.ok() && !due.empty()) {
+          s = ApplyBatch(db_, TickBatch{t, std::move(due)}, &watermark_);
+        }
         if (s.ok()) {
           ++batches_applied_;
         } else {
           ++batches_rejected_;
           last_ingest_error_ = s;
+        }
+        // Applying a due group advances horizons, which can release
+        // buffered successors; drain until nothing more is due. A buffered
+        // group that fails validation is discarded (counted, never
+        // retried): keeping it would wedge the stream forever.
+        TickBatch ready;
+        while (reorder_.PopDue(*db_, &ready)) {
+          Status ds = ApplyBatch(db_, ready, &watermark_);
+          if (!ds.ok()) {
+            ++batches_rejected_;
+            last_ingest_error_ = ds;
+          }
         }
       }
       while (true) {
@@ -305,8 +348,13 @@ void StreamRuntime::CoordinatorLoop() {
         completed.push_back(RunTick());
       }
     }
-    if (tick_callback_) {
-      for (const auto& snap : completed) tick_callback_(*snap);
+    std::function<void(const TickResult&)> cb;
+    {
+      std::lock_guard<std::mutex> lock(callback_mu_);
+      cb = tick_callback_;
+    }
+    if (cb) {
+      for (const auto& snap : completed) cb(*snap);
     }
     if (stop_.load()) break;
     if (queue_.closed() && queue_.size() == 0) break;  // drained; all ticks ran

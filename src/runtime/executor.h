@@ -61,6 +61,11 @@ struct RuntimeOptions {
   size_t num_threads = 0;
   /// IngestQueue capacity, in TickBatches.
   size_t queue_capacity = 256;
+  /// How far past a stream's next expected timestep (horizon+1) an update
+  /// may arrive and still be buffered for later application (multi-producer
+  /// reordering). 0 = strict in-order ingest: anything not immediately
+  /// applicable is rejected. See ReorderBuffer in runtime/ingest.h.
+  size_t reorder_window = 64;
   /// How long the coordinator sleeps on an empty queue before rechecking
   /// for shutdown.
   std::chrono::milliseconds poll_interval{5};
@@ -121,13 +126,33 @@ class StreamRuntime {
   bool WaitForTick(Timestamp t, std::chrono::milliseconds timeout) const;
 
   /// Called on the coordinator thread after every tick with the published
-  /// snapshot. Must be set before Start; keep it fast and do not call back
-  /// into the runtime from it.
+  /// snapshot. Settable any time (guarded against the coordinator's reads);
+  /// keep it fast and do not call back into the runtime from it — except
+  /// Checkpoint(), which is explicitly callback-safe.
   void SetTickCallback(std::function<void(const TickResult&)> callback);
 
   /// Snapshot of all counters. Callable any time; may wait for the tick in
   /// flight.
   RuntimeStats Stats() const;
+
+  /// Serializes the runtime's recoverable state — the database, the current
+  /// tick, ended streams, and every standing query (with direct session
+  /// state for the streaming engines) — into a versioned binary snapshot.
+  /// Callable while running: it takes the state mutex, so it lands between
+  /// ticks, never mid-tick (the tick callback is a natural place to call it
+  /// from — the coordinator invokes callbacks with no locks held). Batches
+  /// still buffered in the reorder stage are NOT part of a checkpoint;
+  /// producers must resend ticks newer than the checkpoint tick on restart.
+  Result<std::string> Checkpoint() const;
+
+  /// Restores a snapshot produced by Checkpoint() into this runtime. Must
+  /// be called before Start(), on a runtime whose database holds the same
+  /// *declarations* (schemas, streams with full domains, relations) the
+  /// checkpointed one started from — e.g. a CloneDeclarations() clone; the
+  /// archived timesteps are replaced by the snapshot's. Registered queries
+  /// are restored under their original ids; subsequent ticks produce
+  /// results bit-identical to a runtime that was never interrupted.
+  Status Restore(std::string_view snapshot);
 
  private:
   // One contiguous unit range of one session, assigned to one shard.
@@ -154,6 +179,7 @@ class StreamRuntime {
   mutable std::mutex state_mu_;
   QueryRegistry registry_;
   Watermark watermark_;
+  ReorderBuffer reorder_;
   Timestamp tick_ = 0;
   uint64_t ticks_processed_ = 0;
   uint64_t batches_applied_ = 0;
@@ -183,6 +209,10 @@ class StreamRuntime {
   Timestamp published_tick_ = 0;
   std::shared_ptr<const TickResult> latest_;
 
+  // callback_mu_ guards tick_callback_: SetTickCallback may race the
+  // coordinator's per-tick reads, so both sides lock (the coordinator
+  // copies the callback out and invokes the copy without the lock).
+  mutable std::mutex callback_mu_;
   std::function<void(const TickResult&)> tick_callback_;
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};

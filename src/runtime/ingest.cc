@@ -1,14 +1,20 @@
 #include "runtime/ingest.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
+#include <unordered_set>
 
 namespace lahar {
 
 bool IngestQueue::TryPush(TickBatch batch) {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || batches_.size() >= capacity_) {
+    if (closed_) {
+      ++closed_rejected_;
+      return false;
+    }
+    if (batches_.size() >= capacity_) {
       ++dropped_;
       return false;
     }
@@ -85,6 +91,11 @@ uint64_t IngestQueue::dropped() const {
   return dropped_;
 }
 
+uint64_t IngestQueue::closed_rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_rejected_;
+}
+
 void Watermark::Track(StreamId id, Timestamp covered) {
   if (id >= covered_.size()) {
     covered_.resize(id + 1, 0);
@@ -117,30 +128,187 @@ Timestamp Watermark::Safe() const {
   return safe;
 }
 
+bool Watermark::ended(StreamId id) const {
+  return id < covered_.size() && tracked_[id] && covered_[id] == kEnded;
+}
+
+namespace {
+
+// Mirrors the checks Stream::Append{Marginal,Initial} run after resizing to
+// the domain, so a validated update cannot fail at apply time.
+Status CheckUpdateDistribution(const Stream& s, std::vector<double> dist) {
+  dist.resize(s.domain_size(), 0.0);
+  double total = 0;
+  for (double p : dist) {
+    if (p < -1e-9 || p > 1 + 1e-9) {
+      return Status::InvalidArgument("probability out of [0,1]");
+    }
+    total += p;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return Status::InvalidArgument("distribution sums to " +
+                                   std::to_string(total));
+  }
+  return Status::OK();
+}
+
+// Mirrors Stream::AppendMarkovStep's CPT checks.
+Status CheckUpdateCpt(const Stream& s, const Matrix& cpt) {
+  if (cpt.rows() != s.domain_size() || cpt.cols() != s.domain_size()) {
+    return Status::InvalidArgument("CPT must be D x D over the stream domain");
+  }
+  for (size_t r = 0; r < cpt.rows(); ++r) {
+    double total = 0;
+    for (size_t c = 0; c < cpt.cols(); ++c) total += cpt.At(r, c);
+    if (std::fabs(total - 1.0) > 1e-6) {
+      return Status::InvalidArgument("CPT row " + std::to_string(r) +
+                                     " sums to " + std::to_string(total));
+    }
+  }
+  return Status::OK();
+}
+
+// Full validation for one update at tick `t`, with no mutation. Every check
+// the apply path would perform runs here first, so the apply loop below
+// cannot fail mid-batch.
+Status ValidateUpdate(const EventDatabase& db, Timestamp t,
+                      const StreamUpdate& u) {
+  if (u.stream >= db.num_streams()) {
+    return Status::OutOfRange("batch references unknown stream " +
+                              std::to_string(u.stream));
+  }
+  const Stream& s = db.stream(u.stream);
+  if (t != s.horizon() + 1) {
+    return Status::InvalidArgument(
+        "batch for t=" + std::to_string(t) + " but stream " +
+        std::to_string(u.stream) + " is at horizon " +
+        std::to_string(s.horizon()) + " (ticks must arrive in order)");
+  }
+  if (u.cpt.has_value()) {
+    if (!s.markovian()) {
+      return Status::InvalidArgument("CPT update for independent stream " +
+                                     std::to_string(u.stream));
+    }
+    if (s.horizon() < 1 || s.MarginalAt(s.horizon()).empty()) {
+      return Status::InvalidArgument(
+          "CPT update for Markovian stream " + std::to_string(u.stream) +
+          " before its initial marginal");
+    }
+    return CheckUpdateCpt(s, *u.cpt);
+  }
+  if (s.markovian() && s.horizon() != 0) {
+    return Status::InvalidArgument(
+        "marginal update for Markovian stream " + std::to_string(u.stream) +
+        " past t=1 (expected a CPT)");
+  }
+  return CheckUpdateDistribution(s, u.marginal);
+}
+
+}  // namespace
+
 Status ApplyBatch(EventDatabase* db, const TickBatch& batch,
                   Watermark* watermark) {
+  // Phase 1: validate everything. No mutation happens until every update
+  // (including duplicates within the batch) has passed.
+  std::unordered_set<StreamId> seen;
+  seen.reserve(batch.updates.size());
   for (const StreamUpdate& u : batch.updates) {
-    if (u.stream >= db->num_streams()) {
-      return Status::OutOfRange("batch references unknown stream " +
-                                std::to_string(u.stream));
+    if (!seen.insert(u.stream).second) {
+      return Status::InvalidArgument("batch contains stream " +
+                                     std::to_string(u.stream) + " twice");
     }
-    const Stream& s = db->stream(u.stream);
-    if (batch.t != s.horizon() + 1) {
-      return Status::InvalidArgument(
-          "batch for t=" + std::to_string(batch.t) + " but stream " +
-          std::to_string(u.stream) + " is at horizon " +
-          std::to_string(s.horizon()) + " (ticks must arrive in order)");
-    }
+    LAHAR_RETURN_NOT_OK(ValidateUpdate(*db, batch.t, u));
+  }
+  // Phase 2: apply. Validation mirrored every apply-side check, so a
+  // failure here is a programming error, not a data error — surface it as
+  // Internal but note the transaction guarantee no longer holds.
+  for (const StreamUpdate& u : batch.updates) {
+    Status st;
     if (u.cpt.has_value()) {
-      LAHAR_RETURN_NOT_OK(db->AppendMarkovStep(u.stream, *u.cpt));
-    } else if (s.markovian()) {
-      LAHAR_RETURN_NOT_OK(db->AppendInitial(u.stream, u.marginal));
+      st = db->AppendMarkovStep(u.stream, *u.cpt);
+    } else if (db->stream(u.stream).markovian()) {
+      st = db->AppendInitial(u.stream, u.marginal);
     } else {
-      LAHAR_RETURN_NOT_OK(db->AppendMarginal(u.stream, u.marginal));
+      st = db->AppendMarginal(u.stream, u.marginal);
+    }
+    if (!st.ok()) {
+      return Status::Internal("validated update failed to apply: " +
+                              st.ToString());
     }
     if (watermark != nullptr) watermark->Advance(u.stream, batch.t);
   }
   return Status::OK();
+}
+
+Status ReorderBuffer::Offer(const EventDatabase& db, TickBatch batch,
+                            std::vector<StreamUpdate>* due) {
+  // Classification pass — nothing is consumed until every update has a
+  // home, so a rejected batch leaves the buffer exactly as it was.
+  enum class Slot { kLate, kDue, kBuffer, kMergedAway };
+  std::vector<Slot> slots(batch.updates.size());
+  for (size_t i = 0; i < batch.updates.size(); ++i) {
+    const StreamUpdate& u = batch.updates[i];
+    if (u.stream >= db.num_streams()) {
+      return Status::OutOfRange("batch references unknown stream " +
+                                std::to_string(u.stream));
+    }
+    const Timestamp horizon = db.stream(u.stream).horizon();
+    if (batch.t <= horizon) {
+      slots[i] = Slot::kLate;
+    } else if (batch.t == horizon + 1) {
+      slots[i] = Slot::kDue;
+    } else if (batch.t <= horizon + 1 + window_) {
+      slots[i] = buffered_.count({batch.t, u.stream}) != 0
+                     ? Slot::kMergedAway
+                     : Slot::kBuffer;
+    } else {
+      return Status::OutOfRange(
+          "batch for t=" + std::to_string(batch.t) + " is beyond the reorder "
+          "window (stream " + std::to_string(u.stream) + " at horizon " +
+          std::to_string(horizon) + ", window " + std::to_string(window_) +
+          "); resend once earlier ticks have been applied");
+    }
+  }
+  for (size_t i = 0; i < batch.updates.size(); ++i) {
+    StreamUpdate& u = batch.updates[i];
+    switch (slots[i]) {
+      case Slot::kLate:
+        ++late_dropped_;
+        break;
+      case Slot::kDue:
+        due->push_back(std::move(u));
+        break;
+      case Slot::kBuffer:
+        buffered_.emplace(std::make_pair(batch.t, u.stream), std::move(u));
+        break;
+      case Slot::kMergedAway:
+        ++merged_;
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+bool ReorderBuffer::PopDue(const EventDatabase& db, TickBatch* out) {
+  // buffered_ is ordered by (tick, stream), so the first due entry found
+  // has the smallest due tick; collect its whole (tick, per-stream-due)
+  // group and stop.
+  out->updates.clear();
+  Timestamp due_tick = 0;
+  for (auto it = buffered_.begin(); it != buffered_.end();) {
+    const Timestamp t = it->first.first;
+    const StreamId id = it->first.second;
+    if (!out->updates.empty() && t != due_tick) break;
+    if (id < db.num_streams() && t == db.stream(id).horizon() + 1) {
+      if (out->updates.empty()) due_tick = t;
+      out->updates.push_back(std::move(it->second));
+      it = buffered_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  out->t = due_tick;
+  return !out->updates.empty();
 }
 
 }  // namespace lahar

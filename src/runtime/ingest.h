@@ -13,8 +13,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/matrix.h"
@@ -70,8 +72,12 @@ class IngestQueue {
   bool closed() const;
   size_t size() const;
   size_t capacity() const { return capacity_; }
-  /// Number of TryPush calls rejected because the queue was full or closed.
+  /// Number of TryPush calls shed because the queue was at capacity.
+  /// Shutdown rejections are counted separately (closed_rejected) so
+  /// backpressure telemetry is not polluted by producers racing Close().
   uint64_t dropped() const;
+  /// Number of TryPush calls rejected because the queue was closed.
+  uint64_t closed_rejected() const;
 
  private:
   const size_t capacity_;
@@ -81,6 +87,7 @@ class IngestQueue {
   std::deque<TickBatch> batches_;
   bool closed_ = false;
   uint64_t dropped_ = 0;
+  uint64_t closed_rejected_ = 0;
 };
 
 /// \brief Tracks, per stream, the highest timestep whose data has been
@@ -107,6 +114,9 @@ class Watermark {
   /// when nothing gates (no tracked streams or all ended).
   Timestamp Safe() const;
 
+  /// True when `id` is tracked and has been MarkEnded.
+  bool ended(StreamId id) const;
+
   size_t num_tracked() const { return num_tracked_; }
 
  private:
@@ -116,14 +126,73 @@ class Watermark {
   size_t num_tracked_ = 0;
 };
 
-/// Applies one batch to the database: marginals append to independent
-/// streams (or seed empty Markovian streams at t=1), CPTs append Markov
-/// steps. Every update must target timestep stream.horizon()+1 == batch.t;
-/// on error the batch may be partially applied and the caller should treat
-/// the runtime's data as ended at the previous tick. Advances `watermark`
-/// for each applied stream.
+/// Applies one batch to the database **transactionally**: every update is
+/// validated (stream bounds, flavour, distribution/CPT shape and sums,
+/// `batch.t == stream.horizon()+1`, no duplicate stream within the batch)
+/// before anything is mutated. A rejected batch therefore leaves the
+/// database and the watermark untouched, and the producer can retry the
+/// identical batch once whatever it was missing has been fixed — retries
+/// are idempotent, never wedged on a half-advanced horizon.
+///
+/// On success, marginals append to independent streams (or seed empty
+/// Markovian streams at t=1), CPTs append Markov steps, and `watermark`
+/// advances for each applied stream.
 Status ApplyBatch(EventDatabase* db, const TickBatch& batch,
                   Watermark* watermark);
+
+/// \brief Bounded per-stream reorder stage in front of ApplyBatch.
+///
+/// Multi-producer races deliver batches out of order and occasionally twice.
+/// The buffer classifies every update against its stream's current horizon:
+///
+///  * `t <= horizon`        — data already applied; dropped as a benign
+///                            duplicate (counted in late_dropped()).
+///  * `t == horizon + 1`    — due now; handed back to the caller to apply.
+///  * within the window     — held until its tick is next. A second update
+///                            for the same (tick, stream) slot merges
+///                            first-wins (counted in merged()).
+///  * beyond the window, or an unknown stream — the *whole* batch is
+///                            rejected untouched (the bound keeps a
+///                            runaway producer from ballooning memory).
+///
+/// Single-consumer, like ApplyBatch: the runtime coordinator owns it.
+class ReorderBuffer {
+ public:
+  /// `window` = how far past horizon+1 an update may arrive and still be
+  /// buffered (0 = strict in-order ingest).
+  explicit ReorderBuffer(size_t window) : window_(window) {}
+
+  /// Classifies `batch` (see class comment). Due updates are appended to
+  /// `*due`; buffered ones are held. Returns non-OK — with the buffer and
+  /// `*due` untouched — when any update is out of window or unknown.
+  Status Offer(const EventDatabase& db, TickBatch batch,
+               std::vector<StreamUpdate>* due);
+
+  /// Pops every buffered update that has become due (its tick is now
+  /// horizon+1 for its stream), for the smallest such tick, into `*out`.
+  /// Returns false when nothing is due. Callers loop: applying one due
+  /// group advances horizons, which may make the next group due.
+  bool PopDue(const EventDatabase& db, TickBatch* out);
+
+  /// Number of updates currently held.
+  size_t depth() const { return buffered_.size(); }
+  size_t window() const { return window_; }
+  /// Updates dropped because their tick was already applied (duplicates).
+  uint64_t late_dropped() const { return late_dropped_; }
+  /// Updates merged away because the same (tick, stream) slot was already
+  /// buffered (first write wins).
+  uint64_t merged() const { return merged_; }
+
+  /// Discards everything held (checkpoint restore: producers resend).
+  void Clear() { buffered_.clear(); }
+
+ private:
+  const size_t window_;
+  // Ordered by (tick, stream) so PopDue scans due ticks smallest-first.
+  std::map<std::pair<Timestamp, StreamId>, StreamUpdate> buffered_;
+  uint64_t late_dropped_ = 0;
+  uint64_t merged_ = 0;
+};
 
 }  // namespace lahar
 

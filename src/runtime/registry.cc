@@ -34,6 +34,46 @@ Result<QueryId> QueryRegistry::Register(const PreparedQuery& prepared,
   return id;
 }
 
+Status QueryRegistry::RestoreQuery(QueryId id, std::string_view text,
+                                   Timestamp tick, serial::Reader* state) {
+  if (Find(id) != nullptr) {
+    return Status::AlreadyExists("query id " + std::to_string(id) +
+                                 " already registered");
+  }
+  LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(text, db_));
+  LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<QuerySession> session,
+                         CreateQuerySession(db_, prepared, options_));
+  auto q = std::make_unique<StandingQuery>();
+  q->id = id;
+  q->text = std::string(text);
+  q->query_class = prepared.classification.query_class;
+  q->engine = session->engine_kind();
+  q->exact = session->exact();
+  q->session = std::move(session);
+  if (state != nullptr && q->session->SupportsStateRestore()) {
+    LAHAR_RETURN_NOT_OK(q->session->LoadState(state));
+    if (q->session->time() != tick) {
+      return Status::InvalidArgument(
+          "restored session for query " + std::to_string(id) + " is at t=" +
+          std::to_string(q->session->time()) + ", checkpoint tick is " +
+          std::to_string(tick));
+    }
+  } else {
+    // Replay catch-up: the restored database stores timesteps 1..tick, and
+    // this is the same path hot registration uses, so the session's state
+    // is bit-identical to one that ran through the prefix live (sampling
+    // sessions re-derive their trajectories from the fixed seed).
+    while (q->session->time() < tick) {
+      LAHAR_ASSIGN_OR_RETURN(double p, q->session->Advance());
+      (void)p;
+    }
+  }
+  queries_.push_back(std::move(q));
+  next_id_ = std::max(next_id_, id + 1);
+  ++version_;
+  return Status::OK();
+}
+
 Status QueryRegistry::Unregister(QueryId id) {
   auto it = std::find_if(
       queries_.begin(), queries_.end(),

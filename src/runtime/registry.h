@@ -60,6 +60,15 @@ class QueryRegistry {
   /// Removes a query. NotFound if the id is unknown.
   Status Unregister(QueryId id);
 
+  /// Checkpoint restore: re-registers a query under its *original* id. The
+  /// session is rebuilt from `text`; if `state` is non-null and the session
+  /// serializes its state, the saved state is loaded directly, otherwise
+  /// the session catches up by replaying the database prefix to `tick` —
+  /// bit-identical either way. Ids are preserved and next_id_ advances past
+  /// them, so later registrations never collide with restored queries.
+  Status RestoreQuery(QueryId id, std::string_view text, Timestamp tick,
+                      serial::Reader* state);
+
   StandingQuery* Find(QueryId id);
 
   /// Queries in registration order — the executor's combine order, which

@@ -99,14 +99,22 @@ std::string RuntimeStats::ToString() const {
     out += "\n";
   }
   std::snprintf(buf, sizeof(buf),
-                "ingest:  depth=%zu/%zu dropped=%llu applied=%llu "
-                "rejected=%llu%s%s\n",
+                "ingest:  depth=%zu/%zu dropped=%llu closed_rejected=%llu "
+                "applied=%llu rejected=%llu%s%s\n",
                 queue_depth, queue_capacity,
                 static_cast<unsigned long long>(queue_dropped),
+                static_cast<unsigned long long>(queue_closed_rejected),
                 static_cast<unsigned long long>(batches_applied),
                 static_cast<unsigned long long>(batches_rejected),
                 last_ingest_error.empty() ? "" : " last_error=",
                 last_ingest_error.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "reorder: depth=%zu window=%zu late_dropped=%llu "
+                "merged=%llu\n",
+                reorder_depth, reorder_window,
+                static_cast<unsigned long long>(reorder_late_dropped),
+                static_cast<unsigned long long>(reorder_merged));
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "tick latency (us): min=%s mean=%s p50=%s p99=%s max=%s\n",
@@ -146,17 +154,24 @@ std::string RuntimeStats::ToString() const {
 
 std::string RuntimeStats::ToJson() const {
   std::string out = "{";
-  char buf[256];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "\"tick\":%u,\"ticks_processed\":%llu,\"queries\":%zu,"
                 "\"chains\":%zu,\"threads\":%zu,\"queue_depth\":%zu,"
                 "\"queue_capacity\":%zu,\"queue_dropped\":%llu,"
-                "\"batches_applied\":%llu,\"batches_rejected\":%llu,",
+                "\"queue_closed_rejected\":%llu,"
+                "\"batches_applied\":%llu,\"batches_rejected\":%llu,"
+                "\"reorder_depth\":%zu,\"reorder_window\":%zu,"
+                "\"reorder_late_dropped\":%llu,\"reorder_merged\":%llu,",
                 tick, static_cast<unsigned long long>(ticks_processed),
                 num_queries, total_chains, num_threads, queue_depth,
                 queue_capacity, static_cast<unsigned long long>(queue_dropped),
+                static_cast<unsigned long long>(queue_closed_rejected),
                 static_cast<unsigned long long>(batches_applied),
-                static_cast<unsigned long long>(batches_rejected));
+                static_cast<unsigned long long>(batches_rejected),
+                reorder_depth, reorder_window,
+                static_cast<unsigned long long>(reorder_late_dropped),
+                static_cast<unsigned long long>(reorder_merged));
   out += buf;
   if (!class_counts.empty()) {
     out += "\"classes\":{";

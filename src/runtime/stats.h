@@ -87,10 +87,15 @@ struct RuntimeStats {
   size_t num_threads = 0;
   size_t queue_depth = 0;
   size_t queue_capacity = 0;
-  uint64_t queue_dropped = 0;    ///< TryPush rejections observed by the queue
+  uint64_t queue_dropped = 0;    ///< TryPush load-shed (queue at capacity)
+  uint64_t queue_closed_rejected = 0;  ///< TryPush after Close (shutdown)
   uint64_t batches_applied = 0;
   uint64_t batches_rejected = 0;  ///< malformed batches skipped by ingest
   std::string last_ingest_error;  ///< empty when every batch applied cleanly
+  size_t reorder_depth = 0;       ///< updates held in the reorder buffer
+  size_t reorder_window = 0;      ///< configured reorder window (ticks)
+  uint64_t reorder_late_dropped = 0;  ///< stale duplicates dropped
+  uint64_t reorder_merged = 0;        ///< buffered duplicates merged away
   /// Registered queries per class, (class name, count) in class order —
   /// every class the runtime is currently serving, including approximate
   /// sampling sessions.

@@ -5,6 +5,7 @@
 // many-tick equivalence run lives in runtime_stress_test.cc.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -21,6 +22,7 @@ namespace {
 
 using ::lahar::testing::AddIndependentStream;
 using ::lahar::testing::AddMarkovStream;
+using ::lahar::testing::StepDist;
 using namespace std::chrono_literals;
 
 TickBatch MakeBatch(Timestamp t) {
@@ -43,6 +45,17 @@ TEST(IngestQueueTest, FifoAndCapacity) {
   EXPECT_EQ(a->t, 1u);
   EXPECT_EQ(b->t, 2u);
   EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(IngestQueueTest, ClosedRejectionsAreNotCountedAsDrops) {
+  IngestQueue q(2);
+  ASSERT_TRUE(q.TryPush(MakeBatch(1)));
+  q.Close();
+  EXPECT_FALSE(q.TryPush(MakeBatch(2)));
+  EXPECT_FALSE(q.TryPush(MakeBatch(3)));
+  // Shutdown rejections must not pollute the backpressure counter.
+  EXPECT_EQ(q.dropped(), 0u);
+  EXPECT_EQ(q.closed_rejected(), 2u);
 }
 
 TEST(IngestQueueTest, PushDeadlineExpiresWhenFull) {
@@ -111,6 +124,34 @@ TEST(WatermarkTest, EndedStreamsStopGating) {
   EXPECT_EQ(w.Safe(), Watermark::kUnbounded);  // all ended: nothing gates
 }
 
+TEST(WatermarkTest, EndedStreamStaysEndedThroughAdvance) {
+  Watermark w;
+  w.Track(0, 2);
+  w.Track(1, 4);
+  w.MarkEnded(0);
+  EXPECT_TRUE(w.ended(0));
+  EXPECT_EQ(w.Safe(), 4u);
+  // A straggler Advance for an ended stream must not resurrect it as a
+  // gating stream at the advanced tick.
+  w.Advance(0, 3);
+  EXPECT_TRUE(w.ended(0));
+  EXPECT_EQ(w.Safe(), 4u);
+  w.MarkEnded(1);
+  EXPECT_EQ(w.Safe(), Watermark::kUnbounded);
+}
+
+TEST(WatermarkTest, ReTrackRevivesAnEndedStream) {
+  Watermark w;
+  w.Track(0, 5);
+  w.MarkEnded(0);
+  EXPECT_EQ(w.Safe(), Watermark::kUnbounded);
+  // The stream grew again (e.g. checkpoint restore re-tracks everything):
+  // Track re-registers it at its current horizon and it gates ticks again.
+  w.Track(0, 7);
+  EXPECT_FALSE(w.ended(0));
+  EXPECT_EQ(w.Safe(), 7u);
+}
+
 TEST(ApplyBatchTest, AppendsMarginalsAndAdvancesWatermark) {
   EventDatabase db;
   StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
@@ -168,6 +209,132 @@ TEST(ApplyBatchTest, SeedsMarkovianStreamThenChainsCpts) {
   EXPECT_EQ(stream.horizon(), 2u);
   EXPECT_NEAR(stream.MarginalAt(2)[1], 0.45, 1e-12);
   EXPECT_NEAR(stream.MarginalAt(2)[2], 0.55, 1e-12);
+}
+
+TEST(ApplyBatchTest, RejectedBatchLeavesEveryStreamAndWatermarkUntouched) {
+  // A batch whose *last* update is invalid must not half-apply: the valid
+  // leading updates stay out of the database too.
+  EventDatabase db;
+  StreamId a = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  StreamId b = AddIndependentStream(&db, "At", "Sue", {{{"a", 0.5}}});
+  Watermark w;
+  w.Track(a, 1);
+  w.Track(b, 1);
+  TickBatch batch = MakeBatch(2);
+  batch.updates.push_back({a, {0.25, 0.75}, std::nullopt});
+  batch.updates.push_back({b, {0.9, 0.9}, std::nullopt});  // sums to 1.8
+  Status s = ApplyBatch(&db, batch, &w);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(db.stream(a).horizon(), 1u);
+  EXPECT_EQ(db.stream(b).horizon(), 1u);
+  EXPECT_EQ(db.horizon(), 1u);
+  EXPECT_EQ(w.Safe(), 1u);
+  // Fixing the bad update and retrying the same tick applies cleanly —
+  // nothing was consumed by the failed attempt.
+  batch.updates[1].marginal = {0.1, 0.9};
+  ASSERT_OK(ApplyBatch(&db, batch, &w));
+  EXPECT_EQ(db.stream(a).horizon(), 2u);
+  EXPECT_EQ(db.stream(b).horizon(), 2u);
+  EXPECT_EQ(w.Safe(), 2u);
+}
+
+TEST(ApplyBatchTest, RejectsDuplicateStreamWithinOneBatch) {
+  EventDatabase db;
+  StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  TickBatch batch = MakeBatch(2);
+  batch.updates.push_back({id, {0.5, 0.5}, std::nullopt});
+  batch.updates.push_back({id, {0.4, 0.6}, std::nullopt});
+  EXPECT_FALSE(ApplyBatch(&db, batch, nullptr).ok());
+  EXPECT_EQ(db.stream(id).horizon(), 1u);
+}
+
+TEST(ReorderBufferTest, HoldsEarlyTicksUntilDue) {
+  EventDatabase db;
+  StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  Watermark w;
+  w.Track(id, 1);
+  ReorderBuffer buf(4);
+  // t=3 arrives before t=2: buffered, nothing due.
+  TickBatch early = MakeBatch(3);
+  early.updates.push_back({id, {0.3, 0.7}, std::nullopt});
+  std::vector<StreamUpdate> due;
+  ASSERT_OK(buf.Offer(db, std::move(early), &due));
+  EXPECT_TRUE(due.empty());
+  EXPECT_EQ(buf.depth(), 1u);
+  TickBatch ready;
+  EXPECT_FALSE(buf.PopDue(db, &ready));
+  // t=2 arrives: due immediately; applying it makes the buffered t=3 due.
+  TickBatch now = MakeBatch(2);
+  now.updates.push_back({id, {0.4, 0.6}, std::nullopt});
+  ASSERT_OK(buf.Offer(db, std::move(now), &due));
+  ASSERT_EQ(due.size(), 1u);
+  ASSERT_OK(ApplyBatch(&db, TickBatch{2, std::move(due)}, &w));
+  ASSERT_TRUE(buf.PopDue(db, &ready));
+  EXPECT_EQ(ready.t, 3u);
+  ASSERT_OK(ApplyBatch(&db, ready, &w));
+  EXPECT_EQ(buf.depth(), 0u);
+  EXPECT_EQ(db.stream(id).horizon(), 3u);
+  EXPECT_EQ(db.stream(id).MarginalAt(3)[1], 0.7);
+}
+
+TEST(ReorderBufferTest, CountsLateDuplicatesAndMerges) {
+  EventDatabase db;
+  StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  ReorderBuffer buf(4);
+  std::vector<StreamUpdate> due;
+  // t=1 is already applied: benign duplicate, dropped.
+  TickBatch late = MakeBatch(1);
+  late.updates.push_back({id, {0.5, 0.5}, std::nullopt});
+  ASSERT_OK(buf.Offer(db, std::move(late), &due));
+  EXPECT_TRUE(due.empty());
+  EXPECT_EQ(buf.late_dropped(), 1u);
+  // Two arrivals for the same future (tick, stream) slot: first wins.
+  TickBatch first = MakeBatch(3);
+  first.updates.push_back({id, {0.3, 0.7}, std::nullopt});
+  ASSERT_OK(buf.Offer(db, std::move(first), &due));
+  TickBatch second = MakeBatch(3);
+  second.updates.push_back({id, {0.9, 0.1}, std::nullopt});
+  ASSERT_OK(buf.Offer(db, std::move(second), &due));
+  EXPECT_EQ(buf.depth(), 1u);
+  EXPECT_EQ(buf.merged(), 1u);
+}
+
+TEST(ReorderBufferTest, RejectsBeyondWindowLeavingBufferUntouched) {
+  EventDatabase db;
+  StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  ReorderBuffer buf(2);  // horizon 1: ticks 2..4 acceptable
+  std::vector<StreamUpdate> due;
+  TickBatch far = MakeBatch(5);
+  far.updates.push_back({id, {0.5, 0.5}, std::nullopt});
+  Status s = buf.Offer(db, std::move(far), &due);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(due.empty());
+  EXPECT_EQ(buf.depth(), 0u);
+  // A mixed batch with one out-of-window update is rejected whole: the due
+  // update it carried is not consumed either.
+  TickBatch mixed = MakeBatch(2);
+  mixed.updates.push_back({id, {0.4, 0.6}, std::nullopt});
+  TickBatch bad = MakeBatch(5);
+  bad.updates.push_back({id, {0.5, 0.5}, std::nullopt});
+  ASSERT_OK(buf.Offer(db, std::move(mixed), &due));
+  EXPECT_EQ(due.size(), 1u);
+  EXPECT_FALSE(buf.Offer(db, std::move(bad), &due).ok());
+  EXPECT_EQ(due.size(), 1u);
+}
+
+TEST(ReorderBufferTest, StrictWindowZeroRejectsAnythingNotDue) {
+  EventDatabase db;
+  StreamId id = AddIndependentStream(&db, "At", "Joe", {{{"a", 0.5}}});
+  ReorderBuffer buf(0);
+  std::vector<StreamUpdate> due;
+  TickBatch next = MakeBatch(2);
+  next.updates.push_back({id, {0.4, 0.6}, std::nullopt});
+  ASSERT_OK(buf.Offer(db, std::move(next), &due));
+  EXPECT_EQ(due.size(), 1u);
+  TickBatch future = MakeBatch(3);
+  future.updates.push_back({id, {0.4, 0.6}, std::nullopt});
+  EXPECT_EQ(buf.Offer(db, std::move(future), &due).code(),
+            StatusCode::kOutOfRange);
 }
 
 TEST(ReplayTest, CloneDeclarationsPreservesSymbolsAndDomains) {
@@ -475,6 +642,7 @@ TEST(StreamRuntimeTest, MalformedBatchIsCountedNotFatal) {
   ASSERT_OK(batches.status());
   RuntimeOptions options;
   options.num_threads = 1;
+  options.reorder_window = 2;  // t=7 at horizon 0 is far beyond 1+2
   StreamRuntime runtime(clone->get(), options);
   ASSERT_OK(runtime.Register("At('Joe', l : l = 'a')").status());
   runtime.Start();
@@ -492,6 +660,126 @@ TEST(StreamRuntimeTest, MalformedBatchIsCountedNotFatal) {
   EXPECT_EQ(stats.batches_rejected, 1u);
   EXPECT_FALSE(stats.last_ingest_error.empty());
   EXPECT_EQ(stats.tick, 2u);
+}
+
+TEST(StreamRuntimeTest, SingleThreadedRuntimeStillReportsShardStats) {
+  // num_threads == 1 runs chain work inline on the coordinator; that path
+  // used to vanish from the stats entirely (no shard counters at all).
+  EventDatabase archive;
+  AddIndependentStream(&archive, "At", "Joe",
+                       {{{"a", 0.5}}, {{"a", 0.4}}, {{"a", 0.3}}});
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  RuntimeOptions options;
+  options.num_threads = 1;
+  StreamRuntime runtime(clone->get(), options);
+  ASSERT_OK(runtime.Register("At('Joe', l : l = 'a')").status());
+  RunToCompletion(&runtime, std::move(*batches));
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.num_threads, 1u);
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].ticks, 3u);
+  EXPECT_EQ(stats.shards[0].chains_stepped, 3u);  // 1 chain x 3 ticks
+  EXPECT_EQ(stats.shards[0].tick.count, 3u);
+}
+
+TEST(StreamRuntimeTest, OutOfOrderIngestIsBufferedAndApplied) {
+  // Push ticks 2, 3, 1 (in that order): the reorder buffer holds 2 and 3
+  // until 1 lands, then the runtime drains all three and the published
+  // results match an in-order run bit for bit.
+  EventDatabase archive;
+  AddIndependentStream(&archive, "At", "Joe",
+                       {{{"a", 0.7}, {"b", 0.2}},
+                        {{"b", 0.6}, {"a", 0.3}},
+                        {{"a", 0.9}}});
+  AddMarkovStream(&archive, "At", "Sue", {"a", "b"}, 3, 0.85);
+  const std::string query = "At('Joe', l : l = 'a')";
+  auto baseline = StreamingSession::Create(&archive, query);
+  ASSERT_OK(baseline.status());
+  std::vector<double> expected;
+  for (Timestamp t = 1; t <= archive.horizon(); ++t) {
+    auto p = baseline->Advance();
+    ASSERT_OK(p.status());
+    expected.push_back(*p);
+  }
+
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  ASSERT_EQ(batches->size(), 3u);
+  RuntimeOptions options;
+  options.num_threads = 2;
+  options.reorder_window = 8;
+  StreamRuntime runtime(clone->get(), options);
+  auto id = runtime.Register(query);
+  ASSERT_OK(id.status());
+  std::vector<TickResult> results;
+  runtime.SetTickCallback([&](const TickResult& r) { results.push_back(r); });
+  runtime.Start();
+  for (size_t i : {1u, 2u, 0u}) {
+    ASSERT_OK(runtime.ingest().Push(std::move((*batches)[i]), 10000ms));
+  }
+  // Duplicate of tick 1 after the fact: dropped as late, not an error.
+  auto dup = ExtractBatches(archive);
+  ASSERT_OK(dup.status());
+  ASSERT_OK(runtime.ingest().Push(std::move((*dup)[0]), 10000ms));
+  ASSERT_TRUE(runtime.WaitForTick(3, 10000ms));
+  // The duplicate is dropped asynchronously; wait for the counter, not just
+  // the tick.
+  for (int i = 0; i < 1000; ++i) {
+    if (runtime.Stats().reorder_late_dropped > 0) break;
+    std::this_thread::sleep_for(2ms);
+  }
+  runtime.Stop();
+  ASSERT_EQ(results.size(), 3u);
+  for (size_t t = 0; t < results.size(); ++t) {
+    const double* p = results[t].Find(*id);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, expected[t]) << "t=" << t + 1;
+  }
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_EQ(stats.batches_rejected, 0u);
+  EXPECT_TRUE(stats.last_ingest_error.empty());
+  EXPECT_EQ(stats.reorder_depth, 0u);
+  EXPECT_EQ(stats.reorder_window, 8u);
+  // The duplicate tick-1 batch was shed update-by-update as late.
+  EXPECT_GT(stats.reorder_late_dropped, 0u);
+}
+
+TEST(StreamRuntimeTest, SetTickCallbackWhileRunningIsSafe) {
+  // Swapping the callback concurrently with the coordinator publishing
+  // ticks must be race-free (this is what the TSan runtime job checks).
+  EventDatabase archive;
+  std::vector<StepDist> steps(40, StepDist{{"a", 0.5}});
+  AddIndependentStream(&archive, "At", "Joe", steps);
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  RuntimeOptions options;
+  options.num_threads = 2;
+  StreamRuntime runtime(clone->get(), options);
+  ASSERT_OK(runtime.Register("At('Joe', l : l = 'a')").status());
+  runtime.Start();
+  std::atomic<uint64_t> seen{0};
+  std::thread swapper([&] {
+    for (int i = 0; i < 100; ++i) {
+      runtime.SetTickCallback([&](const TickResult&) {
+        seen.fetch_add(1, std::memory_order_relaxed);
+      });
+      std::this_thread::sleep_for(1ms);
+    }
+  });
+  for (TickBatch& b : *batches) {
+    ASSERT_OK(runtime.ingest().Push(std::move(b), 10000ms));
+  }
+  ASSERT_TRUE(runtime.WaitForTick(40, 10000ms));
+  swapper.join();
+  runtime.Stop();
+  EXPECT_EQ(runtime.tick(), 40u);
 }
 
 }  // namespace
