@@ -2,10 +2,9 @@
 // 70% grounded Regular selections, 20% Extended Regular sequences, 10%
 // Safe plans — multiplexed through the QuerySession layer
 // (engine/session.h) at 1..8 worker threads. Regular/Extended sessions
-// shard per-key chains; a Safe session is a single sequential unit whose
-// memo tables extend one column per tick, so it rides along on whichever
-// shard draws it and bounds the speedup (the cost model's O(1)/O(m) vs
-// lazy-table asymmetry, docs/RUNTIME.md).
+// shard per-key chains; a Safe session shards its independent grounding
+// groups (project children) the same way, so no class serializes the tick
+// (docs/RUNTIME.md).
 //
 // Per cell we preload the whole replay into the ingest queue, then time
 // Start..WaitForTick(horizon): pure tick throughput, no producer in the
@@ -150,8 +149,8 @@ int main() {
     if (thread_counts[i] == 4) at4 = row[i];
     std::printf(" %12.1f", row[i]);
   }
-  std::printf("\nspeedup@4 %8.2fx  (the safe plan is a single sequential "
-              "unit; see docs/RUNTIME.md)\n",
+  std::printf("\nspeedup@4 %8.2fx  (all classes shard, including safe "
+              "grounding groups; see docs/RUNTIME.md)\n",
               base > 0 ? at4 / base : 0.0);
   return 0;
 }

@@ -21,12 +21,19 @@ import json
 import sys
 
 # Fields describing how long the cell ran rather than what it measured;
-# excluded from the match key along with the metric itself.
-RUN_SIZE_FIELDS = {"ticks", "time_ms", "reps", "tick_p99_us"}
+# excluded from the match key along with the metric itself. Diagnostic
+# outputs (latencies, cache counters, derived ratios) live here too: they
+# vary run to run and must not split otherwise-identical cells apart.
+RUN_SIZE_FIELDS = {
+    "ticks", "time_ms", "reps", "tick_p99_us",
+    "early_tick_us", "late_tick_us", "flatness", "speedup",
+    "memo_entries", "memo_evictions", "row_evictions", "row_rebuilds",
+}
 
 
 def load(path, metric):
     records = {}
+    benches = set()
     with open(path) as f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
@@ -38,13 +45,15 @@ def load(path, metric):
                 obj = json.loads(line)
             except json.JSONDecodeError as e:
                 raise SystemExit(f"{path}:{line_no}: bad JSON line: {e}")
+            if "bench" in obj:
+                benches.add(obj["bench"])
             if metric not in obj:
                 continue
             key = tuple(
                 sorted((k, v) for k, v in obj.items()
                        if k != metric and k not in RUN_SIZE_FIELDS))
             records[key] = float(obj[metric])
-    return records
+    return records, benches
 
 
 def describe(key):
@@ -60,14 +69,33 @@ def main():
                         help="fatal fractional drop (default 0.10 = 10%%)")
     parser.add_argument("--metric", default="ticks_per_sec",
                         help="JSON field to compare (higher is better)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="BENCH",
+                        help="bench name that must appear in BOTH files; "
+                             "a missing required bench is a clear failure "
+                             "instead of silently comparing nothing "
+                             "(repeatable)")
     args = parser.parse_args()
 
-    base = load(args.baseline, args.metric)
-    cur = load(args.current, args.metric)
+    base, base_benches = load(args.baseline, args.metric)
+    cur, cur_benches = load(args.current, args.metric)
     if not base:
         raise SystemExit(f"{args.baseline}: no records with '{args.metric}'")
     if not cur:
         raise SystemExit(f"{args.current}: no records with '{args.metric}'")
+
+    missing = []
+    for name in args.require:
+        if name not in base_benches:
+            missing.append(f"required bench '{name}' has no records in "
+                           f"baseline {args.baseline} — record a baseline "
+                           f"for it (see docs/PERF.md)")
+        if name not in cur_benches:
+            missing.append(f"required bench '{name}' has no records in "
+                           f"current run {args.current} — did the bench "
+                           f"binary run and print JSON lines?")
+    if missing:
+        raise SystemExit("\n".join(missing))
 
     regressions = []
     for key in sorted(base):

@@ -46,6 +46,37 @@ struct SafePlanNode {
   SafePlanPtr child;  // kProject / kSeq
 };
 
+/// Options controlling safe-plan *serving*: the incremental per-tick
+/// kernels and bounded caches of engine/safe_engine.cc. Every knob here is
+/// numerically neutral — the fast kernels skip exact zeros and reuse
+/// deterministic rebuilds, so answers are bit-identical to the reference
+/// loops at any capacity setting; the knobs trade recompute time against
+/// resident memory.
+struct SafePlanOptions {
+  /// Use the sparse incremental seq kernels (skip timesteps whose witness
+  /// probability is exactly 0 and reuse a per-node scratch buffer). false
+  /// selects the reference dense loops — same doubles, O(t) per call —
+  /// kept selectable for verification and as the bench's "pre-PR" cell.
+  bool incremental = true;
+
+  /// Bounded (ts, tf) interval memo per seq node (direct-mapped; collisions
+  /// evict). Evicted entries recompute bit-identically on the next miss.
+  size_t seq_memo_capacity = 1024;
+
+  /// Bounded interval-row arena per reg leaf (LRU). An evicted row rebuilds
+  /// bit-identically from the nearest chain keyframe when re-requested.
+  /// Eviction scans the arena for the coldest row, so the capacity also
+  /// bounds per-eviction work — keep it a small multiple of the live
+  /// precursor window, not "as big as memory allows".
+  size_t reg_row_capacity = 128;
+
+  /// Spacing of reg-leaf chain keyframes (snapshots kept for row rebuilds);
+  /// memory is O(horizon / interval) chains instead of one per timestep,
+  /// and a row rebuild steps at most this many transitions from the
+  /// preceding keyframe.
+  size_t reg_keyframe_interval = 256;
+};
+
 /// Options controlling plan compilation.
 struct PlanOptions {
   /// Relaxes the cannotUnify precondition of seq: subgoals whose key terms
@@ -61,6 +92,9 @@ struct PlanOptions {
   /// witness streams the truncated sums are near-constant work per
   /// timestep, the behaviour behind Fig. 14(b).
   double seq_truncate = 1e-12;
+
+  /// Incremental serving knobs (see SafePlanOptions above).
+  SafePlanOptions safe;
 };
 
 /// Compiles a safe plan per Algorithm 1. Returns an UnsafeQuery status when

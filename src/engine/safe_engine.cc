@@ -1,7 +1,9 @@
 #include "engine/safe_engine.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "analysis/bindings.h"
 
@@ -28,6 +30,36 @@ class SafePlanEngine::NodeEval {
   /// Relative per-tick cost estimate (runtime shard balancing).
   virtual size_t StepCost() const = 0;
 
+  /// Number of independently advanceable shard units under this node.
+  virtual size_t NumShardUnits() const { return 1; }
+
+  /// Advances shard unit `unit` to tick `t`. `warm` asks the unit to also
+  /// pre-compute its diagonal probability P[t, t] into its (bounded) memo,
+  /// so the single-threaded combine at FinishAdvance is a pure memo hit.
+  /// Units are disjoint subtrees (the safety precondition keeps their
+  /// streams disjoint), so distinct units may advance concurrently.
+  virtual Status AdvanceUnit(size_t unit, Timestamp t, bool warm) {
+    (void)unit;
+    Status s = ExtendTo(t);
+    if (s.ok() && warm) s = Prob(t, t).status();
+    return s;
+  }
+
+  /// Per-unit cost estimate (runtime shard balancing).
+  virtual size_t UnitCostOf(size_t unit) const {
+    (void)unit;
+    return StepCost();
+  }
+
+  /// Accumulates memo/row-cache counters over this subtree.
+  virtual void AddMemoStats(SafeMemoStats* out) const { (void)out; }
+
+  /// Serializes / restores the incremental evaluation state (frontier
+  /// chains, witness tables). Bounded caches are not part of the state:
+  /// they refill bit-identically on demand.
+  virtual Status SaveNode(serial::Writer* w) const = 0;
+  virtual Status LoadNode(serial::Reader* r) = 0;
+
   /// Streams whose events this subplan's probability depends on.
   const std::set<StreamId>& used_streams() const { return used_; }
 
@@ -39,27 +71,29 @@ namespace {
 
 using NodeEval = SafePlanEngine::NodeEval;
 
-struct TsPairHash {
-  size_t operator()(const std::pair<Timestamp, Timestamp>& p) const {
-    return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) |
-                                 p.second);
-  }
-};
+// Node tags in the serialized evaluator state (SaveNode/LoadNode).
+constexpr uint8_t kRegTag = 1;
+constexpr uint8_t kSeqTag = 2;
+constexpr uint8_t kProjectTag = 3;
 
 }  // namespace
 
 // The reg<V> leaf: interval probabilities from the Markov-chain algorithm
 // with an absorbing accept flag. Rows (fixed ts, all tf) are computed on
-// demand from per-timestep chain snapshots and memoized — the lazy
-// evaluation responsible for the Fig. 14(b) behaviour.
+// demand and kept in a bounded LRU arena; instead of one chain snapshot per
+// timestep, a single frontier chain advances with the stream and sparse
+// keyframes (every reg_keyframe_interval steps) let an evicted row rebuild
+// its start-of-row chain deterministically — the rebuilt chain replays the
+// exact Step() sequence of the original, so row values are bit-identical.
 class SafePlanEngine::RegEval : public SafePlanEngine::NodeEval {
  public:
   static Result<std::unique_ptr<RegEval>> Make(const NormalizedQuery& grounded,
                                                const EventDatabase& db,
-                                               KernelCache* kernel_cache) {
+                                               KernelCache* kernel_cache,
+                                               const SafePlanOptions& safe) {
     // One cache per plan: the project operator grounds the same subquery
-    // once per key, and every grounding (plus every per-timestep snapshot
-    // copy) shares a single compiled kernel.
+    // once per key, and every grounding (plus every keyframe/row copy)
+    // shares a single compiled kernel.
     ChainOptions options;
     options.kernel_cache = kernel_cache;
     LAHAR_ASSIGN_OR_RETURN(RegularChain chain,
@@ -67,7 +101,10 @@ class SafePlanEngine::RegEval : public SafePlanEngine::NodeEval {
     auto eval = std::make_unique<RegEval>();
     eval->horizon_ = chain.horizon();
     for (StreamId s : chain.participating()) eval->used_.insert(s);
-    eval->snapshots_.push_back(std::move(chain));
+    eval->row_capacity_ = std::max<size_t>(1, safe.reg_row_capacity);
+    eval->keyframe_interval_ = std::max<size_t>(1, safe.reg_keyframe_interval);
+    eval->base_ = chain;
+    eval->frontier_ = std::move(chain);
     return eval;
   }
 
@@ -79,13 +116,52 @@ class SafePlanEngine::RegEval : public SafePlanEngine::NodeEval {
   }
 
   // The chains read the database live and rows extend on demand, so growing
-  // the leaf is just widening the clamp.
+  // the leaf is just widening the clamp: O(1) per tick, the frontier chain
+  // advances lazily the first time a row past its position is requested.
   Status ExtendTo(Timestamp t) override {
     if (t > horizon_) horizon_ = t;
     return Status::OK();
   }
 
-  size_t StepCost() const override { return snapshots_.front().StepCost(); }
+  size_t StepCost() const override {
+    return base_.StepCost() * (1 + rows_.size());
+  }
+
+  void AddMemoStats(SafeMemoStats* out) const override {
+    out->rows_live += rows_.size();
+    out->row_evictions += row_evictions_;
+    out->row_rebuilds += row_rebuilds_;
+  }
+
+  Status SaveNode(serial::Writer* w) const override {
+    w->U8(kRegTag);
+    w->U32(horizon_);
+    frontier_.SaveState(w);
+    w->U64(keyframes_.size());
+    for (const RegularChain& kf : keyframes_) kf.SaveState(w);
+    return Status::OK();
+  }
+
+  Status LoadNode(serial::Reader* r) override {
+    uint8_t tag = 0;
+    LAHAR_RETURN_NOT_OK(r->U8(&tag));
+    if (tag != kRegTag) {
+      return Status::InvalidArgument("safe-plan state: expected reg leaf");
+    }
+    LAHAR_RETURN_NOT_OK(r->U32(&horizon_));
+    LAHAR_RETURN_NOT_OK(frontier_.LoadState(r));
+    uint64_t n = 0;
+    LAHAR_RETURN_NOT_OK(r->U64(&n));
+    keyframes_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      RegularChain kf = base_;
+      LAHAR_RETURN_NOT_OK(kf.LoadState(r));
+      keyframes_.push_back(std::move(kf));
+    }
+    rows_.clear();
+    created_.clear();
+    return Status::OK();
+  }
 
  private:
   // A partially computed row: the accept-tracking chain frozen at the last
@@ -94,26 +170,55 @@ class SafePlanEngine::RegEval : public SafePlanEngine::NodeEval {
   struct LazyRow {
     RegularChain chain;
     std::vector<double> values;  // values[b - a] = P[accept in [a, b]]
+    uint64_t last_used = 0;
   };
 
-  // Chain state after consuming timesteps 1..t.
-  const RegularChain& Snapshot(Timestamp t) {
-    while (snapshots_.size() <= t) {
-      RegularChain next = snapshots_.back();
-      next.Step();
-      snapshots_.push_back(std::move(next));
+  void AdvanceFrontierTo(Timestamp t) {
+    while (frontier_.time() < t) {
+      frontier_.Step();
+      if (frontier_.time() % keyframe_interval_ == 0) {
+        keyframes_.push_back(frontier_);
+      }
     }
-    return snapshots_[t];
+  }
+
+  // Chain state after consuming timesteps 1..t: the frontier itself when t
+  // is at or past it, else a copy of the nearest keyframe stepped forward.
+  // Copies are exact and Step() is deterministic, so the result is the same
+  // chain state no matter which start it was replayed from.
+  RegularChain ChainAt(Timestamp t) {
+    if (t >= frontier_.time()) {
+      AdvanceFrontierTo(t);
+      return frontier_;
+    }
+    const RegularChain* start = &base_;
+    for (const RegularChain& kf : keyframes_) {
+      if (kf.time() <= t) {
+        start = &kf;
+      } else {
+        break;
+      }
+    }
+    RegularChain chain = *start;
+    while (chain.time() < t) chain.Step();
+    return chain;
   }
 
   double RowValue(Timestamp a, Timestamp b) {
     auto it = rows_.find(a);
     if (it == rows_.end()) {
-      RegularChain chain = Snapshot(a - 1);
+      if (created_.count(a)) {
+        ++row_rebuilds_;  // evicted earlier, rebuilt from a keyframe
+      } else {
+        created_.insert(a);
+      }
+      RegularChain chain = ChainAt(a - 1);
       chain.EnableAcceptTracking();
-      it = rows_.emplace(a, LazyRow{std::move(chain), {}}).first;
+      it = rows_.emplace(a, LazyRow{std::move(chain), {}, 0}).first;
+      if (rows_.size() > row_capacity_) EvictColdestRow(a);
     }
     LazyRow& row = it->second;
+    row.last_used = ++use_clock_;
     while (row.values.size() <= static_cast<size_t>(b - a)) {
       row.chain.Step();
       row.values.push_back(row.chain.AcceptedProb());
@@ -121,21 +226,51 @@ class SafePlanEngine::RegEval : public SafePlanEngine::NodeEval {
     return row.values[b - a];
   }
 
+  void EvictColdestRow(Timestamp keep) {
+    auto victim = rows_.end();
+    for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == rows_.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim != rows_.end()) {
+      rows_.erase(victim);
+      ++row_evictions_;
+    }
+  }
+
   Timestamp horizon_ = 0;
-  std::vector<RegularChain> snapshots_;
+  size_t row_capacity_ = 512;
+  size_t keyframe_interval_ = 4096;
+  RegularChain base_;      // chain at time 0 (keyframe of last resort)
+  RegularChain frontier_;  // advances with the stream; rebuild source
+  std::vector<RegularChain> keyframes_;  // ascending time()
   std::unordered_map<Timestamp, LazyRow> rows_;
+  std::unordered_set<Timestamp> created_;  // row starts ever materialized
+  uint64_t use_clock_ = 0;
+  uint64_t row_evictions_ = 0;
+  uint64_t row_rebuilds_ = 0;
 };
 
-// The seq operator: Eq. (3)'s precursor/witness decomposition.
+// The seq operator: Eq. (3)'s precursor/witness decomposition. Serving keeps
+// a sorted index of the timesteps whose witness probability is nonzero; the
+// sparse kernels walk only those, skipping the exact-zero factors the dense
+// loops would multiply through (x * 1.0 and 0.0-valued terms are IEEE
+// no-ops, so the answers are bit-identical — see docs/PERF.md).
 class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
  public:
   static Result<std::unique_ptr<SeqEval>> Make(
       std::unique_ptr<NodeEval> child, const NormalizedSubgoal& goal,
       const Binding& binding, const EventDatabase& db, bool exclude_left,
-      double truncate) {
+      const PlanOptions& options) {
     auto eval = std::make_unique<SeqEval>();
     eval->db_ = &db;
-    eval->truncate_ = truncate;
+    eval->truncate_ = options.seq_truncate;
+    eval->incremental_ = options.safe.incremental;
+    eval->memo_.assign(std::max<size_t>(1, options.safe.seq_memo_capacity),
+                       MemoEntry{});
     eval->exclude_left_ = exclude_left;
     eval->used_ = child->used_streams();
     eval->child_ = std::move(child);
@@ -201,21 +336,180 @@ class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
         none *= 1.0 - pa;
       }
       w_[t] = 1.0 - none;
+      if (w_[t] != 0.0) active_.push_back(t);
     }
     horizon_ = target;
     return Status::OK();
   }
 
-  size_t StepCost() const override { return child_->StepCost() + 1; }
+  size_t StepCost() const override {
+    size_t groundings = 0;
+    for (const auto& [sid, wit] : witnesses_) {
+      if (wit.can_match) ++groundings;
+    }
+    return child_->StepCost() + groundings + last_live_window_ + 1;
+  }
+
+  size_t NumShardUnits() const override { return child_->NumShardUnits(); }
+
+  // Shard work forwards to the child's grounding groups. warm is forced off:
+  // this node queries the child at (lo, tfp - 1) intervals, so warming the
+  // child's (t, t) diagonal would only churn its row caches.
+  Status AdvanceUnit(size_t unit, Timestamp t, bool warm) override {
+    (void)warm;
+    return child_->AdvanceUnit(unit, t, false);
+  }
+
+  size_t UnitCostOf(size_t unit) const override {
+    return child_->UnitCostOf(unit) + 1;
+  }
+
+  void AddMemoStats(SafeMemoStats* out) const override {
+    out->memo_entries += memo_live_;
+    out->memo_hits += memo_hits_;
+    out->memo_misses += memo_misses_;
+    out->memo_evictions += memo_evictions_;
+    child_->AddMemoStats(out);
+  }
+
+  Status SaveNode(serial::Writer* w) const override {
+    w->U8(kSeqTag);
+    w->U32(horizon_);
+    w->DoubleVec(w_);
+    return child_->SaveNode(w);
+  }
+
+  Status LoadNode(serial::Reader* r) override {
+    uint8_t tag = 0;
+    LAHAR_RETURN_NOT_OK(r->U8(&tag));
+    if (tag != kSeqTag) {
+      return Status::InvalidArgument("safe-plan state: expected seq node");
+    }
+    LAHAR_RETURN_NOT_OK(r->U32(&horizon_));
+    LAHAR_RETURN_NOT_OK(r->DoubleVec(&w_));
+    if (w_.size() < static_cast<size_t>(horizon_) + 1) {
+      return Status::InvalidArgument("safe-plan state: witness table short");
+    }
+    active_.clear();
+    for (Timestamp t = 1; t <= horizon_; ++t) {
+      if (w_[t] != 0.0) active_.push_back(t);
+    }
+    memo_.assign(memo_.size(), MemoEntry{});
+    memo_live_ = 0;
+    memo_hits_ = memo_misses_ = memo_evictions_ = 0;
+    return child_->LoadNode(r);
+  }
 
   Result<double> Prob(Timestamp ts, Timestamp tf) override {
     if (ts < 1) ts = 1;
     if (tf > horizon_) tf = horizon_;
     if (ts > tf) return 0.0;
-    auto key = std::make_pair(ts, tf);
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+    MemoEntry& entry = memo_[MemoSlot(ts, tf)];
+    if (entry.valid && entry.ts == ts && entry.tf == tf) {
+      ++memo_hits_;
+      return entry.value;
+    }
+    ++memo_misses_;
+    double total = 0.0;
+    if (incremental_) {
+      LAHAR_ASSIGN_OR_RETURN(total, ComputeSparse(ts, tf));
+    } else {
+      LAHAR_ASSIGN_OR_RETURN(total, ComputeDense(ts, tf));
+    }
+    if (entry.valid) {
+      ++memo_evictions_;
+    } else {
+      ++memo_live_;
+    }
+    entry = MemoEntry{ts, tf, total, true};
+    return total;
+  }
 
+ private:
+  // Which of a stream's domain values satisfy the grounded subgoal, cached
+  // across ExtendTo calls and re-evaluated only for domain values interned
+  // after the last refresh.
+  struct Witness {
+    std::vector<bool> matches;         // accept-qualified values
+    std::vector<bool> matches_m_only;  // match- but not accept-qualified
+    bool can_match = false;
+  };
+
+  // One direct-mapped (ts, tf) interval memo slot; collisions overwrite
+  // (counted as evictions) and recompute bit-identically on the next miss.
+  struct MemoEntry {
+    Timestamp ts = 0;
+    Timestamp tf = 0;
+    double value = 0.0;
+    bool valid = false;
+  };
+
+  size_t MemoSlot(Timestamp ts, Timestamp tf) const {
+    uint64_t key = (static_cast<uint64_t>(ts) << 32) | tf;
+    return static_cast<size_t>((key * 0x9e3779b97f4a7c15ULL) >> 32) %
+           memo_.size();
+  }
+
+  // Eq. (3) over the nonzero witness positions only. The dense loops below
+  // walk every u in [1, tf]; at a position with w[u] == 0 they multiply the
+  // suffix products by 1.0 - 0.0 (a bit-exact no-op), produce a 0.0-valued
+  // precursor/witness term that the <= kTruncate / > kTruncate tests then
+  // drop (for any kTruncate >= 0, including the seq_truncate = 0 eager
+  // ablation), and leave the break conditions unchanged. So walking only
+  // active_ performs the same IEEE operations in the same order: answers
+  // are bit-identical, and per-call work is O(live window), not O(t).
+  Result<double> ComputeSparse(Timestamp ts, Timestamp tf) {
+    const double kTruncate = truncate_;
+    // Precursor terms over T_p in descending order; pp = w[tsp] * suffix.
+    scratch_.clear();
+    double suffix = 1.0;  // prod of (1 - w[u]) for u in (tsp, ts)
+    auto lo_it = std::lower_bound(active_.begin(), active_.end(), ts);
+    for (auto it = lo_it; it != active_.begin();) {
+      --it;
+      Timestamp tsp = *it;
+      scratch_.emplace_back(tsp, w_[tsp] * suffix);
+      suffix *= 1.0 - w_[tsp];
+      if (suffix < kTruncate) {
+        suffix = 0.0;
+        break;
+      }
+    }
+    const double precursor0 = suffix;  // no g-event before ts at all
+
+    double total = 0.0;
+    double wit_suffix = 1.0;  // prod of (1 - w[u]) for u in (tfp, tf]
+    auto hi_it = std::upper_bound(active_.begin(), active_.end(), tf);
+    for (auto it = hi_it; it != lo_it;) {
+      --it;
+      Timestamp tfp = *it;
+      double pw = w_[tfp] * wit_suffix;
+      wit_suffix *= 1.0 - w_[tfp];
+      if (pw > kTruncate) {
+        double inner = 0.0;
+        if (precursor0 > kTruncate && tfp >= 2) {
+          LAHAR_ASSIGN_OR_RETURN(double pc, child_->Prob(1, tfp - 1));
+          inner += precursor0 * pc;
+        }
+        for (size_t k = scratch_.size(); k-- > 0;) {  // ascending tsp
+          const auto& [tsp, pp] = scratch_[k];
+          if (pp <= kTruncate) continue;
+          if (tfp < tsp + 1) continue;  // empty interval [tsp, tfp - 1]
+          LAHAR_ASSIGN_OR_RETURN(double pc, child_->Prob(tsp, tfp - 1));
+          inner += pp * pc;
+        }
+        total += pw * inner;
+      }
+      if (wit_suffix < kTruncate) break;
+    }
+    last_live_window_ = scratch_.size();
+    return total;
+  }
+
+  // Reference path (SafePlanOptions::incremental = false): the dense
+  // Eq. (3) loops over every timestep. Kept selectable for verification —
+  // ComputeSparse must match it bit-for-bit — and as the benchmarks'
+  // "pre-PR" cell.
+  Result<double> ComputeDense(Timestamp ts, Timestamp tf) {
     // Precursor distribution over T_p (shared across all witnesses).
     // precursor[i]: i = 0 means "no precursor", else T_p = i. Terms whose
     // probability falls below kTruncate contribute nothing measurable and
@@ -224,11 +518,13 @@ class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
     // scaling so much better than the O(T^3) analytic bound.
     const double kTruncate = truncate_;
     std::vector<double> precursor(ts, 0.0);
+    size_t window = 0;
     {
       double suffix = 1.0;  // prod of (1 - w[u]) for u in (ts', ts)
       for (Timestamp tsp = ts; tsp-- > 1;) {
         precursor[tsp] = w_[tsp] * suffix;
         suffix *= 1.0 - w_[tsp];
+        ++window;
         if (suffix < kTruncate) {
           suffix = 0.0;
           break;
@@ -255,19 +551,9 @@ class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
       }
       if (wit_suffix < kTruncate) break;
     }
-    memo_.emplace(key, total);
+    last_live_window_ = window;
     return total;
   }
-
- private:
-  // Which of a stream's domain values satisfy the grounded subgoal, cached
-  // across ExtendTo calls and re-evaluated only for domain values interned
-  // after the last refresh.
-  struct Witness {
-    std::vector<bool> matches;         // accept-qualified values
-    std::vector<bool> matches_m_only;  // match- but not accept-qualified
-    bool can_match = false;
-  };
 
   Status RefreshWitness(StreamId sid) {
     const Stream& stream = db_->stream(sid);
@@ -309,21 +595,32 @@ class SafePlanEngine::SeqEval : public SafePlanEngine::NodeEval {
 
   const EventDatabase* db_ = nullptr;
   const EventSchema* schema_ = nullptr;
-  Subgoal goal_sub_;   // grounded right-hand subgoal
-  Condition match_;    // localized predicates
+  Subgoal goal_sub_;  // grounded right-hand subgoal
+  Condition match_;   // localized predicates
   Condition accept_;
   bool exclude_left_ = false;
+  bool incremental_ = true;
   Timestamp horizon_ = 0;
   double truncate_ = 1e-12;
   std::unique_ptr<NodeEval> child_;
   std::unordered_map<StreamId, Witness> witnesses_;
-  std::vector<double> w_;  // witness probability per timestep
-  std::unordered_map<std::pair<Timestamp, Timestamp>, double, TsPairHash>
-      memo_;
+  std::vector<double> w_;            // witness probability per timestep
+  std::vector<Timestamp> active_;    // sorted timesteps with w_[t] != 0
+  std::vector<MemoEntry> memo_;      // direct-mapped (ts, tf) memo
+  size_t memo_live_ = 0;
+  uint64_t memo_hits_ = 0;
+  uint64_t memo_misses_ = 0;
+  uint64_t memo_evictions_ = 0;
+  // Reused per ComputeSparse call: (tsp, precursor probability) descending.
+  std::vector<std::pair<Timestamp, double>> scratch_;
+  size_t last_live_window_ = 0;  // precursor terms walked by the last call
 };
 
 // The independent-project operator: groundings of x use disjoint tuples, so
-// P = 1 - prod over groundings (1 - P_grounding).
+// P = 1 - prod over groundings (1 - P_grounding). The groundings are the
+// natural shard units: their streams are disjoint by construction, so
+// distinct children advance concurrently and the combine at FinishAdvance
+// reads their warmed (t, t) memo entries.
 class SafePlanEngine::ProjectEval : public SafePlanEngine::NodeEval {
  public:
   explicit ProjectEval(std::vector<std::unique_ptr<NodeEval>> children)
@@ -353,6 +650,54 @@ class SafePlanEngine::ProjectEval : public SafePlanEngine::NodeEval {
     return total;
   }
 
+  size_t NumShardUnits() const override {
+    return children_.empty() ? 1 : children_.size();
+  }
+
+  Status AdvanceUnit(size_t unit, Timestamp t, bool warm) override {
+    if (children_.empty()) return Status::OK();
+    if (unit >= children_.size()) {
+      return Status::Internal("project shard unit out of range");
+    }
+    NodeEval& child = *children_[unit];
+    LAHAR_RETURN_NOT_OK(child.ExtendTo(t));
+    if (warm) return child.Prob(t, t).status();
+    return Status::OK();
+  }
+
+  size_t UnitCostOf(size_t unit) const override {
+    if (unit >= children_.size()) return 1;
+    return children_[unit]->StepCost();
+  }
+
+  void AddMemoStats(SafeMemoStats* out) const override {
+    for (const auto& c : children_) c->AddMemoStats(out);
+  }
+
+  Status SaveNode(serial::Writer* w) const override {
+    w->U8(kProjectTag);
+    w->U64(children_.size());
+    for (const auto& c : children_) LAHAR_RETURN_NOT_OK(c->SaveNode(w));
+    return Status::OK();
+  }
+
+  Status LoadNode(serial::Reader* r) override {
+    uint8_t tag = 0;
+    LAHAR_RETURN_NOT_OK(r->U8(&tag));
+    if (tag != kProjectTag) {
+      return Status::InvalidArgument("safe-plan state: expected project");
+    }
+    uint64_t n = 0;
+    LAHAR_RETURN_NOT_OK(r->U64(&n));
+    if (n != children_.size()) {
+      return Status::InvalidArgument(
+          "safe-plan state: grounding count mismatch (database snapshot "
+          "differs from the checkpointed one)");
+    }
+    for (const auto& c : children_) LAHAR_RETURN_NOT_OK(c->LoadNode(r));
+    return Status::OK();
+  }
+
  private:
   std::vector<std::unique_ptr<NodeEval>> children_;
 };
@@ -369,8 +714,10 @@ Result<std::unique_ptr<NodeEval>> MakeEval(const SafePlanNode& node,
   switch (node.kind) {
     case SafePlanNode::Kind::kReg: {
       NormalizedQuery grounded = node.reg_query.Substitute(binding);
-      LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<SafePlanEngine::RegEval> eval,
-                             SafePlanEngine::RegEval::Make(grounded, db, kernel_cache));
+      LAHAR_ASSIGN_OR_RETURN(
+          std::unique_ptr<SafePlanEngine::RegEval> eval,
+          SafePlanEngine::RegEval::Make(grounded, db, kernel_cache,
+                                        options.safe));
       return std::unique_ptr<NodeEval>(std::move(eval));
     }
     case SafePlanNode::Kind::kProject: {
@@ -399,12 +746,15 @@ Result<std::unique_ptr<NodeEval>> MakeEval(const SafePlanNode& node,
           SafePlanEngine::SeqEval::Make(std::move(child), node.seq_goal,
                                         binding, db,
                                         node.seq_exclude_left_streams,
-                                        options.seq_truncate));
+                                        options));
       return std::unique_ptr<NodeEval>(std::move(eval));
     }
   }
   return Status::Internal("bad plan node");
 }
+
+// Version byte of the engine-level incremental state blob.
+constexpr uint8_t kSafeStateVersion = 1;
 
 }  // namespace
 
@@ -435,6 +785,14 @@ Result<std::vector<double>> SafePlanEngine::Run() {
 }
 
 Result<double> SafePlanEngine::IntervalProb(Timestamp ts, Timestamp tf) {
+  if (ts < 1) {
+    return Status::InvalidArgument(
+        "IntervalProb requires ts >= 1 (timesteps are 1-based)");
+  }
+  if (ts > tf) {
+    return Status::InvalidArgument(
+        "IntervalProb requires ts <= tf (empty interval)");
+  }
   return root_->Prob(ts, tf);
 }
 
@@ -445,6 +803,62 @@ Result<double> SafePlanEngine::AdvanceTo(Timestamp t) {
   return root_->Prob(t, t);
 }
 
+size_t SafePlanEngine::NumShardUnits() const {
+  return root_->NumShardUnits();
+}
+
+void SafePlanEngine::PrepareShard(Timestamp t) {
+  (void)t;
+  shard_status_.assign(NumShardUnits(), Status::OK());
+}
+
+void SafePlanEngine::ShardAdvance(size_t begin, size_t end, Timestamp t) {
+  const size_t n = shard_status_.size();
+  for (size_t i = begin; i < end && i < n; ++i) {
+    shard_status_[i] = root_->AdvanceUnit(i, t, /*warm=*/true);
+  }
+}
+
+Result<double> SafePlanEngine::FinishAdvance(Timestamp t) {
+  for (Status& s : shard_status_) {
+    if (!s.ok()) {
+      Status failed = std::move(s);
+      shard_status_.clear();
+      return failed;
+    }
+  }
+  shard_status_.clear();
+  // Extends whatever the shards did not cover (e.g. a root seq node's
+  // witness table) and combines: the warmed child values are memo hits, so
+  // the result is bit-identical to a single-threaded AdvanceTo(t).
+  LAHAR_RETURN_NOT_OK(root_->ExtendTo(t));
+  return root_->Prob(t, t);
+}
+
 size_t SafePlanEngine::StepCost() const { return root_->StepCost(); }
+
+size_t SafePlanEngine::UnitCost(size_t unit) const {
+  return root_->UnitCostOf(unit);
+}
+
+SafeMemoStats SafePlanEngine::MemoStats() const {
+  SafeMemoStats out;
+  root_->AddMemoStats(&out);
+  return out;
+}
+
+Status SafePlanEngine::SaveState(serial::Writer* w) const {
+  w->U8(kSafeStateVersion);
+  return root_->SaveNode(w);
+}
+
+Status SafePlanEngine::LoadState(serial::Reader* r) {
+  uint8_t version = 0;
+  LAHAR_RETURN_NOT_OK(r->U8(&version));
+  if (version != kSafeStateVersion) {
+    return Status::InvalidArgument("unsupported safe-plan state version");
+  }
+  return root_->LoadNode(r);
+}
 
 }  // namespace lahar

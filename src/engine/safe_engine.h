@@ -11,9 +11,22 @@
 //                 witness in [ts, tf] (T_w); q' must hold in [T_p, T_w - 1].
 //   pi_-x(P)    — independent-project: 1 - prod over groundings of x.
 //
-// All tables are evaluated lazily and memoized, which is why measured
-// throughput degrades far more gently with trace length than the O(T^3)
-// analytic worst case (Fig. 14(b)).
+// All tables are evaluated lazily and memoized. For *serving* (one
+// AdvanceTo(t) per tick over an unbounded stream) the evaluator keeps
+// per-tick cost and memory flat instead of growing with the horizon:
+//
+//  * seq nodes walk only the timesteps whose witness probability is
+//    nonzero (a sorted index of the w[u] != 0 positions), skipping the
+//    exact-zero factors the dense Eq. (3) loops would multiply by 1.0 —
+//    the same IEEE operations in the same order, so answers stay
+//    bit-identical to the reference loops (selectable via
+//    SafePlanOptions::incremental);
+//  * the (ts, tf) interval memo is a bounded direct-mapped cache and the
+//    reg leaves keep a bounded LRU row arena over sparse chain keyframes
+//    instead of one chain snapshot per timestep — evictions recompute
+//    deterministically, so capacity never changes an answer;
+//  * independent grounding groups (project children) advance as separate
+//    shard units, so a safe session no longer serializes a runtime tick.
 //
 // Preconditions (checked at Create): the streams matched by a seq operator's
 // right-hand subgoal must be independent (non-Markovian) — the paper's
@@ -27,9 +40,22 @@
 #include <vector>
 
 #include "analysis/plan.h"
+#include "common/serial.h"
 #include "engine/regular_engine.h"
 
 namespace lahar {
+
+/// \brief Cache/memo observability counters for one safe-plan evaluator
+/// tree (aggregated over every node; see RuntimeStats).
+struct SafeMemoStats {
+  size_t memo_entries = 0;     ///< live (ts, tf) interval memo entries
+  uint64_t memo_hits = 0;      ///< interval memo hits
+  uint64_t memo_misses = 0;    ///< interval memo misses (computed fresh)
+  uint64_t memo_evictions = 0; ///< entries overwritten by the bounded memo
+  size_t rows_live = 0;        ///< live reg-leaf interval rows
+  uint64_t row_evictions = 0;  ///< LRU reg-row evictions
+  uint64_t row_rebuilds = 0;   ///< evicted rows rebuilt from a keyframe
+};
 
 /// \brief Engine for Safe Queries: compiles a safe plan and evaluates it.
 class SafePlanEngine {
@@ -44,7 +70,10 @@ class SafePlanEngine {
   /// concentrates in the reg rows actually touched.
   Result<std::vector<double>> Run();
 
-  /// P[q satisfied at some t in [ts, tf]] from the plan root.
+  /// P[q satisfied at some t in [ts, tf]] from the plan root. Requires a
+  /// well-formed 1-based interval: ts >= 1 and ts <= tf (InvalidArgument
+  /// otherwise — an empty or negative interval is a caller bug, not a
+  /// zero-probability event).
   Result<double> IntervalProb(Timestamp ts, Timestamp tf);
 
   /// Extends the lazy evaluation structures to cover timesteps up to `t`
@@ -60,9 +89,47 @@ class SafePlanEngine {
   /// same either way).
   Result<double> AdvanceTo(Timestamp t);
 
-  /// Relative per-tick cost estimate (runtime shard balancing): sums the
-  /// reg leaves' chain step costs.
+  // --- sharded serving protocol (SafeQuerySession) -----------------------
+  // Independent grounding groups — the children of a projection node, which
+  // touch disjoint streams by the safety precondition — are exposed as
+  // shard units. Per tick: PrepareShard once, ShardAdvance over disjoint
+  // unit ranges (any threads, database quiescent), then FinishAdvance
+  // single-threaded; the combined answer is bit-identical to AdvanceTo(t).
+
+  /// Number of independently advanceable units (>= 1).
+  size_t NumShardUnits() const;
+
+  /// Single-threaded per-tick preparation: resets the per-unit status
+  /// slots for tick `t`.
+  void PrepareShard(Timestamp t);
+
+  /// Advances units [begin, end) to tick `t`: extends their tables and
+  /// pre-computes their grounding probabilities into the (bounded) memos.
+  /// Errors latch per unit and surface at FinishAdvance.
+  void ShardAdvance(size_t begin, size_t end, Timestamp t);
+
+  /// Completes the tick: surfaces any latched shard error, extends whatever
+  /// the shards did not cover, and returns mu(q@t).
+  Result<double> FinishAdvance(Timestamp t);
+
+  /// Relative per-tick cost estimate (runtime shard balancing): reflects
+  /// live rows, witness density, and grounding fan-out, not just leaf
+  /// count.
   size_t StepCost() const;
+
+  /// Per-unit cost estimate (a unit is one grounding subtree).
+  size_t UnitCost(size_t unit) const;
+
+  /// Aggregated memo/row cache counters over the whole evaluator tree.
+  SafeMemoStats MemoStats() const;
+
+  /// Serializes the incremental evaluation state (frontier chains, witness
+  /// tables, clock-free: the clock lives in SafeQuerySession). The blob
+  /// must be loaded into an engine created over an identical database
+  /// snapshot by the same query; bounded caches are not serialized — they
+  /// refill bit-identically on demand.
+  Status SaveState(serial::Writer* w) const;
+  Status LoadState(serial::Reader* r);
 
   /// The compiled plan (for inspection / the query_classifier example).
   const SafePlanNode& plan() const { return *plan_; }
@@ -79,6 +146,9 @@ class SafePlanEngine {
   SafePlanPtr plan_;
   std::shared_ptr<void> root_holder_;  // owns the eval tree
   NodeEval* root_ = nullptr;
+  // Per-unit shard status, sized by PrepareShard; slot i is written only by
+  // the shard that owns unit i, then read single-threaded at FinishAdvance.
+  std::vector<Status> shard_status_;
 };
 
 }  // namespace lahar

@@ -23,11 +23,13 @@ size_t QuerySession::StepCost() const {
 namespace {
 
 // Incremental serving of a Safe query: each tick extends the plan's
-// memoized reg-leaf rows and seq/pi tables by one column (they grow
+// bounded reg-leaf rows and seq witness tables by one column (they grow
 // monotonically in tf, Section 3.3) instead of recomputing Run() over the
-// whole horizon. The plan is a single sequential unit: its memo tables are
-// shared across the whole tree, so AdvanceShard computes the tick's answer
-// on whichever shard owns the unit and CommitAdvance publishes it.
+// whole horizon. Units are the plan's independent grounding groups (the
+// children of its projection node, disjoint streams by the safety
+// precondition): AdvanceShard extends each group's tables and warms its
+// diagonal memo entry, and CommitAdvance combines the warmed values —
+// bit-identical to a single-threaded AdvanceTo.
 class SafeQuerySession : public QuerySession {
  public:
   explicit SafeQuerySession(SafePlanEngine engine)
@@ -36,25 +38,43 @@ class SafeQuerySession : public QuerySession {
         engine_(std::move(engine)) {}
 
   Timestamp time() const override { return t_; }
-  size_t num_units() const override { return 1; }
-  size_t UnitCost(size_t) const override { return engine_.StepCost(); }
+  size_t num_units() const override { return engine_.NumShardUnits(); }
+  size_t UnitCost(size_t i) const override { return engine_.UnitCost(i); }
+
+  void PrepareAdvance() override { engine_.PrepareShard(t_ + 1); }
 
   void AdvanceShard(size_t begin, size_t end) override {
-    if (begin >= end) return;
-    pending_ = engine_.AdvanceTo(t_ + 1);
+    engine_.ShardAdvance(begin, end, t_ + 1);
   }
 
   Result<double> CommitAdvance() override {
     ++t_;
-    Result<double> out = std::move(pending_);
-    pending_ = Status::Internal("CommitAdvance without AdvanceShard");
-    return out;
+    return engine_.FinishAdvance(t_);
+  }
+
+  SafeMemoStats MemoStats() const override { return engine_.MemoStats(); }
+
+  bool SupportsStateRestore() const override { return true; }
+
+  Status SaveState(serial::Writer* w) const override {
+    w->U8(1);  // session-state version
+    w->U32(t_);
+    return engine_.SaveState(w);
+  }
+
+  Status LoadState(serial::Reader* r) override {
+    uint8_t version = 0;
+    LAHAR_RETURN_NOT_OK(r->U8(&version));
+    if (version != 1) {
+      return Status::InvalidArgument("unsupported safe-session state");
+    }
+    LAHAR_RETURN_NOT_OK(r->U32(&t_));
+    return engine_.LoadState(r);
   }
 
  private:
   SafePlanEngine engine_;
   Timestamp t_ = 0;
-  Result<double> pending_ = Status::Internal("no advance in flight");
 };
 
 // Approximate serving of Safe-without-plan and Unsafe queries: the sampling

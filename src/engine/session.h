@@ -8,7 +8,7 @@
 //   class            session              per-tick cost   answers
 //   Regular          StreamingSession     O(1)            exact
 //   ExtendedRegular  StreamingSession     O(m)            exact
-//   Safe             SafeQuerySession     lazy tables     exact
+//   Safe             SafeQuerySession     O(live window)  exact
 //   Unsafe           SamplingSession      O(T * |W|)      (eps, delta)
 //
 // The protocol has two forms. Advance() consumes one timestep and returns
@@ -25,6 +25,7 @@
 #include "analysis/prepared.h"
 #include "common/serial.h"
 #include "engine/lahar.h"
+#include "engine/safe_engine.h"
 
 namespace lahar {
 
@@ -43,8 +44,8 @@ class QuerySession {
   virtual Timestamp time() const = 0;
 
   /// Number of independently steppable units: per-grounding chains for the
-  /// streaming engines, Monte-Carlo samples for the sampling engine, 1 for
-  /// a safe plan (its memo tables are a single sequential unit).
+  /// streaming engines, Monte-Carlo samples for the sampling engine, and
+  /// independent grounding groups (project children) for a safe plan.
   virtual size_t num_units() const = 0;
 
   /// Relative per-tick cost estimate of unit `i` (shard balancing).
@@ -98,6 +99,10 @@ class QuerySession {
     (void)r;
     return Status::Unimplemented("session does not serialize state");
   }
+
+  /// Safe-path memo/row-cache counters (zeroes for the other classes);
+  /// surfaced in RuntimeStats so bounded-memory serving is observable.
+  virtual SafeMemoStats MemoStats() const { return {}; }
 
  protected:
   QuerySession(QueryClass query_class, EngineKind engine_kind, bool exact)

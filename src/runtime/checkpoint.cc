@@ -34,9 +34,10 @@ Result<std::string> StreamRuntime::Checkpoint() const {
       w.U8(1);
       w.Str(state.str());
     } else {
-      // Safe-plan and sampling sessions rebuild by replaying the database
-      // prefix on restore — the same bit-identical catch-up path hot
-      // registration uses (the sampler's determinism comes from its seed).
+      // Sampling sessions rebuild by replaying the database prefix on
+      // restore — the same bit-identical catch-up path hot registration
+      // uses (the sampler's determinism comes from its seed). Streaming
+      // and safe sessions serialize their state directly above.
       w.U8(0);
     }
   }

@@ -158,6 +158,18 @@ RuntimeStats StreamRuntime::Stats() const {
       qs.errors = q->errors;
       qs.last_error = q->last_error.ok() ? "" : q->last_error.ToString();
       qs.advance = q->advance_latency.Summarize();
+      SafeMemoStats ms = q->session->MemoStats();
+      qs.memo_entries = ms.memo_entries;
+      qs.memo_hits = ms.memo_hits;
+      qs.memo_misses = ms.memo_misses;
+      qs.memo_evictions = ms.memo_evictions;
+      qs.rows_live = ms.rows_live;
+      qs.row_evictions = ms.row_evictions;
+      qs.row_rebuilds = ms.row_rebuilds;
+      out.safe_memo_entries += ms.memo_entries;
+      out.safe_memo_evictions += ms.memo_evictions;
+      out.safe_rows_live += ms.rows_live;
+      out.safe_row_evictions += ms.row_evictions;
       out.queries.push_back(std::move(qs));
       ++class_counts[static_cast<size_t>(q->query_class)];
     }
@@ -165,6 +177,9 @@ RuntimeStats StreamRuntime::Stats() const {
                          QueryClass::kSafe, QueryClass::kUnsafe}) {
       out.class_counts.emplace_back(QueryClassName(c),
                                     class_counts[static_cast<size_t>(c)]);
+      out.class_latency.emplace_back(
+          QueryClassName(c),
+          class_latency_[static_cast<size_t>(c)].Summarize());
     }
   }
   {
@@ -195,7 +210,7 @@ void StreamRuntime::RebuildPartitions() {
   // Deterministic cost-weighted greedy fill: walk queries in registration
   // order, weighting each unit by its session's per-step cost estimate
   // (UnitCost: flat-state size for compiled chains, live map size on the
-  // map path, whole-plan cost for a safe session) so a shard holding a few
+  // map path, per-grounding-group cost for a safe plan) so a shard holding a few
   // heavy units balances against one holding many light ones. Costs drift
   // as map-path chains grow, but partitions are only rebuilt on registry
   // changes — the estimate is a snapshot, not a bound.
@@ -282,6 +297,7 @@ std::shared_ptr<const TickResult> StreamRuntime::RunTick() {
     uint64_t ns =
         q->tick_ns.exchange(0, std::memory_order_relaxed) + (NowNs() - c0);
     q->advance_latency.Record(ns);
+    class_latency_[static_cast<size_t>(q->query_class)].Record(ns);
     ++q->ticks;
     if (p.ok()) {
       snapshot->probs.emplace_back(q->id, *p);

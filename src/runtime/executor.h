@@ -14,8 +14,8 @@
 //
 // Sessions expose independently steppable units — per-grounding chains for
 // the streaming engines (Theorems 3.3/3.7), Monte-Carlo samples for
-// sampling sessions, one sequential unit per safe plan — so the fan-out
-// changes wall-clock time only; the published probabilities are
+// sampling sessions, independent grounding groups for safe plans — so the
+// fan-out changes wall-clock time only; the published probabilities are
 // bit-identical to advancing each session sequentially.
 //
 // Threading contract: the database is written only by the coordinator, and
@@ -28,6 +28,7 @@
 #ifndef LAHAR_RUNTIME_EXECUTOR_H_
 #define LAHAR_RUNTIME_EXECUTOR_H_
 
+#include <array>
 #include <condition_variable>
 #include <functional>
 #include <memory>
@@ -186,6 +187,8 @@ class StreamRuntime {
   uint64_t batches_rejected_ = 0;
   Status last_ingest_error_;
   LatencyRecorder tick_latency_;
+  // Per-query-class advance latency, indexed by QueryClass enum order.
+  std::array<LatencyRecorder, 4> class_latency_;
   uint64_t work_version_ = ~0ULL;  // registry version the partitions match
   std::vector<std::vector<WorkItem>> shard_work_;
 

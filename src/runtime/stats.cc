@@ -116,6 +116,17 @@ std::string RuntimeStats::ToString() const {
                 static_cast<unsigned long long>(reorder_late_dropped),
                 static_cast<unsigned long long>(reorder_merged));
   out += buf;
+  if (safe_memo_entries > 0 || safe_memo_evictions > 0 ||
+      safe_rows_live > 0 || safe_row_evictions > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "safe:    memo_entries=%zu memo_evictions=%llu "
+                  "rows_live=%zu row_evictions=%llu\n",
+                  safe_memo_entries,
+                  static_cast<unsigned long long>(safe_memo_evictions),
+                  safe_rows_live,
+                  static_cast<unsigned long long>(safe_row_evictions));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "tick latency (us): min=%s mean=%s p50=%s p99=%s max=%s\n",
                 FormatUs(tick_latency.min_us).c_str(),
@@ -124,6 +135,15 @@ std::string RuntimeStats::ToString() const {
                 FormatUs(tick_latency.p99_us).c_str(),
                 FormatUs(tick_latency.max_us).c_str());
   out += buf;
+  for (const auto& [name, lat] : class_latency) {
+    if (lat.count == 0) continue;
+    std::snprintf(buf, sizeof(buf),
+                  "  class %s: ticks=%llu mean=%sus p50=%sus p99=%sus\n",
+                  name.c_str(), static_cast<unsigned long long>(lat.count),
+                  FormatUs(lat.mean_us).c_str(), FormatUs(lat.p50_us).c_str(),
+                  FormatUs(lat.p99_us).c_str());
+    out += buf;
+  }
   for (const ShardStats& s : shards) {
     std::snprintf(buf, sizeof(buf),
                   "  shard %zu: ticks=%llu chains=%llu mean=%sus p99=%sus\n",
@@ -148,6 +168,21 @@ std::string RuntimeStats::ToString() const {
                   q.text.size() > 48 ? (q.text.substr(0, 45) + "...").c_str()
                                      : q.text.c_str());
     out += buf;
+    if (q.memo_entries > 0 || q.memo_evictions > 0 || q.rows_live > 0 ||
+        q.row_evictions > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "    safe memo: entries=%zu hits=%llu misses=%llu "
+                    "evictions=%llu rows=%zu row_evictions=%llu "
+                    "row_rebuilds=%llu\n",
+                    q.memo_entries,
+                    static_cast<unsigned long long>(q.memo_hits),
+                    static_cast<unsigned long long>(q.memo_misses),
+                    static_cast<unsigned long long>(q.memo_evictions),
+                    q.rows_live,
+                    static_cast<unsigned long long>(q.row_evictions),
+                    static_cast<unsigned long long>(q.row_rebuilds));
+      out += buf;
+    }
   }
   return out;
 }
@@ -179,6 +214,29 @@ std::string RuntimeStats::ToJson() const {
       std::snprintf(buf, sizeof(buf), "%s\"%s\":%zu", i > 0 ? "," : "",
                     class_counts[i].first.c_str(), class_counts[i].second);
       out += buf;
+    }
+    out += "},";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\"safe_memo_entries\":%zu,\"safe_memo_evictions\":%llu,"
+                "\"safe_rows_live\":%zu,\"safe_row_evictions\":%llu,",
+                safe_memo_entries,
+                static_cast<unsigned long long>(safe_memo_evictions),
+                safe_rows_live,
+                static_cast<unsigned long long>(safe_row_evictions));
+  out += buf;
+  if (!class_latency.empty()) {
+    out += "\"class_latency\":{";
+    bool first = true;
+    for (const auto& [name, lat] : class_latency) {
+      if (lat.count == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + name + "\":";
+      std::string inner;
+      AppendJsonLatency(&inner, "advance", lat);
+      // AppendJsonLatency emits `"advance":{...}`; keep just the object.
+      out += inner.substr(inner.find('{'));
     }
     out += "},";
   }

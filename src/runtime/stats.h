@@ -67,6 +67,16 @@ struct QueryStats {
   /// Wall time spent stepping this query's units per tick (summed across
   /// the shards that shared them).
   LatencySummary advance;
+  /// Safe-path cache counters (zero for the other classes): live interval
+  /// memo entries / reg rows and the eviction activity that keeps them
+  /// bounded (see engine/safe_engine.h).
+  size_t memo_entries = 0;
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t memo_evictions = 0;
+  size_t rows_live = 0;
+  uint64_t row_evictions = 0;
+  uint64_t row_rebuilds = 0;
 };
 
 /// \brief Per-shard counters, snapshot at Stats() time.
@@ -100,6 +110,16 @@ struct RuntimeStats {
   /// every class the runtime is currently serving, including approximate
   /// sampling sessions.
   std::vector<std::pair<std::string, size_t>> class_counts;
+  /// Per-tick advance latency aggregated per query class, (class name,
+  /// summary) in class order — makes a regression in one class observable
+  /// even when the mixed tick latency hides it.
+  std::vector<std::pair<std::string, LatencySummary>> class_latency;
+  /// Safe-path cache totals across every safe session (bounded-memory
+  /// serving observability; per-query breakdown in QueryStats).
+  size_t safe_memo_entries = 0;
+  uint64_t safe_memo_evictions = 0;
+  size_t safe_rows_live = 0;
+  uint64_t safe_row_evictions = 0;
   LatencySummary tick_latency;    ///< end-to-end per-tick wall time
   std::vector<QueryStats> queries;
   std::vector<ShardStats> shards;

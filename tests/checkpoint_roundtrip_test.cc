@@ -105,7 +105,8 @@ struct RunOutput {
 };
 
 RunOutput RunWithCheckpoint(const EventDatabase& archive,
-                            Timestamp checkpoint_at) {
+                            Timestamp checkpoint_at,
+                            const std::vector<std::string>& queries = kQueries) {
   RunOutput out;
   auto clone = CloneDeclarations(archive);
   EXPECT_TRUE(clone.ok());
@@ -114,7 +115,7 @@ RunOutput RunWithCheckpoint(const EventDatabase& archive,
   RuntimeOptions options;
   options.num_threads = 2;
   StreamRuntime runtime(clone->get(), options);
-  for (const std::string& q : kQueries) {
+  for (const std::string& q : queries) {
     EXPECT_TRUE(runtime.Register(q).ok());
   }
   runtime.SetTickCallback([&](const TickResult& r) {
@@ -181,6 +182,68 @@ TEST(CheckpointRoundTripTest, RestoredRuntimeContinuesBitIdentically) {
       // Bit-identical, not approximately equal: restore is exact.
       EXPECT_EQ(got.probs[q].second, want.probs[q].second)
           << "query " << want.probs[q].first << " at t=" << got.t;
+    }
+  }
+}
+
+TEST(CheckpointRoundTripTest, SafeSessionRestoresDirectStateBitIdentically) {
+  // A safe plan's session serializes its incremental evaluator state
+  // directly into the checkpoint (frontier chains, keyframes, witness
+  // index) — no replay. The restored session must continue bit for bit,
+  // including across witness gaps and past the restore point's keyframe.
+  const Timestamp kHorizon = 10;
+  const Timestamp kCheckpointAt = 6;
+  const std::vector<std::string> safe_queries = {
+      "R(x, u1); S(x, u2); T('a', y)"};
+
+  EventDatabase archive;
+  std::vector<StepDist> r1, r2, s1, s2, tt;
+  for (Timestamp t = 1; t <= kHorizon; ++t) {
+    r1.push_back({{"u", 0.1 + 0.07 * t}});
+    r2.push_back(t % 3 == 0 ? StepDist{} : StepDist{{"u", 0.5}});
+    s1.push_back({{"v", 0.8 - 0.05 * t}});
+    s2.push_back({{"v", 0.3}});
+    tt.push_back(t % 4 == 2 ? StepDist{{"w", 0.6}} : StepDist{});
+  }
+  AddIndependentStream(&archive, "R", "k1", r1);
+  AddIndependentStream(&archive, "R", "k2", r2);
+  AddIndependentStream(&archive, "S", "k1", s1);
+  AddIndependentStream(&archive, "S", "k2", s2);
+  AddIndependentStream(&archive, "T", "a", tt);
+
+  RunOutput uninterrupted = RunWithCheckpoint(archive, 0, safe_queries);
+  ASSERT_EQ(uninterrupted.results.size(), kHorizon);
+  RunOutput interrupted =
+      RunWithCheckpoint(archive, kCheckpointAt, safe_queries);
+  ASSERT_FALSE(interrupted.snapshot.empty());
+
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  StreamRuntime resumed(clone->get(), RuntimeOptions{});
+  ASSERT_OK(resumed.Restore(interrupted.snapshot));
+  EXPECT_EQ(resumed.tick(), kCheckpointAt);
+
+  std::vector<TickResult> tail;
+  resumed.SetTickCallback([&](const TickResult& r) { tail.push_back(r); });
+  resumed.Start();
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  for (TickBatch& b : *batches) {
+    if (b.t <= kCheckpointAt) continue;
+    ASSERT_OK(resumed.ingest().Push(std::move(b), 10000ms));
+  }
+  ASSERT_TRUE(resumed.WaitForTick(kHorizon, 10000ms));
+  resumed.Stop();
+
+  ASSERT_EQ(tail.size(), kHorizon - kCheckpointAt);
+  for (size_t i = 0; i < tail.size(); ++i) {
+    const TickResult& got = tail[i];
+    const TickResult& want = uninterrupted.results[kCheckpointAt + i];
+    ASSERT_EQ(got.t, want.t);
+    ASSERT_EQ(got.probs.size(), want.probs.size());
+    for (size_t q = 0; q < want.probs.size(); ++q) {
+      EXPECT_EQ(got.probs[q].second, want.probs[q].second)
+          << "t=" << got.t;
     }
   }
 }

@@ -241,6 +241,169 @@ TEST(SafeEngineTest, NonBlockingTrailingSelectionAccepted) {
   ExpectMatchesBruteForce(&db, "(R(p, u1); S(p, u2); T(z, y)) WHERE y = 'w'");
 }
 
+TEST(SafeEngineTest, IntervalProbRejectsMalformedIntervals) {
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k1", {{{"u", 0.5}}, {}});
+  AddIndependentStream(&db, "S", "k1", {{}, {{"v", 0.5}}});
+  QueryPtr q = MustParse(&db, "R(x, u1); S(x, u2)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  auto engine = SafePlanEngine::Create(*nq, db);
+  ASSERT_OK(engine.status());
+  // Timesteps are 1-based: ts = 0 is out of the model, not "from the start".
+  auto zero = engine->IntervalProb(0, 2);
+  EXPECT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+  // Empty intervals (ts > tf) are a caller bug, not probability zero.
+  auto empty = engine->IntervalProb(2, 1);
+  EXPECT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  // The guard must not reject the degenerate-but-valid single-tick interval.
+  EXPECT_OK(engine->IntervalProb(1, 1).status());
+}
+
+TEST(SafeEngineTest, CertainWitnessShortCircuitsExactly) {
+  // Witness probability exactly 1.0: the no-witness suffix factor hits
+  // bitwise 0.0, the point where the kernels' early-break conditions fire.
+  // The answer must still be exact, and the sparse kernels must agree with
+  // the dense reference bit for bit.
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k1", {{{"u", 1.0}}, {}, {}, {}});
+  AddIndependentStream(&db, "S", "k1", {{}, {{"v", 1.0}}, {}, {}});
+  AddIndependentStream(&db, "T", "a", {{}, {}, {{"w", 1.0}}, {{"w", 0.5}}});
+  ExpectMatchesBruteForce(&db, "R(x, u1); S(x, u2); T('a', y)");
+
+  QueryPtr q = MustParse(&db, "R(x, u1); S(x, u2); T('a', y)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  PlanOptions reference;
+  reference.safe.incremental = false;
+  auto sparse = SafePlanEngine::Create(*nq, db);
+  auto dense = SafePlanEngine::Create(*nq, db, reference);
+  ASSERT_OK(sparse.status());
+  ASSERT_OK(dense.status());
+  auto got = sparse->Run();
+  auto want = dense->Run();
+  ASSERT_OK(got.status());
+  ASSERT_OK(want.status());
+  ASSERT_EQ(got->size(), want->size());
+  for (size_t t = 1; t < got->size(); ++t) {
+    EXPECT_EQ((*got)[t], (*want)[t]) << "t=" << t;
+  }
+  // The sure witness at t=3 consumes the completed prefix: q@3 is certain,
+  // and q@4 is impossible (the precursor was already matched at t=3).
+  EXPECT_EQ((*got)[3], 1.0);
+  EXPECT_EQ((*got)[4], 0.0);
+}
+
+TEST(SafeEngineTest, AllBottomPrefixAtPrecursorBoundary) {
+  // Every stream reports certain-bottom until the witness fires: the
+  // precursor probability at the boundary is exactly 0.0 (not merely tiny),
+  // so the kernels' zero-skip tests see real zeros on the inner edge.
+  EventDatabase db;
+  AddIndependentStream(&db, "R", "k1", {{}, {}, {}, {{"u", 0.9}}});
+  AddIndependentStream(&db, "S", "k1", {{}, {}, {}, {}});
+  AddIndependentStream(&db, "T", "a", {{}, {{"w", 0.7}}, {{"w", 0.4}}, {}});
+  QueryPtr q = MustParse(&db, "R(x, u1); S(x, u2); T('a', y)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  auto engine = SafePlanEngine::Create(*nq, db);
+  ASSERT_OK(engine.status());
+  auto probs = engine->Run();
+  ASSERT_OK(probs.status());
+  // The R;S prefix never completes inside the horizon, so every tick is a
+  // bitwise zero even while witnesses fire.
+  for (size_t t = 1; t < probs->size(); ++t) {
+    EXPECT_EQ((*probs)[t], 0.0) << "t=" << t;
+  }
+  ExpectMatchesBruteForce(&db, "R(x, u1); S(x, u2); T('a', y)");
+}
+
+TEST(SafeEngineTest, IncrementalMatchesReferenceOnIntervalGrid) {
+  // The acceptance contract for the sparse kernels: EXPECT_EQ (bitwise, not
+  // EXPECT_NEAR) against the dense Eq. (3) loops on Run() and on the full
+  // (ts, tf) interval grid.
+  EventDatabase db;
+  for (const char* k : {"k1", "k2"}) {
+    AddIndependentStream(
+        &db, "R", k,
+        {{{"u", 0.5}}, {{"u", 0.4}}, {}, {{"u", 0.6}}, {{"u", 0.2}}});
+    AddIndependentStream(
+        &db, "S", k,
+        {{}, {{"v", 0.6}}, {{"v", 0.3}}, {{"v", 0.5}}, {{"v", 0.1}}});
+  }
+  AddIndependentStream(&db, "T", "a",
+                       {{}, {{"w", 0.5}}, {}, {{"w", 0.4}}, {{"w", 0.9}}});
+  QueryPtr q = MustParse(&db, "R(x, u1); S(x, u2); T('a', y)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  PlanOptions reference;
+  reference.safe.incremental = false;
+  auto sparse = SafePlanEngine::Create(*nq, db);
+  auto dense = SafePlanEngine::Create(*nq, db, reference);
+  ASSERT_OK(sparse.status());
+  ASSERT_OK(dense.status());
+  auto got = sparse->Run();
+  auto want = dense->Run();
+  ASSERT_OK(got.status());
+  ASSERT_OK(want.status());
+  for (size_t t = 1; t < got->size(); ++t) {
+    EXPECT_EQ((*got)[t], (*want)[t]) << "t=" << t;
+  }
+  for (Timestamp ts = 1; ts <= 5; ++ts) {
+    for (Timestamp tf = ts; tf <= 5; ++tf) {
+      auto a = sparse->IntervalProb(ts, tf);
+      auto b = dense->IntervalProb(ts, tf);
+      ASSERT_OK(a.status());
+      ASSERT_OK(b.status());
+      EXPECT_EQ(*a, *b) << "[" << ts << ", " << tf << "]";
+    }
+  }
+}
+
+TEST(SafeEngineTest, TinyCapacitiesEvictButNeverChangeAnswers) {
+  // Capacity knobs bound memory by trading recompute time; they must never
+  // change a single bit of the output.
+  EventDatabase db;
+  std::vector<lahar::testing::StepDist> r1, r2, s1, s2, tt;
+  for (size_t t = 0; t < 48; ++t) {
+    double p = 0.2 + 0.01 * static_cast<double>(t % 37);
+    r1.push_back({{"u", p}});
+    r2.push_back({{"u", 1.0 - p}});
+    s1.push_back({{"v", 0.5 * p}});
+    s2.push_back({{"v", 0.9 - p}});
+    tt.push_back(t % 5 == 3 ? lahar::testing::StepDist{{"w", 0.3}}
+                            : lahar::testing::StepDist{});
+  }
+  AddIndependentStream(&db, "R", "k1", r1);
+  AddIndependentStream(&db, "R", "k2", r2);
+  AddIndependentStream(&db, "S", "k1", s1);
+  AddIndependentStream(&db, "S", "k2", s2);
+  AddIndependentStream(&db, "T", "a", tt);
+  QueryPtr q = MustParse(&db, "R(x, u1); S(x, u2); T('a', y)");
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  PlanOptions tiny;
+  tiny.safe.seq_memo_capacity = 4;
+  tiny.safe.reg_row_capacity = 2;
+  tiny.safe.reg_keyframe_interval = 8;
+  auto capped = SafePlanEngine::Create(*nq, db, tiny);
+  auto roomy = SafePlanEngine::Create(*nq, db);
+  ASSERT_OK(capped.status());
+  ASSERT_OK(roomy.status());
+  auto got = capped->Run();
+  auto want = roomy->Run();
+  ASSERT_OK(got.status());
+  ASSERT_OK(want.status());
+  for (size_t t = 1; t < got->size(); ++t) {
+    EXPECT_EQ((*got)[t], (*want)[t]) << "t=" << t;
+  }
+  SafeMemoStats stats = capped->MemoStats();
+  EXPECT_GT(stats.memo_evictions, 0u);  // 48 diagonal keys through 4 slots
+  EXPECT_LE(stats.memo_entries, 4u);
+  EXPECT_GT(stats.row_evictions, 0u);
+}
+
 TEST(SafeEngineTest, DistinctKeysSemanticsExcludesOwnStream) {
   // Under assume_distinct_keys, At(q, l3) ranges over *other* tags.
   // With exactly two tags this is computable by hand.

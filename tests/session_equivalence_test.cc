@@ -302,7 +302,9 @@ TEST(SessionEquivalence, SafePlanMatchesBatchBitwise) {
   EXPECT_EQ((*session)->query_class(), QueryClass::kSafe);
   EXPECT_EQ((*session)->engine_kind(), EngineKind::kSafePlan);
   EXPECT_TRUE((*session)->exact());
-  EXPECT_EQ((*session)->num_units(), 1u);
+  // Units are the plan's independent grounding groups (one per key of the
+  // projected variable x), not a single sequential unit.
+  EXPECT_EQ((*session)->num_units(), 2u);
   for (size_t t = 1; t <= kT; ++t) {
     append_tick(&live, lids, t - 1);
     auto p = (*session)->Advance();
@@ -310,6 +312,76 @@ TEST(SessionEquivalence, SafePlanMatchesBatchBitwise) {
     EXPECT_EQ((*session)->time(), t);
     EXPECT_EQ(*p, answer->probs[t]) << "t=" << t;
   }
+}
+
+TEST(SessionEquivalence, SafePlanLongHorizonTightCapsMatchesBatchBitwise) {
+  // Long-horizon safe serving with deliberately tiny cache capacities: the
+  // direct-mapped seq memo and the reg-leaf row arena must evict constantly
+  // and still reproduce the default-capacity batch run bit for bit —
+  // capacity knobs trade recompute time, never answers. The witness stream
+  // fires sparsely so the sparse kernels skip real zero gaps, and the
+  // generated marginals include runs of certain-bottom at the start (the
+  // all-bottom precursor boundary).
+  const std::string query = "R(x, u1); S(x, u2); T('a', y)";
+  constexpr size_t kT = 320;
+
+  // Deterministic pseudo-random feed shared by both databases.
+  auto prob = [](size_t t, size_t stream) {
+    uint64_t h = (t * 1000003ULL + stream) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    return 0.15 + 0.5 * static_cast<double>(h >> 40) / 16777216.0;
+  };
+  auto build = [&](EventDatabase* db, std::vector<StreamId>* ids) {
+    ids->push_back(AddEmptyStream(db, "R", "k1", {"u"}));
+    ids->push_back(AddEmptyStream(db, "R", "k2", {"u"}));
+    ids->push_back(AddEmptyStream(db, "S", "k1", {"v"}));
+    ids->push_back(AddEmptyStream(db, "S", "k2", {"v"}));
+    ids->push_back(AddEmptyStream(db, "T", "a", {"w"}));
+  };
+  auto append_tick = [&](EventDatabase* db, const std::vector<StreamId>& ids,
+                         size_t t) {
+    // First 8 ticks: everything bottom (the precursor boundary).
+    AppendStep(db, ids[0], t < 8 ? StepDist{} : StepDist{{"u", prob(t, 0)}});
+    AppendStep(db, ids[1], t < 8 ? StepDist{} : StepDist{{"u", prob(t, 1)}});
+    AppendStep(db, ids[2], t < 8 ? StepDist{} : StepDist{{"v", prob(t, 2)}});
+    AppendStep(db, ids[3], t < 8 ? StepDist{} : StepDist{{"v", prob(t, 3)}});
+    // Sparse witness: one candidate event every 6 ticks.
+    AppendStep(db, ids[4],
+               t >= 8 && t % 6 == 2 ? StepDist{{"w", 0.45}} : StepDist{});
+  };
+
+  EventDatabase batch;
+  std::vector<StreamId> bids;
+  build(&batch, &bids);
+  for (size_t t = 0; t < kT; ++t) append_tick(&batch, bids, t);
+  Lahar lahar(&batch);  // default capacities, batch Run
+  auto answer = lahar.Run(query);
+  ASSERT_OK(answer.status());
+  EXPECT_EQ(answer->engine, EngineKind::kSafePlan);
+
+  EventDatabase live;
+  std::vector<StreamId> lids;
+  build(&live, &lids);
+  LaharOptions tight;
+  tight.plan.safe.seq_memo_capacity = 8;
+  tight.plan.safe.reg_row_capacity = 4;
+  tight.plan.safe.reg_keyframe_interval = 32;
+  Lahar serving(&live, tight);
+  auto session = serving.OpenSession(query);
+  ASSERT_OK(session.status());
+  for (size_t t = 1; t <= kT; ++t) {
+    append_tick(&live, lids, t - 1);
+    auto p = (*session)->Advance();
+    ASSERT_OK(p.status());
+    EXPECT_EQ(*p, answer->probs[t]) << "t=" << t;
+  }
+  // The tiny caches really were exercised: the arena evicted and rebuilt
+  // rows, and counters made it to the session surface.
+  SafeMemoStats ms = (*session)->MemoStats();
+  EXPECT_GT(ms.row_evictions, 0u);
+  EXPECT_GT(ms.memo_evictions, 0u);
+  EXPECT_LE(ms.memo_entries, 8u);  // the direct-mapped memo never outgrows
+                                   // its 8 slots
 }
 
 TEST(SessionEquivalence, SamplingSessionTracksBruteForce) {
