@@ -1,0 +1,230 @@
+// Network serving experiment: end-to-end TCP throughput of the serving
+// front-end (src/net, docs/SERVING.md). A lahar server hosts a mixed
+// standing-query population; 2 producer clients split the replay stream
+// between them (exercising multi-producer reorder on the wire path) while
+// 8 subscriber clients each receive every per-tick µ(q@t) push — 10
+// concurrent connections, one poll loop.
+//
+// The measured span is first-ingest-to-last-push: protocol encode/decode,
+// admission control, the ingest queue, the tick pipeline, and the fan-out
+// to all subscribers. One `JSON {...}` line per cell (grep ^JSON for the
+// compare.py gate; CI requires bench=t08_network_serving records).
+//
+// --smoke runs a short horizon and exits nonzero on any delivery gap, so
+// ctest can use it as an end-to-end concurrency check.
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "runtime/executor.h"
+#include "runtime/replay.h"
+
+using namespace lahar;
+using namespace lahar::bench;
+
+namespace {
+
+constexpr size_t kTags = 8;
+constexpr size_t kProducers = 2;
+constexpr size_t kSubscribers = 8;
+
+// Small mixed population: grounded Regular selections, one Extended
+// sequence, one Safe plan — every serving class crosses the wire.
+std::vector<std::string> MakeQueries(const Scenario& scenario) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < 6; ++i) {
+    const std::string& tag = scenario.tags[i % scenario.tags.size()].name;
+    out.push_back(i % 2 == 0 ? "At('" + tag + "', l : Room(l))"
+                             : "At('" + tag + "', l : Hallway(l))");
+  }
+  out.push_back("At(x, l : Room(l))");
+  out.push_back(kSafeQuery);
+  return out;
+}
+
+struct CellResult {
+  double ticks_per_sec = 0;
+  uint64_t pushes = 0;
+  bool complete = false;
+};
+
+CellResult RunCell(const EventDatabase& archive,
+                   const std::vector<TickBatch>& batches,
+                   const std::vector<std::string>& queries,
+                   Timestamp horizon) {
+  CellResult result;
+  auto live = CloneDeclarations(archive);
+  if (!live.ok()) {
+    std::fprintf(stderr, "%s\n", live.status().ToString().c_str());
+    return result;
+  }
+  RuntimeOptions runtime_options;
+  runtime_options.num_threads = 4;
+  runtime_options.queue_capacity = 64;
+  runtime_options.session.plan.assume_distinct_keys = true;
+  StreamRuntime runtime(live->get(), runtime_options);
+  net::Server server(&runtime, net::ServerOptions{});
+  runtime.Start();
+  if (Status s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "server: %s\n", s.ToString().c_str());
+    return result;
+  }
+
+  // Control connection registers the standing queries once.
+  auto control = net::Client::Connect("127.0.0.1", server.port());
+  if (!control.ok()) {
+    std::fprintf(stderr, "%s\n", control.status().ToString().c_str());
+    return result;
+  }
+  std::vector<QueryId> ids;
+  for (const std::string& q : queries) {
+    auto reg = (*control)->RegisterQuery(q);
+    if (!reg.ok()) {
+      std::fprintf(stderr, "%s: %s\n", q.c_str(),
+                   reg.status().ToString().c_str());
+      return result;
+    }
+    ids.push_back(reg->id);
+  }
+
+  // Subscribers connect and subscribe before any data flows, so every one
+  // of them must see every tick.
+  std::vector<std::unique_ptr<net::Client>> subscribers;
+  for (size_t i = 0; i < kSubscribers; ++i) {
+    auto sub = net::Client::Connect("127.0.0.1", server.port(),
+                                    "sub" + std::to_string(i));
+    if (!sub.ok()) {
+      std::fprintf(stderr, "%s\n", sub.status().ToString().c_str());
+      return result;
+    }
+    for (QueryId id : ids) {
+      if (Status s = (*sub)->Subscribe(id); !s.ok()) {
+        std::fprintf(stderr, "subscribe: %s\n", s.ToString().c_str());
+        return result;
+      }
+    }
+    subscribers.push_back(std::move(*sub));
+  }
+  std::vector<std::unique_ptr<net::Client>> producers;
+  for (size_t i = 0; i < kProducers; ++i) {
+    auto prod = net::Client::Connect("127.0.0.1", server.port(),
+                                     "prod" + std::to_string(i));
+    if (!prod.ok()) {
+      std::fprintf(stderr, "%s\n", prod.status().ToString().c_str());
+      return result;
+    }
+    producers.push_back(std::move(*prod));
+  }
+
+  std::atomic<uint64_t> pushes{0};
+  std::atomic<bool> failed{false};
+  double ms = TimeMs([&] {
+    std::vector<std::thread> threads;
+    // Producer k streams ticks k, k+P, k+2P, ... — the reorder buffer
+    // reassembles the interleaving server-side.
+    for (size_t p = 0; p < kProducers; ++p) {
+      threads.emplace_back([&, p] {
+        for (size_t i = p; i < batches.size(); i += kProducers) {
+          Status s;
+          do {
+            s = producers[p]->Ingest(batches[i]);
+            if (!s.ok() && s.code() == StatusCode::kOutOfRange) {
+              std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+          } while (!s.ok() && s.code() == StatusCode::kOutOfRange &&
+                   !failed.load());
+          if (!s.ok()) {
+            std::fprintf(stderr, "ingest: %s\n", s.ToString().c_str());
+            failed.store(true);
+            return;
+          }
+        }
+      });
+    }
+    for (size_t i = 0; i < kSubscribers; ++i) {
+      threads.emplace_back([&, i] {
+        Timestamp seen = 0;
+        while (seen < horizon && !failed.load()) {
+          auto update =
+              subscribers[i]->NextUpdate(std::chrono::milliseconds(60000));
+          if (!update.ok()) {
+            std::fprintf(stderr, "subscriber %zu: %s\n", i,
+                         update.status().ToString().c_str());
+            failed.store(true);
+            return;
+          }
+          seen = std::max(seen, update->t);
+          pushes.fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  });
+  server.Stop();
+  runtime.ingest().Close();
+  runtime.Stop();
+  if (failed.load()) return result;
+
+  result.pushes = pushes.load();
+  result.complete = result.pushes ==
+                    static_cast<uint64_t>(horizon) * kSubscribers;
+  result.ticks_per_sec = Throughput(horizon, ms);
+  JsonLine()
+      .Add("bench", std::string("t08_network_serving"))
+      .Add("clients", kProducers + kSubscribers)
+      .Add("producers", kProducers)
+      .Add("subscribers", kSubscribers)
+      .Add("queries", queries.size())
+      .Add("ticks", static_cast<size_t>(horizon))
+      .Add("pushes", static_cast<size_t>(result.pushes))
+      .Add("time_ms", ms)
+      .Add("ticks_per_sec", result.ticks_per_sec)
+      .Print();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const Timestamp horizon = smoke ? 50 : 200;
+  std::printf(
+      "Network serving | end-to-end ticks/sec over TCP, %zu producers + "
+      "%zu subscribers, horizon %u%s\n",
+      kProducers, kSubscribers, horizon, smoke ? " (smoke)" : "");
+  auto scenario = RandomWalkScenario(kTags, horizon, /*seed=*/43);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto archive = scenario->BuildDatabase(StreamKind::kFiltered);
+  if (!archive.ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+    return 1;
+  }
+  auto batches = ExtractBatches(**archive);
+  if (!batches.ok()) {
+    std::fprintf(stderr, "%s\n", batches.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<std::string> queries = MakeQueries(*scenario);
+  CellResult cell = RunCell(**archive, *batches, queries, horizon);
+  if (cell.ticks_per_sec <= 0) return 1;
+  std::printf("ticks/s   %12.1f end to end (%llu pushes to %zu "
+              "subscribers)\n",
+              cell.ticks_per_sec,
+              static_cast<unsigned long long>(cell.pushes), kSubscribers);
+  if (!cell.complete) {
+    std::fprintf(stderr,
+                 "delivery gap: expected %llu pushes\n",
+                 static_cast<unsigned long long>(horizon) * kSubscribers);
+    return 1;
+  }
+  return 0;
+}

@@ -28,6 +28,7 @@ RUN_SIZE_FIELDS = {
     "ticks", "time_ms", "reps", "tick_p99_us",
     "early_tick_us", "late_tick_us", "flatness", "speedup",
     "memo_entries", "memo_evictions", "row_evictions", "row_rebuilds",
+    "pushes",
 }
 
 

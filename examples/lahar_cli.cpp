@@ -6,6 +6,10 @@
 //   lahar_cli --serve DBFILE QUERY...
 //                                   replay DBFILE live through the
 //                                   concurrent runtime (docs/RUNTIME.md)
+//   lahar_cli --connect HOST:PORT QUERY...
+//                                   register queries on a running
+//                                   lahar_server and stream the pushed
+//                                   per-tick probabilities (docs/SERVING.md)
 //
 // Serve-mode flags (anywhere after --serve):
 //   --checkpoint-every N            checkpoint the runtime every N ticks
@@ -15,12 +19,21 @@
 //                                   line) and already-consumed ticks are
 //                                   skipped on replay
 //
+// Connect-mode flags (anywhere after --connect):
+//   --tenant NAME                   tenant for the kHello handshake
+//   --stats                         print the server's stats JSON and exit
+//
+// Serve mode shuts down gracefully on SIGINT/SIGTERM: the producer stops,
+// the ingest queue drains through its remaining ticks, a final checkpoint
+// is written when --checkpoint-path was given, and the process exits 0.
+//
 // The database format is documented in src/model/io.h; --gen produces one
 // to play with:
 //
 //   ./lahar_cli --gen /tmp/demo.db
 //   ./lahar_cli "At('tag1', l : CoffeeRoom(l))" /tmp/demo.db
 //   ./lahar_cli --serve /tmp/demo.db "At(x, l : CoffeeRoom(l))"
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +46,7 @@
 #include "analysis/plan.h"
 #include "engine/lahar.h"
 #include "model/io.h"
+#include "net/client.h"
 #include "query/printer.h"
 #include "runtime/executor.h"
 #include "runtime/replay.h"
@@ -41,6 +55,10 @@
 using namespace lahar;
 
 namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
 
 int Generate(const std::string& path) {
   PipelineConfig config;
@@ -113,7 +131,8 @@ int RunQuery(EventDatabase* db, const std::string& query) {
 struct ServeConfig {
   size_t checkpoint_every = 0;  // 0 = never checkpoint
   std::string checkpoint_path = "lahar.ckpt";
-  std::string restore_path;  // empty = fresh start
+  bool checkpoint_path_set = false;  // --checkpoint-path given explicitly
+  std::string restore_path;          // empty = fresh start
 };
 
 bool ReadFileBytes(const std::string& path, std::string* out) {
@@ -213,25 +232,134 @@ int Serve(EventDatabase* archive, const std::vector<std::string>& queries,
     }
   });
   const Timestamp resume_from = runtime.tick();
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
   runtime.Start();
   std::thread producer([&] {
     for (TickBatch& b : *batches) {
+      if (g_signal != 0) break;  // graceful shutdown: stop producing
       // On restore, ticks the checkpoint already covers are history; the
       // runtime would reject them as duplicates anyway, so skip the push.
       if (b.t <= resume_from) continue;
-      Status s = runtime.ingest().Push(std::move(b),
-                                       std::chrono::milliseconds(60000));
+      // Short deadlines so a SIGINT during backpressure is noticed quickly
+      // (Push takes its batch by value, so a timed-out attempt leaves `b`
+      // intact for the retry).
+      Status s;
+      do {
+        s = runtime.ingest().Push(b, std::chrono::milliseconds(200));
+      } while (s.code() == StatusCode::kOutOfRange && g_signal == 0);
       if (!s.ok()) {
-        std::fprintf(stderr, "push: %s\n", s.ToString().c_str());
+        if (s.code() != StatusCode::kOutOfRange) {
+          std::fprintf(stderr, "push: %s\n", s.ToString().c_str());
+        }
         break;
       }
     }
     runtime.ingest().Close();  // end of stream: drain and stop
   });
   producer.join();
-  runtime.WaitForTick(archive->horizon(), std::chrono::milliseconds(600000));
+  if (g_signal != 0) {
+    std::fprintf(stderr, "# interrupted: draining ingest queue...\n");
+  }
+  // The queue is closed; the coordinator exits once it has drained through
+  // every accepted tick, whether we got here by end-of-stream or by signal.
+  while (runtime.running()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
   runtime.Stop();
+  if (config.checkpoint_path_set) {
+    auto snapshot = runtime.Checkpoint();
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "final checkpoint: %s\n",
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    if (!WriteFileBytes(config.checkpoint_path, *snapshot)) {
+      std::fprintf(stderr, "final checkpoint: cannot write %s\n",
+                   config.checkpoint_path.c_str());
+      return 1;
+    }
+    std::printf("# final checkpoint (tick %u) written to %s\n",
+                runtime.tick(), config.checkpoint_path.c_str());
+  }
   std::printf("\n%s", runtime.Stats().ToString().c_str());
+  return 0;
+}
+
+// Thin client over a running lahar_server: registers the queries remotely,
+// subscribes, and prints the pushed per-tick probabilities in the same
+// format Serve() uses locally.
+int Connect(const std::string& endpoint, const std::string& tenant,
+            bool stats_only, const std::vector<std::string>& queries) {
+  auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect needs HOST:PORT, got %s\n",
+                 endpoint.c_str());
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  auto client = net::Client::Connect(host, static_cast<uint16_t>(port),
+                                     tenant.empty() ? "default" : tenant);
+  if (!client.ok()) {
+    std::fprintf(stderr, "%s\n", client.status().ToString().c_str());
+    return 1;
+  }
+  if (stats_only) {
+    auto json = (*client)->StatsJson();
+    if (!json.ok()) {
+      std::fprintf(stderr, "%s\n", json.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+  std::vector<QueryId> ids;
+  for (const std::string& q : queries) {
+    auto reg = (*client)->RegisterQuery(q);
+    if (!reg.ok()) {
+      std::fprintf(stderr, "%s: %s\n", q.c_str(),
+                   reg.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# q%llu [%s via %s%s]: %s\n",
+                static_cast<unsigned long long>(reg->id),
+                reg->query_class.c_str(), reg->engine.c_str(),
+                reg->exact ? "" : ", (eps,delta)-approximate", q.c_str());
+    if (Status s = (*client)->Subscribe(reg->id); !s.ok()) {
+      std::fprintf(stderr, "subscribe q%llu: %s\n",
+                   static_cast<unsigned long long>(reg->id),
+                   s.ToString().c_str());
+      return 1;
+    }
+    ids.push_back(reg->id);
+  }
+  std::printf("# t");
+  for (QueryId id : ids) {
+    std::printf("  P[q%llu@t]", static_cast<unsigned long long>(id));
+  }
+  std::printf("\n");
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal == 0) {
+    auto update = (*client)->NextUpdate(std::chrono::milliseconds(250));
+    if (!update.ok()) {
+      if (update.status().code() == StatusCode::kOutOfRange) continue;
+      if (g_signal != 0) break;
+      std::fprintf(stderr, "%s\n", update.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%u", update->t);
+    for (QueryId id : ids) {
+      double p = 0.0;
+      for (const auto& [qid, prob] : update->probs) {
+        if (qid == id) p = prob;
+      }
+      std::printf(" %.6f", p);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
   return 0;
 }
 
@@ -261,6 +389,7 @@ int main(int argc, char** argv) {
         config.checkpoint_every = static_cast<size_t>(std::atoll(v));
       } else if (const char* v = flag_value("--checkpoint-path")) {
         config.checkpoint_path = v;
+        config.checkpoint_path_set = true;
       } else if (const char* v = flag_value("--restore")) {
         config.restore_path = v;
       } else if (!bad) {
@@ -289,14 +418,47 @@ int main(int argc, char** argv) {
     }
     return Serve(db->get(), queries, config);
   }
+  bool connect = argc >= 2 && std::strcmp(argv[1], "--connect") == 0;
+  if (connect) {
+    std::string endpoint;
+    std::string tenant;
+    bool stats_only = false;
+    std::vector<std::string> queries;
+    bool bad = false;
+    for (int i = 2; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--tenant") == 0) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "--tenant needs a value\n");
+          bad = true;
+        } else {
+          tenant = argv[++i];
+        }
+      } else if (std::strcmp(argv[i], "--stats") == 0) {
+        stats_only = true;
+      } else if (endpoint.empty()) {
+        endpoint = argv[i];
+      } else {
+        queries.emplace_back(argv[i]);
+      }
+    }
+    if (bad || endpoint.empty() || (queries.empty() && !stats_only)) {
+      std::fprintf(stderr,
+                   "usage: %s --connect HOST:PORT [--tenant NAME] "
+                   "[--stats] QUERY...\n",
+                   argv[0]);
+      return 2;
+    }
+    return Connect(endpoint, tenant, stats_only, queries);
+  }
   bool classify = argc == 4 && std::strcmp(argv[1], "--classify") == 0;
   if (argc != 3 && !classify) {
     std::fprintf(stderr,
                  "usage: %s QUERY DBFILE\n"
                  "       %s --classify QUERY DBFILE\n"
                  "       %s --gen DBFILE\n"
-                 "       %s --serve DBFILE QUERY...\n",
-                 argv[0], argv[0], argv[0], argv[0]);
+                 "       %s --serve DBFILE QUERY...\n"
+                 "       %s --connect HOST:PORT QUERY...\n",
+                 argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const char* query = classify ? argv[2] : argv[1];

@@ -1,0 +1,247 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace lahar {
+namespace net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+std::chrono::milliseconds Remaining(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? left : std::chrono::milliseconds(0);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::ConnectRaw(const std::string& host,
+                                                   uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    ::close(fd);
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, uint16_t port, const std::string& tenant,
+    std::chrono::milliseconds timeout) {
+  auto raw = ConnectRaw(host, port);
+  if (!raw.ok()) return raw.status();
+  auto client = std::move(*raw);
+  serial::Writer w;
+  EncodeHello(tenant, &w);
+  auto reply = client->Transact(EncodeFrame(MsgType::kHello, w), timeout);
+  if (!reply.ok()) return reply.status();
+  if (reply->msg_type() != MsgType::kHelloOk) {
+    return Status::Internal("unexpected handshake reply type " +
+                            std::to_string(reply->type));
+  }
+  return client;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("client disconnected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Errno("send");
+      ::close(fd_);
+      fd_ = -1;
+      return s;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> Client::ReadFrame(std::chrono::milliseconds timeout) {
+  if (fd_ < 0) return Status::InvalidArgument("client disconnected");
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    Frame frame;
+    Status s = reader_.Next(&frame);
+    if (s.ok()) return frame;
+    if (s.code() != StatusCode::kNotFound) return s;  // framing violation
+
+    auto left = Remaining(deadline);
+    pollfd pfd{fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (rc == 0) return Status::OutOfRange("timed out waiting for a frame");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    char buf[16384];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return Status::InvalidArgument("connection closed by server");
+    }
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      Status es = Errno("recv");
+      ::close(fd_);
+      fd_ = -1;
+      return es;
+    }
+    reader_.Append(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+Result<Frame> Client::Transact(const std::string& frame,
+                               std::chrono::milliseconds timeout) {
+  LAHAR_RETURN_NOT_OK(SendRaw(frame));
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    auto reply = ReadFrame(Remaining(deadline));
+    if (!reply.ok()) return reply.status();
+    if (reply->msg_type() == MsgType::kTickUpdate) {
+      // A push racing the response: queue it for NextUpdate.
+      TickUpdateBody body;
+      serial::Reader r(reply->body);
+      if (DecodeTickUpdate(&r, &body).ok()) {
+        updates_.push_back(std::move(body));
+      }
+      continue;
+    }
+    if (reply->msg_type() == MsgType::kError) {
+      ErrorBody err;
+      serial::Reader r(reply->body);
+      LAHAR_RETURN_NOT_OK(DecodeError(&r, &err));
+      return err.ToStatus();
+    }
+    return reply;
+  }
+}
+
+Status Client::Ingest(const TickBatch& batch) {
+  serial::Writer w;
+  EncodeBatch(batch, &w);
+  auto reply = Transact(EncodeFrame(MsgType::kIngest, w), request_timeout_);
+  if (!reply.ok()) return reply.status();
+  if (reply->msg_type() != MsgType::kOk) {
+    return Status::Internal("unexpected ingest reply type " +
+                            std::to_string(reply->type));
+  }
+  return Status::OK();
+}
+
+Result<RegisteredBody> Client::RegisterQuery(const std::string& text) {
+  serial::Writer w;
+  w.Str(text);
+  auto reply = Transact(EncodeFrame(MsgType::kRegister, w), request_timeout_);
+  if (!reply.ok()) return reply.status();
+  if (reply->msg_type() != MsgType::kRegistered) {
+    return Status::Internal("unexpected register reply type " +
+                            std::to_string(reply->type));
+  }
+  RegisteredBody body;
+  serial::Reader r(reply->body);
+  LAHAR_RETURN_NOT_OK(DecodeRegistered(&r, &body));
+  return body;
+}
+
+Status Client::UnregisterQuery(QueryId id) {
+  serial::Writer w;
+  w.U64(id);
+  auto reply =
+      Transact(EncodeFrame(MsgType::kUnregister, w), request_timeout_);
+  return reply.ok() ? Status::OK() : reply.status();
+}
+
+Status Client::Subscribe(QueryId id) {
+  serial::Writer w;
+  w.U64(id);
+  auto reply = Transact(EncodeFrame(MsgType::kSubscribe, w), request_timeout_);
+  return reply.ok() ? Status::OK() : reply.status();
+}
+
+Status Client::Unsubscribe(QueryId id) {
+  serial::Writer w;
+  w.U64(id);
+  auto reply =
+      Transact(EncodeFrame(MsgType::kUnsubscribe, w), request_timeout_);
+  return reply.ok() ? Status::OK() : reply.status();
+}
+
+Result<std::string> Client::StatsJson() {
+  auto reply = Transact(EncodeFrame(MsgType::kStats), request_timeout_);
+  if (!reply.ok()) return reply.status();
+  if (reply->msg_type() != MsgType::kStatsResult) {
+    return Status::Internal("unexpected stats reply type " +
+                            std::to_string(reply->type));
+  }
+  std::string json;
+  serial::Reader r(reply->body);
+  LAHAR_RETURN_NOT_OK(r.Str(&json));
+  return json;
+}
+
+Result<CheckpointOkBody> Client::TriggerCheckpoint() {
+  auto reply = Transact(EncodeFrame(MsgType::kCheckpoint), request_timeout_);
+  if (!reply.ok()) return reply.status();
+  if (reply->msg_type() != MsgType::kCheckpointOk) {
+    return Status::Internal("unexpected checkpoint reply type " +
+                            std::to_string(reply->type));
+  }
+  CheckpointOkBody body;
+  serial::Reader r(reply->body);
+  LAHAR_RETURN_NOT_OK(DecodeCheckpointOk(&r, &body));
+  return body;
+}
+
+Result<TickUpdateBody> Client::NextUpdate(std::chrono::milliseconds timeout) {
+  if (!updates_.empty()) {
+    TickUpdateBody body = std::move(updates_.front());
+    updates_.pop_front();
+    return body;
+  }
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    auto frame = ReadFrame(Remaining(deadline));
+    if (!frame.ok()) return frame.status();
+    if (frame->msg_type() != MsgType::kTickUpdate) continue;  // stray reply
+    TickUpdateBody body;
+    serial::Reader r(frame->body);
+    LAHAR_RETURN_NOT_OK(DecodeTickUpdate(&r, &body));
+    return body;
+  }
+}
+
+}  // namespace net
+}  // namespace lahar

@@ -1,0 +1,90 @@
+// Blocking client for the TCP serving front-end (net/server.h): one
+// synchronous request/response call per method, plus a pull interface over
+// the server's asynchronous kTickUpdate subscription pushes.
+//
+// Pushes interleave arbitrarily with responses on the wire; the client
+// queues any kTickUpdate it encounters while waiting for a response, and
+// NextUpdate() drains that queue before reading the socket. Single-threaded
+// by design: callers that want concurrent request + update processing open
+// two connections (subscriptions are per-connection anyway).
+#ifndef LAHAR_NET_CLIENT_H_
+#define LAHAR_NET_CLIENT_H_
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace lahar {
+namespace net {
+
+/// \brief Blocking TCP client speaking the net/protocol.h wire format.
+class Client {
+ public:
+  /// Connects and completes the kHello handshake as `tenant`.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      const std::string& tenant = "default",
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(5000));
+
+  /// Connects WITHOUT the kHello handshake. For protocol-robustness tests
+  /// that need to speak to the server from an unidentified connection (raw
+  /// bytes via SendRaw, requests before kHello, ...).
+  static Result<std::unique_ptr<Client>> ConnectRaw(const std::string& host,
+                                                    uint16_t port);
+
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Pushes one tick batch into the server's ingest queue. OutOfRange with
+  /// payload wire_error=backpressure means the queue was full — retry;
+  /// wire_error=quota_exceeded means admission control shed it.
+  Status Ingest(const TickBatch& batch);
+
+  /// Registers a standing query; the body mirrors lahar_cli's header line.
+  Result<RegisteredBody> RegisterQuery(const std::string& text);
+  Status UnregisterQuery(QueryId id);
+
+  /// Subscribes to µ(q@t) pushes for `id` (NextUpdate delivers them).
+  Status Subscribe(QueryId id);
+  Status Unsubscribe(QueryId id);
+
+  /// Runtime + net stats as one JSON object.
+  Result<std::string> StatsJson();
+
+  /// Asks the server to write a checkpoint to its configured path.
+  Result<CheckpointOkBody> TriggerCheckpoint();
+
+  /// Returns the next pushed tick update, waiting up to `timeout`. Queued
+  /// updates (received while waiting for responses) are returned first.
+  /// OutOfRange on timeout; InvalidArgument once the connection is gone.
+  Result<TickUpdateBody> NextUpdate(std::chrono::milliseconds timeout);
+
+  /// Raw socket access for protocol-robustness tests: writes bytes as-is.
+  Status SendRaw(std::string_view bytes);
+  /// Reads one frame (any type, pushes included), waiting up to `timeout`.
+  Result<Frame> ReadFrame(std::chrono::milliseconds timeout);
+
+  int fd() const { return fd_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  // Sends `frame` and reads until a non-push frame arrives (pushes are
+  // queued); decodes kError into a Status.
+  Result<Frame> Transact(const std::string& frame,
+                         std::chrono::milliseconds timeout);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  std::deque<TickUpdateBody> updates_;
+  std::chrono::milliseconds request_timeout_{30000};
+};
+
+}  // namespace net
+}  // namespace lahar
+
+#endif  // LAHAR_NET_CLIENT_H_

@@ -1,0 +1,181 @@
+// Wire protocol for the network serving front-end: length-prefixed binary
+// frames over TCP carrying versioned message types for ingest batches,
+// query registration, subscription management, stats, and checkpoint
+// triggers (docs/SERVING.md has the full contract).
+//
+// Frame layout:
+//
+//   u32 payload_len (little-endian)    — at most kMaxFrameBytes
+//   u8  version                        — kProtocolVersion
+//   u8  type                           — MsgType
+//   ... body                           — serial-encoded, per message type
+//
+// Everything rides on common/serial.h, so decoding shares the checkpoint
+// reader's bounds discipline: malformed or truncated bodies fail with a
+// Status, never UB. Framing errors split into two severities — a bad *body*
+// inside a well-delimited frame is recoverable (the server answers with an
+// error frame and keeps the connection), while a bad *length prefix* is not
+// (the byte stream can no longer be resynchronized, so the connection
+// closes after one final error frame).
+#ifndef LAHAR_NET_PROTOCOL_H_
+#define LAHAR_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/serial.h"
+#include "runtime/ingest.h"
+#include "runtime/stats.h"
+
+namespace lahar {
+namespace net {
+
+/// Bumped on any incompatible wire change; the server rejects frames whose
+/// version byte differs with WireError::kVersionMismatch.
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Hard ceiling on one frame's payload. A declared length beyond this is an
+/// unrecoverable framing error (nothing that large is ever legitimate, and
+/// honoring it would let one client balloon server memory).
+inline constexpr size_t kMaxFrameBytes = 16u << 20;
+
+/// Bytes of length prefix in front of every payload.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Message types. Requests are < 64, responses < 96, server pushes >= 96.
+enum class MsgType : uint8_t {
+  // --- requests (client -> server) --------------------------------------
+  kHello = 1,        ///< Str tenant — identifies the connection for quotas
+  kIngest = 2,       ///< TickBatch (see EncodeBatch)
+  kRegister = 3,     ///< Str query text
+  kUnregister = 4,   ///< u64 query id
+  kSubscribe = 5,    ///< u64 query id — push µ(q@t) every tick from now on
+  kUnsubscribe = 6,  ///< u64 query id
+  kStats = 7,        ///< empty — runtime + net counters as JSON
+  kCheckpoint = 8,   ///< empty — write a snapshot to the server's path
+  // --- responses (server -> client, one per request) --------------------
+  kOk = 64,           ///< empty
+  kError = 65,        ///< u32 WireError, Str message
+  kHelloOk = 66,      ///< u8 server protocol version
+  kRegistered = 67,   ///< u64 id, Str class, Str engine, u8 exact
+  kStatsResult = 68,  ///< Str json
+  kCheckpointOk = 69, ///< Str path, u64 bytes written
+  // --- pushes (server -> client, unsolicited) ---------------------------
+  kTickUpdate = 96,  ///< u32 t, u32 n, n x (u64 id, f64 prob)
+};
+
+/// Machine-readable reason on a kError frame.
+enum class WireError : uint32_t {
+  kBadFrame = 1,         ///< body failed to decode
+  kUnknownType = 2,      ///< type byte matches no MsgType
+  kVersionMismatch = 3,  ///< version byte != kProtocolVersion
+  kBackpressure = 4,     ///< ingest queue full — retry after a pause
+  kQuotaExceeded = 5,    ///< per-tenant admission control rejected the batch
+  kRejected = 6,         ///< the runtime rejected the request (see message)
+  kHandshake = 7,        ///< request arrived before kHello
+  kServerFull = 8,       ///< connection limit reached
+};
+
+/// Human-readable name of a wire error ("quota_exceeded", ...).
+const char* WireErrorName(WireError e);
+
+/// \brief One decoded frame: header fields plus the raw body bytes.
+struct Frame {
+  uint8_t version = 0;
+  uint8_t type = 0;  ///< raw byte so unknown types survive to the dispatcher
+  std::string body;
+
+  MsgType msg_type() const { return static_cast<MsgType>(type); }
+};
+
+/// \brief Decoded kError body.
+struct ErrorBody {
+  WireError code = WireError::kBadFrame;
+  std::string message;
+
+  /// Maps the wire error onto a Status (kBackpressure/kQuotaExceeded ->
+  /// OutOfRange, kRejected -> InvalidArgument, ...) with the wire error
+  /// name attached as the "wire_error" payload.
+  Status ToStatus() const;
+};
+
+/// \brief Decoded kRegistered body.
+struct RegisteredBody {
+  QueryId id = 0;
+  std::string query_class;
+  std::string engine;
+  bool exact = true;
+};
+
+/// \brief Decoded kTickUpdate body: the pushed µ(q@t) values for one tick,
+/// restricted to the connection's subscriptions.
+struct TickUpdateBody {
+  Timestamp t = 0;
+  std::vector<std::pair<QueryId, double>> probs;
+};
+
+/// \brief Decoded kCheckpointOk body.
+struct CheckpointOkBody {
+  std::string path;
+  uint64_t bytes = 0;
+};
+
+// --- frame assembly ------------------------------------------------------
+
+/// One complete frame (length prefix + version + type + body bytes).
+std::string EncodeFrame(MsgType type, const serial::Writer& body);
+/// Same, for messages with an empty body.
+std::string EncodeFrame(MsgType type);
+
+/// \brief Incremental frame extractor over a connection's inbound bytes.
+///
+/// Append() whatever arrived; Next() pops complete frames one at a time.
+/// A declared payload length over kMaxFrameBytes poisons the reader (the
+/// stream cannot be resynchronized): Next() returns OutOfRange from then
+/// on and the caller must drop the connection.
+class FrameReader {
+ public:
+  void Append(std::string_view bytes);
+
+  /// Pops the next complete frame into `*out`. Returns OK when a frame was
+  /// produced, NotFound when more bytes are needed (not an error), and
+  /// OutOfRange on an unrecoverable framing violation.
+  Status Next(Frame* out);
+
+  size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+  bool poisoned_ = false;
+};
+
+// --- message bodies ------------------------------------------------------
+
+void EncodeHello(std::string_view tenant, serial::Writer* w);
+Status DecodeHello(serial::Reader* r, std::string* tenant);
+
+/// TickBatch: u32 t, u32 n, then per update u32 stream, u8 has_cpt,
+/// DoubleVec marginal, and (when has_cpt) u32 rows, u32 cols, rows*cols
+/// bit-exact doubles.
+void EncodeBatch(const TickBatch& batch, serial::Writer* w);
+Status DecodeBatch(serial::Reader* r, TickBatch* out);
+
+void EncodeError(WireError code, std::string_view message, serial::Writer* w);
+Status DecodeError(serial::Reader* r, ErrorBody* out);
+
+void EncodeRegistered(const RegisteredBody& body, serial::Writer* w);
+Status DecodeRegistered(serial::Reader* r, RegisteredBody* out);
+
+void EncodeTickUpdate(const TickUpdateBody& body, serial::Writer* w);
+Status DecodeTickUpdate(serial::Reader* r, TickUpdateBody* out);
+
+void EncodeCheckpointOk(const CheckpointOkBody& body, serial::Writer* w);
+Status DecodeCheckpointOk(serial::Reader* r, CheckpointOkBody* out);
+
+}  // namespace net
+}  // namespace lahar
+
+#endif  // LAHAR_NET_PROTOCOL_H_

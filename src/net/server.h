@@ -1,0 +1,178 @@
+// The TCP serving front-end: a poll(2)-based multi-client server that
+// drives one StreamRuntime over the wire protocol in net/protocol.h.
+//
+//   * Ingest frames feed the runtime's bounded MPSC queue (TryPush — a full
+//     queue is explicit backpressure, answered with a kBackpressure error
+//     frame the producer retries on), so network ingest flows through the
+//     same transactional ApplyBatch / reorder-buffer path as in-process
+//     producers.
+//   * Subscriptions invert the polling model: the runtime's tick callback
+//     hands every published TickResult to the server thread, which fans
+//     µ(q@t) out to each connection subscribed to q as kTickUpdate pushes.
+//   * Admission control is per-tenant (the kHello handshake names the
+//     tenant): a token bucket of `burst` tokens refilled at
+//     `refill_per_sec` gates ingest frames; burst 0 means unlimited.
+//   * Slow consumers are bounded: each connection's outbound buffer may
+//     hold at most `outbound_buffer_limit` bytes. A connection that cannot
+//     keep up with its subscription stream is disconnected (counted in
+//     NetStats::slow_disconnects) instead of holding server memory hostage.
+//
+// Threading: one server thread owns every socket and all connection state;
+// the runtime coordinator thread only touches a small mutex-protected
+// snapshot queue (the tick callback) and a self-pipe. Requests are executed
+// inline on the server thread via the runtime's public (internally locked)
+// API. Stats() is callable from any thread.
+#ifndef LAHAR_NET_SERVER_H_
+#define LAHAR_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/protocol.h"
+#include "runtime/executor.h"
+
+namespace lahar {
+namespace net {
+
+/// \brief Per-tenant ingest admission control: a token bucket holding at
+/// most `burst` tokens, refilled continuously at `refill_per_sec`. Every
+/// accepted ingest frame costs one token. burst == 0 disables the quota.
+struct TenantQuota {
+  double burst = 0;
+  double refill_per_sec = 0;
+};
+
+/// Options for Server.
+struct ServerOptions {
+  /// Interface to bind. Loopback by default: exposing the runtime beyond
+  /// the host is an explicit decision.
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; Server::port() reports the bound one.
+  uint16_t port = 0;
+  int backlog = 64;
+  /// Connections beyond this are greeted with kServerFull and closed.
+  size_t max_connections = 256;
+  /// Per-connection outbound byte cap; exceeding it is a slow-consumer
+  /// disconnect (see class comment).
+  size_t outbound_buffer_limit = 4u << 20;
+  /// Quota applied to tenants absent from `tenant_quotas`.
+  TenantQuota default_quota;
+  /// Per-tenant overrides, keyed by the kHello tenant string.
+  std::map<std::string, TenantQuota> tenant_quotas;
+  /// Destination for kCheckpoint triggers; empty rejects the request.
+  std::string checkpoint_path;
+  /// Extra per-tick hook run on the runtime coordinator after the snapshot
+  /// is queued for fan-out — the place for periodic Checkpoint() calls
+  /// (the server owns the runtime's single tick-callback slot).
+  std::function<void(const TickResult&)> on_tick;
+  /// poll(2) timeout; bounds shutdown latency, not throughput.
+  std::chrono::milliseconds poll_interval{50};
+};
+
+/// \brief Poll-based TCP server over one StreamRuntime.
+class Server {
+ public:
+  /// The caller keeps `runtime` alive for the server's lifetime and must
+  /// not install its own tick callback while the server runs (use
+  /// ServerOptions::on_tick instead).
+  Server(StreamRuntime* runtime, ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, installs the tick callback, and spawns the server
+  /// thread. The port is bound when Start returns OK.
+  Status Start();
+
+  /// Clears the tick callback, closes every socket, joins the server
+  /// thread. Idempotent.
+  void Stop();
+
+  /// The bound TCP port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+
+  /// Network-layer counters only.
+  NetStats NetCounters() const;
+
+  /// Full runtime stats with the net section filled in — the payload of a
+  /// kStats request.
+  RuntimeStats Stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    FrameReader reader;
+    std::string outbound;       // encoded frames awaiting write
+    std::string tenant;
+    bool hello_done = false;
+    bool doomed = false;        // close once outbound drains
+    std::set<QueryId> subs;
+    // Token bucket state (tenant quota resolved at kHello time).
+    TenantQuota quota;
+    double tokens = 0;
+    std::chrono::steady_clock::time_point last_refill;
+  };
+
+  void Loop();
+  void AcceptNew();
+  // Reads everything available; dispatches complete frames.
+  void ServiceRead(Connection* c);
+  void ServiceWrite(Connection* c);
+  void Dispatch(Connection* c, const Frame& frame);
+  void HandleIngest(Connection* c, const Frame& frame);
+  // Appends an encoded frame, enforcing the outbound cap. Returns false
+  // when the connection was slow-disconnected instead.
+  bool Enqueue(Connection* c, std::string frame);
+  void SendError(Connection* c, WireError code, std::string_view message);
+  // Fans one published tick out to every subscribed connection.
+  void FanOut(const TickResult& result);
+  void CloseConnection(size_t index);
+  TenantQuota QuotaFor(const std::string& tenant) const;
+
+  StreamRuntime* runtime_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;   // self-pipe: tick callback -> poll loop
+  int wake_wr_ = -1;
+  std::thread thread_;
+  bool started_ = false;
+  std::atomic<bool> stop_{false};
+
+  // Owned by the server thread exclusively.
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  // Tick snapshots queued by the runtime coordinator for fan-out. The
+  // coordinator invokes the tick callback *after* copying it out of the
+  // slot, so an invocation can still be in flight when SetTickCallback
+  // (nullptr) returns inside Stop(). The callback therefore captures this
+  // channel by shared_ptr (never `this`) and only touches the self-pipe
+  // under `mu` while `wake_wr` is still valid; Stop() invalidates the fd
+  // under the same mutex before closing it.
+  struct TickChannel {
+    std::mutex mu;
+    std::deque<std::shared_ptr<const TickResult>> snapshots;
+    int wake_wr = -1;  // -1 once the server is stopping
+  };
+  std::shared_ptr<TickChannel> channel_;
+
+  // Counters shared between the server thread and Stats() callers.
+  mutable std::mutex stats_mu_;
+  NetStats counters_;
+  std::map<std::string, NetTenantStats> tenant_counters_;
+};
+
+}  // namespace net
+}  // namespace lahar
+
+#endif  // LAHAR_NET_SERVER_H_

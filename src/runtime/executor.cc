@@ -60,6 +60,14 @@ Status StreamRuntime::Unregister(QueryId id) {
   return registry_.Unregister(id);
 }
 
+bool StreamRuntime::HasQuery(QueryId id) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  for (const auto& q : registry_.queries()) {
+    if (q->id == id) return true;
+  }
+  return false;
+}
+
 void StreamRuntime::MarkStreamEnded(StreamId id) {
   std::lock_guard<std::mutex> lock(state_mu_);
   watermark_.MarkEnded(id);

@@ -97,6 +97,10 @@ class StreamRuntime {
                            std::string_view text);
   Status Unregister(QueryId id);
 
+  /// True while `id` names a registered standing query (used by the network
+  /// front-end to validate subscriptions without snapshotting full stats).
+  bool HasQuery(QueryId id) const;
+
   /// The ingestion queue producers push TickBatches into.
   IngestQueue& ingest() { return queue_; }
 

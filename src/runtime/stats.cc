@@ -42,6 +42,30 @@ void AppendJsonLatency(std::string* out, const char* name,
 
 }  // namespace
 
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 void LatencyRecorder::Record(uint64_t ns) {
   ++counts_[std::min(BucketOf(ns), kBuckets - 1)];
   ++count_;
@@ -126,6 +150,32 @@ std::string RuntimeStats::ToString() const {
                   safe_rows_live,
                   static_cast<unsigned long long>(safe_row_evictions));
     out += buf;
+  }
+  if (net.total_connections > 0 || net.connections > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "net:     conns=%zu/%llu subs=%zu frames=%llu/%llu "
+                  "bytes=%llu/%llu proto_errors=%llu quota_rejected=%llu "
+                  "backpressure=%llu slow_disconnects=%llu\n",
+                  net.connections,
+                  static_cast<unsigned long long>(net.total_connections),
+                  net.subscriptions,
+                  static_cast<unsigned long long>(net.frames_in),
+                  static_cast<unsigned long long>(net.frames_out),
+                  static_cast<unsigned long long>(net.bytes_in),
+                  static_cast<unsigned long long>(net.bytes_out),
+                  static_cast<unsigned long long>(net.protocol_errors),
+                  static_cast<unsigned long long>(net.quota_rejected),
+                  static_cast<unsigned long long>(net.backpressure_rejected),
+                  static_cast<unsigned long long>(net.slow_disconnects));
+    out += buf;
+    for (const NetTenantStats& t : net.tenants) {
+      std::snprintf(buf, sizeof(buf),
+                    "  tenant %s: ingest=%llu quota_rejected=%llu\n",
+                    t.tenant.c_str(),
+                    static_cast<unsigned long long>(t.ingest_frames),
+                    static_cast<unsigned long long>(t.quota_rejected));
+      out += buf;
+    }
   }
   std::snprintf(buf, sizeof(buf),
                 "tick latency (us): min=%s mean=%s p50=%s p99=%s max=%s\n",
@@ -240,6 +290,58 @@ std::string RuntimeStats::ToJson() const {
     }
     out += "},";
   }
+  if (net.total_connections > 0 || net.connections > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "\"net\":{\"connections\":%zu,\"total_connections\":%llu,"
+                  "\"subscriptions\":%zu,\"frames_in\":%llu,"
+                  "\"frames_out\":%llu,\"bytes_in\":%llu,\"bytes_out\":%llu,"
+                  "\"protocol_errors\":%llu,\"quota_rejected\":%llu,"
+                  "\"backpressure_rejected\":%llu,\"slow_disconnects\":%llu,"
+                  "\"tenants\":{",
+                  net.connections,
+                  static_cast<unsigned long long>(net.total_connections),
+                  net.subscriptions,
+                  static_cast<unsigned long long>(net.frames_in),
+                  static_cast<unsigned long long>(net.frames_out),
+                  static_cast<unsigned long long>(net.bytes_in),
+                  static_cast<unsigned long long>(net.bytes_out),
+                  static_cast<unsigned long long>(net.protocol_errors),
+                  static_cast<unsigned long long>(net.quota_rejected),
+                  static_cast<unsigned long long>(net.backpressure_rejected),
+                  static_cast<unsigned long long>(net.slow_disconnects));
+    out += buf;
+    for (size_t i = 0; i < net.tenants.size(); ++i) {
+      const NetTenantStats& t = net.tenants[i];
+      std::snprintf(buf, sizeof(buf),
+                    "%s\"%s\":{\"ingest\":%llu,\"quota_rejected\":%llu}",
+                    i > 0 ? "," : "", JsonEscape(t.tenant).c_str(),
+                    static_cast<unsigned long long>(t.ingest_frames),
+                    static_cast<unsigned long long>(t.quota_rejected));
+      out += buf;
+    }
+    out += "}},";
+  }
+  // Per-query entries carry caller-controlled strings (the query text, the
+  // last error); JsonEscape keeps a query like At('he said "hi"', ...) from
+  // corrupting the emitted object.
+  out += "\"query_stats\":[";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const QueryStats& q = queries[i];
+    if (i > 0) out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "{\"id\":%llu,\"class\":\"%s\",\"engine\":\"%s\","
+                  "\"exact\":%s,\"units\":%zu,\"ticks\":%llu,"
+                  "\"errors\":%llu,",
+                  static_cast<unsigned long long>(q.id),
+                  JsonEscape(q.query_class).c_str(),
+                  JsonEscape(q.engine).c_str(), q.exact ? "true" : "false",
+                  q.num_chains, static_cast<unsigned long long>(q.ticks),
+                  static_cast<unsigned long long>(q.errors));
+    out += buf;
+    out += "\"text\":\"" + JsonEscape(q.text) + "\",";
+    out += "\"last_error\":\"" + JsonEscape(q.last_error) + "\"}";
+  }
+  out += "],";
   AppendJsonLatency(&out, "tick_latency", tick_latency);
   out += "}";
   return out;

@@ -8,6 +8,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -88,6 +89,31 @@ struct ShardStats {
   LatencySummary tick;
 };
 
+/// \brief Per-tenant admission-control counters (see net/server.h).
+struct NetTenantStats {
+  std::string tenant;
+  uint64_t ingest_frames = 0;   ///< ingest frames accepted into the queue
+  uint64_t quota_rejected = 0;  ///< ingest frames shed by the token bucket
+};
+
+/// \brief Counters for the TCP serving front-end (net/server.h), merged
+/// into RuntimeStats by Server::Stats(). All zero when no server is
+/// attached, in which case ToString omits the net section.
+struct NetStats {
+  size_t connections = 0;          ///< currently open
+  uint64_t total_connections = 0;  ///< accepted since Start
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t protocol_errors = 0;   ///< error frames sent for malformed input
+  uint64_t quota_rejected = 0;    ///< ingest frames shed by tenant quotas
+  uint64_t backpressure_rejected = 0;  ///< ingest frames shed, queue full
+  uint64_t slow_disconnects = 0;  ///< connections dropped at the outbound cap
+  size_t subscriptions = 0;       ///< live (connection, query) subscriptions
+  std::vector<NetTenantStats> tenants;  ///< sorted by tenant name
+};
+
 /// \brief Full runtime snapshot.
 struct RuntimeStats {
   Timestamp tick = 0;            ///< last completed tick
@@ -121,14 +147,23 @@ struct RuntimeStats {
   size_t safe_rows_live = 0;
   uint64_t safe_row_evictions = 0;
   LatencySummary tick_latency;    ///< end-to-end per-tick wall time
+  /// TCP front-end counters; all-zero unless the stats came through
+  /// net::Server::Stats() (a bare StreamRuntime has no server attached).
+  NetStats net;
   std::vector<QueryStats> queries;
   std::vector<ShardStats> shards;
 
   /// Multi-line human-readable table.
   std::string ToString() const;
   /// One JSON object (the shape bench_t04_runtime_scaling emits per cell).
+  /// All embedded strings — query text, error messages, tenant names — are
+  /// JSON-escaped, so a query containing `"` stays parseable.
   std::string ToJson() const;
 };
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters).
+std::string JsonEscape(std::string_view s);
 
 }  // namespace lahar
 

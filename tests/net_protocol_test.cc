@@ -1,0 +1,345 @@
+// Wire-protocol robustness: codec round trips, incremental framing, and a
+// live loopback server fed malformed, truncated, oversized, unknown-type,
+// and version-mismatched frames plus a deterministic fuzz loop — every case
+// must produce a clean error frame (or a clean disconnect for framing
+// violations), never a crash or a wedged server.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "runtime/executor.h"
+#include "runtime/replay.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace net {
+namespace {
+
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::StepDist;
+using namespace std::chrono_literals;
+
+// --- pure codec tests ----------------------------------------------------
+
+TEST(FrameTest, EncodeDecodeRoundTrip) {
+  serial::Writer w;
+  w.Str("hello");
+  w.U64(42);
+  std::string bytes = EncodeFrame(MsgType::kRegister, w);
+  FrameReader reader;
+  reader.Append(bytes);
+  Frame frame;
+  ASSERT_OK(reader.Next(&frame));
+  EXPECT_EQ(frame.version, kProtocolVersion);
+  EXPECT_EQ(frame.msg_type(), MsgType::kRegister);
+  EXPECT_EQ(frame.body, w.str());
+  EXPECT_EQ(reader.buffered(), 0u);
+  // No second frame.
+  EXPECT_EQ(reader.Next(&frame).code(), StatusCode::kNotFound);
+}
+
+TEST(FrameTest, ByteAtATimeReassembly) {
+  serial::Writer w;
+  w.Str("payload");
+  std::string bytes = EncodeFrame(MsgType::kStats, w) +
+                      EncodeFrame(MsgType::kCheckpoint);
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (char c : bytes) {
+    reader.Append(std::string_view(&c, 1));
+    Frame frame;
+    Status s = reader.Next(&frame);
+    if (s.ok()) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].msg_type(), MsgType::kStats);
+  EXPECT_EQ(frames[1].msg_type(), MsgType::kCheckpoint);
+  EXPECT_TRUE(frames[1].body.empty());
+}
+
+TEST(FrameTest, OversizedLengthPoisonsReader) {
+  // Declared length past kMaxFrameBytes: the stream cannot be resynced.
+  std::string bytes = "\xff\xff\xff\xff";
+  FrameReader reader;
+  reader.Append(bytes);
+  Frame frame;
+  EXPECT_EQ(reader.Next(&frame).code(), StatusCode::kOutOfRange);
+  // Poisoned: even appending a well-formed frame cannot recover it.
+  reader.Append(EncodeFrame(MsgType::kStats));
+  EXPECT_EQ(reader.Next(&frame).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FrameTest, UndersizedLengthPoisonsReader) {
+  // A frame needs at least version + type; a 1-byte payload is nonsense.
+  std::string bytes{"\x01\x00\x00\x00\x01", 5};
+  FrameReader reader;
+  reader.Append(bytes);
+  Frame frame;
+  EXPECT_EQ(reader.Next(&frame).code(), StatusCode::kOutOfRange);
+}
+
+TEST(BatchCodecTest, RoundTripsMarginalsAndCpts) {
+  TickBatch batch;
+  batch.t = 17;
+  StreamUpdate a;
+  a.stream = 3;
+  a.marginal = {0.25, 0.5, 0.25};
+  batch.updates.push_back(a);
+  StreamUpdate b;
+  b.stream = 9;
+  b.marginal = {0.1, 0.9};
+  Matrix cpt(2, 2, 0.0);
+  cpt.At(0, 0) = 0.75;
+  cpt.At(0, 1) = 0.25;
+  cpt.At(1, 0) = 1.0 / 3.0;  // not representable exactly in decimal
+  cpt.At(1, 1) = 2.0 / 3.0;
+  b.cpt = cpt;
+  batch.updates.push_back(b);
+
+  serial::Writer w;
+  EncodeBatch(batch, &w);
+  serial::Reader r(w.str());
+  TickBatch out;
+  ASSERT_OK(DecodeBatch(&r, &out));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(out.t, batch.t);
+  ASSERT_EQ(out.updates.size(), 2u);
+  EXPECT_EQ(out.updates[0].stream, 3u);
+  EXPECT_EQ(out.updates[0].marginal, a.marginal);  // bit-exact doubles
+  EXPECT_FALSE(out.updates[0].cpt.has_value());
+  ASSERT_TRUE(out.updates[1].cpt.has_value());
+  EXPECT_EQ(out.updates[1].cpt->At(1, 0), cpt.At(1, 0));
+}
+
+TEST(BatchCodecTest, TruncatedBodyFailsCleanly) {
+  TickBatch batch;
+  batch.t = 1;
+  StreamUpdate u;
+  u.stream = 0;
+  u.marginal = {0.5, 0.5};
+  batch.updates.push_back(u);
+  serial::Writer w;
+  EncodeBatch(batch, &w);
+  std::string bytes = w.str();
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    serial::Reader r(std::string_view(bytes.data(), cut));
+    TickBatch out;
+    EXPECT_FALSE(DecodeBatch(&r, &out).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(BatchCodecTest, LyingUpdateCountFailsCleanly) {
+  // Claims 2^31 updates in a 10-byte body: the up-front size guard must
+  // reject it without attempting to reserve that much.
+  serial::Writer w;
+  w.U32(1);           // t
+  w.U32(1u << 31);    // n
+  w.U32(0);           // fragment of the first update
+  serial::Reader r(w.str());
+  TickBatch out;
+  EXPECT_FALSE(DecodeBatch(&r, &out).ok());
+}
+
+TEST(ErrorCodecTest, RoundTripAndStatusMapping) {
+  serial::Writer w;
+  EncodeError(WireError::kQuotaExceeded, "tenant over quota", &w);
+  serial::Reader r(w.str());
+  ErrorBody body;
+  ASSERT_OK(DecodeError(&r, &body));
+  EXPECT_EQ(body.code, WireError::kQuotaExceeded);
+  Status s = body.ToStatus();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  ASSERT_NE(s.GetPayload("wire_error"), nullptr);
+  EXPECT_EQ(*s.GetPayload("wire_error"), "quota_exceeded");
+}
+
+TEST(TickUpdateCodecTest, RoundTrip) {
+  TickUpdateBody body;
+  body.t = 99;
+  body.probs = {{1, 0.125}, {7, 1.0 / 3.0}};
+  serial::Writer w;
+  EncodeTickUpdate(body, &w);
+  serial::Reader r(w.str());
+  TickUpdateBody out;
+  ASSERT_OK(DecodeTickUpdate(&r, &out));
+  EXPECT_EQ(out.t, body.t);
+  EXPECT_EQ(out.probs, body.probs);
+}
+
+// --- loopback server robustness ------------------------------------------
+
+class LoopbackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<StepDist> joe;
+    for (Timestamp t = 1; t <= 8; ++t) joe.push_back({{"a", 0.5}});
+    AddIndependentStream(&db_, "At", "Joe", joe);
+    auto live = CloneDeclarations(db_);
+    ASSERT_OK(live.status());
+    live_ = std::move(*live);
+    runtime_ = std::make_unique<StreamRuntime>(live_.get(), RuntimeOptions{});
+    server_ = std::make_unique<Server>(runtime_.get(), options_);
+    runtime_->Start();
+    ASSERT_OK(server_->Start());
+  }
+
+  void TearDown() override {
+    server_->Stop();
+    runtime_->ingest().Close();
+    runtime_->Stop();
+  }
+
+  // The server survived whatever the test threw at it iff a fresh client
+  // can still complete a handshake and a stats request.
+  void ExpectServerAlive() {
+    auto probe = Client::Connect("127.0.0.1", server_->port());
+    ASSERT_OK(probe.status());
+    ASSERT_OK((*probe)->StatsJson().status());
+  }
+
+  EventDatabase db_;
+  std::unique_ptr<EventDatabase> live_;
+  std::unique_ptr<StreamRuntime> runtime_;
+  ServerOptions options_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(LoopbackTest, UnknownMessageTypeGetsErrorFrame) {
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_OK(client.status());
+  serial::Writer w;
+  ASSERT_OK((*client)->SendRaw(EncodeFrame(static_cast<MsgType>(42), w)));
+  auto reply = (*client)->ReadFrame(5000ms);
+  ASSERT_OK(reply.status());
+  ASSERT_EQ(reply->msg_type(), MsgType::kError);
+  serial::Reader r(reply->body);
+  ErrorBody err;
+  ASSERT_OK(DecodeError(&r, &err));
+  EXPECT_EQ(err.code, WireError::kUnknownType);
+  // The connection is still usable afterwards.
+  ASSERT_OK((*client)->StatsJson().status());
+}
+
+TEST_F(LoopbackTest, VersionMismatchGetsErrorFrame) {
+  auto client = Client::ConnectRaw("127.0.0.1", server_->port());
+  ASSERT_OK(client.status());
+  // Hand-build a frame with a bumped version byte.
+  std::string frame = EncodeFrame(MsgType::kStats);
+  frame[kFrameHeaderBytes] = static_cast<char>(kProtocolVersion + 1);
+  ASSERT_OK((*client)->SendRaw(frame));
+  auto reply = (*client)->ReadFrame(5000ms);
+  ASSERT_OK(reply.status());
+  ASSERT_EQ(reply->msg_type(), MsgType::kError);
+  serial::Reader r(reply->body);
+  ErrorBody err;
+  ASSERT_OK(DecodeError(&r, &err));
+  EXPECT_EQ(err.code, WireError::kVersionMismatch);
+  ExpectServerAlive();
+}
+
+TEST_F(LoopbackTest, IngestBeforeHelloIsRejected) {
+  auto client = Client::ConnectRaw("127.0.0.1", server_->port());
+  ASSERT_OK(client.status());
+  TickBatch batch;
+  batch.t = 1;
+  Status s = (*client)->Ingest(batch);
+  ASSERT_FALSE(s.ok());
+  ASSERT_NE(s.GetPayload("wire_error"), nullptr);
+  EXPECT_EQ(*s.GetPayload("wire_error"), "handshake_required");
+}
+
+TEST_F(LoopbackTest, MalformedBodyKeepsConnection) {
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_OK(client.status());
+  // A kSubscribe body that is too short for its u64 id.
+  serial::Writer w;
+  w.U8(7);
+  ASSERT_OK((*client)->SendRaw(EncodeFrame(MsgType::kSubscribe, w)));
+  auto reply = (*client)->ReadFrame(5000ms);
+  ASSERT_OK(reply.status());
+  ASSERT_EQ(reply->msg_type(), MsgType::kError);
+  serial::Reader r(reply->body);
+  ErrorBody err;
+  ASSERT_OK(DecodeError(&r, &err));
+  EXPECT_EQ(err.code, WireError::kBadFrame);
+  // Recoverable: the same connection still answers requests.
+  ASSERT_OK((*client)->StatsJson().status());
+}
+
+TEST_F(LoopbackTest, OversizedFrameDisconnectsCleanly) {
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_OK(client.status());
+  // Length prefix far past kMaxFrameBytes: unrecoverable framing error.
+  ASSERT_OK((*client)->SendRaw(std::string("\xff\xff\xff\x7f", 4)));
+  auto reply = (*client)->ReadFrame(5000ms);
+  ASSERT_OK(reply.status());
+  ASSERT_EQ(reply->msg_type(), MsgType::kError);
+  serial::Reader r(reply->body);
+  ErrorBody err;
+  ASSERT_OK(DecodeError(&r, &err));
+  EXPECT_EQ(err.code, WireError::kBadFrame);
+  // ... then the server closes the connection.
+  auto next = (*client)->ReadFrame(5000ms);
+  EXPECT_FALSE(next.ok());
+  ExpectServerAlive();
+}
+
+TEST_F(LoopbackTest, TruncatedFrameThenCloseLeavesServerAlive) {
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_OK(client.status());
+  // Half a frame, then the client vanishes mid-message.
+  std::string frame = EncodeFrame(MsgType::kStats);
+  ASSERT_OK((*client)->SendRaw(frame.substr(0, frame.size() - 1)));
+  client->reset();
+  ExpectServerAlive();
+}
+
+TEST_F(LoopbackTest, FuzzedBytesNeverKillTheServer) {
+  // Deterministic LCG so failures replay; bursts of garbage interleaved
+  // with liveness probes. Valid-looking prefixes will sometimes parse as
+  // real (malformed) requests — that is the point.
+  uint64_t state = 0xC0FFEE;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint8_t>(state >> 33);
+  };
+  for (int round = 0; round < 32; ++round) {
+    auto client = Client::ConnectRaw("127.0.0.1", server_->port());
+    ASSERT_TRUE(client.ok()) << client.status().ToString() << " round "
+                             << round;
+    std::string garbage;
+    const size_t len = 1 + next() % 512;
+    garbage.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(next()));
+    }
+    // Bias half the rounds toward plausible frames: a sane length prefix
+    // makes the fuzz reach the body decoders instead of dying at framing.
+    if (round % 2 == 0 && garbage.size() > 6) {
+      const uint32_t body = static_cast<uint32_t>(garbage.size()) - 4;
+      for (int i = 0; i < 4; ++i) {
+        garbage[static_cast<size_t>(i)] =
+            static_cast<char>((body >> (8 * i)) & 0xFF);
+      }
+      garbage[4] = static_cast<char>(kProtocolVersion);
+    }
+    (void)(*client)->SendRaw(garbage);
+    // Drain whatever error frames come back (or a disconnect) briefly.
+    (void)(*client)->ReadFrame(10ms);
+  }
+  ExpectServerAlive();
+  // Every fuzz round was observed by the server (frames or framing errors);
+  // none of it may have wedged or killed the loop.
+  EXPECT_GE(server_->NetCounters().total_connections, 32u);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace lahar
