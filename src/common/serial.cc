@@ -89,7 +89,13 @@ Status Reader::Str(std::string* out) {
 Status Reader::DoubleVec(std::vector<double>* out) {
   uint64_t len;
   LAHAR_RETURN_NOT_OK(U64(&len));
-  LAHAR_RETURN_NOT_OK(Need(len * 8));
+  // Divide rather than multiply: `len * 8` wraps uint64 for an untrusted
+  // len >= 2^61, which would pass Need() and then throw from reserve().
+  if (len > remaining() / 8) {
+    return Status::InvalidArgument(
+        "truncated serialized data (double vector of " + std::to_string(len) +
+        " elements, have " + std::to_string(remaining()) + " bytes)");
+  }
   out->clear();
   out->reserve(len);
   for (uint64_t i = 0; i < len; ++i) {

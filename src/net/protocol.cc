@@ -124,9 +124,10 @@ Status DecodeBatch(serial::Reader* r, TickBatch* out) {
   uint32_t n = 0;
   LAHAR_RETURN_NOT_OK(r->U32(&out->t));
   LAHAR_RETURN_NOT_OK(r->U32(&n));
-  // Every update costs at least 14 bytes on the wire; a count beyond that
-  // bound is garbage and must not drive a huge reserve.
-  if (static_cast<uint64_t>(n) * 14 > r->remaining() + 14) {
+  // Every update costs at least 13 bytes on the wire (u32 stream + u8
+  // has_cpt + empty DoubleVec's u64 length); a count beyond that bound is
+  // garbage and must not drive a huge reserve.
+  if (static_cast<uint64_t>(n) * 13 > r->remaining()) {
     return Status::InvalidArgument("batch update count exceeds frame size");
   }
   out->updates.reserve(n);
@@ -143,8 +144,11 @@ Status DecodeBatch(serial::Reader* r, TickBatch* out) {
       uint32_t rows = 0, cols = 0;
       LAHAR_RETURN_NOT_OK(r->U32(&rows));
       LAHAR_RETURN_NOT_OK(r->U32(&cols));
+      // Divide rather than multiply by the element size: `cells * 8` wraps
+      // uint64 for attacker-chosen dims (e.g. rows=2^31, cols=2^30), which
+      // would pass the guard and then throw from a ~2^61-element allocation.
       const uint64_t cells = static_cast<uint64_t>(rows) * cols;
-      if (cells * 8 > r->remaining()) {
+      if (cells > r->remaining() / 8) {
         return Status::InvalidArgument("CPT dims exceed frame size");
       }
       Matrix m(rows, cols, 0.0);

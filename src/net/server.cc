@@ -39,6 +39,16 @@ Server::~Server() { Stop(); }
 Status Server::Start() {
   if (started_) return Status::InvalidArgument("server already started");
 
+  // Every failure below must release whatever fds were already opened
+  // (Stop() won't: started_ is still false on these paths).
+  auto fail = [this](Status s) {
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (wake_rd_ >= 0) ::close(wake_rd_);
+    if (wake_wr_ >= 0) ::close(wake_wr_);
+    listen_fd_ = wake_rd_ = wake_wr_ = -1;
+    return s;
+  };
+
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) return Errno("socket");
   int one = 1;
@@ -48,45 +58,34 @@ Status Server::Start() {
   addr.sin_family = AF_INET;
   addr.sin_port = htons(options_.port);
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::InvalidArgument("bad host address: " + options_.host);
+    return fail(Status::InvalidArgument("bad host address: " + options_.host));
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    Status s = Errno("bind " + options_.host + ":" +
-                     std::to_string(options_.port));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
+    return fail(Errno("bind " + options_.host + ":" +
+                      std::to_string(options_.port)));
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
       0) {
-    Status s = Errno("getsockname");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
+    return fail(Errno("getsockname"));
   }
   port_ = ntohs(addr.sin_port);
   if (::listen(listen_fd_, options_.backlog) < 0) {
-    Status s = Errno("listen");
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return s;
+    return fail(Errno("listen"));
   }
-  LAHAR_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  if (Status s = SetNonBlocking(listen_fd_); !s.ok()) {
+    return fail(std::move(s));
+  }
 
   int pipefd[2];
   if (::pipe(pipefd) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Errno("pipe");
+    return fail(Errno("pipe"));
   }
   wake_rd_ = pipefd[0];
   wake_wr_ = pipefd[1];
-  LAHAR_RETURN_NOT_OK(SetNonBlocking(wake_rd_));
-  LAHAR_RETURN_NOT_OK(SetNonBlocking(wake_wr_));
+  if (Status s = SetNonBlocking(wake_rd_); !s.ok()) return fail(std::move(s));
+  if (Status s = SetNonBlocking(wake_wr_); !s.ok()) return fail(std::move(s));
 
   // The coordinator hands each published snapshot to the server thread and
   // rings the self-pipe; the optional on_tick hook (periodic checkpoints)
@@ -421,9 +420,15 @@ void Server::Dispatch(Connection* c, const Frame& frame) {
         SendError(c, WireError::kRejected, s.ToString());
         return;
       }
-      if (c->subs.erase(id) > 0) {
+      // The query is gone for everyone: drop its subscription from every
+      // connection (the server thread owns them all), not just the
+      // requester's, so the subscription counter can't stay inflated.
+      size_t removed = 0;
+      for (auto& cp : conns_) removed += cp->subs.erase(id);
+      if (removed > 0) {
         std::lock_guard<std::mutex> lock(stats_mu_);
-        --counters_.subscriptions;
+        counters_.subscriptions -=
+            std::min(counters_.subscriptions, removed);
       }
       Enqueue(c, EncodeFrame(MsgType::kOk));
       return;

@@ -147,6 +147,57 @@ TEST(BatchCodecTest, LyingUpdateCountFailsCleanly) {
   EXPECT_FALSE(DecodeBatch(&r, &out).ok());
 }
 
+TEST(BatchCodecTest, OverflowingCptDimsFailCleanly) {
+  // rows=2^31, cols=2^30 gives cells=2^61, and a naive `cells * 8` bound
+  // check wraps uint64 to 0. The decoder must reject the dims instead of
+  // attempting a ~2^61-element Matrix allocation.
+  serial::Writer w;
+  w.U32(1);            // t
+  w.U32(1);            // n
+  w.U32(0);            // stream
+  w.U8(1);             // has_cpt
+  w.DoubleVec({});     // empty marginal
+  w.U32(0x80000000u);  // rows
+  w.U32(0x40000000u);  // cols
+  serial::Reader r(w.str());
+  TickBatch out;
+  EXPECT_FALSE(DecodeBatch(&r, &out).ok());
+}
+
+TEST(BatchCodecTest, OverflowingMarginalLengthFailsCleanly) {
+  // A marginal length prefix of 2^61 wraps a naive `len * 8` byte-count
+  // check to 0; Reader::DoubleVec must reject it before reserving.
+  serial::Writer w;
+  w.U32(1);                  // t
+  w.U32(1);                  // n
+  w.U32(0);                  // stream
+  w.U8(0);                   // has_cpt
+  w.U64(uint64_t{1} << 61);  // marginal length (lie)
+  serial::Reader r(w.str());
+  TickBatch out;
+  EXPECT_FALSE(DecodeBatch(&r, &out).ok());
+}
+
+TEST(BatchCodecTest, ManyEmptyMarginalUpdatesParse) {
+  // Each empty-marginal update is exactly 13 bytes on the wire — the
+  // decoder's minimum — so the count-vs-size guard must not reject a
+  // well-formed batch of them.
+  TickBatch batch;
+  batch.t = 5;
+  for (uint32_t i = 0; i < 64; ++i) {
+    StreamUpdate u;
+    u.stream = i;
+    batch.updates.push_back(u);
+  }
+  serial::Writer w;
+  EncodeBatch(batch, &w);
+  serial::Reader r(w.str());
+  TickBatch out;
+  ASSERT_OK(DecodeBatch(&r, &out));
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(out.updates.size(), 64u);
+}
+
 TEST(ErrorCodecTest, RoundTripAndStatusMapping) {
   serial::Writer w;
   EncodeError(WireError::kQuotaExceeded, "tenant over quota", &w);
@@ -299,6 +350,23 @@ TEST_F(LoopbackTest, TruncatedFrameThenCloseLeavesServerAlive) {
   ASSERT_OK((*client)->SendRaw(frame.substr(0, frame.size() - 1)));
   client->reset();
   ExpectServerAlive();
+}
+
+TEST_F(LoopbackTest, UnregisterSweepsEveryConnectionsSubscription) {
+  auto a = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_OK(a.status());
+  auto b = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_OK(b.status());
+  auto reg = (*a)->RegisterQuery("At('Joe', l : l = 'a')");
+  ASSERT_OK(reg.status());
+  ASSERT_OK((*a)->Subscribe(reg->id));
+  ASSERT_OK((*b)->Subscribe(reg->id));
+  EXPECT_EQ(server_->NetCounters().subscriptions, 2u);
+  // Unregistering the query kills the subscription on BOTH connections,
+  // not just the requester's — the other connection's entry must not
+  // linger in the counter until that client disconnects.
+  ASSERT_OK((*a)->UnregisterQuery(reg->id));
+  EXPECT_EQ(server_->NetCounters().subscriptions, 0u);
 }
 
 TEST_F(LoopbackTest, FuzzedBytesNeverKillTheServer) {
