@@ -143,14 +143,24 @@ int main() {
   std::printf("%-10s", "threads");
   for (size_t t : thread_counts) std::printf(" %8zu thr", t);
   std::printf("\n%-10s", "ticks/s");
-  double base = 0, at4 = 0;
+  double base = 0, at4 = 0, at8 = 0;
   for (size_t i = 0; i < thread_counts.size(); ++i) {
     if (thread_counts[i] == 1) base = row[i];
     if (thread_counts[i] == 4) at4 = row[i];
+    if (thread_counts[i] == 8) at8 = row[i];
     std::printf(" %12.1f", row[i]);
   }
-  std::printf("\nspeedup@4 %8.2fx  (all classes shard, including safe "
-              "grounding groups; see docs/RUNTIME.md)\n",
-              base > 0 ? at4 / base : 0.0);
+  const double efficiency = base > 0 ? at8 / base : 0.0;
+  std::printf("\nspeedup@4 %8.2fx  efficiency@8 %.2fx  (all classes shard, "
+              "including safe grounding groups; see docs/RUNTIME.md)\n",
+              base > 0 ? at4 / base : 0.0, efficiency);
+  // Derived metric on its own record (keyed by bench+mix only), matching
+  // t04's summary line: compare.py --min-metric gates read it, the
+  // per-cell regression pass ignores it.
+  JsonLine()
+      .Add("bench", std::string("t06_mixed_serving_summary"))
+      .Add("mix", std::string("70/20/10"))
+      .Add("scaling_efficiency_8t", efficiency)
+      .Print();
   return 0;
 }

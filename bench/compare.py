@@ -3,6 +3,7 @@
 
 Usage:
     bench/compare.py BASELINE CURRENT [--threshold 0.10] [--metric ticks_per_sec]
+                     [--min-metric NAME:VALUE ...]
 
 Each input file holds one JSON object per line — either raw JSON or the
 `JSON {...}`-prefixed lines the bench binaries print (so a captured stdout
@@ -14,6 +15,14 @@ present in both files the metric is compared; a drop of more than
 --threshold (default 10%) is a regression and the script exits 1. Keys
 present in only one file are reported but not fatal, so adding a new bench
 cell doesn't break the gate.
+
+--min-metric NAME:VALUE adds an absolute floor on top of the relative
+check: every record in CURRENT carrying field NAME must be >= VALUE, and
+at least one such record must exist (a silently-missing metric would
+otherwise pass). Repeatable. Example:
+
+    bench/compare.py base.json current.json \
+        --min-metric scaling_efficiency_8t:3.0
 """
 
 import argparse
@@ -28,13 +37,15 @@ RUN_SIZE_FIELDS = {
     "ticks", "time_ms", "reps", "tick_p99_us",
     "early_tick_us", "late_tick_us", "flatness", "speedup",
     "memo_entries", "memo_evictions", "row_evictions", "row_rebuilds",
-    "pushes",
+    "pushes", "scaling_efficiency_8t", "windows", "barrier_p99_us",
+    "chains",
 }
 
 
 def load(path, metric):
     records = {}
     benches = set()
+    raw = []
     with open(path) as f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
@@ -46,6 +57,7 @@ def load(path, metric):
                 obj = json.loads(line)
             except json.JSONDecodeError as e:
                 raise SystemExit(f"{path}:{line_no}: bad JSON line: {e}")
+            raw.append(obj)
             if "bench" in obj:
                 benches.add(obj["bench"])
             if metric not in obj:
@@ -54,7 +66,38 @@ def load(path, metric):
                 sorted((k, v) for k, v in obj.items()
                        if k != metric and k not in RUN_SIZE_FIELDS))
             records[key] = float(obj[metric])
-    return records, benches
+    return records, benches, raw
+
+
+def parse_min_metric(spec):
+    name, sep, value = spec.rpartition(":")
+    if not sep or not name:
+        raise SystemExit(f"--min-metric wants NAME:VALUE, got '{spec}'")
+    try:
+        return name, float(value)
+    except ValueError:
+        raise SystemExit(f"--min-metric '{spec}': '{value}' is not a number")
+
+
+def check_min_metrics(raw, specs, path):
+    """Absolute floors over the raw records of the current run."""
+    failures = []
+    for name, floor in specs:
+        hits = [obj for obj in raw if name in obj]
+        if not hits:
+            failures.append(f"--min-metric {name}:{floor:g}: no record in "
+                            f"{path} carries '{name}'")
+            continue
+        for obj in hits:
+            got = float(obj[name])
+            ident = " ".join(f"{k}={v}" for k, v in sorted(obj.items())
+                             if k != name)
+            if got < floor:
+                failures.append(f"--min-metric {name}:{floor:g}: got "
+                                f"{got:g} ({ident})")
+            else:
+                print(f"[floor-ok] {name}={got:g} >= {floor:g} ({ident})")
+    return failures
 
 
 def describe(key):
@@ -70,6 +113,11 @@ def main():
                         help="fatal fractional drop (default 0.10 = 10%%)")
     parser.add_argument("--metric", default="ticks_per_sec",
                         help="JSON field to compare (higher is better)")
+    parser.add_argument("--min-metric", action="append", default=[],
+                        metavar="NAME:VALUE", dest="min_metric",
+                        help="absolute floor: every CURRENT record with "
+                             "field NAME must be >= VALUE, and at least one "
+                             "must exist (repeatable)")
     parser.add_argument("--require", action="append", default=[],
                         metavar="BENCH",
                         help="bench name that must appear in BOTH files; "
@@ -78,8 +126,8 @@ def main():
                              "(repeatable)")
     args = parser.parse_args()
 
-    base, base_benches = load(args.baseline, args.metric)
-    cur, cur_benches = load(args.current, args.metric)
+    base, base_benches, _ = load(args.baseline, args.metric)
+    cur, cur_benches, cur_raw = load(args.current, args.metric)
     if not base:
         raise SystemExit(f"{args.baseline}: no records with '{args.metric}'")
     if not cur:
@@ -98,6 +146,9 @@ def main():
     if missing:
         raise SystemExit("\n".join(missing))
 
+    floor_failures = check_min_metrics(
+        cur_raw, [parse_min_metric(s) for s in args.min_metric], args.current)
+
     regressions = []
     for key in sorted(base):
         if key not in cur:
@@ -114,12 +165,19 @@ def main():
     for key in sorted(set(cur) - set(base)):
         print(f"[only-current] {describe(key)}")
 
+    failed = False
     if regressions:
         print(f"\n{len(regressions)} regression(s) beyond "
               f"{args.threshold:.0%} on {args.metric}", file=sys.stderr)
-        return 1
-    print(f"\nno regressions beyond {args.threshold:.0%} on {args.metric}")
-    return 0
+        failed = True
+    else:
+        print(f"\nno regressions beyond {args.threshold:.0%} "
+              f"on {args.metric}")
+    if floor_failures:
+        for f in floor_failures:
+            print(f, file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -27,8 +27,14 @@ struct WorldIndex {
     for (StreamId s = 0; s < db.num_streams(); ++s) {
       const Stream& stream = db.stream(s);
       const EventSchema* schema = db.FindSchema(stream.type());
-      for (Timestamp t = 1; t <= stream.horizon(); ++t) {
-        DomainIndex d = world.values[s][t];
+      // The world may be a strict prefix of the archive (the incremental
+      // sampler extends trajectories only through the tick it is stepping);
+      // timesteps it has not sampled yet hold no events.
+      const std::vector<DomainIndex>& traj = world.values[s];
+      const Timestamp limit = std::min<Timestamp>(
+          stream.horizon(), traj.empty() ? 0 : traj.size() - 1);
+      for (Timestamp t = 1; t <= limit; ++t) {
+        DomainIndex d = traj[t];
         if (d == kBottom) continue;
         idx.at[t].push_back({stream.type(), &stream.key(), &stream.TupleOf(d),
                              schema->num_key_attrs});

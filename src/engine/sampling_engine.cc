@@ -136,9 +136,14 @@ void SamplingEngine::StepNfaSample(size_t i, Timestamp next,
 }
 
 Status SamplingEngine::StepWorldSample(size_t i, Timestamp next) {
-  // Extend the sample's world prefix to every stream's live horizon,
-  // forward-sampling exactly as Stream::SampleTrajectory does, then
-  // re-evaluate the reference semantics on the (deterministic) prefix.
+  // Extend the sample's world prefix through `next` — and no further, even
+  // when streams already hold later timesteps (the windowed executor
+  // applies batches ahead of execution). Capping at `next` fixes the RNG
+  // consumption order to one draw per (sample, stream, tick) in tick
+  // order, so estimates are bit-identical no matter how far ingestion has
+  // run ahead of the tick being executed. Forward-samples exactly as
+  // Stream::SampleTrajectory does, then re-evaluates the reference
+  // semantics on the (deterministic) prefix.
   World& w = worlds_[i];
   Rng& rng = sample_rngs_[i];
   if (w.values.size() < db_->num_streams()) {
@@ -146,10 +151,11 @@ Status SamplingEngine::StepWorldSample(size_t i, Timestamp next) {
   }
   for (StreamId s = 0; s < db_->num_streams(); ++s) {
     const Stream& stream = db_->stream(s);
+    const Timestamp limit = std::min<Timestamp>(stream.horizon(), next);
     std::vector<DomainIndex>& traj = w.values[s];
     if (traj.empty()) traj.push_back(kBottom);  // index 0 unused
     for (Timestamp t = static_cast<Timestamp>(traj.size());
-         t <= stream.horizon(); ++t) {
+         t <= limit; ++t) {
       if (stream.markovian() && t > 1) {
         const Matrix& cpt = stream.CptAt(t - 1);
         const double* r = cpt.Row(traj[t - 1]);

@@ -12,11 +12,20 @@
 //   Unsafe           SamplingSession      O(T * |W|)      (eps, delta)
 //
 // The protocol has two forms. Advance() consumes one timestep and returns
-// P[q@t] at the new time. The split AdvanceShard(begin, end) /
-// CommitAdvance() form is what the sharded executor speaks: disjoint unit
-// ranges of one session may be stepped on different threads while the
-// database is quiescent, and the commit (single-threaded, in registration
-// order) combines them bit-identically to a plain Advance().
+// P[q@t] at the new time. The split PrepareAdvance() / AdvanceShard(begin,
+// end) / CommitAdvance() form is what the sharded executor speaks: per
+// session and per tick, one prepare, then disjoint unit ranges stepped
+// (possibly on different threads) while the database is quiescent, then one
+// commit that combines them bit-identically to a plain Advance().
+//
+// The phases are per-SESSION, not global: the windowed executor
+// (runtime/executor.h) runs different sessions' phases concurrently and
+// out of lockstep — one worker may drive its sessions through W ticks of
+// prepare/step/commit back to back while another is still on the window's
+// first tick. A session only has to be consistent with its own protocol
+// order; it must not assume all sessions sit at the same tick while a
+// window is in flight (all of them do again by the time the window's
+// results are published).
 #ifndef LAHAR_ENGINE_SESSION_H_
 #define LAHAR_ENGINE_SESSION_H_
 
@@ -54,16 +63,21 @@ class QuerySession {
   /// Total per-tick cost estimate: sum of UnitCost over all units.
   size_t StepCost() const;
 
-  /// Single-threaded preparation before the tick's shard fan-out: sessions
-  /// refresh state shared across units here (e.g. the sampling engine's
-  /// symbol tables after a stream interned new domain values). The executor
-  /// calls it once per tick before the first AdvanceShard; errors latch
-  /// inside the session and surface at CommitAdvance. Default: no-op.
+  /// Single-threaded (per session) preparation before the tick's shard
+  /// fan-out: sessions refresh state shared across units here (e.g. the
+  /// sampling engine's symbol tables after a stream interned new domain
+  /// values). The executor calls it exactly once per tick of this session,
+  /// before the tick's first AdvanceShard — under windowed execution that
+  /// is W times back to back, interleaved only with this session's own
+  /// steps and commits. Errors latch inside the session and surface at
+  /// CommitAdvance. Default: no-op.
   virtual void PrepareAdvance() {}
 
   /// Advances only the units in [begin, end) to time()+1. Disjoint ranges
-  /// may run on different threads; the database must be quiescent and
-  /// CommitAdvance must not be called while any range is in flight.
+  /// of this session may run on different threads; the database must be
+  /// quiescent and this session's CommitAdvance must not be called while
+  /// any of its ranges is in flight. Other sessions advance independently
+  /// and may be at different ticks of the same window.
   virtual void AdvanceShard(size_t begin, size_t end) = 0;
 
   /// Completes a split advance once every unit range has been stepped:

@@ -98,12 +98,17 @@ Status Server::Start() {
   channel_->wake_wr = wake_wr_;
   runtime_->SetTickCallback(
       [channel = channel_, on_tick = options_.on_tick](const TickResult& r) {
-        // Copy the snapshot: the coordinator may complete several ticks
-        // per loop, and Latest() only points at the newest one.
+        // Copy the snapshot: the coordinator publishes a whole window of
+        // ticks back to back, and Latest() only points at the newest one.
         {
           std::lock_guard<std::mutex> lock(channel->mu);
+          const bool was_empty = channel->snapshots.empty();
           channel->snapshots.push_back(std::make_shared<TickResult>(r));
-          if (channel->wake_wr >= 0) {
+          // Ring the self-pipe only on the empty->non-empty edge: the
+          // server loop drains the whole deque per wake, so one byte
+          // covers every tick of a window instead of W pipe writes per
+          // window (the pipe would also fill at high tick rates).
+          if (was_empty && channel->wake_wr >= 0) {
             char b = 1;
             [[maybe_unused]] ssize_t n = ::write(channel->wake_wr, &b, 1);
           }

@@ -10,14 +10,30 @@ namespace lahar {
 
 Result<std::string> StreamRuntime::Checkpoint() const {
   // The state mutex serializes against the coordinator: a checkpoint taken
-  // while running lands between ticks, seeing a database and session pool
+  // while running lands between windows, seeing a database and session pool
   // that are exactly at tick_.
   std::lock_guard<std::mutex> lock(state_mu_);
+  // A checkpoint taken from *inside* the tick callback is special under
+  // windowed execution: the callback for tick t fires after t's whole
+  // window ran, so the sessions may already sit several ticks past t. The
+  // snapshot must still be "as of t" (that is the contract the caller's
+  // trigger logic sees), so it records tick = t and skips direct session
+  // state — restore rebuilds every session by replaying the archived
+  // prefix to t, which is bit-identical to having saved at t. The archive
+  // itself is saved in full, so the restored runtime re-executes the ticks
+  // past t from its own database. Only the coordinator thread can be
+  // inside a callback, which is why the thread-id check gates the
+  // (unsynchronized, coordinator-only) callback_tick_ read.
+  const bool mid_window = coordinator_.joinable() &&
+                          std::this_thread::get_id() ==
+                              coordinator_.get_id() &&
+                          callback_tick_ != tick_;
+  const Timestamp snap_tick = mid_window ? callback_tick_ : tick_;
   serial::Writer w;
   w.U32(kCheckpointMagic);
   w.U32(kCheckpointVersion);
   LAHAR_RETURN_NOT_OK(db_->SaveTo(&w));
-  w.U32(tick_);
+  w.U32(snap_tick);
   std::vector<StreamId> ended;
   for (StreamId id = 0; id < db_->num_streams(); ++id) {
     if (watermark_.ended(id)) ended.push_back(id);
@@ -28,7 +44,7 @@ Result<std::string> StreamRuntime::Checkpoint() const {
   for (const auto& q : registry_.queries()) {
     w.U64(q->id);
     w.Str(q->text);
-    if (q->session->SupportsStateRestore()) {
+    if (!mid_window && q->session->SupportsStateRestore()) {
       serial::Writer state;
       LAHAR_RETURN_NOT_OK(q->session->SaveState(&state));
       w.U8(1);

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <numeric>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace lahar {
 namespace {
@@ -11,6 +17,51 @@ uint64_t NowNs() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// A split session spends its per-tick waits here: a short pause-spin for
+// the common a-few-hundred-ns gap, then yields so an oversubscribed (or
+// single-core) machine makes progress instead of burning the quantum.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+inline void SpinWaitAtLeast(const std::atomic<uint32_t>& v, uint32_t target) {
+  for (int spins = 0; v.load(std::memory_order_acquire) < target; ++spins) {
+    if (spins < 64) {
+      CpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+// Log2-ish histogram bucket for a window size W >= 1 (see executor.h).
+size_t WindowBucket(size_t w) {
+  size_t b = 0;
+  while (w > 1 && b < 7) {
+    w = (w + 1) / 2;
+    ++b;
+  }
+  return b;
+}
+
+void PinToCore(std::thread& t, size_t core) {
+#ifdef __linux__
+  const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(core % ncpu), &set);
+  // Best effort: a restricted cpuset just leaves the thread unpinned.
+  (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)core;
+#endif
 }
 
 }  // namespace
@@ -28,6 +79,7 @@ StreamRuntime::StreamRuntime(EventDatabase* db, RuntimeOptions options)
       num_threads_(options.num_threads != 0
                        ? options.num_threads
                        : std::max(1u, std::thread::hardware_concurrency())),
+      window_cap_(std::max<size_t>(1, options.max_window_ticks)),
       queue_(options.queue_capacity),
       registry_(db, options.session),
       reorder_(options.reorder_window) {
@@ -36,10 +88,12 @@ StreamRuntime::StreamRuntime(EventDatabase* db, RuntimeOptions options)
   for (StreamId id = 0; id < db_->num_streams(); ++id) {
     watermark_.Track(id, db_->stream(id).horizon());
   }
-  // Counter slot 0 doubles as the inline path's: with one thread the
-  // coordinator steps the work itself but its ticks/chains still count.
-  shard_counters_.resize(num_threads_ > 1 ? num_threads_ : 1);
-  shard_work_.resize(num_threads_ > 1 ? num_threads_ : 1);
+  // Slot 0 doubles as the inline path's: with one thread the coordinator
+  // runs the window itself but its ticks/chains still count.
+  const size_t nshards = num_threads_ > 1 ? num_threads_ : 1;
+  shard_counters_.resize(nshards);
+  shard_plan_.resize(nshards);
+  shard_scratch_ = std::vector<ShardScratch>(nshards);
 }
 
 StreamRuntime::~StreamRuntime() { Stop(); }
@@ -69,8 +123,13 @@ bool StreamRuntime::HasQuery(QueryId id) const {
 }
 
 void StreamRuntime::MarkStreamEnded(StreamId id) {
-  std::lock_guard<std::mutex> lock(state_mu_);
-  watermark_.MarkEnded(id);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    watermark_.MarkEnded(id);
+  }
+  // The watermark may have advanced past ticks the ended stream was
+  // gating; kick the coordinator out of its queue wait to re-check.
+  queue_.Wake();
 }
 
 void StreamRuntime::SetTickCallback(
@@ -85,32 +144,35 @@ void StreamRuntime::Start() {
   if (num_threads_ > 1) {
     for (size_t i = 0; i < num_threads_; ++i) {
       shards_.emplace_back([this, i] { ShardLoop(i); });
+      if (options_.pin_threads) PinToCore(shards_.back(), i);
     }
   }
   coordinator_ = std::thread([this] { CoordinatorLoop(); });
+  // First-pass kick: a restored runtime can hold archived ticks past its
+  // checkpoint tick (mid-window checkpoints save the full archive); run
+  // them now instead of waiting for the first push.
+  queue_.Wake();
 }
 
 void StreamRuntime::Stop() {
-  if (!started_.load() || stop_.exchange(true)) {
-    // Either never started or already stopping; still join if needed.
-    if (coordinator_.joinable()) coordinator_.join();
-    for (std::thread& t : shards_) {
-      if (t.joinable()) t.join();
-    }
-    running_.store(false);
-    return;
-  }
-  queue_.Close();
+  queue_.Close();  // wakes a coordinator parked in DrainWait
+  stop_.store(true);
   if (coordinator_.joinable()) coordinator_.join();
   {
     std::lock_guard<std::mutex> lock(work_mu_);
-    shard_stop_ = true;
+    shard_stop_.store(true);
   }
   work_cv_.notify_all();
   for (std::thread& t : shards_) {
     if (t.joinable()) t.join();
   }
-  running_.store(false);
+  // Storing the flag under tick_mu_ closes the WaitForTick race: a waiter
+  // between its predicate check and its sleep cannot miss the wake and
+  // sleep out its full timeout against a stopped runtime.
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    running_.store(false);
+  }
   tick_cv_.notify_all();
 }
 
@@ -153,6 +215,13 @@ RuntimeStats StreamRuntime::Stats() const {
     out.reorder_late_dropped = reorder_.late_dropped();
     out.reorder_merged = reorder_.merged();
     out.tick_latency = tick_latency_.Summarize();
+    out.windows_executed = windows_executed_;
+    out.max_window_ticks = window_cap_;
+    out.window_size_hist.assign(window_size_hist_.begin(),
+                                window_size_hist_.end());
+    out.steals = steals_;
+    out.rebalances = rebalances_;
+    out.barrier_wait = barrier_wait_.Summarize();
     size_t class_counts[4] = {0, 0, 0, 0};
     for (const auto& q : registry_.queries()) {
       QueryStats qs;
@@ -208,142 +277,345 @@ RuntimeStats StreamRuntime::Stats() const {
   return out;
 }
 
-void StreamRuntime::RebuildPartitions() {
-  const size_t num_shards = shard_work_.size();
-  for (auto& w : shard_work_) w.clear();
-  if (registry_.total_chains() == 0 || num_shards == 0) {
-    work_version_ = registry_.version();
-    return;
+void StreamRuntime::RebuildPlan(bool measured) {
+  const size_t nshards = shard_plan_.size();
+  for (ShardPlan& p : shard_plan_) {
+    p.shared.clear();
+    p.owned.clear();
   }
-  // Deterministic cost-weighted greedy fill: walk queries in registration
-  // order, weighting each unit by its session's per-step cost estimate
-  // (UnitCost: flat-state size for compiled chains, live map size on the
-  // map path, per-grounding-group cost for a safe plan) so a shard holding a few
-  // heavy units balances against one holding many light ones. Costs drift
-  // as map-path chains grow, but partitions are only rebuilt on registry
-  // changes — the estimate is a snapshot, not a bound.
-  uint64_t total_cost = 0;
-  for (const auto& q : registry_.queries()) {
-    total_cost += q->session->StepCost();
-  }
-  const uint64_t quota = (total_cost + num_shards - 1) / num_shards;
-  size_t shard = 0;
-  uint64_t filled = 0;
-  for (const auto& q : registry_.queries()) {
-    const size_t n = q->session->num_units();
-    size_t begin = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (filled >= quota && shard + 1 < num_shards) {
-        if (i > begin) {
-          shard_work_[shard].push_back(WorkItem{q.get(), begin, i});
-          begin = i;
-        }
-        ++shard;
-        filled = 0;
-      }
-      filled += q->session->UnitCost(i);
-    }
-    if (begin < n) {
-      shard_work_[shard].push_back(WorkItem{q.get(), begin, n});
-    }
+  shared_groups_.clear();
+  const size_t nq = registry_.size();
+  // The window buffer follows the registry: one column per query, one row
+  // per possible window tick.
+  window_entries_.resize(window_cap_);
+  for (auto& row : window_entries_) {
+    row.resize(nq);
   }
   work_version_ = registry_.version();
+  if (nq == 0) return;
+
+  // Cost model: static UnitCost estimates on registry-change rebuilds
+  // (deterministic before anything has run), measured per-tick nanoseconds
+  // on drift rebalances (every session has committed at least one window
+  // by then, so every cost is a real measurement).
+  struct Item {
+    StandingQuery* q;
+    size_t index;
+    uint64_t cost;
+  };
+  std::vector<Item> items;
+  items.reserve(nq);
+  uint64_t total_cost = 0;
+  {
+    size_t index = 0;
+    for (const auto& q : registry_.queries()) {
+      uint64_t cost = measured ? q->measured_ns : q->session->StepCost();
+      if (cost == 0) cost = 1;
+      items.push_back(Item{q.get(), index++, cost});
+      total_cost += cost;
+    }
+  }
+  // Longest-processing-time greedy: heaviest first onto the lightest
+  // shard. Ties break on registry order / lowest shard, so static rebuilds
+  // are deterministic.
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.cost > b.cost; });
+  std::vector<uint64_t> load(nshards, 0);
+  const uint64_t quota = (total_cost + nshards - 1) / nshards;
+  auto lightest = [&](size_t skip_used, const std::vector<size_t>& used) {
+    size_t best = SIZE_MAX;
+    for (size_t s = 0; s < nshards; ++s) {
+      if (skip_used &&
+          std::find(used.begin(), used.end(), s) != used.end()) {
+        continue;
+      }
+      if (best == SIZE_MAX || load[s] < load[best]) best = s;
+    }
+    return best;
+  };
+  const std::vector<size_t> kNone;
+  for (const Item& item : items) {
+    const size_t nunits = item.q->session->num_units();
+    // A session heavier than ~1.5x the per-shard quota cannot be balanced
+    // whole; split its unit range across (up to) as many workers as its
+    // cost spans quotas. The ranges must land on distinct shards — two
+    // ranges of one group on one worker would wait on themselves.
+    const bool split = nshards > 1 && nunits >= 2 &&
+                       item.cost > quota + quota / 2;
+    if (!split) {
+      const size_t s = lightest(false, kNone);
+      shard_plan_[s].owned.push_back(OwnedItem{item.q, item.index});
+      load[s] += item.cost;
+      if (measured && item.q->home_shard != s) ++steals_;
+      item.q->home_shard = s;
+      continue;
+    }
+    size_t nranges = std::min<uint64_t>(
+        nshards, (item.cost + quota - 1) / std::max<uint64_t>(1, quota));
+    nranges = std::min(nranges, nunits);
+    if (nranges < 2) {
+      const size_t s = lightest(false, kNone);
+      shard_plan_[s].owned.push_back(OwnedItem{item.q, item.index});
+      load[s] += item.cost;
+      if (measured && item.q->home_shard != s) ++steals_;
+      item.q->home_shard = s;
+      continue;
+    }
+    // Contiguous unit ranges balanced by UnitCost (measured cost is
+    // per-session; the per-unit proportions still come from the static
+    // estimate).
+    uint64_t unit_total = 0;
+    for (size_t i = 0; i < nunits; ++i) unit_total += item.q->session->UnitCost(i);
+    const uint64_t range_quota =
+        std::max<uint64_t>(1, (unit_total + nranges - 1) / nranges);
+    shared_groups_.emplace_back();
+    SharedGroup& g = shared_groups_.back();
+    g.query = item.q;
+    g.index = item.index;
+    std::vector<std::pair<size_t, size_t>> ranges;  // [begin, end)
+    size_t begin = 0;
+    uint64_t filled = 0;
+    for (size_t i = 0; i < nunits; ++i) {
+      if (filled >= range_quota && ranges.size() + 1 < nranges && i > begin) {
+        ranges.emplace_back(begin, i);
+        begin = i;
+        filled = 0;
+      }
+      filled += item.q->session->UnitCost(i);
+    }
+    ranges.emplace_back(begin, nunits);
+    g.nranges = static_cast<uint32_t>(ranges.size());
+    std::vector<size_t> used;
+    for (const auto& [b, e] : ranges) {
+      const size_t s = lightest(true, used);
+      used.push_back(s);
+      shard_plan_[s].shared.push_back(SharedRange{&g, b, e});
+      // Charge the shard this range's share of the session cost.
+      uint64_t range_cost = 0;
+      for (size_t i = b; i < e; ++i) range_cost += item.q->session->UnitCost(i);
+      load[s] += unit_total > 0
+                     ? item.cost * range_cost / unit_total
+                     : item.cost / ranges.size();
+    }
+    if (measured && item.q->home_shard != used[0]) ++steals_;
+    item.q->home_shard = used[0];
+  }
+  // Every worker visits split sessions in the same global order (see
+  // ShardPlan in executor.h).
+  for (ShardPlan& p : shard_plan_) {
+    std::sort(p.shared.begin(), p.shared.end(),
+              [](const SharedRange& a, const SharedRange& b) {
+                return a.group->index < b.group->index;
+              });
+  }
 }
 
-std::shared_ptr<const TickResult> StreamRuntime::RunTick() {
-  const uint64_t t0 = NowNs();
-  if (work_version_ != registry_.version()) RebuildPartitions();
+void StreamRuntime::RunWindowShard(size_t shard) {
+  const size_t W = window_size_;
+  ShardPlan& plan = shard_plan_[shard];
+  ShardScratch& scratch = shard_scratch_[shard];
+  scratch.chains = 0;
+  const uint64_t w0 = NowNs();
+  // Split sessions first, in global group order (deadlock freedom: when a
+  // worker reaches group g, every group it holds with a smaller index is
+  // done, so the participants of the smallest unfinished group are all
+  // either at it or unblocked on their way to it).
+  for (const SharedRange& r : plan.shared) {
+    SharedGroup* g = r.group;
+    QuerySession* session = g->query->session.get();
+    for (uint32_t k = 1; k <= W; ++k) {
+      SpinWaitAtLeast(g->ready_tick, k);
+      const uint64_t a0 = NowNs();
+      session->AdvanceShard(r.begin, r.end);
+      scratch.chains += r.end - r.begin;
+      WindowEntry& e = window_entries_[k - 1][g->index];
+      e.ns.fetch_add(NowNs() - a0, std::memory_order_relaxed);
+      if (g->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last range in: this thread owns the session until it reopens the
+        // group, so committing here is the same single-threaded commit the
+        // sequential path runs.
+        const uint64_t c0 = NowNs();
+        Result<double> p = session->CommitAdvance();
+        if (p.ok()) {
+          e.prob = *p;
+          e.ok = true;
+        } else {
+          e.error = p.status();
+        }
+        if (k < W) session->PrepareAdvance();
+        e.ns.fetch_add(NowNs() - c0, std::memory_order_relaxed);
+        g->remaining.store(g->nranges, std::memory_order_relaxed);
+        g->ready_tick.store(k + 1, std::memory_order_release);
+      }
+    }
+  }
+  // Owned sessions: the whole window with zero synchronization. Each tick
+  // is exactly the sequential Advance() protocol, so W ticks here are
+  // bit-identical to W per-tick barriers.
+  for (const OwnedItem& o : plan.owned) {
+    QuerySession* session = o.query->session.get();
+    const size_t n = session->num_units();
+    for (size_t k = 0; k < W; ++k) {
+      const uint64_t a0 = NowNs();
+      session->PrepareAdvance();
+      if (n > 0) session->AdvanceShard(0, n);
+      Result<double> p = session->CommitAdvance();
+      WindowEntry& e = window_entries_[k][o.index];
+      if (p.ok()) {
+        e.prob = *p;
+        e.ok = true;
+      } else {
+        e.error = p.status();
+      }
+      e.ns.store(NowNs() - a0, std::memory_order_relaxed);
+      scratch.chains += n;
+    }
+  }
+  scratch.busy_ns = NowNs() - w0;
+}
 
-  // Single-threaded prepare phase: sessions refresh state shared across
-  // their units (e.g. sampling symbol tables after mid-stream domain
-  // growth) before any shard touches them. Errors latch inside the session
-  // and surface at CommitAdvance below.
-  for (const auto& q : registry_.queries()) q->session->PrepareAdvance();
+void StreamRuntime::RunWindow(
+    size_t window, std::vector<std::shared_ptr<const TickResult>>* out) {
+  const uint64_t t0 = NowNs();
+  if (work_version_ != registry_.version()) RebuildPlan(/*measured=*/false);
+  const size_t W = window_size_ = window;
+  const size_t nq = registry_.size();
+  for (size_t k = 0; k < W; ++k) {
+    for (WindowEntry& e : window_entries_[k]) {
+      e.ok = false;
+      e.error = Status::OK();
+      e.ns.store(0, std::memory_order_relaxed);
+    }
+  }
+  // Arm split sessions: run their first PrepareAdvance here (no range may
+  // be in flight — none is) and open tick 1.
+  for (SharedGroup& g : shared_groups_) {
+    g.remaining.store(g.nranges, std::memory_order_relaxed);
+    g.query->session->PrepareAdvance();
+    g.ready_tick.store(1, std::memory_order_release);
+  }
 
   if (num_threads_ > 1) {
-    // Fan the chain ranges out to the shard pool and wait for the barrier.
+    for (ShardScratch& s : shard_scratch_) {
+      s.chains = 0;
+      s.busy_ns = 0;
+    }
+    shards_running_.store(num_threads_, std::memory_order_relaxed);
     {
+      // The epoch bump is the work publication: everything written above
+      // happens-before the workers' wake-up through work_mu_.
       std::lock_guard<std::mutex> lock(work_mu_);
-      ++work_generation_;
-      pending_shards_ = num_threads_;
+      epoch_.fetch_add(1, std::memory_order_release);
     }
     work_cv_.notify_all();
+    const uint64_t b0 = NowNs();
     {
       std::unique_lock<std::mutex> lock(work_mu_);
-      done_cv_.wait(lock, [&] { return pending_shards_ == 0; });
+      done_cv_.wait(lock, [&] {
+        return shards_running_.load(std::memory_order_acquire) == 0;
+      });
     }
+    barrier_wait_.Record(NowNs() - b0);
   } else {
-    const uint64_t s0 = NowNs();
-    uint64_t chains = 0;
-    for (const WorkItem& w : shard_work_[0]) {
-      const uint64_t q0 = NowNs();
-      w.query->session->AdvanceShard(w.begin, w.end);
-      w.query->tick_ns.fetch_add(NowNs() - q0, std::memory_order_relaxed);
-      chains += w.end - w.begin;
-    }
-    // The inline path is still "shard 0" for observability: without this,
-    // single-threaded runs report no ShardStats and chains_stepped is lost.
-    {
-      std::lock_guard<std::mutex> lock(work_mu_);
-      ShardCounters& c = shard_counters_[0];
-      ++c.ticks;
-      c.chains += chains;
-      c.latency.Record(NowNs() - s0);
-    }
+    RunWindowShard(0);
   }
+  const uint64_t window_ns = NowNs() - t0;
 
-  ++tick_;
-  ++ticks_processed_;
-  auto snapshot = std::make_shared<TickResult>();
-  snapshot->t = tick_;
-  snapshot->probs.reserve(registry_.size());
-  for (const auto& q : registry_.queries()) {
-    // Commit in registration order: the combine is bit-identical to a
-    // sequential Advance() on each session.
-    const uint64_t c0 = NowNs();
-    Result<double> p = q->session->CommitAdvance();
-    uint64_t ns =
-        q->tick_ns.exchange(0, std::memory_order_relaxed) + (NowNs() - c0);
-    q->advance_latency.Record(ns);
-    class_latency_[static_cast<size_t>(q->query_class)].Record(ns);
-    ++q->ticks;
-    if (p.ok()) {
-      snapshot->probs.emplace_back(q->id, *p);
-    } else {
-      // An erroring query is omitted from the snapshot but stays registered
-      // (its session keeps consuming ticks); the failure is visible through
-      // Stats until the caller unregisters it.
-      ++q->errors;
-      q->last_error = p.status();
-    }
-  }
-  tick_latency_.Record(NowNs() - t0);
-
+  // Merge worker scratch into the long-lived shard counters (Stats() reads
+  // them under work_mu_).
   {
-    std::lock_guard<std::mutex> lock(tick_mu_);
-    published_tick_ = tick_;
-    latest_ = snapshot;
+    std::lock_guard<std::mutex> lock(work_mu_);
+    for (size_t s = 0; s < shard_counters_.size(); ++s) {
+      ShardCounters& c = shard_counters_[s];
+      c.ticks += W;
+      c.chains += shard_scratch_[s].chains;
+      const uint64_t per_tick = shard_scratch_[s].busy_ns / W;
+      for (size_t k = 0; k < W; ++k) c.latency.Record(per_tick);
+    }
   }
-  tick_cv_.notify_all();
-  return snapshot;
+
+  // Harvest the window buffer: publish one immutable TickResult per tick,
+  // in order, and fold the per-(tick, query) timings into the recorders.
+  const auto& queries = registry_.queries();
+  for (size_t k = 0; k < W; ++k) {
+    ++tick_;
+    ++ticks_processed_;
+    auto snapshot = std::make_shared<TickResult>();
+    snapshot->t = tick_;
+    snapshot->probs.reserve(nq);
+    for (size_t i = 0; i < nq; ++i) {
+      StandingQuery* q = queries[i].get();
+      WindowEntry& e = window_entries_[k][i];
+      const uint64_t ns = e.ns.load(std::memory_order_relaxed);
+      q->advance_latency.Record(ns);
+      class_latency_[static_cast<size_t>(q->query_class)].Record(ns);
+      ++q->ticks;
+      // Half-life-one EWMA of the per-tick cost, for drift rebalances.
+      q->measured_ns = q->measured_ns > 0 ? (q->measured_ns + ns) / 2 : ns;
+      if (e.ok) {
+        snapshot->probs.emplace_back(q->id, e.prob);
+      } else {
+        // An erroring query is omitted from the snapshot but stays
+        // registered (its session keeps consuming ticks); the failure is
+        // visible through Stats until the caller unregisters it.
+        ++q->errors;
+        q->last_error = e.error;
+      }
+    }
+    tick_latency_.Record(window_ns / W);
+    {
+      std::lock_guard<std::mutex> lock(tick_mu_);
+      published_tick_ = tick_;
+      latest_ = snapshot;
+    }
+    tick_cv_.notify_all();
+    out->push_back(std::move(snapshot));
+  }
+
+  ++windows_executed_;
+  ++window_size_hist_[WindowBucket(W)];
+
+  // Drift check: when one worker's measured window cost runs >2x the mean,
+  // the static estimates have gone stale — rebuild the plan from measured
+  // per-session costs. The cooldown and the absolute floor keep noise on
+  // near-empty windows from thrashing the plan.
+  if (num_threads_ > 1 && nq > 1 &&
+      windows_executed_ >= last_rebalance_window_ + 4) {
+    uint64_t sum = 0, max_busy = 0;
+    for (const ShardScratch& s : shard_scratch_) {
+      sum += s.busy_ns;
+      max_busy = std::max(max_busy, s.busy_ns);
+    }
+    const uint64_t mean = sum / shard_scratch_.size();
+    if (sum > 100'000 && mean > 0 && max_busy > 2 * mean) {
+      RebuildPlan(/*measured=*/true);
+      ++rebalances_;
+      last_rebalance_window_ = windows_executed_;
+    }
+  }
 }
 
 void StreamRuntime::CoordinatorLoop() {
+  std::vector<TickBatch> drained;
   std::vector<std::shared_ptr<const TickResult>> completed;
   while (true) {
-    std::optional<TickBatch> batch = queue_.PopWait(options_.poll_interval);
+    drained.clear();
+    // Blocks until producers push, the queue closes, or an external state
+    // change (MarkStreamEnded) kicks us — no polling interval, no idle
+    // wakeups.
+    queue_.DrainWait(&drained);
     completed.clear();
     {
       std::lock_guard<std::mutex> lock(state_mu_);
-      if (batch.has_value()) {
+      for (TickBatch& batch : drained) {
         // Route through the reorder stage: due updates apply now (as one
         // transaction), ahead-of-time ones are buffered, stale ones are
         // benign duplicates. A rejected batch (out of window, unknown
         // stream, or failed validation) changes nothing — the producer can
         // retry it once the gap is filled.
-        const Timestamp t = batch->t;
+        const Timestamp t = batch.t;
         std::vector<StreamUpdate> due;
-        Status s = reorder_.Offer(*db_, *std::move(batch), &due);
+        Status s = reorder_.Offer(*db_, std::move(batch), &due);
         if (s.ok() && !due.empty()) {
           s = ApplyBatch(db_, TickBatch{t, std::move(due)}, &watermark_);
         }
@@ -366,10 +638,15 @@ void StreamRuntime::CoordinatorLoop() {
           }
         }
       }
+      // Execute everything the watermark covers, max_window_ticks at a
+      // time. Draining the queue first is what makes windows wide: a burst
+      // of B covered ticks costs ceil(B / W) barriers instead of B.
       while (true) {
-        Timestamp safe = watermark_.Safe();
+        const Timestamp safe = watermark_.Safe();
         if (safe == Watermark::kUnbounded || safe <= tick_) break;
-        completed.push_back(RunTick());
+        const size_t window =
+            std::min<size_t>(safe - tick_, window_cap_);
+        RunWindow(window, &completed);
       }
     }
     std::function<void(const TickResult&)> cb;
@@ -378,12 +655,18 @@ void StreamRuntime::CoordinatorLoop() {
       cb = tick_callback_;
     }
     if (cb) {
-      for (const auto& snap : completed) cb(*snap);
+      for (const auto& snap : completed) {
+        callback_tick_ = snap->t;
+        cb(*snap);
+      }
     }
     if (stop_.load()) break;
     if (queue_.closed() && queue_.size() == 0) break;  // drained; all ticks ran
   }
-  running_.store(false);
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    running_.store(false);
+  }
   tick_cv_.notify_all();
 }
 
@@ -392,26 +675,22 @@ void StreamRuntime::ShardLoop(size_t shard) {
   while (true) {
     {
       std::unique_lock<std::mutex> lock(work_mu_);
-      work_cv_.wait(lock,
-                    [&] { return work_generation_ != seen || shard_stop_; });
-      if (shard_stop_) return;
-      seen = work_generation_;
+      work_cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_relaxed) != seen ||
+               shard_stop_.load(std::memory_order_relaxed);
+      });
+      if (shard_stop_.load(std::memory_order_relaxed)) return;
+      seen = epoch_.load(std::memory_order_acquire);
     }
-    const uint64_t t0 = NowNs();
-    uint64_t chains = 0;
-    for (const WorkItem& w : shard_work_[shard]) {
-      const uint64_t q0 = NowNs();
-      w.query->session->AdvanceShard(w.begin, w.end);
-      w.query->tick_ns.fetch_add(NowNs() - q0, std::memory_order_relaxed);
-      chains += w.end - w.begin;
-    }
-    {
-      std::lock_guard<std::mutex> lock(work_mu_);
-      ShardCounters& c = shard_counters_[shard];
-      ++c.ticks;
-      c.chains += chains;
-      c.latency.Record(NowNs() - t0);
-      if (--pending_shards_ == 0) done_cv_.notify_all();
+    RunWindowShard(shard);
+    // Completion publication: flag first (per-shard), then the running
+    // count; the last worker's decrement releases the whole window's
+    // writes to the coordinator, and the empty critical section makes the
+    // notify visible to a coordinator between predicate check and sleep.
+    shard_scratch_[shard].done_epoch.store(seen, std::memory_order_release);
+    if (shards_running_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      { std::lock_guard<std::mutex> lock(work_mu_); }
+      done_cv_.notify_all();
     }
   }
 }

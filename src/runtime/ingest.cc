@@ -67,6 +67,33 @@ std::optional<TickBatch> IngestQueue::PopWait(
   return out;
 }
 
+size_t IngestQueue::DrainWait(std::vector<TickBatch>* out) {
+  size_t drained = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] {
+      return closed_ || wake_pending_ || !batches_.empty();
+    });
+    wake_pending_ = false;
+    drained = batches_.size();
+    while (!batches_.empty()) {
+      out->push_back(std::move(batches_.front()));
+      batches_.pop_front();
+    }
+  }
+  // Every slot freed at once: wake all producers parked in Push.
+  if (drained > 0) not_full_.notify_all();
+  return drained;
+}
+
+void IngestQueue::Wake() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wake_pending_ = true;
+  }
+  not_empty_.notify_all();
+}
+
 void IngestQueue::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);

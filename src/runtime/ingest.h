@@ -65,6 +65,20 @@ class IngestQueue {
   /// or when the queue is closed and drained.
   std::optional<TickBatch> PopWait(std::chrono::milliseconds timeout);
 
+  /// Bulk drain (consumer side): blocks until at least one batch is queued,
+  /// the queue is closed, or Wake() is called, then moves *every* queued
+  /// batch onto the back of `*out` and returns the number drained. There is
+  /// no polling interval — the wait is a condition variable signaled by
+  /// Push/TryPush/Close/Wake, so a quiet queue costs zero wakeups and a
+  /// push is seen immediately. Returns 0 only on close or an explicit Wake
+  /// with nothing queued.
+  size_t DrainWait(std::vector<TickBatch>* out);
+
+  /// Wakes a blocked DrainWait even though no batch arrived. Used when
+  /// consumer-visible state *outside* the queue changed (e.g. the runtime's
+  /// watermark after MarkStreamEnded) and the consumer must re-check it.
+  void Wake();
+
   /// Rejects all future pushes and wakes every waiter. Queued batches can
   /// still be popped; PopWait returns immediately once drained.
   void Close();
@@ -86,6 +100,7 @@ class IngestQueue {
   std::condition_variable not_empty_;
   std::deque<TickBatch> batches_;
   bool closed_ = false;
+  bool wake_pending_ = false;
   uint64_t dropped_ = 0;
   uint64_t closed_rejected_ = 0;
 };

@@ -10,7 +10,6 @@
 #ifndef LAHAR_RUNTIME_REGISTRY_H_
 #define LAHAR_RUNTIME_REGISTRY_H_
 
-#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -30,9 +29,13 @@ struct StandingQuery {
   bool exact = true;
   std::unique_ptr<QuerySession> session;
 
-  // Written by shard threads during a tick (relaxed adds), read and reset
-  // by the coordinator after the tick barrier.
-  std::atomic<uint64_t> tick_ns{0};
+  // Coordinator-only window bookkeeping (harvested after the end-of-window
+  // barrier, never touched by shard threads): the measured per-tick cost in
+  // nanoseconds (a half-life-one EWMA) drives drift-triggered work
+  // stealing, and home_shard remembers the last plan's owner so a
+  // rebalance can count how many sessions actually moved.
+  uint64_t measured_ns = 0;
+  size_t home_shard = 0;
   uint64_t ticks = 0;
   uint64_t errors = 0;       ///< ticks whose CommitAdvance failed
   Status last_error;         ///< most recent CommitAdvance failure

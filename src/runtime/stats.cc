@@ -140,6 +140,30 @@ std::string RuntimeStats::ToString() const {
                 static_cast<unsigned long long>(reorder_late_dropped),
                 static_cast<unsigned long long>(reorder_merged));
   out += buf;
+  if (windows_executed > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "windows: executed=%llu cap=%zu steals=%llu "
+                  "rebalances=%llu hist=[",
+                  static_cast<unsigned long long>(windows_executed),
+                  max_window_ticks, static_cast<unsigned long long>(steals),
+                  static_cast<unsigned long long>(rebalances));
+    out += buf;
+    for (size_t i = 0; i < window_size_hist.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? " " : "",
+                    static_cast<unsigned long long>(window_size_hist[i]));
+      out += buf;
+    }
+    out += "]\n";
+    if (barrier_wait.count > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "barrier wait (us): mean=%s p50=%s p99=%s max=%s\n",
+                    FormatUs(barrier_wait.mean_us).c_str(),
+                    FormatUs(barrier_wait.p50_us).c_str(),
+                    FormatUs(barrier_wait.p99_us).c_str(),
+                    FormatUs(barrier_wait.max_us).c_str());
+      out += buf;
+    }
+  }
   if (safe_memo_entries > 0 || safe_memo_evictions > 0 ||
       safe_rows_live > 0 || safe_row_evictions > 0) {
     std::snprintf(buf, sizeof(buf),
@@ -258,6 +282,21 @@ std::string RuntimeStats::ToJson() const {
                 static_cast<unsigned long long>(reorder_late_dropped),
                 static_cast<unsigned long long>(reorder_merged));
   out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "\"windows_executed\":%llu,\"max_window_ticks\":%zu,"
+                "\"steals\":%llu,\"rebalances\":%llu,\"window_size_hist\":[",
+                static_cast<unsigned long long>(windows_executed),
+                max_window_ticks, static_cast<unsigned long long>(steals),
+                static_cast<unsigned long long>(rebalances));
+  out += buf;
+  for (size_t i = 0; i < window_size_hist.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? "," : "",
+                  static_cast<unsigned long long>(window_size_hist[i]));
+    out += buf;
+  }
+  out += "],";
+  AppendJsonLatency(&out, "barrier_wait", barrier_wait);
+  out += ",";
   if (!class_counts.empty()) {
     out += "\"classes\":{";
     for (size_t i = 0; i < class_counts.size(); ++i) {

@@ -146,7 +146,23 @@ struct RuntimeStats {
   uint64_t safe_memo_evictions = 0;
   size_t safe_rows_live = 0;
   uint64_t safe_row_evictions = 0;
-  LatencySummary tick_latency;    ///< end-to-end per-tick wall time
+  /// End-to-end per-tick wall time. Under windowed execution each tick of
+  /// a window records the window's wall time divided by its width, so the
+  /// count still equals ticks_processed and the mean is the true
+  /// amortized per-tick cost.
+  LatencySummary tick_latency;
+  // --- windowed-executor counters (see runtime/executor.h) ---------------
+  uint64_t windows_executed = 0;  ///< batched windows run (>= 1 tick each)
+  size_t max_window_ticks = 0;    ///< configured window cap (W <= this)
+  /// Window widths, log2 buckets: [1] [2] [3-4] [5-8] [9-16] [17-32]
+  /// [33-64] and 65+. Mass in the first bucket means producers never run
+  /// ahead (per-tick barriers); mass to the right is amortized handshakes.
+  std::vector<uint64_t> window_size_hist;
+  uint64_t steals = 0;      ///< sessions moved between shards by rebalances
+  uint64_t rebalances = 0;  ///< drift-triggered plan rebuilds
+  /// Coordinator wait at the end-of-window barrier (one record per window,
+  /// multi-threaded runs only) — the pool's straggler skew.
+  LatencySummary barrier_wait;
   /// TCP front-end counters; all-zero unless the stats came through
   /// net::Server::Stats() (a bare StreamRuntime has no server attached).
   NetStats net;

@@ -298,5 +298,110 @@ TEST(RuntimeStressTest, MixedClassWorkloadSurvivesConcurrentChurn) {
   EXPECT_GT(churned.load(), 0u);
 }
 
+// Checkpoints and registry churn race the windowed coordinator: while the
+// producer streams ticks through batched windows (and backpressure keeps
+// several windows in flight), one thread registers/unregisters queries and
+// another snapshots the runtime in a loop. Built for the TSan preset: any
+// unsynchronized access between Checkpoint()'s registry walk, the churn
+// thread's session creation, and the shard pool's window execution is a
+// reported race. Every snapshot must also be internally consistent —
+// restoring the last one into a fresh runtime must succeed and land
+// exactly on the snapshot's tick.
+TEST(RuntimeStressTest, CheckpointAndChurnRaceWindowedExecution) {
+  constexpr size_t kChurnTags = 3;
+  constexpr Timestamp kChurnHorizon = 160;
+  PipelineConfig config;
+  config.num_particles = 32;
+  auto scenario =
+      RandomWalkScenario(kChurnTags, kChurnHorizon, /*seed=*/11, config);
+  ASSERT_OK(scenario.status());
+  auto archive = scenario->BuildDatabase(StreamKind::kFiltered);
+  ASSERT_OK(archive.status());
+
+  LaharOptions session_options;
+  session_options.plan.assume_distinct_keys = true;
+
+  auto live = CloneDeclarations(**archive);
+  ASSERT_OK(live.status());
+  auto batches = ExtractBatches(**archive);
+  ASSERT_OK(batches.status());
+
+  RuntimeOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8;
+  options.max_window_ticks = 16;
+  options.session = session_options;
+  StreamRuntime runtime(live->get(), options);
+  const std::vector<std::string> stable = {
+      "At('tag1', l : Room(l))",
+      "At(x, l1 : NotRoom(l1)); At(x, l2 : Room(l2))",
+      "At(p, l1); At(p, l2); At(q, l3)",
+  };
+  for (const std::string& q : stable) {
+    ASSERT_OK(runtime.Register(q).status());
+  }
+  runtime.Start();
+
+  std::atomic<bool> done{false};
+  std::atomic<size_t> churned{0};
+  std::thread churn([&] {
+    const std::vector<std::string> pool = {
+        "At('tag2', l : Hallway(l))",
+        "At(x, l : Room(l))",
+        "At(p, l1); At(p, l2); At(q, l3)",
+    };
+    size_t i = 0;
+    while (!done.load()) {
+      auto id = runtime.Register(pool[i++ % pool.size()]);
+      if (id.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_OK(runtime.Unregister(*id));
+        churned.fetch_add(1);
+      }
+    }
+  });
+
+  std::atomic<size_t> snapshots{0};
+  std::string last_snapshot;
+  std::thread checkpointer([&] {
+    while (!done.load()) {
+      auto snap = runtime.Checkpoint();
+      EXPECT_OK(snap.status());
+      if (snap.ok()) {
+        last_snapshot = std::move(*snap);
+        snapshots.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  std::thread producer([&] {
+    for (TickBatch& b : *batches) {
+      Status s = runtime.ingest().Push(std::move(b), 120000ms);
+      EXPECT_OK(s);
+    }
+  });
+  producer.join();
+  ASSERT_TRUE(runtime.WaitForTick(kChurnHorizon, 120000ms));
+  done.store(true);
+  churn.join();
+  checkpointer.join();
+  runtime.Stop();
+
+  EXPECT_GT(snapshots.load(), 0u);
+  EXPECT_GT(churned.load(), 0u);
+  EXPECT_EQ(runtime.Stats().ticks_processed, kChurnHorizon);
+
+  // The last mid-run snapshot restores into a fresh declarations clone and
+  // lands on a tick the runtime had actually published when it was taken.
+  ASSERT_FALSE(last_snapshot.empty());
+  auto live2 = CloneDeclarations(**archive);
+  ASSERT_OK(live2.status());
+  StreamRuntime resumed(live2->get(), options);
+  ASSERT_OK(resumed.Restore(last_snapshot));
+  EXPECT_LE(resumed.tick(), kChurnHorizon);
+  EXPECT_GE(resumed.Stats().num_queries, stable.size());
+}
+
 }  // namespace
 }  // namespace lahar

@@ -749,6 +749,130 @@ TEST(StreamRuntimeTest, OutOfOrderIngestIsBufferedAndApplied) {
   EXPECT_GT(stats.reorder_late_dropped, 0u);
 }
 
+TEST(StreamRuntimeTest, WaitForTickWakesPromptlyOnStop) {
+  // A waiter blocked on a tick that will never arrive must wake (and
+  // return false) as soon as the runtime stops, not sleep out its timeout.
+  EventDatabase archive;
+  AddIndependentStream(&archive, "At", "Joe", {{{"a", 0.5}}});
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  StreamRuntime runtime(clone->get(), RuntimeOptions{});
+  runtime.Start();
+  std::atomic<bool> woke_with{true};
+  const auto start = std::chrono::steady_clock::now();
+  std::thread waiter(
+      [&] { woke_with.store(runtime.WaitForTick(100, 60000ms)); });
+  std::this_thread::sleep_for(50ms);
+  runtime.Stop();
+  waiter.join();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(woke_with.load());
+  EXPECT_LT(elapsed, 10s) << "WaitForTick slept through Stop()";
+}
+
+// Windowed execution is an optimisation, not a semantics change: the same
+// preloaded workload run with the default 16-tick window cap and with a
+// 1-tick cap (pure tick-at-a-time, the pre-windowing behavior) must
+// publish bit-identical TickResult sequences and byte-identical
+// checkpoints. One query per class — Regular, Extended Regular, Safe
+// plan, and Unsafe-via-sampling (whose many-sample session is heavy
+// enough to be split across shards, exercising the shared-group path).
+TEST(StreamRuntimeTest, WindowWidthIsObservationallyEquivalent) {
+  constexpr Timestamp kWinHorizon = 24;
+  EventDatabase archive;
+  std::vector<StepDist> joe;
+  for (Timestamp t = 0; t < kWinHorizon; ++t) {
+    joe.push_back(t % 3 == 0 ? StepDist{{"a", 0.7}, {"b", 0.2}}
+                             : StepDist{{"b", 0.5}, {"a", 0.3}});
+  }
+  AddIndependentStream(&archive, "At", "Joe", joe);
+  AddMarkovStream(&archive, "At", "Sue", {"a", "b"}, kWinHorizon, 0.85);
+
+  LaharOptions session_options;
+  session_options.plan.assume_distinct_keys = true;  // for the Safe plan
+  session_options.sampling.num_samples = 64;
+  session_options.sampling.seed = 2008;
+
+  const std::vector<std::string> queries = {
+      "At('Joe', l : l = 'a')",                 // Regular
+      "At(x, l : l = 'b')",                     // Extended Regular
+      "At(p, l1); At(p, l2); At(q, l3)",        // Safe plan
+      "(At(x, l1); At(y, l2)) WHERE l1 = l2",   // Unsafe -> sampling
+  };
+
+  struct Run {
+    std::vector<QueryId> ids;
+    std::vector<TickResult> results;
+    std::string checkpoint;
+    uint64_t windows = 0;
+    size_t cap = 0;
+  };
+  auto run_with_cap = [&](size_t cap) {
+    Run out;
+    auto clone = CloneDeclarations(archive);
+    EXPECT_OK(clone.status());
+    auto batches = ExtractBatches(archive);
+    EXPECT_OK(batches.status());
+    RuntimeOptions options;
+    options.num_threads = 4;
+    options.max_window_ticks = cap;
+    options.queue_capacity = batches->size();  // preload: windows fill up
+    options.session = session_options;
+    StreamRuntime runtime(clone->get(), options);
+    for (const std::string& q : queries) {
+      auto id = runtime.Register(q);
+      EXPECT_OK(id.status());
+      out.ids.push_back(id.ok() ? *id : 0);
+    }
+    for (TickBatch& b : *batches) {
+      EXPECT_TRUE(runtime.ingest().TryPush(std::move(b)));
+    }
+    runtime.SetTickCallback(
+        [&](const TickResult& r) { out.results.push_back(r); });
+    runtime.Start();
+    EXPECT_TRUE(runtime.WaitForTick(kWinHorizon, 60000ms));
+    runtime.Stop();
+    auto snapshot = runtime.Checkpoint();
+    EXPECT_OK(snapshot.status());
+    if (snapshot.ok()) out.checkpoint = *snapshot;
+    RuntimeStats stats = runtime.Stats();
+    out.windows = stats.windows_executed;
+    out.cap = stats.max_window_ticks;
+    for (const QueryStats& qs : stats.queries) {
+      EXPECT_EQ(qs.errors, 0u) << qs.text << ": " << qs.last_error;
+    }
+    return out;
+  };
+
+  Run wide = run_with_cap(16);
+  Run narrow = run_with_cap(1);
+
+  EXPECT_EQ(wide.cap, 16u);
+  EXPECT_EQ(narrow.cap, 1u);
+  // W=1 runs one window per tick; W=16 over a fully preloaded queue must
+  // actually batch (24 ticks -> a 16-tick window plus an 8-tick one).
+  EXPECT_EQ(narrow.windows, static_cast<uint64_t>(kWinHorizon));
+  EXPECT_LT(wide.windows, static_cast<uint64_t>(kWinHorizon));
+
+  ASSERT_EQ(wide.results.size(), kWinHorizon);
+  ASSERT_EQ(narrow.results.size(), kWinHorizon);
+  ASSERT_EQ(wide.ids, narrow.ids);
+  for (size_t t = 0; t < kWinHorizon; ++t) {
+    EXPECT_EQ(wide.results[t].t, t + 1);
+    EXPECT_EQ(narrow.results[t].t, t + 1);
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const double* pw = wide.results[t].Find(wide.ids[i]);
+      const double* pn = narrow.results[t].Find(narrow.ids[i]);
+      ASSERT_NE(pw, nullptr);
+      ASSERT_NE(pn, nullptr);
+      EXPECT_EQ(*pw, *pn) << queries[i] << " at t=" << t + 1;
+    }
+  }
+  ASSERT_FALSE(wide.checkpoint.empty());
+  EXPECT_EQ(wide.checkpoint, narrow.checkpoint)
+      << "checkpoint bytes differ between window caps";
+}
+
 TEST(StreamRuntimeTest, SetTickCallbackWhileRunningIsSafe) {
   // Swapping the callback concurrently with the coordinator publishing
   // ticks must be race-free (this is what the TSan runtime job checks).
