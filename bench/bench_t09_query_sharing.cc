@@ -1,0 +1,236 @@
+// Cross-query sharing experiment: K overlapping standing queries on one
+// stream (docs/SHARING.md). Every cell registers K alpha-variant spellings
+// of two base queries — all structurally identical under the canonicalizing
+// rewrite — so the runtime folds them into two shared sub-chain units and
+// steps each once per tick regardless of K. Per-tick cost should therefore
+// grow sublinearly in K (the residual linear term is per-session commit
+// bookkeeping, not chain math), with shared_steps_saved accounting for the
+// avoided work.
+//
+// Each cell also re-runs with sharing disabled (`unshared` mode) and
+// cross-checks every published probability bitwise — the bench doubles as
+// an equivalence harness and exits 1 on any mismatch. One `JSON {...}`
+// line per (K, mode) cell; the summary line carries the two numbers the
+// perf gate floors with --min-metric:
+//   sharing_ratio_64    ticks/sec@K=64 / ticks/sec@K=1, shared mode.
+//                       Linear-in-K cost would put this at ~1/64; sharing
+//                       keeps it an order of magnitude higher.
+//   sharing_speedup_256 ticks/sec shared / unshared at K=256 (full grid
+//                       only) — same machine, same process, adjacent
+//                       cells, so it certifies "sharing pays" without any
+//                       cross-machine calibration.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/executor.h"
+#include "runtime/replay.h"
+
+using namespace lahar;
+using namespace lahar::bench;
+
+namespace {
+
+constexpr size_t kTags = 4;
+
+// K alpha-variant spellings over tag1's stream: two base shapes (one- and
+// two-subgoal), each spelled with fresh variable names so no two texts are
+// equal — the sharing must come from the canonical rewrite, not from the
+// exact-text prepared-plan cache.
+std::vector<std::string> MakeQueries(size_t count) {
+  std::vector<std::string> out;
+  for (size_t i = 0; out.size() < count; ++i) {
+    const std::string v = "v" + std::to_string(i);
+    const std::string w = "w" + std::to_string(i);
+    if (i % 2 == 0) {
+      out.push_back("At('tag1', " + v + " : Room(" + v + "))");
+    } else {
+      out.push_back("At('tag1', " + v + " : Hallway(" + v +
+                    ")); At('tag1', " + w + " : Room(" + w + "))");
+    }
+  }
+  return out;
+}
+
+struct CellResult {
+  double ticks_per_sec = 0;
+  std::vector<double> probs;  // [tick * K + query], registration order
+  RuntimeStats stats;
+};
+
+constexpr size_t kReps = 3;
+
+// Runs one (K, mode) cell `kReps` times (fresh runtime each rep, best time
+// kept — the smallest cells finish in fractions of a millisecond, where a
+// single sample is scheduler noise); collects every published probability
+// for the bitwise shared-vs-unshared cross-check.
+bool RunCell(const EventDatabase& archive,
+             const std::vector<TickBatch>& batches,
+             const std::vector<std::string>& queries, bool sharing,
+             Timestamp horizon, CellResult* out, bool emit_json = true) {
+  double best_ms = 0;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    auto live = CloneDeclarations(archive);
+    if (!live.ok()) {
+      std::fprintf(stderr, "%s\n", live.status().ToString().c_str());
+      return false;
+    }
+    RuntimeOptions options;
+    options.num_threads = 2;
+    options.queue_capacity = batches.size();  // preload everything
+    options.sharing.enabled = sharing;
+    StreamRuntime runtime(live->get(), options);
+    for (const std::string& q : queries) {
+      auto id = runtime.Register(q);
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s: %s\n", q.c_str(),
+                     id.status().ToString().c_str());
+        return false;
+      }
+    }
+    out->probs.clear();
+    out->probs.reserve(horizon * queries.size());
+    runtime.SetTickCallback([&](const TickResult& r) {
+      for (const auto& [id, p] : r.probs) {
+        (void)id;
+        out->probs.push_back(p);
+      }
+    });
+    for (const TickBatch& b : batches) {
+      if (!runtime.ingest().TryPush(b)) {
+        std::fprintf(stderr, "preload overflowed the queue\n");
+        return false;
+      }
+    }
+    double ms = TimeMs([&] {
+      runtime.Start();
+      runtime.WaitForTick(horizon, std::chrono::milliseconds(600000));
+    });
+    runtime.Stop();
+    out->stats = runtime.Stats();
+    if (out->stats.ticks_processed != horizon ||
+        out->probs.size() != horizon * queries.size()) {
+      std::fprintf(stderr, "incomplete run: %s\n",
+                   out->stats.ToString().c_str());
+      return false;
+    }
+    if (rep == 0 || ms < best_ms) best_ms = ms;
+  }
+  out->ticks_per_sec = Throughput(horizon, best_ms);
+  const double ms = best_ms;
+  if (!emit_json) return true;
+  JsonLine()
+      .Add("bench", std::string("t09_query_sharing"))
+      .Add("queries", queries.size())
+      .Add("mode", std::string(sharing ? "shared" : "unshared"))
+      .Add("ticks", static_cast<size_t>(horizon))
+      .Add("reps", kReps)
+      .Add("time_ms", ms)
+      .Add("ticks_per_sec", out->ticks_per_sec)
+      .Add("tick_p99_us", out->stats.tick_latency.p99_us)
+      .Add("sharing_groups", out->stats.sharing_groups)
+      .Add("shared_steps_saved",
+           static_cast<size_t>(out->stats.shared_steps_saved))
+      .Print();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const Timestamp horizon = smoke ? 60 : 200;
+  std::printf("Query sharing | K alpha-variant queries, one stream, "
+              "horizon %u%s\n",
+              horizon, smoke ? " (smoke)" : "");
+  auto scenario = RandomWalkScenario(kTags, horizon, /*seed=*/43);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  auto archive = scenario->BuildDatabase(StreamKind::kFiltered);
+  if (!archive.ok()) {
+    std::fprintf(stderr, "%s\n", archive.status().ToString().c_str());
+    return 1;
+  }
+  auto batches = ExtractBatches(**archive);
+  if (!batches.ok()) {
+    std::fprintf(stderr, "%s\n", batches.status().ToString().c_str());
+    return 1;
+  }
+
+  // Warm-up cell (discarded): the first runtime in the process pays
+  // one-time costs (thread spin-up, allocator growth) that would otherwise
+  // land entirely on the K=1 cell and skew sharing_ratio_64.
+  {
+    CellResult warm;
+    if (!RunCell(**archive, *batches, MakeQueries(4), /*sharing=*/true,
+                 horizon, &warm, /*emit_json=*/false)) {
+      return 1;
+    }
+  }
+
+  const std::vector<size_t> query_counts =
+      smoke ? std::vector<size_t>{1, 16, 64}
+            : std::vector<size_t>{1, 4, 16, 64, 256};
+  std::printf("%-10s %14s %14s %10s %16s\n", "queries", "shared t/s",
+              "unshared t/s", "groups", "steps_saved");
+  double tps_at_1 = 0, tps_at_64 = 0;
+  double speedup_256 = 0;
+  for (size_t k : query_counts) {
+    const std::vector<std::string> queries = MakeQueries(k);
+    CellResult shared, unshared;
+    if (!RunCell(**archive, *batches, queries, /*sharing=*/true, horizon,
+                 &shared) ||
+        !RunCell(**archive, *batches, queries, /*sharing=*/false, horizon,
+                 &unshared)) {
+      return 1;
+    }
+    // Bitwise equivalence: sharing is an optimization, never a semantics
+    // change. Any drift is a bug, and the bench fails loudly.
+    for (size_t i = 0; i < shared.probs.size(); ++i) {
+      if (shared.probs[i] != unshared.probs[i]) {
+        std::fprintf(stderr,
+                     "MISMATCH at K=%zu, flat index %zu: shared=%.17g "
+                     "unshared=%.17g\n",
+                     k, i, shared.probs[i], unshared.probs[i]);
+        return 1;
+      }
+    }
+    // K >= 2 folds both base shapes into one unit each (3 chains total:
+    // the two-subgoal query runs 2); K == 1 has nothing to share.
+    if (k >= 2 && shared.stats.sharing_groups == 0) {
+      std::fprintf(stderr, "K=%zu formed no sharing groups\n", k);
+      return 1;
+    }
+    if (k == 1) tps_at_1 = shared.ticks_per_sec;
+    if (k == 64) tps_at_64 = shared.ticks_per_sec;
+    if (k == 256 && unshared.ticks_per_sec > 0) {
+      speedup_256 = shared.ticks_per_sec / unshared.ticks_per_sec;
+    }
+    std::printf("%-10zu %14.1f %14.1f %10zu %16llu\n", k,
+                shared.ticks_per_sec, unshared.ticks_per_sec,
+                shared.stats.sharing_groups,
+                static_cast<unsigned long long>(
+                    shared.stats.shared_steps_saved));
+  }
+  // Derived metric on its own record (keyed by bench only): the perf gate
+  // floors it with --min-metric sharing_ratio_64:... — a collapse to
+  // linear-in-K cost (ratio ~1/64) trips the gate.
+  const double ratio = tps_at_1 > 0 ? tps_at_64 / tps_at_1 : 0.0;
+  JsonLine line;
+  line.Add("bench", std::string("t09_query_sharing_summary"))
+      .Add("sharing_ratio_64", ratio);
+  if (speedup_256 > 0) line.Add("sharing_speedup_256", speedup_256);
+  line.Print();
+  std::printf("\nsharing_ratio_64 = %.3f (ticks/sec at K=64 relative to "
+              "K=1, shared mode)\n",
+              ratio);
+  if (speedup_256 > 0) {
+    std::printf("sharing_speedup_256 = %.2fx (shared vs unshared ticks/sec "
+                "at K=256)\n",
+                speedup_256);
+  }
+  return 0;
+}

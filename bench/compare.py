@@ -38,7 +38,7 @@ RUN_SIZE_FIELDS = {
     "early_tick_us", "late_tick_us", "flatness", "speedup",
     "memo_entries", "memo_evictions", "row_evictions", "row_rebuilds",
     "pushes", "scaling_efficiency_8t", "windows", "barrier_p99_us",
-    "chains",
+    "chains", "sharing_groups", "shared_steps_saved", "sharing_ratio_64",
 }
 
 

@@ -2,6 +2,10 @@
 //
 //   lahar_cli QUERY DBFILE          run a query, print P[q@t] per timestep
 //   lahar_cli --classify QUERY DBFILE
+//   lahar_cli --explain DBFILE QUERY...
+//                                   print each query's plan before/after the
+//                                   canonicalizing rewrite and the sharing
+//                                   groups the queries form (docs/SHARING.md)
 //   lahar_cli --gen DBFILE          write a demo database (office workers)
 //   lahar_cli --serve DBFILE QUERY...
 //                                   replay DBFILE live through the
@@ -107,6 +111,76 @@ int Classify(EventDatabase* db, const std::string& query) {
       std::printf("plan:  %s\n",
                   PlanToString(**plan, db->interner()).c_str());
     }
+  }
+  return 0;
+}
+
+// --explain: the sharing pass as a diagnostic. For every query, print the
+// parsed plan ("before"), its canonical rewrite ("after" — alpha-renamed
+// variables, sorted predicate clauses, oriented comparisons), whether the
+// runtime would share live chain state for it, and — across the whole
+// command line — which queries fall into the same sharing group or overlap
+// on an automaton prefix (docs/SHARING.md).
+int Explain(EventDatabase* db, const std::vector<std::string>& queries) {
+  SharedPlanIndex index;
+  std::vector<PreparedQuery> prepared;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto p = PrepareQuery(queries[i], db);
+    if (!p.ok()) {
+      std::fprintf(stderr, "%s: %s\n", queries[i].c_str(),
+                   p.status().ToString().c_str());
+      return 1;
+    }
+    index.Add(i, AnalyzeSharing(p->normalized, p->classification));
+    prepared.push_back(std::move(*p));
+  }
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const PreparedQuery& p = prepared[i];
+    std::printf("query %zu: %s\n", i, queries[i].c_str());
+    std::printf("  class:  %s\n",
+                QueryClassName(p.classification.query_class));
+    std::printf("  before: %s\n",
+                ToString(*p.ast, db->interner()).c_str());
+    std::printf("  after:  %s\n",
+                CanonicalToString(p.normalized, db->interner()).c_str());
+    if (p.classification.query_class == QueryClass::kSafe) {
+      PlanOptions options;
+      options.assume_distinct_keys = true;
+      auto plan = CompileSafePlan(p.normalized, *db, options);
+      if (plan.ok()) {
+        std::printf("  plan:   %s\n",
+                    PlanToString(**plan, db->interner()).c_str());
+      }
+    }
+    const QuerySharingInfo* info = index.Find(i);
+    if (info != nullptr && !info->sharable) {
+      std::printf("  sharing: declined (%s)\n", info->decline_reason.c_str());
+    } else {
+      auto overlap = index.LongestPrefixOverlap(i);
+      std::printf("  sharing: eligible; alphabet peers=%zu",
+                  index.NumAlphabetPeers(i));
+      if (overlap.subgoals > 0) {
+        std::printf(", shares a %zu-subgoal automaton prefix with query "
+                    "%llu",
+                    overlap.subgoals,
+                    static_cast<unsigned long long>(overlap.with));
+      }
+      std::printf("\n");
+    }
+  }
+  size_t group = 0;
+  for (const auto& g : index.Groups()) {
+    if (g.members.size() < 2) continue;
+    std::printf("group %zu: queries", group++);
+    for (uint64_t id : g.members) {
+      std::printf(" %llu", static_cast<unsigned long long>(id));
+    }
+    std::printf(" are structurally identical (one shared evaluation unit "
+                "in the runtime)\n");
+  }
+  if (group == 0) {
+    std::printf("no structurally identical queries; nothing to share at "
+                "runtime\n");
   }
   return 0;
 }
@@ -430,6 +504,20 @@ int main(int argc, char** argv) {
     }
     return Serve(db->get(), queries, config);
   }
+  bool explain = argc >= 2 && std::strcmp(argv[1], "--explain") == 0;
+  if (explain) {
+    if (argc < 4) {
+      std::fprintf(stderr, "usage: %s --explain DBFILE QUERY...\n", argv[0]);
+      return 2;
+    }
+    auto db = ReadDatabaseFromFile(argv[2]);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> queries(argv + 3, argv + argc);
+    return Explain(db->get(), queries);
+  }
   bool connect = argc >= 2 && std::strcmp(argv[1], "--connect") == 0;
   if (connect) {
     std::string endpoint;
@@ -467,10 +555,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s QUERY DBFILE\n"
                  "       %s --classify QUERY DBFILE\n"
+                 "       %s --explain DBFILE QUERY...\n"
                  "       %s --gen DBFILE\n"
                  "       %s --serve DBFILE QUERY...\n"
                  "       %s --connect HOST:PORT QUERY...\n",
-                 argv[0], argv[0], argv[0], argv[0], argv[0]);
+                 argv[0], argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   const char* query = classify ? argv[2] : argv[1];

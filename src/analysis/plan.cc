@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_map>
 
 #include "analysis/classify.h"
 #include "query/printer.h"
@@ -183,6 +184,366 @@ Result<SafePlanPtr> CompileSafePlan(const NormalizedQuery& q,
   }
   Compiler compiler{q, db, options};
   return compiler.Plan({}, q.subgoals.size());
+}
+
+namespace {
+
+// Renders queries into canonical form: byte keys when `interner` is null,
+// human-readable text otherwise. Variables are alpha-renamed by order of
+// first occurrence over subgoal terms (ValidateQuery guarantees predicate
+// and Kleene variables are drawn from their subgoal's terms, so the scan
+// covers everything on validated queries; stragglers get indices lazily).
+struct CanonicalRenderer {
+  const Interner* interner = nullptr;
+  std::unordered_map<SymbolId, size_t> var_index;
+
+  size_t IndexOf(SymbolId v) {
+    auto it = var_index.find(v);
+    if (it != var_index.end()) return it->second;
+    size_t idx = var_index.size();
+    var_index.emplace(v, idx);
+    return idx;
+  }
+
+  void AssignVars(const NormalizedSubgoal& g) {
+    for (const Term& t : g.goal.terms) {
+      if (t.is_var) IndexOf(t.var);
+    }
+    for (SymbolId v : g.kleene_vars) IndexOf(v);
+  }
+
+  void U64(std::string* out, uint64_t x) const {
+    for (int i = 0; i < 8; ++i) {
+      out->push_back(static_cast<char>((x >> (8 * i)) & 0xff));
+    }
+  }
+
+  void Render(std::string* out, const Term& t) {
+    if (t.is_var) {
+      size_t idx = IndexOf(t.var);
+      if (interner != nullptr) {
+        *out += "$" + std::to_string(idx);
+      } else {
+        out->push_back('v');
+        U64(out, idx);
+      }
+      return;
+    }
+    if (interner != nullptr) {
+      *out += t.constant.ToString(*interner);
+      return;
+    }
+    out->push_back('c');
+    out->push_back(static_cast<char>(t.constant.kind()));
+    U64(out, t.constant.is_int()
+                 ? static_cast<uint64_t>(t.constant.int_value())
+                 : (t.constant.is_symbol() ? t.constant.symbol() : 0));
+  }
+
+  static CmpOp Flip(CmpOp op) {
+    switch (op) {
+      case CmpOp::kLt: return CmpOp::kGt;
+      case CmpOp::kGt: return CmpOp::kLt;
+      case CmpOp::kLe: return CmpOp::kGe;
+      case CmpOp::kGe: return CmpOp::kLe;
+      default: return op;  // kEq / kNe are symmetric
+    }
+  }
+
+  static const char* OpName(CmpOp op) {
+    switch (op) {
+      case CmpOp::kEq: return "=";
+      case CmpOp::kNe: return "!=";
+      case CmpOp::kLt: return "<";
+      case CmpOp::kLe: return "<=";
+      case CmpOp::kGt: return ">";
+      case CmpOp::kGe: return ">=";
+    }
+    return "?";
+  }
+
+  void Render(std::string* out, const ConditionAtom& atom) {
+    if (const auto* cmp = std::get_if<CompareAtom>(&atom)) {
+      // Orientation-normalize: the side whose rendering compares lower goes
+      // left; inequalities flip their operator when swapped.
+      std::string lhs, rhs;
+      Render(&lhs, cmp->lhs);
+      Render(&rhs, cmp->rhs);
+      CmpOp op = cmp->op;
+      if (rhs < lhs) {
+        std::swap(lhs, rhs);
+        op = Flip(op);
+      }
+      if (interner != nullptr) {
+        *out += lhs + " " + OpName(op) + " " + rhs;
+      } else {
+        out->push_back('C');
+        out->push_back(static_cast<char>(op));
+        *out += lhs;
+        *out += rhs;
+      }
+      return;
+    }
+    const auto& rel = std::get<RelAtom>(atom);
+    if (interner != nullptr) {
+      if (rel.negated) *out += "NOT ";
+      *out += interner->Name(rel.rel) + "(";
+      for (size_t i = 0; i < rel.args.size(); ++i) {
+        if (i) *out += ", ";
+        Render(out, rel.args[i]);
+      }
+      *out += ")";
+      return;
+    }
+    out->push_back('R');
+    out->push_back(rel.negated ? 1 : 0);
+    U64(out, rel.rel);
+    U64(out, rel.args.size());
+    for (const Term& t : rel.args) Render(out, t);
+  }
+
+  // CNF is order-insensitive: atoms within a clause and clauses within the
+  // condition sort by their canonical rendering.
+  void Render(std::string* out, const Condition& cond) {
+    std::vector<std::string> clauses;
+    clauses.reserve(cond.clauses().size());
+    for (const ConditionClause& clause : cond.clauses()) {
+      std::vector<std::string> atoms;
+      atoms.reserve(clause.atoms.size());
+      for (const ConditionAtom& atom : clause.atoms) {
+        std::string a;
+        Render(&a, atom);
+        atoms.push_back(std::move(a));
+      }
+      std::sort(atoms.begin(), atoms.end());
+      std::string c;
+      if (interner != nullptr) {
+        bool paren = atoms.size() > 1;
+        if (paren) c += "(";
+        for (size_t i = 0; i < atoms.size(); ++i) {
+          if (i) c += " OR ";
+          c += atoms[i];
+        }
+        if (paren) c += ")";
+      } else {
+        U64(&c, atoms.size());
+        for (const std::string& a : atoms) {
+          U64(&c, a.size());
+          c += a;
+        }
+      }
+      clauses.push_back(std::move(c));
+    }
+    std::sort(clauses.begin(), clauses.end());
+    if (interner != nullptr) {
+      for (size_t i = 0; i < clauses.size(); ++i) {
+        if (i) *out += " AND ";
+        *out += clauses[i];
+      }
+    } else {
+      U64(out, clauses.size());
+      for (const std::string& c : clauses) {
+        U64(out, c.size());
+        *out += c;
+      }
+    }
+  }
+
+  void Render(std::string* out, const NormalizedSubgoal& g) {
+    AssignVars(g);
+    if (interner != nullptr) {
+      *out += interner->Name(g.goal.type) + "(";
+      for (size_t i = 0; i < g.goal.terms.size(); ++i) {
+        if (i) *out += ", ";
+        Render(out, g.goal.terms[i]);
+      }
+      *out += ")";
+      if (!g.match_pred.IsTrue()) {
+        *out += "[";
+        Render(out, g.match_pred);
+        *out += "]";
+      }
+      if (g.is_kleene) {
+        *out += "+<";
+        for (size_t i = 0; i < g.kleene_vars.size(); ++i) {
+          if (i) *out += ", ";
+          *out += "$" + std::to_string(IndexOf(g.kleene_vars[i]));
+        }
+        *out += ">";
+      }
+      if (!g.accept_pred.IsTrue()) {
+        *out += "{";
+        Render(out, g.accept_pred);
+        *out += "}";
+      }
+      return;
+    }
+    out->push_back('G');
+    U64(out, g.goal.type);
+    U64(out, g.goal.terms.size());
+    for (const Term& t : g.goal.terms) Render(out, t);
+    out->push_back(g.is_kleene ? 'K' : 'k');
+    U64(out, g.kleene_vars.size());
+    for (SymbolId v : g.kleene_vars) U64(out, IndexOf(v));
+    Render(out, g.match_pred);
+    Render(out, g.accept_pred);
+  }
+};
+
+}  // namespace
+
+std::string CanonicalQueryKey(const NormalizedQuery& q) {
+  CanonicalRenderer r;
+  std::string out;
+  for (const NormalizedSubgoal& g : q.subgoals) r.Render(&out, g);
+  if (!q.residual.IsTrue()) {
+    out.push_back('X');
+    r.Render(&out, q.residual);
+  }
+  return out;
+}
+
+std::vector<std::string> CanonicalPrefixKeys(const NormalizedQuery& q) {
+  CanonicalRenderer r;
+  std::string out;
+  std::vector<std::string> keys;
+  keys.reserve(q.subgoals.size());
+  for (const NormalizedSubgoal& g : q.subgoals) {
+    r.Render(&out, g);
+    keys.push_back(out);
+  }
+  return keys;
+}
+
+std::string CanonicalToString(const NormalizedQuery& q,
+                              const Interner& interner) {
+  CanonicalRenderer r;
+  r.interner = &interner;
+  std::string out;
+  for (size_t i = 0; i < q.subgoals.size(); ++i) {
+    if (i) out += " ; ";
+    r.Render(&out, q.subgoals[i]);
+  }
+  if (!q.residual.IsTrue()) {
+    out += " | residual: ";
+    r.Render(&out, q.residual);
+  }
+  return out;
+}
+
+QuerySharingInfo AnalyzeSharing(const NormalizedQuery& q,
+                                const Classification& c) {
+  QuerySharingInfo info;
+  info.query_key = CanonicalQueryKey(q);
+  info.prefix_keys = CanonicalPrefixKeys(q);
+  info.subgoal_keys.reserve(q.subgoals.size());
+  for (const NormalizedSubgoal& g : q.subgoals) {
+    NormalizedQuery one;
+    one.subgoals.push_back(g);
+    info.subgoal_keys.push_back(CanonicalQueryKey(one));
+  }
+  switch (c.query_class) {
+    case QueryClass::kRegular:
+    case QueryClass::kExtendedRegular:
+      info.sharable = true;
+      break;
+    case QueryClass::kSafe:
+      info.decline_reason =
+          "safe plans keep operator-local state (memos, interval rows); "
+          "only compiled kernels are shared via the registry KernelCache";
+      break;
+    case QueryClass::kUnsafe:
+      info.decline_reason =
+          "unsafe queries run on the approximate sampling engine; sampled "
+          "sessions are never shared";
+      break;
+  }
+  return info;
+}
+
+size_t SharedPlanIndex::Add(uint64_t id, QuerySharingInfo info) {
+  entries_[id] = std::move(info);
+  const std::string& key = entries_[id].query_key;
+  size_t n = 0;
+  for (const auto& [other_id, other] : entries_) {
+    (void)other_id;
+    if (other.query_key == key) ++n;
+  }
+  return n;
+}
+
+void SharedPlanIndex::Remove(uint64_t id) { entries_.erase(id); }
+
+size_t SharedPlanIndex::num_groups() const {
+  std::unordered_map<std::string, size_t> counts;
+  for (const auto& [id, info] : entries_) {
+    (void)id;
+    ++counts[info.query_key];
+  }
+  size_t groups = 0;
+  for (const auto& [key, n] : counts) {
+    (void)key;
+    if (n >= 2) ++groups;
+  }
+  return groups;
+}
+
+std::vector<SharedPlanIndex::Group> SharedPlanIndex::Groups() const {
+  std::vector<Group> out;
+  std::unordered_map<std::string, size_t> pos;
+  for (const auto& [id, info] : entries_) {
+    auto it = pos.find(info.query_key);
+    if (it == pos.end()) {
+      pos.emplace(info.query_key, out.size());
+      out.push_back(Group{info.query_key, {id}});
+    } else {
+      out[it->second].members.push_back(id);
+    }
+  }
+  return out;
+}
+
+SharedPlanIndex::PrefixOverlap SharedPlanIndex::LongestPrefixOverlap(
+    uint64_t id) const {
+  PrefixOverlap best;
+  auto self = entries_.find(id);
+  if (self == entries_.end()) return best;
+  for (const auto& [other_id, other] : entries_) {
+    if (other_id == id) continue;
+    size_t n = std::min(self->second.prefix_keys.size(),
+                        other.prefix_keys.size());
+    size_t len = 0;
+    while (len < n && self->second.prefix_keys[len] == other.prefix_keys[len])
+      ++len;
+    if (len > best.subgoals) {
+      best.subgoals = len;
+      best.with = other_id;
+    }
+  }
+  return best;
+}
+
+size_t SharedPlanIndex::NumAlphabetPeers(uint64_t id) const {
+  auto self = entries_.find(id);
+  if (self == entries_.end()) return 0;
+  std::set<std::string> alphabet(self->second.subgoal_keys.begin(),
+                                 self->second.subgoal_keys.end());
+  size_t peers = 0;
+  for (const auto& [other_id, other] : entries_) {
+    if (other_id == id) continue;
+    for (const std::string& k : other.subgoal_keys) {
+      if (alphabet.count(k)) {
+        ++peers;
+        break;
+      }
+    }
+  }
+  return peers;
+}
+
+const QuerySharingInfo* SharedPlanIndex::Find(uint64_t id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
 }
 
 std::string PlanToString(const SafePlanNode& plan, const Interner& interner) {

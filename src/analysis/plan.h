@@ -10,14 +10,19 @@
 #ifndef LAHAR_ANALYSIS_PLAN_H_
 #define LAHAR_ANALYSIS_PLAN_H_
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "analysis/classify.h"
 #include "model/database.h"
 #include "query/normalize.h"
 
 namespace lahar {
+
+class KernelCache;  // automaton/kernel.h
 
 struct SafePlanNode;
 using SafePlanPtr = std::shared_ptr<const SafePlanNode>;
@@ -75,6 +80,14 @@ struct SafePlanOptions {
   /// and a row rebuild steps at most this many transitions from the
   /// preceding keyframe.
   size_t reg_keyframe_interval = 256;
+
+  /// Optional compiled-kernel cache shared across *plans*: reg leaves whose
+  /// canonical structure matches another plan's leaf (or a standalone
+  /// regular query) reuse its compiled automaton instead of recompiling.
+  /// Null keeps the historical behaviour of one private cache per plan
+  /// engine. The cache must outlive every engine created with it (the
+  /// runtime registry owns one for the whole process).
+  KernelCache* kernel_cache = nullptr;
 };
 
 /// Options controlling plan compilation.
@@ -111,6 +124,91 @@ std::string PlanToString(const SafePlanNode& plan, const Interner& interner);
 /// check; used by the seq precondition).
 bool CanUnifySubgoals(const Subgoal& a, const Subgoal& b,
                       const EventDatabase& db);
+
+// ---------------------------------------------------------------------------
+// Cross-query sharing analysis (docs/SHARING.md).
+//
+// The canonicalizing rewrite maps a normalized query to a canonical byte
+// key: variables are alpha-renamed by order of first occurrence (scanning
+// subgoal terms left to right), CNF predicate clauses and their atoms are
+// sorted into a canonical byte order, and comparisons are orientation-
+// normalized. Two queries that drive the same automaton/chain structure
+// therefore hash equal regardless of variable names or predicate spelling
+// order. Keys are raw byte strings (may contain NULs); they are stable
+// within one interner context, not across processes.
+// ---------------------------------------------------------------------------
+
+/// Canonical structural key of the whole query (subgoals + residual).
+std::string CanonicalQueryKey(const NormalizedQuery& q);
+
+/// keys[i] is the canonical key of the subgoal prefix [0, i] (residual
+/// excluded). First-occurrence renaming makes keys[i] depend only on
+/// subgoals 0..i, so two queries share an automaton prefix of length k iff
+/// their keys[k-1] compare equal.
+std::vector<std::string> CanonicalPrefixKeys(const NormalizedQuery& q);
+
+/// Human-readable canonical form (variables rendered as $0, $1, ...); the
+/// "after rewrite" view printed by `lahar_cli --explain`.
+std::string CanonicalToString(const NormalizedQuery& q,
+                              const Interner& interner);
+
+/// \brief What the sharing pass discovered about one prepared query.
+struct QuerySharingInfo {
+  /// Whole-query canonical key: queries with equal keys are structurally
+  /// identical and can share live evaluation state.
+  std::string query_key;
+  /// Per-prefix canonical keys (see CanonicalPrefixKeys).
+  std::vector<std::string> prefix_keys;
+  /// Standalone canonical key of each subgoal (the query's "alphabet"):
+  /// position-independent, used to report partial structural overlap.
+  std::vector<std::string> subgoal_keys;
+  /// True when the runtime may share live chain state for this class.
+  bool sharable = false;
+  /// Why runtime chain sharing is declined (empty when sharable).
+  std::string decline_reason;
+};
+
+/// Classifies a query's sharing potential. Regular/extended-regular queries
+/// are chain-sharable; safe plans share only compiled kernels (their
+/// operator state is plan-local); sampling sessions are never shared.
+QuerySharingInfo AnalyzeSharing(const NormalizedQuery& q,
+                                const Classification& c);
+
+/// \brief Index of prepared queries keyed by canonical structure.
+///
+/// Detects (a) structurally identical queries — same canonical key, the
+/// groups the runtime evaluates as one shared unit — and (b) common
+/// automaton prefixes / shared subgoal alphabets across different queries,
+/// reported by `lahar_cli --explain`. Not internally synchronized.
+class SharedPlanIndex {
+ public:
+  struct Group {
+    std::string key;
+    std::vector<uint64_t> members;  // insertion order
+  };
+  struct PrefixOverlap {
+    size_t subgoals = 0;  // longest shared automaton prefix, 0 if none
+    uint64_t with = 0;    // some other member sharing that prefix
+  };
+
+  /// Registers a query; returns how many queries now share its key.
+  size_t Add(uint64_t id, QuerySharingInfo info);
+  void Remove(uint64_t id);
+
+  size_t num_queries() const { return entries_.size(); }
+  /// Number of canonical keys held by two or more queries.
+  size_t num_groups() const;
+  /// All key groups in first-insertion order.
+  std::vector<Group> Groups() const;
+  /// Longest automaton prefix `id` shares with any *other* indexed query.
+  PrefixOverlap LongestPrefixOverlap(uint64_t id) const;
+  /// Number of other queries sharing at least one subgoal-alphabet symbol.
+  size_t NumAlphabetPeers(uint64_t id) const;
+  const QuerySharingInfo* Find(uint64_t id) const;
+
+ private:
+  std::map<uint64_t, QuerySharingInfo> entries_;
+};
 
 }  // namespace lahar
 

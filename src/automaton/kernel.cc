@@ -180,7 +180,11 @@ std::shared_ptr<const CompiledKernel> KernelCache::FindOrCompile(
   std::string sig = KernelSignature(nfa, streams, limits);
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(sig);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
   auto kernel = CompileKernel(nfa, streams, limits, sig);
   cache_.emplace(std::move(sig), kernel);
   return kernel;
@@ -189,6 +193,11 @@ std::shared_ptr<const CompiledKernel> KernelCache::FindOrCompile(
 size_t KernelCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+KernelCache::Stats KernelCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace lahar

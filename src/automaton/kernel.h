@@ -118,14 +118,24 @@ std::shared_ptr<const CompiledKernel> CompileKernel(
 /// too (as null) so the budget check runs once per signature.
 class KernelCache {
  public:
+  /// Cumulative lookup counters (a hit returns a previously compiled —
+  /// possibly null — entry; a miss compiles). Surfaced per query and
+  /// registry-wide in runtime stats.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+
   std::shared_ptr<const CompiledKernel> FindOrCompile(
       const QueryNfa& nfa, const std::vector<KernelStream>& streams,
       const KernelLimits& limits);
 
   size_t size() const;
+  Stats stats() const;
 
  private:
   mutable std::mutex mu_;
+  Stats stats_;
   std::unordered_map<std::string, std::shared_ptr<const CompiledKernel>>
       cache_;
 };

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/bindings.h"
+#include "engine/session.h"
 
 namespace lahar {
 
@@ -51,8 +52,43 @@ double ExtendedRegularEngine::Step() {
 void ExtendedRegularEngine::StepChainRange(size_t begin, size_t end) {
   end = std::min(end, chains_.size());
   for (size_t i = begin; i < end; ++i) {
-    chain_probs_[i] = chains_[i].Step();
+    if (IsDelegated(i)) {
+      // The shared unit was advanced past t_+1 before this fan-out (the
+      // runtime's shared phase); read its recorded frontier probability.
+      chain_probs_[i] = delegates_[i]->ProbAt(t_ + 1);
+    } else {
+      chain_probs_[i] = chains_[i].Step();
+    }
   }
+}
+
+bool ExtendedRegularEngine::DelegateChain(
+    size_t i, std::shared_ptr<SharedSubChain> unit) {
+  if (i >= chains_.size() || unit == nullptr) return false;
+  if (!chains_[i].status().ok() || !unit->status().ok()) return false;
+  if (unit->time() != t_) return false;
+  if (delegates_.empty()) delegates_.resize(chains_.size());
+  if (delegates_[i] == nullptr) ++num_delegated_;
+  delegates_[i] = std::move(unit);
+  return true;
+}
+
+void ExtendedRegularEngine::UndelegateChain(size_t i) {
+  if (!IsDelegated(i)) return;
+  // Copy-assignment re-owns the state vector (off any shared arena), so the
+  // private chain resumes exactly where the shared unit stands.
+  chains_[i] = delegates_[i]->chain();
+  delegates_[i] = nullptr;
+  --num_delegated_;
+}
+
+Status ExtendedRegularEngine::ChainStatus() const {
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    const Status& s =
+        IsDelegated(i) ? delegates_[i]->status() : chains_[i].status();
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 double ExtendedRegularEngine::CommitParallelStep() {
@@ -76,7 +112,12 @@ void ExtendedRegularEngine::SaveState(serial::Writer* w) const {
   w->U32(t_);
   w->DoubleVec(chain_probs_);
   w->U64(chains_.size());
-  for (const RegularChain& c : chains_) c.SaveState(w);
+  // A delegated chain serializes the shared unit's live state — the same
+  // canonical bytes the private chain would have written unshared, so
+  // checkpoints are bit-identical across sharing modes.
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    (IsDelegated(i) ? delegates_[i]->chain() : chains_[i]).SaveState(w);
+  }
 }
 
 Status ExtendedRegularEngine::LoadState(serial::Reader* r) {
@@ -92,7 +133,14 @@ Status ExtendedRegularEngine::LoadState(serial::Reader* r) {
         " chains, this engine has " + std::to_string(chains_.size()) +
         " (different query or database?)");
   }
-  for (RegularChain& c : chains_) LAHAR_RETURN_NOT_OK(c.LoadState(r));
+  for (size_t i = 0; i < chains_.size(); ++i) {
+    if (IsDelegated(i)) {
+      LAHAR_RETURN_NOT_OK(delegates_[i]->mutable_chain()->LoadState(r));
+      delegates_[i]->ResyncFrontier();
+    } else {
+      LAHAR_RETURN_NOT_OK(chains_[i].LoadState(r));
+    }
+  }
   chain_probs_ = std::move(probs);
   t_ = t;
   return Status::OK();

@@ -7,11 +7,14 @@
 #ifndef LAHAR_ENGINE_EXTENDED_ENGINE_H_
 #define LAHAR_ENGINE_EXTENDED_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "engine/regular_engine.h"
 
 namespace lahar {
+
+class SharedSubChain;  // engine/session.h
 
 /// \brief Engine for Extended Regular (and Regular) queries.
 class ExtendedRegularEngine {
@@ -64,17 +67,33 @@ class ExtendedRegularEngine {
   const std::vector<double>& chain_probs() const { return chain_probs_; }
   /// The grounding behind chain i.
   const Binding& binding(size_t i) const { return bindings_[i]; }
+  /// The live chain of grounding i (for seeding shared units; when the
+  /// chain is delegated this is its frozen pre-delegation state).
+  const RegularChain& chain(size_t i) const { return chains_[i]; }
 
-  /// Relative per-step cost of chain i (runtime shard balancing).
-  size_t ChainCost(size_t i) const { return chains_[i].StepCost(); }
+  /// Delegates chain `i` to a shared sub-chain: the engine stops stepping
+  /// its private copy and reads per-tick probabilities from the unit's
+  /// frontier. Refused (returns false) when either side has a latched
+  /// error or the unit's clock is not at this engine's time(). The private
+  /// chain is left frozen as a fallback until undelegation copies the
+  /// shared state back.
+  bool DelegateChain(size_t i, std::shared_ptr<SharedSubChain> unit);
+  /// Reclaims chain `i`: copies the shared unit's live state back into the
+  /// private chain (re-owning storage) and resumes local stepping.
+  void UndelegateChain(size_t i);
+  bool IsDelegated(size_t i) const {
+    return i < delegates_.size() && delegates_[i] != nullptr;
+  }
+  size_t num_delegated() const { return num_delegated_; }
+
+  /// Relative per-step cost of chain i (runtime shard balancing);
+  /// delegated chains cost one frontier read.
+  size_t ChainCost(size_t i) const {
+    return IsDelegated(i) ? 1 : chains_[i].StepCost();
+  }
   /// First error latched by any chain (e.g. a failed symbol-table refresh
   /// after mid-stream domain growth); OK in normal operation.
-  Status ChainStatus() const {
-    for (const RegularChain& c : chains_) {
-      if (!c.status().ok()) return c.status();
-    }
-    return Status::OK();
-  }
+  Status ChainStatus() const;
   /// Number of chains running on a compiled kernel (vs. the map path).
   size_t num_compiled() const {
     size_t n = 0;
@@ -96,6 +115,10 @@ class ExtendedRegularEngine {
   std::vector<RegularChain> chains_;
   std::vector<Binding> bindings_;
   std::vector<double> chain_probs_;
+  // Sized lazily on first delegation; delegates_[i] != null means chain i
+  // reads the shared frontier instead of stepping.
+  std::vector<std::shared_ptr<SharedSubChain>> delegates_;
+  size_t num_delegated_ = 0;
   // Contiguous cur|nxt state buffers of all compiled chains (SoA batching).
   // Chains hold raw pointers into this vector; the engine is movable (the
   // heap buffer survives a move) but each chain's copy ctor re-owns its

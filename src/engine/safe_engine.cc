@@ -765,10 +765,16 @@ Result<SafePlanEngine> SafePlanEngine::Create(const NormalizedQuery& q,
   engine.db_ = &db;
   engine.options_ = options;
   LAHAR_ASSIGN_OR_RETURN(engine.plan_, CompileSafePlan(q, db, options));
-  KernelCache kernel_cache;  // shared by every reg leaf of this plan
+  // Reg leaves share compiled kernels: plan-locally by default, or through
+  // a caller-owned cache (the runtime registry's) so structurally equal
+  // leaves across *plans* — and standalone regular queries — compile once.
+  KernelCache local_cache;
+  KernelCache* kernel_cache = options.safe.kernel_cache != nullptr
+                                  ? options.safe.kernel_cache
+                                  : &local_cache;
   LAHAR_ASSIGN_OR_RETURN(
       std::unique_ptr<NodeEval> root,
-      MakeEval(*engine.plan_, q, Binding{}, db, options, &kernel_cache));
+      MakeEval(*engine.plan_, q, Binding{}, db, options, kernel_cache));
   auto holder = std::shared_ptr<NodeEval>(std::move(root));
   engine.root_ = holder.get();
   engine.root_holder_ = holder;

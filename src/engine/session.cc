@@ -8,6 +8,28 @@
 
 namespace lahar {
 
+SharedSubChain::SharedSubChain(std::string key, RegularChain chain,
+                               size_t frontier_history)
+    : key_(std::move(key)), chain_(std::move(chain)) {
+  ring_.assign(frontier_history < 2 ? 2 : frontier_history, 0.0);
+  ResyncFrontier();
+}
+
+size_t SharedSubChain::AdvanceTo(Timestamp to) {
+  size_t executed = 0;
+  while (chain_.time() < to) {
+    double p = chain_.Step();
+    ring_[chain_.time() % ring_.size()] = p;
+    ++steps_;
+    ++executed;
+  }
+  return executed;
+}
+
+void SharedSubChain::ResyncFrontier() {
+  ring_[chain_.time() % ring_.size()] = chain_.AcceptProb();
+}
+
 Result<double> QuerySession::Advance() {
   PrepareAdvance();
   AdvanceShard(0, num_units());
@@ -18,6 +40,12 @@ size_t QuerySession::StepCost() const {
   size_t total = 0;
   for (size_t i = 0; i < num_units(); ++i) total += UnitCost(i);
   return total;
+}
+
+const std::string& QuerySession::ShareableUnitKey(size_t i) const {
+  (void)i;
+  static const std::string kEmpty;
+  return kEmpty;
 }
 
 namespace {

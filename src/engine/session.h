@@ -30,13 +30,70 @@
 #define LAHAR_ENGINE_SESSION_H_
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "analysis/prepared.h"
 #include "common/serial.h"
 #include "engine/lahar.h"
+#include "engine/regular_engine.h"
 #include "engine/safe_engine.h"
 
 namespace lahar {
+
+/// \brief A cross-session shared evaluation unit (docs/SHARING.md): one
+/// RegularChain stepped once per tick on behalf of every structurally
+/// identical grounded chain (equal canonical key) across standing queries.
+///
+/// The runtime steps the unit through AdvanceTo exactly once per window,
+/// recording each tick's accept probability in a bounded frontier ring;
+/// delegated sessions then read ProbAt(t) instead of stepping their own
+/// copy. Chains are cloned *from* a live member at creation and copied
+/// *back* at undelegation, so membership churn never loses state. Not
+/// internally synchronized: AdvanceTo runs on the runtime coordinator
+/// before worker fan-out, and workers only call the const readers.
+class SharedSubChain {
+ public:
+  /// `frontier_history` bounds how many recent ticks ProbAt can answer; it
+  /// must exceed the deepest read lag (the executor sizes it to the window
+  /// cap plus slack).
+  SharedSubChain(std::string key, RegularChain chain,
+                 size_t frontier_history);
+
+  const std::string& key() const { return key_; }
+  Timestamp time() const { return chain_.time(); }
+
+  /// Steps the chain up to timestep `to` (idempotent for to <= time()),
+  /// recording per-tick probabilities in the frontier ring. Returns the
+  /// number of steps executed.
+  size_t AdvanceTo(Timestamp to);
+
+  /// P[q@t] recorded by AdvanceTo; `t` must lie within the frontier
+  /// history of time().
+  double ProbAt(Timestamp t) const { return ring_[t % ring_.size()]; }
+
+  const RegularChain& chain() const { return chain_; }
+  /// Checkpoint restore loads directly into the chain, then calls
+  /// ResyncFrontier to re-prime the current tick's ring entry.
+  RegularChain* mutable_chain() { return &chain_; }
+  void ResyncFrontier();
+
+  /// Membership bookkeeping (maintained by the registry's sharing pool).
+  size_t readers() const { return readers_; }
+  void AddReader() { ++readers_; }
+  void DropReader() { --readers_; }
+
+  /// Cumulative steps executed by AdvanceTo.
+  uint64_t steps() const { return steps_; }
+  const Status& status() const { return chain_.status(); }
+
+ private:
+  std::string key_;
+  RegularChain chain_;
+  std::vector<double> ring_;
+  size_t readers_ = 0;
+  uint64_t steps_ = 0;
+};
 
 /// \brief Incremental evaluation session for one standing query.
 class QuerySession {
@@ -117,6 +174,45 @@ class QuerySession {
   /// Safe-path memo/row-cache counters (zeroes for the other classes);
   /// surfaced in RuntimeStats so bounded-memory serving is observable.
   virtual SafeMemoStats MemoStats() const { return {}; }
+
+  // --- Cross-session sharing hooks (docs/SHARING.md) ----------------------
+  // The registry's sharing pool groups sessions whose units carry equal
+  // canonical keys and swaps their private chains for one SharedSubChain.
+  // Classes that decline sharing keep the no-op defaults.
+
+  /// Units eligible for cross-session sharing (grounded chains with a
+  /// canonical key); indices coincide with the unit indices of AdvanceShard.
+  virtual size_t NumShareableUnits() const { return 0; }
+
+  /// Canonical structural key of shareable unit `i` (see
+  /// analysis/plan.h CanonicalQueryKey).
+  virtual const std::string& ShareableUnitKey(size_t i) const;
+
+  /// Clones unit `i`'s live chain into a fresh shared unit that other
+  /// sessions with the same key can adopt. Null when the unit cannot seed
+  /// one (latched error, already delegated).
+  virtual std::shared_ptr<SharedSubChain> MakeSharedUnit(
+      size_t i, size_t frontier_history) const {
+    (void)i;
+    (void)frontier_history;
+    return nullptr;
+  }
+
+  /// Delegates unit `i` to `unit`: the session stops stepping its private
+  /// chain and reads per-tick probabilities from the shared frontier.
+  /// Passing null undelegates (the shared state is copied back into the
+  /// private chain). Returns false when delegation is refused (time
+  /// mismatch or latched error); the caller must then leave the session
+  /// evaluating privately.
+  virtual bool DelegateUnit(size_t i,
+                            const std::shared_ptr<SharedSubChain>& unit) {
+    (void)i;
+    (void)unit;
+    return false;
+  }
+
+  /// Units currently delegated to shared sub-chains (stats).
+  virtual size_t NumDelegatedUnits() const { return 0; }
 
  protected:
   QuerySession(QueryClass query_class, EngineKind engine_kind, bool exact)

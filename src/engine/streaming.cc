@@ -1,6 +1,7 @@
 #include "engine/streaming.h"
 
 #include "analysis/classify.h"
+#include "analysis/plan.h"
 
 namespace lahar {
 
@@ -25,7 +26,35 @@ Result<StreamingSession> StreamingSession::Create(
   LAHAR_ASSIGN_OR_RETURN(ExtendedRegularEngine engine,
                          ExtendedRegularEngine::Create(prepared.normalized,
                                                        *db, options));
-  return StreamingSession(std::move(engine), cls);
+  StreamingSession session(std::move(engine), cls);
+  // Canonical key per grounded chain: two chains across any sessions with
+  // equal keys are structurally identical and step to identical doubles,
+  // so the runtime may evaluate them as one shared unit.
+  session.unit_keys_.reserve(session.engine_.num_chains());
+  for (size_t i = 0; i < session.engine_.num_chains(); ++i) {
+    session.unit_keys_.push_back(CanonicalQueryKey(
+        prepared.normalized.Substitute(session.engine_.binding(i))));
+  }
+  return session;
+}
+
+std::shared_ptr<SharedSubChain> StreamingSession::MakeSharedUnit(
+    size_t i, size_t frontier_history) const {
+  if (i >= engine_.num_chains() || engine_.IsDelegated(i)) return nullptr;
+  const RegularChain& c = engine_.chain(i);
+  if (!c.status().ok()) return nullptr;
+  return std::make_shared<SharedSubChain>(unit_keys_[i], c,
+                                          frontier_history);
+}
+
+bool StreamingSession::DelegateUnit(
+    size_t i, const std::shared_ptr<SharedSubChain>& unit) {
+  if (i >= engine_.num_chains()) return false;
+  if (unit == nullptr) {
+    engine_.UndelegateChain(i);
+    return true;
+  }
+  return engine_.DelegateChain(i, unit);
 }
 
 Result<double> StreamingSession::Advance() {

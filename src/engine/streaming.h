@@ -83,6 +83,20 @@ class StreamingSession : public QuerySession {
   /// bindings).
   const ExtendedRegularEngine& engine() const { return engine_; }
 
+  // Cross-session sharing (docs/SHARING.md): every grounded chain is a
+  // shareable unit keyed by the canonical form of its grounded query.
+  size_t NumShareableUnits() const override { return engine_.num_chains(); }
+  const std::string& ShareableUnitKey(size_t i) const override {
+    return unit_keys_[i];
+  }
+  std::shared_ptr<SharedSubChain> MakeSharedUnit(
+      size_t i, size_t frontier_history) const override;
+  bool DelegateUnit(size_t i,
+                    const std::shared_ptr<SharedSubChain>& unit) override;
+  size_t NumDelegatedUnits() const override {
+    return engine_.num_delegated();
+  }
+
  private:
   StreamingSession(ExtendedRegularEngine engine, QueryClass query_class)
       : QuerySession(query_class,
@@ -93,6 +107,8 @@ class StreamingSession : public QuerySession {
         engine_(std::move(engine)) {}
 
   ExtendedRegularEngine engine_;
+  /// Canonical key per grounded chain (index-aligned with engine chains).
+  std::vector<std::string> unit_keys_;
 };
 
 }  // namespace lahar

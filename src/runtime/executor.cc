@@ -81,7 +81,17 @@ StreamRuntime::StreamRuntime(EventDatabase* db, RuntimeOptions options)
                        : std::max(1u, std::thread::hardware_concurrency())),
       window_cap_(std::max<size_t>(1, options.max_window_ticks)),
       queue_(options.queue_capacity),
-      registry_(db, options.session),
+      // Shared units record one frontier probability per tick; delegated
+      // sessions may lag a whole window behind the unit, so the ring must
+      // cover window_cap_ ticks (plus slack for the arming tick).
+      registry_(db, options.session,
+                [&] {
+                  SharingOptions s = options.sharing;
+                  if (s.frontier_history < window_cap_ + 2) {
+                    s.frontier_history = window_cap_ + 2;
+                  }
+                  return s;
+                }()),
       reorder_(options.reorder_window) {
   tick_ = db_->horizon();
   published_tick_ = tick_;
@@ -222,6 +232,18 @@ RuntimeStats StreamRuntime::Stats() const {
     out.steals = steals_;
     out.rebalances = rebalances_;
     out.barrier_wait = barrier_wait_.Summarize();
+    out.sharing_groups = registry_.num_sharing_groups();
+    out.shared_steps_executed = registry_.shared_steps_executed();
+    out.shared_steps_saved = registry_.shared_steps_saved();
+    out.prepared_dedup_hits = registry_.prepared_dedup_hits();
+    KernelCache::Stats ks = registry_.shared_kernels().stats();
+    out.kernel_cache_hits = ks.hits;
+    out.kernel_cache_misses = ks.misses;
+    out.kernel_cache_entries = registry_.shared_kernels().size();
+    out.sharing_fanout_hist.assign(8, 0);
+    for (size_t readers : registry_.SharingFanouts()) {
+      ++out.sharing_fanout_hist[WindowBucket(readers)];
+    }
     size_t class_counts[4] = {0, 0, 0, 0};
     for (const auto& q : registry_.queries()) {
       QueryStats qs;
@@ -243,6 +265,9 @@ RuntimeStats StreamRuntime::Stats() const {
       qs.rows_live = ms.rows_live;
       qs.row_evictions = ms.row_evictions;
       qs.row_rebuilds = ms.row_rebuilds;
+      qs.kernel_hits = q->kernel_hits;
+      qs.kernel_misses = q->kernel_misses;
+      qs.shared_units = q->session->NumDelegatedUnits();
       out.safe_memo_entries += ms.memo_entries;
       out.safe_memo_evictions += ms.memo_evictions;
       out.safe_rows_live += ms.rows_live;
@@ -480,6 +505,11 @@ void StreamRuntime::RunWindow(
   if (work_version_ != registry_.version()) RebuildPlan(/*measured=*/false);
   const size_t W = window_size_ = window;
   const size_t nq = registry_.size();
+  // Shared-unit phase (docs/SHARING.md): every cross-query shared unit
+  // steps through the whole window up front, on this thread; delegated
+  // chains then read the recorded frontier instead of stepping. The epoch
+  // bump below publishes the frontiers to the worker pool.
+  registry_.AdvanceSharedUnits(tick_ + W);
   for (size_t k = 0; k < W; ++k) {
     for (WindowEntry& e : window_entries_[k]) {
       e.ok = false;

@@ -105,6 +105,10 @@ struct RuntimeOptions {
   /// Session routing options (safe-plan compilation, sampling parameters,
   /// and whether Safe/Unsafe queries may fall back to sampling).
   LaharOptions session;
+  /// Cross-query shared evaluation (docs/SHARING.md). `sharing.enabled =
+  /// false` selects the bit-identical `unshared` verification mode. The
+  /// runtime raises `frontier_history` to cover its window size.
+  SharingOptions sharing;
 };
 
 /// \brief Concurrent multi-query streaming runtime over one database.

@@ -4,15 +4,60 @@
 
 namespace lahar {
 
+QueryRegistry::QueryRegistry(EventDatabase* db, LaharOptions options,
+                             SharingOptions sharing)
+    : db_(db),
+      options_(std::move(options)),
+      sharing_(sharing),
+      shared_kernels_(std::make_shared<KernelCache>()) {
+  // Safe plans compile their reg leaves through the registry-wide cache
+  // (unless the caller wired a cache of their own), so structurally equal
+  // leaves across plans — and standalone regular queries — compile once.
+  if (options_.plan.safe.kernel_cache == nullptr) {
+    options_.plan.safe.kernel_cache = shared_kernels_.get();
+  }
+}
+
 Result<QueryId> QueryRegistry::Register(std::string_view text,
                                         Timestamp tick) {
+  // Exact-text dedup: a textually identical re-registration reuses the
+  // cached prepared plan (and its kernel cache) instead of reparsing and
+  // reclassifying. Sessions stay per-query; only the plan is shared.
+  std::string key(text);
+  auto it = prepared_cache_.find(key);
+  if (it != prepared_cache_.end()) {
+    ++prepared_dedup_hits_;
+    return RegisterPrepared(it->second.prepared, text, tick,
+                            /*cached_plan=*/true);
+  }
   LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(text, db_));
-  return Register(prepared, text, tick);
+  prepared.kernel_cache = shared_kernels_;
+  auto ins = prepared_cache_.emplace(std::move(key),
+                                     PreparedEntry{std::move(prepared), 0});
+  Result<QueryId> id = RegisterPrepared(ins.first->second.prepared, text,
+                                        tick, /*cached_plan=*/true);
+  if (!id.ok() && ins.first->second.refs == 0) {
+    prepared_cache_.erase(ins.first);
+  }
+  return id;
 }
 
 Result<QueryId> QueryRegistry::Register(const PreparedQuery& prepared,
                                         std::string_view text,
                                         Timestamp tick) {
+  return RegisterPrepared(prepared, text, tick, /*cached_plan=*/false);
+}
+
+Result<QueryId> QueryRegistry::RegisterPrepared(const PreparedQuery& prepared,
+                                                std::string_view text,
+                                                Timestamp tick,
+                                                bool cached_plan) {
+  KernelCache* plan_cache = prepared.kernel_cache.get();
+  KernelCache::Stats shared_before = shared_kernels_->stats();
+  KernelCache::Stats plan_before;
+  if (plan_cache != nullptr && plan_cache != shared_kernels_.get()) {
+    plan_before = plan_cache->stats();
+  }
   LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<QuerySession> session,
                          CreateQuerySession(db_, prepared, options_));
   auto q = std::make_unique<StandingQuery>();
@@ -22,6 +67,15 @@ Result<QueryId> QueryRegistry::Register(const PreparedQuery& prepared,
   q->engine = session->engine_kind();
   q->exact = session->exact();
   q->session = std::move(session);
+  q->cached_plan = cached_plan;
+  KernelCache::Stats shared_after = shared_kernels_->stats();
+  q->kernel_hits = shared_after.hits - shared_before.hits;
+  q->kernel_misses = shared_after.misses - shared_before.misses;
+  if (plan_cache != nullptr && plan_cache != shared_kernels_.get()) {
+    KernelCache::Stats plan_after = plan_cache->stats();
+    q->kernel_hits += plan_after.hits - plan_before.hits;
+    q->kernel_misses += plan_after.misses - plan_before.misses;
+  }
   // Catch up to the runtime's clock: the database already stores timesteps
   // 1..tick, so replaying them aligns the session with the standing pool.
   while (q->session->time() < tick) {
@@ -29,7 +83,13 @@ Result<QueryId> QueryRegistry::Register(const PreparedQuery& prepared,
     (void)p;
   }
   QueryId id = q->id;
+  StandingQuery* raw = q.get();
   queries_.push_back(std::move(q));
+  if (cached_plan) {
+    auto it = prepared_cache_.find(raw->text);
+    if (it != prepared_cache_.end()) ++it->second.refs;
+  }
+  AttachSharing(raw);
   ++version_;
   return id;
 }
@@ -41,6 +101,7 @@ Status QueryRegistry::RestoreQuery(QueryId id, std::string_view text,
                                  " already registered");
   }
   LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(text, db_));
+  prepared.kernel_cache = shared_kernels_;
   LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<QuerySession> session,
                          CreateQuerySession(db_, prepared, options_));
   auto q = std::make_unique<StandingQuery>();
@@ -68,8 +129,10 @@ Status QueryRegistry::RestoreQuery(QueryId id, std::string_view text,
       (void)p;
     }
   }
+  StandingQuery* raw = q.get();
   queries_.push_back(std::move(q));
   next_id_ = std::max(next_id_, id + 1);
+  AttachSharing(raw);
   ++version_;
   return Status::OK();
 }
@@ -82,9 +145,117 @@ Status QueryRegistry::Unregister(QueryId id) {
     return Status::NotFound("no registered query with id " +
                             std::to_string(id));
   }
+  DetachSharing(it->get());
+  ReleasePreparedPlan(**it);
   queries_.erase(it);
   ++version_;
   return Status::OK();
+}
+
+void QueryRegistry::ReleasePreparedPlan(const StandingQuery& q) {
+  if (!q.cached_plan) return;
+  auto it = prepared_cache_.find(q.text);
+  if (it == prepared_cache_.end()) return;
+  if (it->second.refs > 0) --it->second.refs;
+  if (it->second.refs == 0) prepared_cache_.erase(it);
+}
+
+void QueryRegistry::AttachSharing(StandingQuery* q) {
+  if (!sharing_.enabled) return;
+  QuerySession* s = q->session.get();
+  size_t n = s->NumShareableUnits();
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& key = s->ShareableUnitKey(i);
+    if (key.empty()) continue;
+    UnitPool& pool = sharing_pool_[key];
+    pool.members.push_back(UnitMember{q, i, false});
+    q->shared_units.emplace_back(key, i);
+    if (pool.unit == nullptr && pool.members.size() >= 2) {
+      // Materialize lazily at the second member, seeded from the NEW
+      // member's caught-up chain (deterministic stepping makes every
+      // member's chain state identical, so any member can seed).
+      pool.unit = s->MakeSharedUnit(i, sharing_.frontier_history);
+      if (pool.unit == nullptr) continue;  // errored chain: stay private
+      for (UnitMember& m : pool.members) {
+        m.delegated = m.query->session->DelegateUnit(m.unit, pool.unit);
+        if (m.delegated) pool.unit->AddReader();
+      }
+      if (pool.unit->readers() < 2) {
+        // Sharing didn't take (e.g. a member refused on a latched error):
+        // roll everyone back to private stepping.
+        for (UnitMember& m : pool.members) {
+          if (m.delegated) {
+            m.query->session->DelegateUnit(m.unit, nullptr);
+            m.delegated = false;
+          }
+        }
+        pool.unit = nullptr;
+      }
+    } else if (pool.unit != nullptr) {
+      UnitMember& m = pool.members.back();
+      m.delegated = s->DelegateUnit(i, pool.unit);
+      if (m.delegated) pool.unit->AddReader();
+    }
+  }
+}
+
+void QueryRegistry::DetachSharing(StandingQuery* q) {
+  for (const auto& [key, idx] : q->shared_units) {
+    auto it = sharing_pool_.find(key);
+    if (it == sharing_pool_.end()) continue;
+    UnitPool& pool = it->second;
+    for (auto mit = pool.members.begin(); mit != pool.members.end(); ++mit) {
+      if (mit->query != q || mit->unit != idx) continue;
+      if (mit->delegated && pool.unit != nullptr) {
+        q->session->DelegateUnit(idx, nullptr);
+        pool.unit->DropReader();
+      }
+      pool.members.erase(mit);
+      break;
+    }
+    // Below two readers the unit saves nothing: undelegate the survivors
+    // (copying the live shared state back into their private chains) and
+    // drop the unit. A later re-registration re-materializes it.
+    if (pool.unit != nullptr && pool.unit->readers() < 2) {
+      for (UnitMember& m : pool.members) {
+        if (m.delegated) {
+          m.query->session->DelegateUnit(m.unit, nullptr);
+          m.delegated = false;
+        }
+      }
+      pool.unit = nullptr;
+    }
+    if (pool.members.empty()) sharing_pool_.erase(it);
+  }
+  q->shared_units.clear();
+}
+
+void QueryRegistry::AdvanceSharedUnits(Timestamp to) {
+  for (auto& [key, pool] : sharing_pool_) {
+    (void)key;
+    if (pool.unit == nullptr) continue;
+    size_t steps = pool.unit->AdvanceTo(to);
+    shared_steps_executed_ += steps;
+    shared_steps_saved_ += steps * (pool.unit->readers() - 1);
+  }
+}
+
+size_t QueryRegistry::num_sharing_groups() const {
+  size_t n = 0;
+  for (const auto& [key, pool] : sharing_pool_) {
+    (void)key;
+    if (pool.unit != nullptr) ++n;
+  }
+  return n;
+}
+
+std::vector<size_t> QueryRegistry::SharingFanouts() const {
+  std::vector<size_t> out;
+  for (const auto& [key, pool] : sharing_pool_) {
+    (void)key;
+    if (pool.unit != nullptr) out.push_back(pool.unit->readers());
+  }
+  return out;
 }
 
 StandingQuery* QueryRegistry::Find(QueryId id) {

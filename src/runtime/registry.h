@@ -13,12 +13,29 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "automaton/kernel.h"
 #include "engine/session.h"
 #include "runtime/stats.h"
 
 namespace lahar {
+
+/// \brief Options controlling cross-query shared evaluation
+/// (docs/SHARING.md).
+struct SharingOptions {
+  /// Master switch. false selects the `unshared` verification mode: every
+  /// session keeps stepping private chains. Results are bit-identical
+  /// either way (shared units are clones of the same deterministic chains).
+  bool enabled = true;
+
+  /// Ticks of per-unit frontier history retained for delegated reads. Must
+  /// exceed the executor's window size; StreamRuntime raises it to cover
+  /// its configured window automatically.
+  size_t frontier_history = 64;
+};
 
 /// \brief One registered standing query and its runtime bookkeeping.
 struct StandingQuery {
@@ -40,13 +57,28 @@ struct StandingQuery {
   uint64_t errors = 0;       ///< ticks whose CommitAdvance failed
   Status last_error;         ///< most recent CommitAdvance failure
   LatencyRecorder advance_latency;
+
+  /// Kernel-cache lookups attributable to building this query's session.
+  uint64_t kernel_hits = 0;
+  uint64_t kernel_misses = 0;
+  /// True when the prepared plan came from the registry's exact-text cache
+  /// (refcounted there; see QueryRegistry).
+  bool cached_plan = false;
+  /// (canonical key, unit index) of every unit pooled for sharing.
+  std::vector<std::pair<std::string, size_t>> shared_units;
 };
 
 /// \brief Registry of standing queries over one database.
+///
+/// Beyond the per-query lifecycle, the registry owns the cross-query
+/// sharing machinery (docs/SHARING.md): a process-wide KernelCache every
+/// session compiles through, an exact-text cache of prepared plans, and the
+/// sharing pool that groups structurally identical grounded chains into
+/// SharedSubChain units stepped once per tick for all their readers.
 class QueryRegistry {
  public:
-  explicit QueryRegistry(EventDatabase* db, LaharOptions options = {})
-      : db_(db), options_(options) {}
+  explicit QueryRegistry(EventDatabase* db, LaharOptions options = {},
+                         SharingOptions sharing = {});
 
   /// Parses, classifies, and registers `text`, routing it to the session
   /// implementation for its class (streaming kernels, incremental safe
@@ -90,10 +122,66 @@ class QueryRegistry {
   /// partitions when it observes a new version.
   uint64_t version() const { return version_; }
 
+  // --- Cross-query sharing (docs/SHARING.md) ------------------------------
+
+  /// Steps every materialized shared unit to timestep `to` and accrues the
+  /// sharing counters. The executor calls this once per window, before any
+  /// dependent session's fan-out; delegated sessions then read the
+  /// recorded frontier instead of stepping.
+  void AdvanceSharedUnits(Timestamp to);
+
+  /// Materialized sharing groups (units live and stepped once per tick).
+  size_t num_sharing_groups() const;
+  /// Reader count of each materialized group (fan-out histogram input).
+  std::vector<size_t> SharingFanouts() const;
+  /// Chain steps executed by shared units / avoided in their readers.
+  uint64_t shared_steps_executed() const { return shared_steps_executed_; }
+  uint64_t shared_steps_saved() const { return shared_steps_saved_; }
+  /// Textually identical registrations served from the prepared-plan cache
+  /// instead of reparsing/reclassifying.
+  uint64_t prepared_dedup_hits() const { return prepared_dedup_hits_; }
+  /// Registry-wide compiled-kernel cache shared by every session.
+  const KernelCache& shared_kernels() const { return *shared_kernels_; }
+  const SharingOptions& sharing_options() const { return sharing_; }
+
  private:
+  Result<QueryId> RegisterPrepared(const PreparedQuery& prepared,
+                                   std::string_view text, Timestamp tick,
+                                   bool cached_plan);
+  /// Pools the session's shareable units; always the LAST step of a
+  /// successful Register/RestoreQuery (the session must be caught up).
+  void AttachSharing(StandingQuery* q);
+  /// Removes the query from every pool it joined, dissolving units whose
+  /// reader count drops below two (survivors resume private stepping).
+  void DetachSharing(StandingQuery* q);
+  void ReleasePreparedPlan(const StandingQuery& q);
+
+  struct UnitMember {
+    StandingQuery* query;
+    size_t unit;
+    bool delegated = false;
+  };
+  struct UnitPool {
+    std::vector<UnitMember> members;
+    /// Materialized lazily when a second member arrives; null while the
+    /// key has a single holder (non-overlapping workloads pay nothing).
+    std::shared_ptr<SharedSubChain> unit;
+  };
+  struct PreparedEntry {
+    PreparedQuery prepared;
+    size_t refs = 0;
+  };
+
   EventDatabase* db_;
   LaharOptions options_;
+  SharingOptions sharing_;
+  std::shared_ptr<KernelCache> shared_kernels_;
   std::vector<std::unique_ptr<StandingQuery>> queries_;
+  std::unordered_map<std::string, UnitPool> sharing_pool_;
+  std::unordered_map<std::string, PreparedEntry> prepared_cache_;
+  uint64_t prepared_dedup_hits_ = 0;
+  uint64_t shared_steps_executed_ = 0;
+  uint64_t shared_steps_saved_ = 0;
   QueryId next_id_ = 1;
   uint64_t version_ = 0;
 };

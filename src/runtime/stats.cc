@@ -175,6 +175,28 @@ std::string RuntimeStats::ToString() const {
                   static_cast<unsigned long long>(safe_row_evictions));
     out += buf;
   }
+  if (sharing_groups > 0 || shared_steps_saved > 0 ||
+      prepared_dedup_hits > 0 || kernel_cache_hits > 0 ||
+      kernel_cache_misses > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "sharing: groups=%zu steps_executed=%llu steps_saved=%llu "
+                  "plan_dedup_hits=%llu kernels=%zu kernel_hits=%llu "
+                  "kernel_misses=%llu fanout_hist=[",
+                  sharing_groups,
+                  static_cast<unsigned long long>(shared_steps_executed),
+                  static_cast<unsigned long long>(shared_steps_saved),
+                  static_cast<unsigned long long>(prepared_dedup_hits),
+                  kernel_cache_entries,
+                  static_cast<unsigned long long>(kernel_cache_hits),
+                  static_cast<unsigned long long>(kernel_cache_misses));
+    out += buf;
+    for (size_t i = 0; i < sharing_fanout_hist.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? " " : "",
+                    static_cast<unsigned long long>(sharing_fanout_hist[i]));
+      out += buf;
+    }
+    out += "]\n";
+  }
   if (net.total_connections > 0 || net.connections > 0) {
     std::snprintf(buf, sizeof(buf),
                   "net:     conns=%zu/%llu subs=%zu frames=%llu/%llu "
@@ -257,6 +279,15 @@ std::string RuntimeStats::ToString() const {
                     static_cast<unsigned long long>(q.row_rebuilds));
       out += buf;
     }
+    if (q.shared_units > 0 || q.kernel_hits > 0 || q.kernel_misses > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "    sharing: delegated_units=%zu kernel_hits=%llu "
+                    "kernel_misses=%llu\n",
+                    q.shared_units,
+                    static_cast<unsigned long long>(q.kernel_hits),
+                    static_cast<unsigned long long>(q.kernel_misses));
+      out += buf;
+    }
   }
   return out;
 }
@@ -314,6 +345,27 @@ std::string RuntimeStats::ToJson() const {
                 safe_rows_live,
                 static_cast<unsigned long long>(safe_row_evictions));
   out += buf;
+  // Sharing counters are always present (zeros when sharing is disabled or
+  // no workload overlaps) so dashboards need no field probing.
+  std::snprintf(buf, sizeof(buf),
+                "\"sharing_groups\":%zu,\"shared_steps_executed\":%llu,"
+                "\"shared_steps_saved\":%llu,\"prepared_dedup_hits\":%llu,"
+                "\"kernel_cache_hits\":%llu,\"kernel_cache_misses\":%llu,"
+                "\"kernel_cache_entries\":%zu,\"sharing_fanout_hist\":[",
+                sharing_groups,
+                static_cast<unsigned long long>(shared_steps_executed),
+                static_cast<unsigned long long>(shared_steps_saved),
+                static_cast<unsigned long long>(prepared_dedup_hits),
+                static_cast<unsigned long long>(kernel_cache_hits),
+                static_cast<unsigned long long>(kernel_cache_misses),
+                kernel_cache_entries);
+  out += buf;
+  for (size_t i = 0; i < sharing_fanout_hist.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? "," : "",
+                  static_cast<unsigned long long>(sharing_fanout_hist[i]));
+    out += buf;
+  }
+  out += "],";
   if (!class_latency.empty()) {
     out += "\"class_latency\":{";
     bool first = true;
@@ -370,12 +422,16 @@ std::string RuntimeStats::ToJson() const {
     std::snprintf(buf, sizeof(buf),
                   "{\"id\":%llu,\"class\":\"%s\",\"engine\":\"%s\","
                   "\"exact\":%s,\"units\":%zu,\"ticks\":%llu,"
-                  "\"errors\":%llu,",
+                  "\"errors\":%llu,\"kernel_hits\":%llu,"
+                  "\"kernel_misses\":%llu,\"shared_units\":%zu,",
                   static_cast<unsigned long long>(q.id),
                   JsonEscape(q.query_class).c_str(),
                   JsonEscape(q.engine).c_str(), q.exact ? "true" : "false",
                   q.num_chains, static_cast<unsigned long long>(q.ticks),
-                  static_cast<unsigned long long>(q.errors));
+                  static_cast<unsigned long long>(q.errors),
+                  static_cast<unsigned long long>(q.kernel_hits),
+                  static_cast<unsigned long long>(q.kernel_misses),
+                  q.shared_units);
     out += buf;
     out += "\"text\":\"" + JsonEscape(q.text) + "\",";
     out += "\"last_error\":\"" + JsonEscape(q.last_error) + "\"}";

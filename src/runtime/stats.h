@@ -78,6 +78,14 @@ struct QueryStats {
   size_t rows_live = 0;
   uint64_t row_evictions = 0;
   uint64_t row_rebuilds = 0;
+  /// Kernel-cache lookups attributable to building this query's session
+  /// (hits mean a structurally equal kernel compiled earlier — by this
+  /// query or any other — was reused; see docs/SHARING.md).
+  uint64_t kernel_hits = 0;
+  uint64_t kernel_misses = 0;
+  /// Units of this query currently delegated to cross-query shared
+  /// sub-chains (stepped once per tick for all their readers).
+  size_t shared_units = 0;
 };
 
 /// \brief Per-shard counters, snapshot at Stats() time.
@@ -146,6 +154,26 @@ struct RuntimeStats {
   uint64_t safe_memo_evictions = 0;
   size_t safe_rows_live = 0;
   uint64_t safe_row_evictions = 0;
+  // --- cross-query sharing counters (docs/SHARING.md) ---------------------
+  /// Materialized sharing groups: sub-chain units stepped once per tick
+  /// and read by >= 2 sessions.
+  size_t sharing_groups = 0;
+  /// Chain steps executed by shared units since Start.
+  uint64_t shared_steps_executed = 0;
+  /// Chain steps the readers did NOT execute thanks to sharing: every unit
+  /// step saves (readers - 1) private steps.
+  uint64_t shared_steps_saved = 0;
+  /// Group fan-out (readers per materialized group), log2 buckets like
+  /// window_size_hist: [1] [2] [3-4] [5-8] ... 65+.
+  std::vector<uint64_t> sharing_fanout_hist;
+  /// Textually identical registrations served from the prepared-plan cache
+  /// instead of reparsing and reclassifying.
+  uint64_t prepared_dedup_hits = 0;
+  /// Registry-wide compiled-kernel cache: lookups across every session
+  /// build plus the number of distinct kernels held.
+  uint64_t kernel_cache_hits = 0;
+  uint64_t kernel_cache_misses = 0;
+  size_t kernel_cache_entries = 0;
   /// End-to-end per-tick wall time. Under windowed execution each tick of
   /// a window records the window's wall time divided by its width, so the
   /// count still equals ticks_processed and the mean is the true

@@ -298,6 +298,117 @@ TEST(RuntimeStressTest, MixedClassWorkloadSurvivesConcurrentChurn) {
   EXPECT_GT(churned.load(), 0u);
 }
 
+// Sharing-group churn races windowed execution: two stable alpha-variant
+// queries keep one shared unit materialized for the whole run while a
+// churn thread registers and unregisters more members of the same group
+// (plus members of an extended-regular group), forcing delegation,
+// undelegation, group dissolution, and re-materialization between windows
+// — concurrently with ingest and the shard pool reading delegated
+// frontiers. Built for the TSan preset; the stable queries must stay
+// bit-identical to a sequential unshared replay throughout.
+TEST(RuntimeStressTest, SharingGroupChurnStaysBitIdentical) {
+  constexpr size_t kShareTags = 3;
+  constexpr Timestamp kShareHorizon = 300;
+  PipelineConfig config;
+  config.num_particles = 32;
+  auto scenario =
+      RandomWalkScenario(kShareTags, kShareHorizon, /*seed=*/5, config);
+  ASSERT_OK(scenario.status());
+  auto archive = scenario->BuildDatabase(StreamKind::kFiltered);
+  ASSERT_OK(archive.status());
+
+  // Two alpha-variants: their shared unit is live from tick 1.
+  const std::vector<std::string> stable = {
+      "At('tag1', l : Room(l))",
+      "At('tag1', m : Room(m))",
+      "At(x, l1 : NotRoom(l1)); At(x, l2 : Room(l2))",
+  };
+  std::vector<std::vector<double>> expected(stable.size());
+  for (size_t i = 0; i < stable.size(); ++i) {
+    auto session = StreamingSession::Create(archive->get(), stable[i]);
+    ASSERT_OK(session.status());
+    for (Timestamp t = 1; t <= kShareHorizon; ++t) {
+      auto p = session->Advance();
+      ASSERT_OK(p.status());
+      expected[i].push_back(*p);
+    }
+  }
+
+  auto live = CloneDeclarations(**archive);
+  ASSERT_OK(live.status());
+  auto batches = ExtractBatches(**archive);
+  ASSERT_OK(batches.status());
+
+  RuntimeOptions options;
+  options.num_threads = 4;
+  options.queue_capacity = 8;
+  options.max_window_ticks = 16;
+  StreamRuntime runtime(live->get(), options);
+  std::vector<QueryId> ids;
+  for (const std::string& q : stable) {
+    auto id = runtime.Register(q);
+    ASSERT_OK(id.status());
+    ids.push_back(*id);
+  }
+
+  std::vector<TickResult> results;
+  results.reserve(kShareHorizon);
+  runtime.SetTickCallback(
+      [&](const TickResult& r) { results.push_back(r); });
+  runtime.Start();
+
+  // Churn more members of the stable queries' sharing groups: every
+  // registration delegates chains into a live unit, every unregistration
+  // detaches (and the extended-regular group repeatedly drops to one
+  // reader and dissolves).
+  std::atomic<bool> done{false};
+  std::atomic<size_t> churned{0};
+  std::thread churn([&] {
+    size_t i = 0;
+    while (!done.load()) {
+      const std::string var = "v" + std::to_string(i % 7);
+      const std::string text =
+          i % 3 == 2 ? "At(" + var + ", l1 : NotRoom(l1)); At(" + var +
+                           ", l2 : Room(l2))"
+                     : "At('tag1', " + var + " : Room(" + var + "))";
+      ++i;
+      auto id = runtime.Register(text);
+      if (id.ok()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_OK(runtime.Unregister(*id));
+        churned.fetch_add(1);
+      }
+    }
+  });
+
+  std::thread producer([&] {
+    for (TickBatch& b : *batches) {
+      Status s = runtime.ingest().Push(std::move(b), 120000ms);
+      EXPECT_OK(s);
+    }
+  });
+  producer.join();
+  ASSERT_TRUE(runtime.WaitForTick(kShareHorizon, 120000ms));
+  done.store(true);
+  churn.join();
+  runtime.Stop();
+
+  ASSERT_EQ(results.size(), kShareHorizon);
+  for (size_t t = 0; t < results.size(); ++t) {
+    for (size_t i = 0; i < stable.size(); ++i) {
+      const double* p = results[t].Find(ids[i]);
+      ASSERT_NE(p, nullptr) << stable[i] << " at t=" << t + 1;
+      EXPECT_EQ(*p, expected[i][t]) << stable[i] << " at t=" << t + 1;
+    }
+  }
+  RuntimeStats stats = runtime.Stats();
+  EXPECT_GT(churned.load(), 0u);
+  // The stable alpha-variant pair kept one unit materialized for the whole
+  // stream: at least one reader's steps were saved every tick.
+  EXPECT_GE(stats.shared_steps_saved, static_cast<uint64_t>(kShareHorizon));
+  EXPECT_GE(stats.sharing_groups, 1u);
+}
+
 // Checkpoints and registry churn race the windowed coordinator: while the
 // producer streams ticks through batched windows (and backpressure keeps
 // several windows in flight), one thread registers/unregisters queries and

@@ -1,0 +1,424 @@
+// Cross-query shared evaluation (docs/SHARING.md): the canonicalizing
+// rewrite and SharedPlanIndex in the analysis layer, the registry's
+// exact-text prepared-plan dedup and sharing pool, group rebuilds under
+// register/unregister churn, and end-to-end equivalence — shared mode must
+// publish probabilities and checkpoint bytes bit-identical to the
+// `unshared` verification mode.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/plan.h"
+#include "analysis/prepared.h"
+#include "engine/streaming.h"
+#include "runtime/executor.h"
+#include "runtime/registry.h"
+#include "runtime/replay.h"
+#include "sim/scenarios.h"
+#include "test_util.h"
+
+namespace lahar {
+namespace {
+
+using ::lahar::testing::AddIndependentStream;
+using ::lahar::testing::AddRelation;
+using ::lahar::testing::StepDist;
+using namespace std::chrono_literals;
+
+// A small archived database: two tags wandering over three rooms, plus the
+// Room/Lounge relations the queries predicate on.
+std::unique_ptr<EventDatabase> SmallDb(Timestamp horizon) {
+  auto db = std::make_unique<EventDatabase>();
+  AddRelation(db.get(), "Room", {{"kitchen"}, {"lounge"}, {"office"}});
+  AddRelation(db.get(), "Lounge", {{"lounge"}});
+  for (const std::string& tag : {"tag1", "tag2"}) {
+    std::vector<StepDist> steps;
+    for (Timestamp t = 0; t < horizon; ++t) {
+      // Deterministically varied but non-trivial marginals.
+      double p = 0.1 + 0.8 * ((t * 7 + (tag == "tag1" ? 3 : 5)) % 10) / 10.0;
+      steps.push_back({{"kitchen", p * 0.5},
+                       {"lounge", p * 0.3},
+                       {"office", (1.0 - p) * 0.6}});
+    }
+    AddIndependentStream(db.get(), "At", tag, steps);
+  }
+  return db;
+}
+
+std::string KeyOf(EventDatabase* db, const std::string& text) {
+  auto p = PrepareQuery(text, db);
+  EXPECT_TRUE(p.ok()) << p.status().ToString() << " for " << text;
+  return p.ok() ? CanonicalQueryKey(p->normalized) : std::string();
+}
+
+TEST(CanonicalKeyTest, AlphaVariantsHashEqual) {
+  auto db = SmallDb(4);
+  EXPECT_EQ(KeyOf(db.get(), "At('tag1', l : Room(l))"),
+            KeyOf(db.get(), "At('tag1', m : Room(m))"));
+  EXPECT_EQ(KeyOf(db.get(), "At('tag1', a : Room(a)); At('tag1', b : Lounge(b))"),
+            KeyOf(db.get(), "At('tag1', x : Room(x)); At('tag1', y : Lounge(y))"));
+  // Different constants and different predicates are different structures.
+  EXPECT_NE(KeyOf(db.get(), "At('tag1', l : Room(l))"),
+            KeyOf(db.get(), "At('tag2', l : Room(l))"));
+  EXPECT_NE(KeyOf(db.get(), "At('tag1', l : Room(l))"),
+            KeyOf(db.get(), "At('tag1', l : Lounge(l))"));
+}
+
+TEST(CanonicalKeyTest, PredicateSpellingOrderHashesEqual) {
+  auto db = SmallDb(4);
+  // Conjunct order within a WHERE clause is canonicalized away.
+  EXPECT_EQ(
+      KeyOf(db.get(),
+            "(At('tag1', l1); At('tag1', l2)) WHERE Room(l1) AND Lounge(l2)"),
+      KeyOf(db.get(),
+            "(At('tag1', a); At('tag1', b)) WHERE Lounge(b) AND Room(a)"));
+  // Comparisons are orientation-normalized.
+  EXPECT_EQ(KeyOf(db.get(), "(At('tag1', l1); At('tag1', l2)) WHERE l1 = l2"),
+            KeyOf(db.get(), "(At('tag1', l1); At('tag1', l2)) WHERE l2 = l1"));
+}
+
+TEST(CanonicalKeyTest, PrefixKeysAlignAcrossQueries) {
+  auto db = SmallDb(4);
+  auto p1 = PrepareQuery("At('tag1', l : Room(l))", db.get());
+  auto p2 = PrepareQuery(
+      "At('tag1', a : Room(a)); At('tag1', b : Lounge(b))", db.get());
+  ASSERT_OK(p1.status());
+  ASSERT_OK(p2.status());
+  auto k1 = CanonicalPrefixKeys(p1->normalized);
+  auto k2 = CanonicalPrefixKeys(p2->normalized);
+  ASSERT_EQ(k1.size(), 1u);
+  ASSERT_EQ(k2.size(), 2u);
+  // The 2-subgoal query's first prefix is the 1-subgoal query: a shared
+  // automaton prefix of length 1.
+  EXPECT_EQ(k1[0], k2[0]);
+  EXPECT_NE(k2[0], k2[1]);
+}
+
+TEST(SharedPlanIndexTest, GroupsOverlapAndDeclines) {
+  auto db = SmallDb(4);
+  auto add = [&](SharedPlanIndex* index, uint64_t id,
+                 const std::string& text) {
+    auto p = PrepareQuery(text, db.get());
+    ASSERT_TRUE(p.ok()) << p.status().ToString() << " for " << text;
+    index->Add(id, AnalyzeSharing(p->normalized, p->classification));
+  };
+  SharedPlanIndex index;
+  add(&index, 0, "At('tag1', l : Room(l))");
+  add(&index, 1, "At('tag1', m : Room(m))");  // alpha-variant of 0
+  add(&index, 2, "At('tag1', a : Room(a)); At('tag1', b : Lounge(b))");
+  add(&index, 3, "At('tag2', l : Lounge(l))");
+  EXPECT_EQ(index.num_queries(), 4u);
+  EXPECT_EQ(index.num_groups(), 1u);  // {0, 1}
+  auto groups = index.Groups();
+  bool found = false;
+  for (const auto& g : groups) {
+    if (g.members.size() < 2) continue;
+    EXPECT_EQ(g.members, (std::vector<uint64_t>{0, 1}));
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  // Query 2 extends query 0's automaton by one subgoal.
+  auto overlap = index.LongestPrefixOverlap(2);
+  EXPECT_EQ(overlap.subgoals, 1u);
+  EXPECT_TRUE(overlap.with == 0 || overlap.with == 1);
+  EXPECT_GE(index.NumAlphabetPeers(2), 2u);
+  index.Remove(1);
+  EXPECT_EQ(index.num_groups(), 0u);
+
+  // An Unsafe query is indexed but declined for runtime state sharing.
+  add(&index, 9, "(At(x, l1); At(y, l2)) WHERE l1 = l2");
+  const QuerySharingInfo* info = index.Find(9);
+  ASSERT_NE(info, nullptr);
+  EXPECT_FALSE(info->sharable);
+  EXPECT_FALSE(info->decline_reason.empty());
+}
+
+// Satellite regression: registering the exact same query text twice must
+// not reparse/reclassify — the second registration reuses the cached
+// prepared plan, gets a distinct QueryId, and shares compiled kernels.
+TEST(RegistryDedupTest, ExactTextReregistrationReusesPreparedPlan) {
+  auto db = SmallDb(6);
+  QueryRegistry registry(db.get());
+  const std::string text = "At('tag1', l : Room(l))";
+  auto id1 = registry.Register(text, 0);
+  ASSERT_OK(id1.status());
+  EXPECT_EQ(registry.prepared_dedup_hits(), 0u);
+  auto id2 = registry.Register(text, 0);
+  ASSERT_OK(id2.status());
+  EXPECT_NE(*id1, *id2);  // distinct standing queries...
+  EXPECT_EQ(registry.prepared_dedup_hits(), 1u);  // ...same prepared plan
+  // Structurally identical chains landed in one sharing group, and the
+  // kernel compiled exactly once across both sessions.
+  EXPECT_EQ(registry.num_sharing_groups(), 1u);
+  EXPECT_EQ(registry.shared_kernels().stats().misses, 1u);
+  EXPECT_GE(registry.shared_kernels().stats().hits, 1u);
+  // Dropping one holder keeps the plan usable for the survivor and for
+  // later re-registrations; dropping both releases it.
+  ASSERT_OK(registry.Unregister(*id1));
+  EXPECT_EQ(registry.num_sharing_groups(), 0u);
+  auto id3 = registry.Register(text, 0);
+  ASSERT_OK(id3.status());
+  EXPECT_EQ(registry.prepared_dedup_hits(), 2u);
+  ASSERT_OK(registry.Unregister(*id2));
+  ASSERT_OK(registry.Unregister(*id3));
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+// Registry-level churn: groups materialize at the second member, dissolve
+// when the reader count drops below two (the survivor resumes private
+// stepping from the shared state), and re-materialize when a new member
+// arrives mid-stream — with every published probability equal to a private
+// unshared session throughout.
+TEST(RegistrySharingTest, ChurnDissolvesAndRematerializesGroups) {
+  constexpr Timestamp kHorizon = 8;
+  auto db = SmallDb(kHorizon);
+  const std::string q = "At('tag1', l : Room(l))";
+
+  // Unshared ground truth.
+  auto reference = StreamingSession::Create(db.get(), q);
+  ASSERT_OK(reference.status());
+  std::vector<double> expected;
+  for (Timestamp t = 1; t <= kHorizon; ++t) {
+    auto p = reference->Advance();
+    ASSERT_OK(p.status());
+    expected.push_back(*p);
+  }
+
+  auto db2 = SmallDb(kHorizon);
+  QueryRegistry registry(db2.get());
+  auto id1 = registry.Register("At('tag1', l : Room(l))", 0);
+  auto id2 = registry.Register("At('tag1', m : Room(m))", 0);
+  ASSERT_OK(id1.status());
+  ASSERT_OK(id2.status());
+  EXPECT_EQ(registry.num_sharing_groups(), 1u);
+  StandingQuery* q1 = registry.Find(*id1);
+  ASSERT_NE(q1, nullptr);
+  EXPECT_EQ(q1->session->NumDelegatedUnits(), 1u);
+
+  auto advance_all = [&](Timestamp t) {
+    registry.AdvanceSharedUnits(t);
+    for (const auto& sq : registry.queries()) {
+      auto p = sq->session->Advance();
+      ASSERT_OK(p.status());
+      EXPECT_EQ(*p, expected[t - 1]) << "query " << sq->id << " at t=" << t;
+    }
+  };
+  for (Timestamp t = 1; t <= 4; ++t) advance_all(t);
+
+  // Drop to one reader: the group dissolves and the survivor carries the
+  // shared state forward privately.
+  ASSERT_OK(registry.Unregister(*id2));
+  EXPECT_EQ(registry.num_sharing_groups(), 0u);
+  EXPECT_EQ(q1->session->NumDelegatedUnits(), 0u);
+  for (Timestamp t = 5; t <= 6; ++t) advance_all(t);
+
+  // A new alpha-variant member arrives mid-stream: catch-up replay brings
+  // it to the current tick and the group re-materializes.
+  auto id3 = registry.Register("At('tag1', z : Room(z))", 6);
+  ASSERT_OK(id3.status());
+  EXPECT_EQ(registry.num_sharing_groups(), 1u);
+  EXPECT_EQ(q1->session->NumDelegatedUnits(), 1u);
+  for (Timestamp t = 7; t <= kHorizon; ++t) advance_all(t);
+  uint64_t saved = registry.shared_steps_saved();
+  EXPECT_GT(saved, 0u);
+}
+
+// Replays `archive` through a StreamRuntime with the given options and
+// queries; returns every published TickResult plus a final checkpoint.
+void RunArchive(const EventDatabase& archive, RuntimeOptions options,
+                const std::vector<std::string>& queries,
+                std::vector<QueryId>* ids, std::vector<TickResult>* results,
+                RuntimeStats* stats, std::string* checkpoint) {
+  auto live = CloneDeclarations(archive);
+  ASSERT_OK(live.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  StreamRuntime runtime(live->get(), options);
+  for (const std::string& q : queries) {
+    auto id = runtime.Register(q);
+    ASSERT_TRUE(id.ok()) << id.status().ToString() << " for " << q;
+    ids->push_back(*id);
+  }
+  runtime.SetTickCallback(
+      [&](const TickResult& r) { results->push_back(r); });
+  runtime.Start();
+  std::thread producer([&] {
+    for (TickBatch& b : *batches) {
+      Status s = runtime.ingest().Push(std::move(b), 120000ms);
+      EXPECT_OK(s);
+    }
+  });
+  producer.join();
+  ASSERT_TRUE(runtime.WaitForTick(archive.horizon(), 120000ms));
+  *stats = runtime.Stats();
+  auto snap = runtime.Checkpoint();
+  ASSERT_OK(snap.status());
+  *checkpoint = std::move(*snap);
+  runtime.Stop();
+}
+
+// The acceptance scenario: 64 standing queries that are alpha-variants of
+// one grounded chain execute that chain ONCE per tick; shared_steps_saved
+// accounts for the other 63, and every published probability matches a
+// sequential unshared session bit for bit.
+TEST(SharingRuntimeTest, SixtyFourAlphaVariantsExecuteSharedChainOnce) {
+  constexpr size_t kQueries = 64;
+  constexpr Timestamp kHorizon = 64;
+  auto archive = SmallDb(kHorizon);
+
+  std::vector<std::string> queries;
+  for (size_t i = 0; i < kQueries; ++i) {
+    queries.push_back("At('tag1', v" + std::to_string(i) + " : Room(v" +
+                      std::to_string(i) + "))");
+  }
+  auto reference = StreamingSession::Create(archive.get(), queries[0]);
+  ASSERT_OK(reference.status());
+  std::vector<double> expected;
+  for (Timestamp t = 1; t <= kHorizon; ++t) {
+    auto p = reference->Advance();
+    ASSERT_OK(p.status());
+    expected.push_back(*p);
+  }
+
+  RuntimeOptions options;
+  options.num_threads = 2;
+  std::vector<QueryId> ids;
+  std::vector<TickResult> results;
+  RuntimeStats stats;
+  std::string checkpoint;
+  RunArchive(*archive, options, queries, &ids, &results, &stats,
+             &checkpoint);
+
+  ASSERT_EQ(results.size(), kHorizon);
+  for (size_t t = 0; t < results.size(); ++t) {
+    ASSERT_EQ(results[t].probs.size(), kQueries);
+    for (QueryId id : ids) {
+      const double* p = results[t].Find(id);
+      ASSERT_NE(p, nullptr);
+      EXPECT_EQ(*p, expected[t]) << "q" << id << " at t=" << t + 1;
+    }
+  }
+  // One group of 64 readers; its chain stepped kHorizon times total, saving
+  // the other 63 sessions' steps every tick.
+  EXPECT_EQ(stats.sharing_groups, 1u);
+  EXPECT_EQ(stats.shared_steps_executed, kHorizon);
+  EXPECT_EQ(stats.shared_steps_saved, (kQueries - 1) * kHorizon);
+  // The kernel compiled once for all 64 sessions.
+  EXPECT_EQ(stats.kernel_cache_misses, 1u);
+  EXPECT_GE(stats.kernel_cache_hits, kQueries - 1);
+  for (const QueryStats& qs : stats.queries) {
+    EXPECT_EQ(qs.shared_units, 1u) << "q" << qs.id;
+    EXPECT_EQ(qs.errors, 0u) << qs.last_error;
+  }
+}
+
+// Shared evaluation is an optimization, not a semantics change: with the
+// same queries (regular and extended, with duplicates) the shared and
+// `unshared` modes publish bit-identical probabilities and produce
+// byte-identical checkpoints.
+TEST(SharingRuntimeTest, SharedAndUnsharedAreBitIdentical) {
+  constexpr size_t kTags = 3;
+  constexpr Timestamp kHorizon = 96;
+  PipelineConfig config;
+  config.num_particles = 32;
+  auto scenario = RandomWalkScenario(kTags, kHorizon, /*seed=*/2008, config);
+  ASSERT_OK(scenario.status());
+  auto archive = scenario->BuildDatabase(StreamKind::kFiltered);
+  ASSERT_OK(archive.status());
+
+  const std::vector<std::string> queries = {
+      "At('tag1', l : Room(l))",
+      "At('tag1', m : Room(m))",  // alpha-variant duplicate
+      "At('tag2', l : Hallway(l))",
+      "At(x, l : Room(l))",  // extended: chains overlap the grounded ones
+      "At(x, l1 : NotRoom(l1)); At(x, l2 : Room(l2))",
+      "At(y, l1 : NotRoom(l1)); At(y, l2 : Room(l2))",  // alpha-variant
+      "At('tag1', l : Room(l))",  // exact-text duplicate
+  };
+
+  RuntimeOptions shared_options;
+  shared_options.num_threads = 4;
+  RuntimeOptions unshared_options = shared_options;
+  unshared_options.sharing.enabled = false;
+
+  std::vector<QueryId> shared_ids, unshared_ids;
+  std::vector<TickResult> shared_results, unshared_results;
+  RuntimeStats shared_stats, unshared_stats;
+  std::string shared_ckpt, unshared_ckpt;
+  RunArchive(**archive, shared_options, queries, &shared_ids,
+             &shared_results, &shared_stats, &shared_ckpt);
+  RunArchive(**archive, unshared_options, queries, &unshared_ids,
+             &unshared_results, &unshared_stats, &unshared_ckpt);
+
+  ASSERT_EQ(shared_ids, unshared_ids);
+  ASSERT_EQ(shared_results.size(), kHorizon);
+  ASSERT_EQ(unshared_results.size(), kHorizon);
+  for (size_t t = 0; t < kHorizon; ++t) {
+    ASSERT_EQ(shared_results[t].probs.size(),
+              unshared_results[t].probs.size());
+    for (size_t i = 0; i < shared_results[t].probs.size(); ++i) {
+      EXPECT_EQ(shared_results[t].probs[i].first,
+                unshared_results[t].probs[i].first);
+      // Bit-identity, not tolerance: EXPECT_EQ on the doubles.
+      EXPECT_EQ(shared_results[t].probs[i].second,
+                unshared_results[t].probs[i].second)
+          << "query " << shared_results[t].probs[i].first << " at t="
+          << t + 1;
+    }
+  }
+  // Checkpoints byte-identical: a delegated chain serializes the shared
+  // unit's state, which equals the private chain's.
+  EXPECT_EQ(shared_ckpt, unshared_ckpt);
+  // The modes differ only in the counters.
+  EXPECT_GT(shared_stats.sharing_groups, 0u);
+  EXPECT_GT(shared_stats.shared_steps_saved, 0u);
+  EXPECT_EQ(unshared_stats.sharing_groups, 0u);
+  EXPECT_EQ(unshared_stats.shared_steps_saved, 0u);
+}
+
+// Satellite: the sharing counters reach the serving surfaces — ToJson (the
+// body of the net kStats reply) and ToString (the CLI's stats dump) carry
+// the new fields.
+TEST(SharingStatsTest, JsonAndTextCarrySharingFields) {
+  constexpr Timestamp kHorizon = 8;
+  auto archive = SmallDb(kHorizon);
+  const std::vector<std::string> queries = {
+      "At('tag1', l : Room(l))",
+      "At('tag1', l : Room(l))",  // exact-text duplicate: dedup + sharing
+  };
+  RuntimeOptions options;
+  options.num_threads = 1;
+  std::vector<QueryId> ids;
+  std::vector<TickResult> results;
+  RuntimeStats stats;
+  std::string checkpoint;
+  RunArchive(*archive, options, queries, &ids, &results, &stats, &checkpoint);
+
+  const std::string json = stats.ToJson();
+  EXPECT_NE(json.find("\"sharing_groups\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"shared_steps_executed\":8"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shared_steps_saved\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"prepared_dedup_hits\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"kernel_cache_hits\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kernel_cache_misses\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"kernel_cache_entries\":1"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"sharing_fanout_hist\":["), std::string::npos)
+      << json;
+  // Per-query fields.
+  EXPECT_NE(json.find("\"shared_units\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kernel_hits\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kernel_misses\":"), std::string::npos) << json;
+
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("sharing: groups=1"), std::string::npos) << text;
+  EXPECT_NE(text.find("steps_saved=8"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace lahar
