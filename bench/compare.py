@@ -39,6 +39,8 @@ RUN_SIZE_FIELDS = {
     "memo_entries", "memo_evictions", "row_evictions", "row_rebuilds",
     "pushes", "scaling_efficiency_8t", "windows", "barrier_p99_us",
     "chains", "sharing_groups", "shared_steps_saved", "sharing_ratio_64",
+    "simd_chains", "striped", "bytes_per_chain", "kernel_simd_speedup",
+    "bytes_per_chain_reduction",
 }
 
 

@@ -53,6 +53,7 @@
 
 #include "analysis/plan.h"
 #include "engine/lahar.h"
+#include "parse_flags.h"
 #include "model/io.h"
 #include "net/client.h"
 #include "query/printer.h"
@@ -380,7 +381,11 @@ int Connect(const std::string& endpoint, const std::string& tenant,
     return 2;
   }
   const std::string host = endpoint.substr(0, colon);
-  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  uint64_t port = 0;
+  if (!examples::ParseUint("--connect port", endpoint.c_str() + colon + 1, 1,
+                           65535, &port)) {
+    return 2;
+  }
   auto client = net::Client::Connect(host, static_cast<uint16_t>(port),
                                      tenant.empty() ? "default" : tenant);
   if (!client.ok()) {
@@ -467,15 +472,19 @@ int main(int argc, char** argv) {
         }
         return argv[++i];
       };
+      uint64_t n = 0;
       if (const char* v = flag_value("--checkpoint-every")) {
-        config.checkpoint_every = static_cast<size_t>(std::atoll(v));
+        if (!examples::ParseUint("--checkpoint-every", v, 0, UINT32_MAX, &n))
+          return 2;
+        config.checkpoint_every = static_cast<size_t>(n);
       } else if (const char* v = flag_value("--checkpoint-path")) {
         config.checkpoint_path = v;
         config.checkpoint_path_set = true;
       } else if (const char* v = flag_value("--restore")) {
         config.restore_path = v;
       } else if (const char* v = flag_value("--threads")) {
-        config.num_threads = static_cast<size_t>(std::atoll(v));
+        if (!examples::ParseUint("--threads", v, 0, 4096, &n)) return 2;
+        config.num_threads = static_cast<size_t>(n);
       } else if (std::strcmp(argv[i], "--pin") == 0) {
         config.pin_threads = true;
       } else if (!bad) {

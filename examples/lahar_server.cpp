@@ -41,6 +41,7 @@
 
 #include "model/io.h"
 #include "net/server.h"
+#include "parse_flags.h"
 #include "runtime/executor.h"
 #include "runtime/replay.h"
 
@@ -100,26 +101,42 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    uint64_t n = 0;
+    double d = 0;
     if (const char* v = flag_value("--port")) {
-      server_options.port = static_cast<uint16_t>(std::atoi(v));
+      // 0 stays legal: it asks the OS for an ephemeral port.
+      if (!examples::ParseUint("--port", v, 0, 65535, &n)) return 2;
+      server_options.port = static_cast<uint16_t>(n);
     } else if (const char* v = flag_value("--host")) {
       server_options.host = v;
     } else if (const char* v = flag_value("--threads")) {
-      runtime_options.num_threads = static_cast<size_t>(std::atoll(v));
+      if (!examples::ParseUint("--threads", v, 0, 4096, &n)) return 2;
+      runtime_options.num_threads = static_cast<size_t>(n);
     } else if (std::strcmp(argv[i], "--pin") == 0) {
       runtime_options.pin_threads = true;
     } else if (const char* v = flag_value("--queue-capacity")) {
-      runtime_options.queue_capacity = static_cast<size_t>(std::atoll(v));
+      if (!examples::ParseUint("--queue-capacity", v, 1, UINT32_MAX, &n))
+        return 2;
+      runtime_options.queue_capacity = static_cast<size_t>(n);
     } else if (const char* v = flag_value("--max-connections")) {
-      server_options.max_connections = static_cast<size_t>(std::atoll(v));
+      if (!examples::ParseUint("--max-connections", v, 1, UINT32_MAX, &n))
+        return 2;
+      server_options.max_connections = static_cast<size_t>(n);
     } else if (const char* v = flag_value("--outbound-limit")) {
-      server_options.outbound_buffer_limit = static_cast<size_t>(std::atoll(v));
+      if (!examples::ParseUint("--outbound-limit", v, 1, UINT64_MAX / 2, &n))
+        return 2;
+      server_options.outbound_buffer_limit = static_cast<size_t>(n);
     } else if (const char* v = flag_value("--quota-burst")) {
-      server_options.default_quota.burst = std::atof(v);
+      if (!examples::ParseDouble("--quota-burst", v, 0.0, 1e18, &d)) return 2;
+      server_options.default_quota.burst = d;
     } else if (const char* v = flag_value("--quota-refill")) {
-      server_options.default_quota.refill_per_sec = std::atof(v);
+      if (!examples::ParseDouble("--quota-refill", v, 0.0, 1e18, &d))
+        return 2;
+      server_options.default_quota.refill_per_sec = d;
     } else if (const char* v = flag_value("--checkpoint-every")) {
-      checkpoint_every = static_cast<size_t>(std::atoll(v));
+      if (!examples::ParseUint("--checkpoint-every", v, 0, UINT32_MAX, &n))
+        return 2;
+      checkpoint_every = static_cast<size_t>(n);
     } else if (const char* v = flag_value("--checkpoint-path")) {
       server_options.checkpoint_path = v;
     } else if (const char* v = flag_value("--restore")) {

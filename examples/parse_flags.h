@@ -1,0 +1,76 @@
+// Checked numeric flag parsing shared by the example binaries. atoi/atoll
+// silently turn garbage into 0 (and clamp nothing), so a typo like
+// `--port 80O0` would bind port 0 without a word. These helpers reject
+// non-numeric text, trailing junk, negatives, and out-of-range values with
+// a clear message; callers exit with code 2 (usage error) on failure.
+#ifndef LAHAR_EXAMPLES_PARSE_FLAGS_H_
+#define LAHAR_EXAMPLES_PARSE_FLAGS_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lahar {
+namespace examples {
+
+/// Parses `text` as an unsigned integer in [min, max]. On success stores
+/// into *out and returns true; otherwise prints an error naming `flag` to
+/// stderr and returns false. Rejects empty strings, non-digits, trailing
+/// junk, leading '-', and values outside the range.
+inline bool ParseUint(const char* flag, const char* text, uint64_t min,
+                      uint64_t max, uint64_t* out) {
+  if (text == nullptr || *text == '\0') {
+    std::fprintf(stderr, "%s: expected a number, got an empty value\n", flag);
+    return false;
+  }
+  if (*text == '-') {
+    std::fprintf(stderr, "%s: must be non-negative, got '%s'\n", flag, text);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, text);
+    return false;
+  }
+  if (errno == ERANGE || v < min || v > max) {
+    std::fprintf(stderr,
+                 "%s: value '%s' out of range [%llu, %llu]\n", flag, text,
+                 static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+/// Parses `text` as a finite double in [min, max]; same error contract as
+/// ParseUint.
+inline bool ParseDouble(const char* flag, const char* text, double min,
+                        double max, double* out) {
+  if (text == nullptr || *text == '\0') {
+    std::fprintf(stderr, "%s: expected a number, got an empty value\n", flag);
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(text, &end);
+  if (end == text || *end != '\0') {
+    std::fprintf(stderr, "%s: not a number: '%s'\n", flag, text);
+    return false;
+  }
+  if (errno == ERANGE || !(v >= min && v <= max)) {
+    std::fprintf(stderr, "%s: value '%s' out of range [%g, %g]\n", flag, text,
+                 min, max);
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace examples
+}  // namespace lahar
+
+#endif  // LAHAR_EXAMPLES_PARSE_FLAGS_H_

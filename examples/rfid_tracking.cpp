@@ -14,6 +14,7 @@
 #include "engine/deterministic_engine.h"
 #include "engine/lahar.h"
 #include "metrics/quality.h"
+#include "parse_flags.h"
 #include "sim/scenarios.h"
 
 using namespace lahar;
@@ -44,9 +45,21 @@ struct Pooled {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const size_t workers = argc > 1 ? std::atoi(argv[1]) : 4;
-  const Timestamp horizon = argc > 2 ? std::atoi(argv[2]) : 300;
-  const uint64_t seed = argc > 3 ? std::atoll(argv[3]) : 42;
+  uint64_t workers_in = 4, horizon_in = 300, seed = 42;
+  if (argc > 1 &&
+      !examples::ParseUint("workers", argv[1], 1, 10000, &workers_in)) {
+    return 2;
+  }
+  if (argc > 2 &&
+      !examples::ParseUint("horizon", argv[2], 1, 1000000, &horizon_in)) {
+    return 2;
+  }
+  if (argc > 3 &&
+      !examples::ParseUint("seed", argv[3], 0, UINT64_MAX, &seed)) {
+    return 2;
+  }
+  const size_t workers = static_cast<size_t>(workers_in);
+  const Timestamp horizon = static_cast<Timestamp>(horizon_in);
   const Timestamp tolerance = 8;
   const double rho = 0.12;
 

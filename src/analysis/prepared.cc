@@ -11,6 +11,7 @@ Result<PreparedQuery> PrepareQuery(std::string_view text, EventDatabase* db) {
   LAHAR_ASSIGN_OR_RETURN(out.normalized, Normalize(*out.ast));
   out.classification = Classify(out.normalized, *db);
   out.kernel_cache = std::make_shared<KernelCache>();
+  out.row_pool = std::make_shared<TransitionRowPool>();
   return out;
 }
 

@@ -10,6 +10,7 @@
 
 #include "analysis/classify.h"
 #include "automaton/kernel.h"
+#include "automaton/rows.h"
 #include "query/ast.h"
 #include "query/normalize.h"
 
@@ -25,6 +26,10 @@ struct PreparedQuery {
   /// their groundings share one automaton structure, so the kernel compiles
   /// once here instead of once per session (see automaton/kernel.h).
   std::shared_ptr<KernelCache> kernel_cache;
+  /// Interned dense-transition-row pool shared the same way: per-key chains
+  /// (and sessions) with identical CPT content share one row class on the
+  /// vectorized step path (see automaton/rows.h).
+  std::shared_ptr<TransitionRowPool> row_pool;
 };
 
 /// Parses, validates, normalizes, and classifies `text` against `db`'s

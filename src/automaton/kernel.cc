@@ -171,6 +171,29 @@ std::shared_ptr<const CompiledKernel> CompileKernel(
           (static_cast<uint32_t>(idx) << 1) | (nfa.Accepts(next) ? 1u : 0u);
     }
   }
+
+  // Class-sorted hidden-slot permutation: assign slots by ascending
+  // (markov_class[h], h) so each markov class is one contiguous slot range.
+  // h order within a class stays ascending, which the vectorized step
+  // relies on for bit-identical accumulation order.
+  kernel->slot_of.resize(R);
+  kernel->h_of.resize(R);
+  {
+    uint32_t slot = 0;
+    for (uint32_t cls = 0; cls < kernel->num_markov_classes; ++cls) {
+      CompiledKernel::ClassSegment seg;
+      seg.begin = slot;
+      seg.cls = cls;
+      for (uint64_t h = 0; h < R; ++h) {
+        if (kernel->markov_class[h] != cls) continue;
+        kernel->slot_of[h] = slot;
+        kernel->h_of[slot] = static_cast<uint32_t>(h);
+        ++slot;
+      }
+      seg.end = slot;
+      kernel->class_segments.push_back(seg);
+    }
+  }
   return kernel;
 }
 

@@ -86,6 +86,28 @@ struct CompiledKernel {
   std::vector<SymbolMask> indep_masks;
   /// pair_class[mc * indep_masks.size() + ic] = combined input class.
   std::vector<uint32_t> pair_class;
+
+  /// One contiguous storage-slot range of hidden codes sharing a markov
+  /// class (see slot_of below). cls indexes markov_class space.
+  struct ClassSegment {
+    uint32_t begin = 0;  ///< first slot of the segment
+    uint32_t end = 0;    ///< one past the last slot
+    uint32_t cls = 0;    ///< shared markov input class of every slot
+  };
+
+  /// Class-sorted hidden-slot permutation for the vectorized step path:
+  /// slot_of[h] is the storage slot of canonical hidden code h, assigned by
+  /// ascending (markov_class[h], h) so every markov class occupies one
+  /// contiguous slot range (class_segments). SIMD-mode chains store state
+  /// vectors in slot space — each (source h, input class) then scatters into
+  /// a *contiguous* destination run instead of an R-way gather. Scalar-mode
+  /// chains keep natural h order and never consult these tables.
+  std::vector<uint32_t> slot_of;
+  /// Inverse permutation: h_of[slot] = canonical hidden code.
+  std::vector<uint32_t> h_of;
+  /// Segments in ascending slot order, one per markov class.
+  std::vector<ClassSegment> class_segments;
+
   /// Structural signature this kernel was compiled from (cache key).
   std::string signature;
 

@@ -1,0 +1,62 @@
+#include "automaton/rows.h"
+
+#include <algorithm>
+
+namespace lahar {
+
+std::shared_ptr<const TransitionRowSet> TransitionRowClass::Find(
+    Timestamp t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sets_.find(t);
+  return it != sets_.end() ? it->second : nullptr;
+}
+
+std::shared_ptr<const TransitionRowSet> TransitionRowClass::Insert(
+    Timestamp t, std::shared_ptr<const TransitionRowSet> set) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, fresh] = sets_.emplace(t, std::move(set));
+  if (fresh) {
+    if (t < max_seen_) ++rebuilds_;  // this timestep had come and gone
+    max_seen_ = std::max(max_seen_, t);
+    while (sets_.size() > kMaxResident) sets_.erase(sets_.begin());
+  }
+  return it->second;
+}
+
+uint64_t TransitionRowClass::rebuilds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rebuilds_;
+}
+
+size_t TransitionRowClass::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [t, set] : sets_) total += set->bytes();
+  return total;
+}
+
+std::shared_ptr<TransitionRowClass> TransitionRowPool::FindOrCreate(
+    const RowFingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = classes_.find(fp);
+  if (it != classes_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  auto cls = std::make_shared<TransitionRowClass>();
+  classes_.emplace(fp, cls);
+  return cls;
+}
+
+size_t TransitionRowPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return classes_.size();
+}
+
+TransitionRowPool::Stats TransitionRowPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace lahar

@@ -1,8 +1,10 @@
 #include "engine/extended_engine.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "analysis/bindings.h"
+#include "automaton/simd.h"
 #include "engine/session.h"
 
 namespace lahar {
@@ -15,10 +17,14 @@ Result<ExtendedRegularEngine> ExtendedRegularEngine::Create(
   std::set<SymbolId> shared = q.SharedVars();
   std::vector<Binding> bindings = EnumerateBindings(q, db, shared);
   // The groundings share one automaton structure, so without a caller cache
-  // a Create-local one still collapses the m compilations into one.
+  // a Create-local one still collapses the m compilations into one; same
+  // for the dense-row pool — chains hold their row class by shared_ptr, so
+  // a Create-local pool dying here leaves the sharing intact.
   KernelCache local_cache;
+  TransitionRowPool local_rows;
   ChainOptions opts = options;
   if (opts.kernel_cache == nullptr) opts.kernel_cache = &local_cache;
+  if (opts.row_pool == nullptr) opts.row_pool = &local_rows;
   for (Binding& b : bindings) {
     NormalizedQuery grounded = q.Substitute(b);
     LAHAR_ASSIGN_OR_RETURN(RegularChain chain,
@@ -31,13 +37,47 @@ Result<ExtendedRegularEngine> ExtendedRegularEngine::Create(
     size_t total = 0;
     for (const RegularChain& c : engine.chains_) total += 2 * c.FlatStride();
     if (total > 0) {
+      const size_t n = engine.chains_.size();
       engine.arena_.assign(total, 0.0);
+      engine.stripe_width_.assign(n, 1);
       double* base = engine.arena_.data();
-      for (RegularChain& c : engine.chains_) {
+      // Pack consecutive runs of same-kernel SIMD chains into
+      // lane-interleaved stripes of exactly simd::kLanes (flat index i of
+      // lane j at block[i * kLanes + j]) so StepStripe advances all lanes
+      // with one wide pass; leftovers and everything else get the plain
+      // contiguous cur|nxt layout.
+      constexpr size_t kLanes = simd::kLanes;
+      size_t i = 0;
+      while (i < n) {
+        RegularChain& c = engine.chains_[i];
         const size_t stride = c.FlatStride();
-        if (stride == 0) continue;
-        c.BindArena(base, base + stride);
-        base += 2 * stride;
+        if (stride == 0) {
+          ++i;
+          continue;
+        }
+        size_t run = 1;
+        if (c.simd()) {
+          while (i + run < n &&
+                 engine.chains_[i + run].simd() &&
+                 engine.chains_[i + run].row_class() == c.row_class() &&
+                 engine.chains_[i + run].FlatStride() == stride) {
+            ++run;
+          }
+        }
+        while (run >= kLanes) {
+          for (size_t j = 0; j < kLanes; ++j) {
+            engine.chains_[i + j].BindArena(base + j, base + stride * kLanes + j,
+                                            kLanes);
+            engine.stripe_width_[i + j] = j == 0 ? kLanes : 0;
+          }
+          base += 2 * stride * kLanes;
+          i += kLanes;
+          run -= kLanes;
+        }
+        for (; run > 0; --run, ++i) {
+          engine.chains_[i].BindArena(base, base + stride);
+          base += 2 * stride;
+        }
       }
     }
   }
@@ -51,14 +91,40 @@ double ExtendedRegularEngine::Step() {
 
 void ExtendedRegularEngine::StepChainRange(size_t begin, size_t end) {
   end = std::min(end, chains_.size());
-  for (size_t i = begin; i < end; ++i) {
+  const Timestamp next = t_ + 1;
+  size_t i = begin;
+  while (i < end) {
+    // Whole-stripe step when the stripe lies entirely in this range and no
+    // lane is delegated; otherwise (or when StepStripe declines this tick)
+    // every chain steps alone, bit-identically, on the strided path. A
+    // range boundary through a stripe also lands here — lanes addressed
+    // with disjoint interleaved strides are safe to step from two threads.
+    const uint32_t w = i < stripe_width_.size() ? stripe_width_[i] : 1;
+    if (w > 1 && i + w <= end) {
+      bool delegated = false;
+      for (size_t j = 0; j < w && !delegated; ++j) delegated = IsDelegated(i + j);
+      if (!delegated) {
+        RegularChain* lanes[simd::kLanes];
+        for (size_t j = 0; j < w; ++j) lanes[j] = &chains_[i + j];
+        if (RegularChain::StepStripe(lanes, w, next)) {
+          for (size_t j = 0; j < w; ++j) {
+            chain_probs_[i + j] = chains_[i + j].AcceptProb();
+          }
+          counters_->stripe_steps.fetch_add(1, std::memory_order_relaxed);
+          i += w;
+          continue;
+        }
+        counters_->stripe_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
     if (IsDelegated(i)) {
       // The shared unit was advanced past t_+1 before this fan-out (the
       // runtime's shared phase); read its recorded frontier probability.
-      chain_probs_[i] = delegates_[i]->ProbAt(t_ + 1);
+      chain_probs_[i] = delegates_[i]->ProbAt(next);
     } else {
       chain_probs_[i] = chains_[i].Step();
     }
+    ++i;
   }
 }
 
@@ -80,6 +146,21 @@ void ExtendedRegularEngine::UndelegateChain(size_t i) {
   chains_[i] = delegates_[i]->chain();
   delegates_[i] = nullptr;
   --num_delegated_;
+}
+
+ExtendedRegularEngine::MemoryFootprint ExtendedRegularEngine::Footprint()
+    const {
+  MemoryFootprint fp;
+  fp.arena_bytes = arena_.capacity() * sizeof(double);
+  std::unordered_set<const TransitionRowClass*> classes;
+  for (const RegularChain& c : chains_) {
+    fp.owned_bytes += c.OwnedBytes();
+    if (c.row_class() != nullptr) classes.insert(c.row_class().get());
+  }
+  for (const TransitionRowClass* cls : classes) {
+    fp.shared_row_bytes += cls->bytes();
+  }
+  return fp;
 }
 
 Status ExtendedRegularEngine::ChainStatus() const {

@@ -7,6 +7,7 @@
 #ifndef LAHAR_ENGINE_EXTENDED_ENGINE_H_
 #define LAHAR_ENGINE_EXTENDED_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -100,8 +101,45 @@ class ExtendedRegularEngine {
     for (const RegularChain& c : chains_) n += c.compiled() ? 1 : 0;
     return n;
   }
+  /// Number of chains on the vectorized dense-row step path.
+  size_t num_simd() const {
+    size_t n = 0;
+    for (const RegularChain& c : chains_) n += c.simd() ? 1 : 0;
+    return n;
+  }
+  /// Number of chains packed into lane-interleaved stripes (stepped
+  /// simd::kLanes at a time when eligible).
+  size_t num_striped() const {
+    size_t n = 0;
+    for (uint32_t w : stripe_width_) {
+      if (w > 1) n += w;
+    }
+    return n;
+  }
+  /// Whole-stripe steps taken / stripes that fell back to per-chain steps
+  /// this run (a fallback still computes bit-identical results).
+  uint64_t stripe_steps() const {
+    return counters_->stripe_steps.load(std::memory_order_relaxed);
+  }
+  uint64_t stripe_fallbacks() const {
+    return counters_->stripe_fallbacks.load(std::memory_order_relaxed);
+  }
   /// Doubles in the shared SoA state arena (0 when unused).
   size_t arena_size() const { return arena_.size(); }
+
+  /// Steady-state memory accounting for the bytes-per-chain model
+  /// (docs/PERF.md): the SoA arena, per-chain owned heap (state buffers,
+  /// scratch, local rows), and pooled transition rows counted once per
+  /// distinct class across all chains.
+  struct MemoryFootprint {
+    size_t arena_bytes = 0;
+    size_t owned_bytes = 0;
+    size_t shared_row_bytes = 0;
+    size_t bytes() const {
+      return arena_bytes + owned_bytes + shared_row_bytes;
+    }
+  };
+  MemoryFootprint Footprint() const;
 
   /// Serializes the clock, chain probabilities, and every chain's state
   /// distribution (checkpointing). LoadState restores into an engine built
@@ -124,6 +162,18 @@ class ExtendedRegularEngine {
   // heap buffer survives a move) but each chain's copy ctor re-owns its
   // slice, so copied engines simply stop using the arena.
   std::vector<double> arena_;
+  // Stripe layout over chains_: stripe_width_[i] is simd::kLanes at a
+  // stripe leader, 0 at its member lanes (the leader steps them), and 1
+  // for chains stepped alone. Empty when no arena was packed.
+  std::vector<uint32_t> stripe_width_;
+  // Heap-held so the engine stays movable; StepChainRange runs concurrently
+  // across shard threads, hence atomics (relaxed: they are pure counters).
+  struct StripeCounters {
+    std::atomic<uint64_t> stripe_steps{0};
+    std::atomic<uint64_t> stripe_fallbacks{0};
+  };
+  std::unique_ptr<StripeCounters> counters_ =
+      std::make_unique<StripeCounters>();
   Timestamp t_ = 0;
   Timestamp horizon_ = 0;
 };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "automaton/simd.h"
+
 namespace lahar {
 namespace {
 
@@ -93,11 +95,77 @@ Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
       int idx = kernel->MaskIndexOf(chain.nfa_->InitialStates());
       if (idx >= 0) {
         chain.kernel_ = std::move(kernel);
+        const uint64_t R = chain.kernel_->R;
+
+        // Step-path selection. kAuto takes the vectorized path only where
+        // the dense-row model pays: a nontrivial hidden space under the
+        // dense-row memory ceiling, with CPTs dense enough that multiplying
+        // the zeros beats the CSR walk's skipping them. kSimd forces it
+        // wherever structurally possible (the bit-identity tests sweep
+        // every width, including R == 1).
+        bool want_simd = false;
+        if (options.step_mode == KernelStepMode::kSimd) {
+          want_simd = R <= options.simd_max_hidden;
+#if !defined(LAHAR_NO_SIMD)
+        } else if (options.step_mode == KernelStepMode::kAuto) {
+          double density = 1.0;
+          for (const Participant& p : chain.markov_participants_) {
+            const Stream& s = db.stream(p.id);
+            if (s.horizon() < 2) continue;
+            const Matrix& cpt = s.CptAt(1);
+            size_t nz = 0, total = 0;
+            for (size_t r = 0; r < cpt.rows(); ++r) {
+              const double* row = cpt.Row(r);
+              for (size_t c = 0; c < cpt.cols(); ++c) {
+                ++total;
+                if (row[c] > 0) ++nz;
+              }
+            }
+            if (total > 0) density *= static_cast<double>(nz) / total;
+          }
+          want_simd = R >= 2 && R <= options.simd_max_hidden &&
+                      density >= options.simd_min_density;
+#endif  // !LAHAR_NO_SIMD
+        }
+        chain.simd_ = want_simd;
+        chain.f32_rows_ = want_simd && options.float32_rows;
+        if (want_simd) {
+          for (const Participant& p : chain.markov_participants_) {
+            chain.row_horizons_.push_back(db.stream(p.id).horizon());
+          }
+          if (options.row_pool != nullptr) {
+            // Content fingerprint of everything the t >= 2 rows depend on.
+            // The t == 1 initial marginal is deliberately excluded: per-key
+            // chains with distinct initials share one class (t == 1 rows
+            // are always built locally; see ResolveRows).
+            RowFingerprint fp;
+            fp.Mix(chain.kernel_->signature.data(),
+                   chain.kernel_->signature.size());
+            fp.MixU64(chain.f32_rows_ ? 1 : 0);
+            for (const Participant& p : chain.markov_participants_) {
+              const Stream& s = db.stream(p.id);
+              fp.MixU64(s.domain_size());
+              fp.MixU64(s.horizon());
+              for (Timestamp ct = 1; ct + 1 <= s.horizon(); ++ct) {
+                const Matrix& cpt = s.CptAt(ct);
+                fp.MixU64(cpt.rows());
+                for (size_t r = 0; r < cpt.rows(); ++r) {
+                  fp.Mix(cpt.Row(r), cpt.cols() * sizeof(double));
+                }
+              }
+            }
+            chain.row_class_ = options.row_pool->FindOrCreate(fp);
+          }
+        }
+
         const size_t stride = chain.kernel_->num_flat();
         chain.flat_.assign(2 * stride, 0.0);
         chain.cur_ = chain.flat_.data();
         chain.nxt_ = chain.flat_.data() + stride;
-        chain.cur_[static_cast<size_t>(idx) * chain.kernel_->R] = 1.0;
+        // SIMD chains store state in slot layout; h == 0 maps through
+        // slot_of (identity for scalar chains).
+        const size_t h0 = chain.simd_ ? chain.kernel_->slot_of[0] : 0;
+        chain.cur_[static_cast<size_t>(idx) * R + h0] = 1.0;
       }
     }
   }
@@ -123,7 +191,13 @@ RegularChain::RegularChain(const RegularChain& o)
       status_(o.status_),
       states_(o.states_),
       kernel_(o.kernel_),
-      planes_(o.planes_) {
+      planes_(o.planes_),
+      simd_(o.simd_),
+      f32_rows_(o.f32_rows_),
+      row_class_(o.row_class_),
+      step_rows_(o.step_rows_),
+      step_rows_t_(o.step_rows_t_),
+      row_horizons_(o.row_horizons_) {
   FixupStorage(o);
 }
 
@@ -157,6 +231,13 @@ RegularChain& RegularChain::operator=(RegularChain&& o) noexcept {
   states_ = std::move(o.states_);
   kernel_ = std::move(o.kernel_);
   planes_ = o.planes_;
+  simd_ = o.simd_;
+  f32_rows_ = o.f32_rows_;
+  lane_stride_ = o.lane_stride_;
+  row_class_ = std::move(o.row_class_);
+  step_rows_ = std::move(o.step_rows_);
+  step_rows_t_ = o.step_rows_t_;
+  row_horizons_ = std::move(o.row_horizons_);
   // Moving flat_ transfers its heap buffer, so the source's cur_/nxt_
   // pointer values stay valid for *this (owned storage) and external arena
   // pointers transfer as-is (arena-bound storage).
@@ -172,6 +253,7 @@ RegularChain& RegularChain::operator=(RegularChain&& o) noexcept {
 }
 
 void RegularChain::FixupStorage(const RegularChain& o) {
+  lane_stride_ = 1;  // a copy always owns contiguous storage
   if (kernel_ == nullptr || o.cur_ == nullptr) {
     cur_ = nullptr;
     nxt_ = nullptr;
@@ -183,9 +265,14 @@ void RegularChain::FixupStorage(const RegularChain& o) {
     cur_ = flat_.data() + (o.cur_ - o.flat_.data());
     nxt_ = flat_.data() + (o.nxt_ - o.flat_.data());
   } else {
-    // The source lives in an engine-owned arena; the copy owns its storage.
+    // The source lives in an engine-owned arena (possibly lane-interleaved);
+    // the copy owns its storage, de-strided but in the same slot layout.
     flat_.assign(2 * stride, 0.0);
-    std::copy(o.cur_, o.cur_ + stride, flat_.data());
+    if (o.lane_stride_ == 1) {
+      std::copy(o.cur_, o.cur_ + stride, flat_.data());
+    } else {
+      for (size_t i = 0; i < stride; ++i) flat_[i] = o.cur_[i * o.lane_stride_];
+    }
     cur_ = flat_.data();
     nxt_ = flat_.data() + stride;
   }
@@ -383,6 +470,34 @@ void RegularChain::BuildHiddenRows(Timestamp next) {
   }
 }
 
+// Structural guards + per-step class tables shared by every kernel-path
+// step: the compiled digit layout and mask classes assume the domains fixed
+// at creation. A surprise (a stream domain that grew, an independent mask
+// outside the compiled alphabet) returns false — mutating nothing — and the
+// caller falls back to the dynamic map path for the rest of the chain's
+// life. StepStripe relies on the non-mutation to probe eligibility.
+bool RegularChain::FillStepTables() {
+  const CompiledKernel& k = *kernel_;
+  const size_t E = indep_dist_.size();
+  Scratch& s = scratch_;
+  for (size_t i = 0; i < markov_participants_.size(); ++i) {
+    const Stream& st = db_->stream(markov_participants_[i].id);
+    if (st.domain_size() != kernel_domains_[i]) return false;
+  }
+  s.indep_p.resize(E);
+  s.step_cls.assign(static_cast<size_t>(k.num_markov_classes) * E, 0);
+  for (size_t e = 0; e < E; ++e) {
+    const int ic = k.IndepClassOf(indep_dist_[e].first);
+    if (ic < 0) return false;
+    s.indep_p[e] = indep_dist_[e].second;
+    for (uint32_t mc = 0; mc < k.num_markov_classes; ++mc) {
+      s.step_cls[static_cast<size_t>(mc) * E + e] =
+          k.pair_class[static_cast<size_t>(mc) * k.indep_masks.size() + ic];
+    }
+  }
+  return true;
+}
+
 bool RegularChain::StepKernel(Timestamp next) {
   const CompiledKernel& k = *kernel_;
   const size_t M = k.masks.size();
@@ -390,30 +505,9 @@ bool RegularChain::StepKernel(Timestamp next) {
   const size_t E = indep_dist_.size();
   Scratch& s = scratch_;
 
-  // Structural guards: the compiled digit layout and mask classes assume
-  // the domains fixed at creation. A surprise (a stream domain that grew,
-  // an independent mask outside the compiled alphabet) falls back to the
-  // dynamic map path for the rest of the chain's life.
-  for (size_t i = 0; i < markov_participants_.size(); ++i) {
-    const Stream& st = db_->stream(markov_participants_[i].id);
-    if (st.domain_size() != kernel_domains_[i]) {
-      DematerializeToMap();
-      return false;
-    }
-  }
-  s.indep_p.resize(E);
-  s.step_cls.assign(static_cast<size_t>(k.num_markov_classes) * E, 0);
-  for (size_t e = 0; e < E; ++e) {
-    const int ic = k.IndepClassOf(indep_dist_[e].first);
-    if (ic < 0) {
-      DematerializeToMap();
-      return false;
-    }
-    s.indep_p[e] = indep_dist_[e].second;
-    for (uint32_t mc = 0; mc < k.num_markov_classes; ++mc) {
-      s.step_cls[static_cast<size_t>(mc) * E + e] =
-          k.pair_class[static_cast<size_t>(mc) * k.indep_masks.size() + ic];
-    }
+  if (!FillStepTables()) {
+    DematerializeToMap();
+    return false;
   }
 
   // Live joint hidden codes across all planes and state sets: the CSR rows
@@ -457,6 +551,260 @@ bool RegularChain::StepKernel(Timestamp next) {
   return true;
 }
 
+// Dense successor rows for `next` in slot space. Values are built with
+// BuildHiddenRows' exact enumeration (participant order, left-associated
+// products, q <= 0 skipped) and scattered into zeroed rows, so every
+// nonzero is bitwise equal to the CSR value; distinct digit combinations
+// give distinct successor codes, so the scatter never collides.
+std::shared_ptr<const TransitionRowSet> RegularChain::BuildRowSet(
+    Timestamp next) const {
+  const CompiledKernel& k = *kernel_;
+  const uint64_t R = k.R;
+  auto set = std::make_shared<TransitionRowSet>();
+  set->R = R;
+  // With no participant in CPT phase (t == 1 marginal, or every stream
+  // ended) the successor distribution is source-independent: one row.
+  bool broadcast = true;
+  for (const Participant& part : markov_participants_) {
+    const Stream& st = db_->stream(part.id);
+    if (next > 1 && next <= st.horizon()) {
+      broadcast = false;
+      break;
+    }
+  }
+  set->broadcast = broadcast;
+  const uint64_t num_rows = broadcast ? 1 : R;
+  std::vector<double> dense(num_rows * R, 0.0);
+  std::vector<std::pair<uint64_t, double>> frames, frames2;
+  for (uint64_t h = 0; h < num_rows; ++h) {
+    frames.clear();
+    frames.emplace_back(0, 1.0);
+    for (const Participant& part : markov_participants_) {
+      const Stream& st = db_->stream(part.id);
+      const uint32_t dom = kernel_domains_[part.hidden_slot];
+      frames2.clear();
+      if (next > st.horizon()) {
+        frames2 = frames;  // ended: digit 0, probability 1
+      } else if (next > 1) {
+        const Matrix& cpt = st.CptAt(next - 1);
+        const DomainIndex d = static_cast<DomainIndex>((h / part.radix) % dom);
+        const double* row = cpt.Row(d);
+        for (const auto& [h2, pr] : frames) {
+          for (DomainIndex d2 = 0; d2 < dom; ++d2) {
+            const double q = row[d2];
+            if (q <= 0) continue;
+            frames2.emplace_back(h2 + part.radix * d2, pr * q);
+          }
+        }
+      } else {
+        const std::vector<double>& m = st.MarginalAt(next);
+        if (m.empty()) {
+          frames2 = frames;
+        } else {
+          for (const auto& [h2, pr] : frames) {
+            for (DomainIndex d2 = 0; d2 < m.size(); ++d2) {
+              const double q = m[d2];
+              if (q <= 0) continue;
+              frames2.emplace_back(h2 + part.radix * d2, pr * q);
+            }
+          }
+        }
+      }
+      frames.swap(frames2);
+    }
+    double* out = dense.data() + h * R;
+    for (const auto& [h2, pr] : frames) out[k.slot_of[h2]] = pr;
+  }
+  if (f32_rows_) {
+    set->f32 = true;
+    set->rows_f.resize(dense.size());
+    for (size_t i = 0; i < dense.size(); ++i) {
+      set->rows_f[i] = static_cast<float>(dense[i]);
+    }
+  } else {
+    set->rows = std::move(dense);
+  }
+  return set;
+}
+
+std::shared_ptr<const TransitionRowSet> RegularChain::ResolveRows(
+    Timestamp next) {
+  if (step_rows_ != nullptr && step_rows_t_ == next) return step_rows_;
+  // t == 1 rows depend on the initial marginals, which the class
+  // fingerprint deliberately excludes — never pooled. A participant whose
+  // horizon moved since creation invalidates the fingerprint too.
+  bool pool_ok = row_class_ != nullptr && next > 1;
+  if (pool_ok) {
+    for (size_t i = 0; i < markov_participants_.size(); ++i) {
+      if (db_->stream(markov_participants_[i].id).horizon() !=
+          row_horizons_[i]) {
+        pool_ok = false;
+        break;
+      }
+    }
+  }
+  if (pool_ok) {
+    std::shared_ptr<const TransitionRowSet> set = row_class_->Find(next);
+    if (set == nullptr) set = row_class_->Insert(next, BuildRowSet(next));
+    step_rows_ = std::move(set);
+  } else {
+    step_rows_ = BuildRowSet(next);
+  }
+  step_rows_t_ = next;
+  return step_rows_;
+}
+
+// Vectorized per-chain step: same source order (plane, mask index, hidden
+// code ascending) and multiplication tree fl(fl(p*q)*ip) as StepKernel, but
+// the inner walk is stripe-wise dense — w[slot] = p * row[slot] over the
+// whole row, then one contiguous axpy per (class segment, indep entry) into
+// the destination block. The extra zero-row entries add +0.0 to accumulators
+// that start at +0.0 and only ever receive non-negative terms: a bitwise
+// no-op, so the result is EXPECT_EQ-identical to the scalar reference.
+bool RegularChain::StepKernelSimd(Timestamp next) {
+  const CompiledKernel& k = *kernel_;
+  const size_t M = k.masks.size();
+  const uint64_t R = k.R;
+  const size_t E = indep_dist_.size();
+  const size_t L = lane_stride_;
+  Scratch& s = scratch_;
+
+  if (!FillStepTables()) {
+    DematerializeToMap();
+    return false;
+  }
+  const std::shared_ptr<const TransitionRowSet> rows = ResolveRows(next);
+
+  s.w.resize(R);
+  const size_t stride = planes_ * M * R;
+  if (L == 1) {
+    std::fill(nxt_, nxt_ + stride, 0.0);
+  } else {
+    for (size_t i = 0; i < stride; ++i) nxt_[i * L] = 0.0;
+  }
+  const uint32_t C = k.num_inputs;
+  for (size_t a = 0; a < planes_; ++a) {
+    for (size_t mi = 0; mi < M; ++mi) {
+      const double* src = cur_ + (a * M + mi) * R * L;
+      const uint32_t* trow = &k.trans[mi * C];
+      for (uint64_t h = 0; h < R; ++h) {
+        const double p = src[k.slot_of[h] * L];
+        if (p == 0.0) continue;
+        if (rows->f32) {
+          simd::ScaleRowF32(s.w.data(), rows->RowF(h), p, R);
+        } else {
+          simd::ScaleRow(s.w.data(), rows->Row(h), p, R);
+        }
+        for (const CompiledKernel::ClassSegment& seg : k.class_segments) {
+          const uint32_t* cls = &s.step_cls[static_cast<size_t>(seg.cls) * E];
+          const size_t len = seg.end - seg.begin;
+          for (size_t e = 0; e < E; ++e) {
+            const uint32_t tr = trow[cls[e]];
+            const size_t a2 = track_accept_ ? (a | (tr & 1u)) : 0;
+            double* dst = nxt_ + ((a2 * M + (tr >> 1)) * R + seg.begin) * L;
+            simd::AxpyConstStrided(dst, s.w.data() + seg.begin, s.indep_p[e],
+                                   len, L);
+          }
+        }
+      }
+    }
+  }
+  std::swap(cur_, nxt_);
+  return true;
+}
+
+bool RegularChain::StepStripe(RegularChain* const* chains, size_t n,
+                              Timestamp next) {
+  RegularChain& c0 = *chains[0];
+  if (c0.kernel_ == nullptr) return false;
+  // Structural eligibility: every lane must share the leader's kernel and
+  // arena interleave and sit at the same clock/parity. Any storage change
+  // (dematerialize, accept tracking re-owning, a copy) breaks the cur_
+  // base check and parks the stripe on the per-chain path for good.
+  for (size_t j = 0; j < n; ++j) {
+    RegularChain& c = *chains[j];
+    if (c.kernel_.get() != c0.kernel_.get() || !c.simd_ ||
+        c.lane_stride_ != n || c.planes_ != 1 || c.track_accept_ ||
+        !c.flat_.empty() || c.t_ + 1 != next || c.cur_ != c0.cur_ + j ||
+        c.nxt_ != c0.nxt_ + j) {
+      return false;
+    }
+    if (!c.symbols_->CoversDomains(*c.db_)) return false;
+  }
+  // Per-lane step tables; a structural surprise or divergent independent
+  // mask sequence falls back (the per-chain path redoes this work — the
+  // calls are idempotent and non-mutating on failure).
+  for (size_t j = 0; j < n; ++j) {
+    RegularChain& c = *chains[j];
+    c.BuildIndependentMaskDist(next);
+    if (!c.FillStepTables()) return false;
+    if (c.indep_dist_.size() != c0.indep_dist_.size()) return false;
+    for (size_t e = 0; e < c.indep_dist_.size(); ++e) {
+      if (c.indep_dist_[e].first != c0.indep_dist_[e].first) return false;
+    }
+  }
+  // All lanes must read the same row content; pooled classes converge on
+  // one TransitionRowSet pointer, chain-local builds (t == 1, no pool,
+  // horizon drift) do not and step per-chain.
+  const std::shared_ptr<const TransitionRowSet> rows = c0.ResolveRows(next);
+  for (size_t j = 1; j < n; ++j) {
+    if (chains[j]->ResolveRows(next) != rows) return false;
+  }
+
+  const CompiledKernel& k = *c0.kernel_;
+  const size_t M = k.masks.size();
+  const uint64_t R = k.R;
+  const size_t E = c0.indep_dist_.size();
+  Scratch& s = c0.scratch_;
+  s.w.resize(R * n);
+  s.ip_lanes.resize(E * n);
+  for (size_t j = 0; j < n; ++j) {
+    for (size_t e = 0; e < E; ++e) {
+      s.ip_lanes[e * n + j] = chains[j]->scratch_.indep_p[e];
+    }
+  }
+
+  // Wide step: identical (mask index, hidden, segment, indep entry) order
+  // as the per-chain path, with every lane advancing in lockstep. Lanes
+  // whose source probability is zero contribute +0.0 terms — a bitwise
+  // no-op (see StepKernelSimd) — so mixed-liveness stripes stay identical
+  // to stepping each lane alone.
+  double* nxt0 = c0.nxt_;
+  const double* cur0 = c0.cur_;
+  std::fill(nxt0, nxt0 + M * R * n, 0.0);
+  const uint32_t C = k.num_inputs;
+  for (size_t mi = 0; mi < M; ++mi) {
+    const double* src = cur0 + mi * R * n;
+    const uint32_t* trow = &k.trans[mi * C];
+    for (uint64_t h = 0; h < R; ++h) {
+      const double* p = src + k.slot_of[h] * n;
+      if (!simd::AnyNonzero(p, n)) continue;
+      if (rows->f32) {
+        simd::StripeWeightsF32(s.w.data(), p, rows->RowF(h), R, n);
+      } else {
+        simd::StripeWeights(s.w.data(), p, rows->Row(h), R, n);
+      }
+      for (const CompiledKernel::ClassSegment& seg : k.class_segments) {
+        const uint32_t* cls = &s.step_cls[static_cast<size_t>(seg.cls) * E];
+        const size_t len = seg.end - seg.begin;
+        for (size_t e = 0; e < E; ++e) {
+          const uint32_t tr = trow[cls[e]];
+          double* dst =
+              nxt0 + (static_cast<size_t>(tr >> 1) * R + seg.begin) * n;
+          simd::StripeAccum(dst, s.w.data() + seg.begin * n,
+                            &s.ip_lanes[e * n], len, n);
+        }
+      }
+    }
+  }
+  for (size_t j = 0; j < n; ++j) {
+    RegularChain& c = *chains[j];
+    std::swap(c.cur_, c.nxt_);
+    c.t_ = next;
+  }
+  return true;
+}
+
 void RegularChain::DematerializeToMap() {
   const CompiledKernel& k = *kernel_;
   const size_t M = k.masks.size();
@@ -464,10 +812,12 @@ void RegularChain::DematerializeToMap() {
   states_.clear();
   for (size_t a = 0; a < planes_; ++a) {
     for (size_t mi = 0; mi < M; ++mi) {
-      const double* src = cur_ + (a * M + mi) * R;
+      const double* src = cur_ + (a * M + mi) * R * lane_stride_;
       const StateMask mask = k.masks[mi] | (a != 0 ? kAcceptedFlag : 0);
       for (uint64_t h = 0; h < R; ++h) {
-        if (src[h] != 0.0) states_.emplace(Key{mask, h}, src[h]);
+        const uint64_t slot = simd_ ? k.slot_of[h] : h;
+        const double p = src[slot * lane_stride_];
+        if (p != 0.0) states_.emplace(Key{mask, h}, p);
       }
     }
   }
@@ -477,6 +827,11 @@ void RegularChain::DematerializeToMap() {
   cur_ = nullptr;
   nxt_ = nullptr;
   planes_ = 1;
+  simd_ = false;
+  f32_rows_ = false;
+  lane_stride_ = 1;
+  row_class_.reset();
+  step_rows_.reset();
 }
 
 void RegularChain::RefreshSymbols() {
@@ -498,7 +853,9 @@ double RegularChain::Step() {
   // a mask already in the alphabet keeps the kernel running bit-identically.
   if (!symbols_->CoversDomains(*db_)) RefreshSymbols();
   BuildIndependentMaskDist(next);
-  const bool stepped = kernel_ != nullptr && StepKernel(next);
+  const bool stepped =
+      kernel_ != nullptr &&
+      (simd_ ? StepKernelSimd(next) : StepKernel(next));
   if (!stepped) StepMap(next);
   t_ = next;
   return AcceptProb();
@@ -508,13 +865,19 @@ void RegularChain::EnableAcceptTracking() {
   track_accept_ = true;
   if (kernel_ != nullptr && planes_ == 1) {
     // Grow to two planes (unaccepted, accepted). If the chain lived in an
-    // engine arena it switches to owned storage — accept tracking is a
-    // safe-plan feature and those chains are never arena-batched.
+    // engine arena it switches to owned (contiguous, de-strided) storage —
+    // accept tracking is a safe-plan feature and those chains are never
+    // arena-batched.
     const size_t plane = kernel_->num_flat();
     std::vector<double> grown(4 * plane, 0.0);
-    std::copy(cur_, cur_ + plane, grown.data());
+    if (lane_stride_ == 1) {
+      std::copy(cur_, cur_ + plane, grown.data());
+    } else {
+      for (size_t i = 0; i < plane; ++i) grown[i] = cur_[i * lane_stride_];
+    }
     flat_ = std::move(grown);
     planes_ = 2;
+    lane_stride_ = 1;
     cur_ = flat_.data();
     nxt_ = flat_.data() + 2 * plane;
   }
@@ -525,6 +888,20 @@ double RegularChain::AcceptProb() const {
   if (kernel_ != nullptr) {
     const size_t M = kernel_->masks.size();
     const uint64_t R = kernel_->R;
+    if (simd_) {
+      // Slot layout: sum in canonical h order through the permutation so
+      // the reduction sequence matches the scalar path bitwise.
+      for (size_t a = 0; a < planes_; ++a) {
+        for (size_t mi = 0; mi < M; ++mi) {
+          if (!kernel_->accepts[mi]) continue;
+          const double* src = cur_ + (a * M + mi) * R * lane_stride_;
+          for (uint64_t h = 0; h < R; ++h) {
+            total += src[kernel_->slot_of[h] * lane_stride_];
+          }
+        }
+      }
+      return total;
+    }
     for (size_t a = 0; a < planes_; ++a) {
       for (size_t mi = 0; mi < M; ++mi) {
         if (!kernel_->accepts[mi]) continue;
@@ -546,9 +923,23 @@ double RegularChain::AcceptedProb() const {
   double total = 0;
   if (kernel_ != nullptr) {
     if (planes_ < 2) return 0.0;
-    const size_t plane = kernel_->num_flat();
-    const double* src = cur_ + plane;
-    for (size_t i = 0; i < plane; ++i) total += src[i];
+    // Two-plane chains always own contiguous storage (EnableAcceptTracking
+    // de-strides), and the accepted plane is a straight (mask index, h)
+    // walk; in slot layout the per-mask sum reorders h, but a sum of the
+    // same mask-block in canonical order is needed for bit-identity:
+    const size_t M = kernel_->masks.size();
+    const uint64_t R = kernel_->R;
+    const double* src = cur_ + kernel_->num_flat();
+    if (simd_) {
+      for (size_t mi = 0; mi < M; ++mi) {
+        const double* block = src + mi * R;
+        for (uint64_t h = 0; h < R; ++h) {
+          total += block[kernel_->slot_of[h]];
+        }
+      }
+      return total;
+    }
+    for (size_t i = 0; i < kernel_->num_flat(); ++i) total += src[i];
     return total;
   }
   std::vector<std::pair<Key, double>> sorted(states_.begin(), states_.end());
@@ -564,7 +955,7 @@ size_t RegularChain::NumStates() const {
   const size_t stride = planes_ * kernel_->num_flat();
   size_t live = 0;
   for (size_t i = 0; i < stride; ++i) {
-    if (cur_[i] != 0.0) ++live;
+    if (cur_[i * lane_stride_] != 0.0) ++live;
   }
   return live;
 }
@@ -578,15 +969,45 @@ size_t RegularChain::StepCost() const {
                             : std::max<size_t>(1, states_.size());
 }
 
-void RegularChain::BindArena(double* cur, double* nxt) {
+size_t RegularChain::OwnedBytes() const {
+  size_t total = flat_.capacity() * sizeof(double);
+  const Scratch& s = scratch_;
+  total += s.stream_dist.capacity() * sizeof(s.stream_dist[0]);
+  total += s.merged.capacity() * sizeof(s.merged[0]);
+  total += s.sorted.capacity() * sizeof(s.sorted[0]);
+  total += s.live.capacity();
+  total += s.row_ptr.capacity() * sizeof(uint32_t);
+  total += s.csr_h.capacity() * sizeof(uint32_t);
+  total += s.csr_p.capacity() * sizeof(double);
+  total += s.frames.capacity() * sizeof(s.frames[0]);
+  total += s.frames2.capacity() * sizeof(s.frames2[0]);
+  total += s.step_cls.capacity() * sizeof(uint32_t);
+  total += s.indep_p.capacity() * sizeof(double);
+  total += s.w.capacity() * sizeof(double);
+  total += s.ip_lanes.capacity() * sizeof(double);
+  // Chain-local (non-pooled) rows are this chain's own weight; pooled rows
+  // belong to the shared class and are reported engine-side, deduped.
+  if (step_rows_ != nullptr &&
+      (row_class_ == nullptr || row_class_->Find(step_rows_t_) != step_rows_)) {
+    total += step_rows_->bytes();
+  }
+  // Map-path states: node + bucket estimate per live entry.
+  total += states_.size() * (sizeof(Key) + sizeof(double) + 2 * sizeof(void*));
+  return total;
+}
+
+void RegularChain::BindArena(double* cur, double* nxt, size_t lane_stride) {
   if (kernel_ == nullptr) return;
   const size_t stride = FlatStride();
-  std::copy(cur_, cur_ + stride, cur);
-  std::fill(nxt, nxt + stride, 0.0);
+  for (size_t i = 0; i < stride; ++i) {
+    cur[i * lane_stride] = cur_[i * lane_stride_];
+    nxt[i * lane_stride] = 0.0;
+  }
   flat_.clear();
   flat_.shrink_to_fit();
   cur_ = cur;
   nxt_ = nxt;
+  lane_stride_ = lane_stride;
 }
 
 void RegularChain::SaveState(serial::Writer* w) const {
@@ -611,10 +1032,12 @@ void RegularChain::SaveState(serial::Writer* w) const {
     const uint64_t R = k.R;
     for (size_t a = 0; a < planes_; ++a) {
       for (size_t mi = 0; mi < M; ++mi) {
-        const double* src = cur_ + (a * M + mi) * R;
+        const double* src = cur_ + (a * M + mi) * R * lane_stride_;
         const StateMask mask = k.masks[mi] | (a != 0 ? kAcceptedFlag : 0);
         for (uint64_t h = 0; h < R; ++h) {
-          if (src[h] != 0.0) entries.push_back({Key{mask, h}, src[h]});
+          const uint64_t slot = simd_ ? k.slot_of[h] : h;
+          const double p = src[slot * lane_stride_];
+          if (p != 0.0) entries.push_back({Key{mask, h}, p});
         }
       }
     }
@@ -698,13 +1121,17 @@ Status RegularChain::LoadState(serial::Reader* r) {
   if (use_kernel) {
     const CompiledKernel& k = *kernel_;
     const size_t M = k.masks.size();
-    std::fill(cur_, cur_ + planes_ * k.num_flat(), 0.0);
-    std::fill(nxt_, nxt_ + planes_ * k.num_flat(), 0.0);
+    const size_t stride = planes_ * k.num_flat();
+    for (size_t i = 0; i < stride; ++i) {
+      cur_[i * lane_stride_] = 0.0;
+      nxt_[i * lane_stride_] = 0.0;
+    }
     for (const auto& [key, p] : entries) {
       const size_t a = (key.mask & kAcceptedFlag) != 0 ? 1 : 0;
       const size_t mi = static_cast<size_t>(k.MaskIndexOf(key.mask &
                                                           ~kAcceptedFlag));
-      cur_[(a * M + mi) * k.R + key.hidden] = p;
+      const uint64_t slot = simd_ ? k.slot_of[key.hidden] : key.hidden;
+      cur_[((a * M + mi) * k.R + slot) * lane_stride_] = p;
     }
   } else {
     states_.clear();

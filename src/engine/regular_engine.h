@@ -27,12 +27,22 @@
 
 #include "automaton/kernel.h"
 #include "automaton/nfa.h"
+#include "automaton/rows.h"
 #include "automaton/symbols.h"
 #include "common/serial.h"
 #include "model/database.h"
 #include "query/normalize.h"
 
 namespace lahar {
+
+/// How a compiled chain executes its per-tick transition (docs/PERF.md):
+///   kScalar - the CSR sparse mat-vec (StepKernel), the bit-identity
+///             reference for every other path;
+///   kSimd   - dense vectorized rows over the class-sorted slot layout
+///             (StepKernelSimd / StepStripe), bit-identical to kScalar;
+///   kAuto   - kSimd where the dense-row model pays for itself (see
+///             simd_max_hidden / simd_min_density), kScalar elsewhere.
+enum class KernelStepMode { kAuto, kScalar, kSimd };
 
 /// Options controlling chain construction (kernel compilation and batching).
 struct ChainOptions {
@@ -45,6 +55,22 @@ struct ChainOptions {
   /// Extended engine only: pack the compiled chains' state vectors into one
   /// contiguous SoA arena (see ExtendedRegularEngine).
   bool soa_arena = true;
+
+  /// Step-path selection for compiled chains.
+  KernelStepMode step_mode = KernelStepMode::kAuto;
+  /// kAuto/kSimd ceiling on the joint hidden space: dense rows cost R*R
+  /// doubles per (class, timestep), so past this the CSR walk wins.
+  uint32_t simd_max_hidden = 512;
+  /// kAuto floor on the joint CPT nonzero fraction: below it the CSR skip
+  /// of zero successors beats dense multiply-accumulate.
+  double simd_min_density = 0.35;
+  /// Optional cross-chain dense-row reuse (e.g. PreparedQuery::row_pool).
+  /// Null makes every SIMD chain build rows locally; classes are held by
+  /// shared_ptr, so the pool may die before the chains.
+  TransitionRowPool* row_pool = nullptr;
+  /// Store pooled rows as float32 (half the bytes, NOT bit-identical; see
+  /// rows.h for the error bound). Only affects SIMD-mode chains.
+  bool float32_rows = false;
 };
 
 /// \brief The Markov chain M(t) of Section 3.1.2 for one grounded regular
@@ -101,6 +127,33 @@ class RegularChain {
   /// True when this chain stepped onto a compiled kernel (vs. the map path).
   bool compiled() const { return kernel_ != nullptr; }
 
+  /// True when this chain runs the vectorized dense-row step (state stored
+  /// in the kernel's class-sorted slot layout).
+  bool simd() const { return simd_; }
+
+  /// True when this chain reads float32-tier transition rows.
+  bool float32_rows() const { return f32_rows_; }
+
+  /// The interned row class this chain shares (null when rows are local).
+  const std::shared_ptr<TransitionRowClass>& row_class() const {
+    return row_class_;
+  }
+
+  /// Heap bytes owned by this chain itself: state buffers, scratch, and
+  /// chain-local (non-pooled) rows. Pooled row bytes are amortized across
+  /// the class and reported by the engine (see
+  /// ExtendedRegularEngine::Footprint).
+  size_t OwnedBytes() const;
+
+  /// Steps a full lane-interleaved stripe of `n` chains (each bound with
+  /// BindArena lane_stride == n over one interleaved block) through one
+  /// timestep, bit-identically to stepping each alone. Returns false
+  /// WITHOUT mutating anything when the stripe is not eligible this tick
+  /// (mixed structure, a chain fell off the kernel, distinct row content,
+  /// ...); the caller then steps each chain individually.
+  static bool StepStripe(RegularChain* const* chains, size_t n,
+                         Timestamp next);
+
   /// First error latched by Step() (e.g. a failed symbol-table refresh
   /// after mid-stream domain growth); OK in normal operation. A chain with
   /// a latched error keeps stepping, treating unknown values as producing
@@ -116,10 +169,12 @@ class RegularChain {
   size_t StepCost() const;
 
   /// Moves the chain's kernel state into caller-owned storage (the extended
-  /// engine's SoA arena). `cur` and `nxt` must each hold FlatStride()
-  /// doubles and stay valid for the chain's lifetime; the current state is
-  /// copied into `cur`. No-op on the map path.
-  void BindArena(double* cur, double* nxt);
+  /// engine's SoA arena). `cur` and `nxt` must each address FlatStride()
+  /// doubles at spacing `lane_stride` (flat index i lives at cur[i *
+  /// lane_stride]) and stay valid for the chain's lifetime; the current
+  /// state is copied into `cur`. lane_stride > 1 lane-interleaves SIMD
+  /// chains for StepStripe. No-op on the map path.
+  void BindArena(double* cur, double* nxt, size_t lane_stride = 1);
 
   /// Serializes the live distribution for checkpointing: the clock, accept
   /// tracking, and every nonzero (state set, hidden) pair in canonical
@@ -168,6 +223,18 @@ class RegularChain {
   // Kernel-path step; returns false after falling back to the map path
   // (the state was dematerialized and the step must be re-run on the map).
   bool StepKernel(Timestamp next);
+  // Vectorized dense-row step (state in slot layout, possibly strided);
+  // same fallback contract as StepKernel.
+  bool StepKernelSimd(Timestamp next);
+  // Fills scratch indep_p/step_cls from indep_dist_; false (mutating
+  // nothing else) when a structural assumption broke and the caller must
+  // dematerialize.
+  bool FillStepTables();
+  // Dense rows for timestep `next`: pooled when the class has them (or this
+  // chain builds and publishes), chain-local otherwise (t == 1, no pool, or
+  // a participant's horizon changed since creation). Cached per timestep.
+  std::shared_ptr<const TransitionRowSet> ResolveRows(Timestamp next);
+  std::shared_ptr<const TransitionRowSet> BuildRowSet(Timestamp next) const;
   // Builds the per-step CSR rows (successor hidden code, probability) for
   // every live joint hidden code; mirrors EnumerateSuccessors' enumeration
   // order exactly.
@@ -209,6 +276,17 @@ class RegularChain {
   double* cur_ = nullptr;
   double* nxt_ = nullptr;
 
+  // --- vectorized step path (simd_ implies kernel_) ------------------------
+  bool simd_ = false;       // state lives in slot layout; step via dense rows
+  bool f32_rows_ = false;   // rows on the float32 tier
+  size_t lane_stride_ = 1;  // arena lane interleave (1 = contiguous)
+  std::shared_ptr<TransitionRowClass> row_class_;  // null = always local rows
+  std::shared_ptr<const TransitionRowSet> step_rows_;  // cache for step t
+  Timestamp step_rows_t_ = 0;
+  // Participant horizons at creation; a mismatch at step time means the
+  // stream grew and pooled rows (fingerprinted at creation) may be stale.
+  std::vector<Timestamp> row_horizons_;
+
   // Per-step scratch (reused, never copied with meaning).
   struct Scratch {
     std::vector<std::pair<SymbolMask, double>> stream_dist;
@@ -221,6 +299,8 @@ class RegularChain {
     std::vector<std::pair<uint64_t, double>> frames, frames2;
     std::vector<uint32_t> step_cls;               // [markov classes x E]
     std::vector<double> indep_p;                  // [E]
+    std::vector<double> w;                        // simd weights [R or R*L]
+    std::vector<double> ip_lanes;                 // stripe indep_p [E*L]
   };
   Scratch scratch_;
 };

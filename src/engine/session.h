@@ -214,6 +214,10 @@ class QuerySession {
   /// Units currently delegated to shared sub-chains (stats).
   virtual size_t NumDelegatedUnits() const { return 0; }
 
+  /// Units stepping on the vectorized SoA kernel path (stats; zero for
+  /// sessions without a chain arena).
+  virtual size_t NumSimdUnits() const { return 0; }
+
  protected:
   QuerySession(QueryClass query_class, EngineKind engine_kind, bool exact)
       : query_class_(query_class), engine_kind_(engine_kind), exact_(exact) {}

@@ -23,6 +23,7 @@ Result<StreamingSession> StreamingSession::Create(
   }
   ChainOptions options;
   options.kernel_cache = prepared.kernel_cache.get();
+  options.row_pool = prepared.row_pool.get();
   LAHAR_ASSIGN_OR_RETURN(ExtendedRegularEngine engine,
                          ExtendedRegularEngine::Create(prepared.normalized,
                                                        *db, options));

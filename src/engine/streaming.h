@@ -79,6 +79,9 @@ class StreamingSession : public QuerySession {
   /// Number of per-grounding chains (alias of num_units for diagnostics).
   size_t num_chains() const { return engine_.num_chains(); }
 
+  /// Chains stepping on the vectorized SoA kernel path (docs/PERF.md).
+  size_t NumSimdUnits() const override { return engine_.num_simd(); }
+
   /// The underlying engine (diagnostics: per-chain probabilities and
   /// bindings).
   const ExtendedRegularEngine& engine() const { return engine_; }

@@ -230,6 +230,7 @@ RuntimeStats StreamRuntime::Stats() const {
     out.window_size_hist.assign(window_size_hist_.begin(),
                                 window_size_hist_.end());
     out.steals = steals_;
+    out.split_placements = split_placements_;
     out.rebalances = rebalances_;
     out.barrier_wait = barrier_wait_.Summarize();
     out.sharing_groups = registry_.num_sharing_groups();
@@ -268,6 +269,8 @@ RuntimeStats StreamRuntime::Stats() const {
       qs.kernel_hits = q->kernel_hits;
       qs.kernel_misses = q->kernel_misses;
       qs.shared_units = q->session->NumDelegatedUnits();
+      qs.simd_units = q->session->NumSimdUnits();
+      out.simd_units += qs.simd_units;
       out.safe_memo_entries += ms.memo_entries;
       out.safe_memo_evictions += ms.memo_evictions;
       out.safe_rows_live += ms.rows_live;
@@ -422,7 +425,10 @@ void StreamRuntime::RebuildPlan(bool measured) {
                      ? item.cost * range_cost / unit_total
                      : item.cost / ranges.size();
     }
-    if (measured && item.q->home_shard != used[0]) ++steals_;
+    // A split group's primary shard moves whenever the range partition
+    // shifts, which is a deliberate placement decision, not a drift steal —
+    // count it separately so `steals` keeps measuring rebalance churn.
+    if (measured && item.q->home_shard != used[0]) ++split_placements_;
     item.q->home_shard = used[0];
   }
   // Every worker visits split sessions in the same global order (see

@@ -300,7 +300,8 @@ class StreamRuntime {
   // Window sizes, log2 buckets: [1] [2] [3-4] [5-8] [9-16] [17-32] [33-64]
   // and 65+.
   std::array<uint64_t, 8> window_size_hist_{};
-  uint64_t steals_ = 0;      // sessions moved by drift rebalances
+  uint64_t steals_ = 0;      // whole sessions moved by drift rebalances
+  uint64_t split_placements_ = 0;  // split-group primary-shard moves
   uint64_t rebalances_ = 0;  // drift-triggered plan rebuilds
   uint64_t last_rebalance_window_ = 0;
   LatencyRecorder barrier_wait_;  // coordinator wait at the window barrier

@@ -9,7 +9,8 @@ QueryRegistry::QueryRegistry(EventDatabase* db, LaharOptions options,
     : db_(db),
       options_(std::move(options)),
       sharing_(sharing),
-      shared_kernels_(std::make_shared<KernelCache>()) {
+      shared_kernels_(std::make_shared<KernelCache>()),
+      shared_rows_(std::make_shared<TransitionRowPool>()) {
   // Safe plans compile their reg leaves through the registry-wide cache
   // (unless the caller wired a cache of their own), so structurally equal
   // leaves across plans — and standalone regular queries — compile once.
@@ -32,6 +33,7 @@ Result<QueryId> QueryRegistry::Register(std::string_view text,
   }
   LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(text, db_));
   prepared.kernel_cache = shared_kernels_;
+  prepared.row_pool = shared_rows_;
   auto ins = prepared_cache_.emplace(std::move(key),
                                      PreparedEntry{std::move(prepared), 0});
   Result<QueryId> id = RegisterPrepared(ins.first->second.prepared, text,
@@ -102,6 +104,7 @@ Status QueryRegistry::RestoreQuery(QueryId id, std::string_view text,
   }
   LAHAR_ASSIGN_OR_RETURN(PreparedQuery prepared, PrepareQuery(text, db_));
   prepared.kernel_cache = shared_kernels_;
+  prepared.row_pool = shared_rows_;
   LAHAR_ASSIGN_OR_RETURN(std::unique_ptr<QuerySession> session,
                          CreateQuerySession(db_, prepared, options_));
   auto q = std::make_unique<StandingQuery>();

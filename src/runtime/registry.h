@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "automaton/kernel.h"
+#include "automaton/rows.h"
 #include "engine/session.h"
 #include "runtime/stats.h"
 
@@ -142,6 +143,8 @@ class QueryRegistry {
   uint64_t prepared_dedup_hits() const { return prepared_dedup_hits_; }
   /// Registry-wide compiled-kernel cache shared by every session.
   const KernelCache& shared_kernels() const { return *shared_kernels_; }
+  /// Registry-wide dense-transition-row pool (automaton/rows.h).
+  const TransitionRowPool& shared_rows() const { return *shared_rows_; }
   const SharingOptions& sharing_options() const { return sharing_; }
 
  private:
@@ -176,6 +179,7 @@ class QueryRegistry {
   LaharOptions options_;
   SharingOptions sharing_;
   std::shared_ptr<KernelCache> shared_kernels_;
+  std::shared_ptr<TransitionRowPool> shared_rows_;
   std::vector<std::unique_ptr<StandingQuery>> queries_;
   std::unordered_map<std::string, UnitPool> sharing_pool_;
   std::unordered_map<std::string, PreparedEntry> prepared_cache_;

@@ -143,9 +143,10 @@ std::string RuntimeStats::ToString() const {
   if (windows_executed > 0) {
     std::snprintf(buf, sizeof(buf),
                   "windows: executed=%llu cap=%zu steals=%llu "
-                  "rebalances=%llu hist=[",
+                  "split_placements=%llu rebalances=%llu hist=[",
                   static_cast<unsigned long long>(windows_executed),
                   max_window_ticks, static_cast<unsigned long long>(steals),
+                  static_cast<unsigned long long>(split_placements),
                   static_cast<unsigned long long>(rebalances));
     out += buf;
     for (size_t i = 0; i < window_size_hist.size(); ++i) {
@@ -181,14 +182,15 @@ std::string RuntimeStats::ToString() const {
     std::snprintf(buf, sizeof(buf),
                   "sharing: groups=%zu steps_executed=%llu steps_saved=%llu "
                   "plan_dedup_hits=%llu kernels=%zu kernel_hits=%llu "
-                  "kernel_misses=%llu fanout_hist=[",
+                  "kernel_misses=%llu simd_units=%zu fanout_hist=[",
                   sharing_groups,
                   static_cast<unsigned long long>(shared_steps_executed),
                   static_cast<unsigned long long>(shared_steps_saved),
                   static_cast<unsigned long long>(prepared_dedup_hits),
                   kernel_cache_entries,
                   static_cast<unsigned long long>(kernel_cache_hits),
-                  static_cast<unsigned long long>(kernel_cache_misses));
+                  static_cast<unsigned long long>(kernel_cache_misses),
+                  simd_units);
     out += buf;
     for (size_t i = 0; i < sharing_fanout_hist.size(); ++i) {
       std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? " " : "",
@@ -279,13 +281,15 @@ std::string RuntimeStats::ToString() const {
                     static_cast<unsigned long long>(q.row_rebuilds));
       out += buf;
     }
-    if (q.shared_units > 0 || q.kernel_hits > 0 || q.kernel_misses > 0) {
+    if (q.shared_units > 0 || q.kernel_hits > 0 || q.kernel_misses > 0 ||
+        q.simd_units > 0) {
       std::snprintf(buf, sizeof(buf),
                     "    sharing: delegated_units=%zu kernel_hits=%llu "
-                    "kernel_misses=%llu\n",
+                    "kernel_misses=%llu simd_units=%zu\n",
                     q.shared_units,
                     static_cast<unsigned long long>(q.kernel_hits),
-                    static_cast<unsigned long long>(q.kernel_misses));
+                    static_cast<unsigned long long>(q.kernel_misses),
+                    q.simd_units);
       out += buf;
     }
   }
@@ -315,9 +319,11 @@ std::string RuntimeStats::ToJson() const {
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "\"windows_executed\":%llu,\"max_window_ticks\":%zu,"
-                "\"steals\":%llu,\"rebalances\":%llu,\"window_size_hist\":[",
+                "\"steals\":%llu,\"split_placements\":%llu,"
+                "\"rebalances\":%llu,\"window_size_hist\":[",
                 static_cast<unsigned long long>(windows_executed),
                 max_window_ticks, static_cast<unsigned long long>(steals),
+                static_cast<unsigned long long>(split_placements),
                 static_cast<unsigned long long>(rebalances));
   out += buf;
   for (size_t i = 0; i < window_size_hist.size(); ++i) {
@@ -351,14 +357,15 @@ std::string RuntimeStats::ToJson() const {
                 "\"sharing_groups\":%zu,\"shared_steps_executed\":%llu,"
                 "\"shared_steps_saved\":%llu,\"prepared_dedup_hits\":%llu,"
                 "\"kernel_cache_hits\":%llu,\"kernel_cache_misses\":%llu,"
-                "\"kernel_cache_entries\":%zu,\"sharing_fanout_hist\":[",
+                "\"kernel_cache_entries\":%zu,\"simd_units\":%zu,"
+                "\"sharing_fanout_hist\":[",
                 sharing_groups,
                 static_cast<unsigned long long>(shared_steps_executed),
                 static_cast<unsigned long long>(shared_steps_saved),
                 static_cast<unsigned long long>(prepared_dedup_hits),
                 static_cast<unsigned long long>(kernel_cache_hits),
                 static_cast<unsigned long long>(kernel_cache_misses),
-                kernel_cache_entries);
+                kernel_cache_entries, simd_units);
   out += buf;
   for (size_t i = 0; i < sharing_fanout_hist.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? "," : "",
@@ -423,7 +430,8 @@ std::string RuntimeStats::ToJson() const {
                   "{\"id\":%llu,\"class\":\"%s\",\"engine\":\"%s\","
                   "\"exact\":%s,\"units\":%zu,\"ticks\":%llu,"
                   "\"errors\":%llu,\"kernel_hits\":%llu,"
-                  "\"kernel_misses\":%llu,\"shared_units\":%zu,",
+                  "\"kernel_misses\":%llu,\"shared_units\":%zu,"
+                  "\"simd_units\":%zu,",
                   static_cast<unsigned long long>(q.id),
                   JsonEscape(q.query_class).c_str(),
                   JsonEscape(q.engine).c_str(), q.exact ? "true" : "false",
@@ -431,7 +439,7 @@ std::string RuntimeStats::ToJson() const {
                   static_cast<unsigned long long>(q.errors),
                   static_cast<unsigned long long>(q.kernel_hits),
                   static_cast<unsigned long long>(q.kernel_misses),
-                  q.shared_units);
+                  q.shared_units, q.simd_units);
     out += buf;
     out += "\"text\":\"" + JsonEscape(q.text) + "\",";
     out += "\"last_error\":\"" + JsonEscape(q.last_error) + "\"}";

@@ -86,6 +86,9 @@ struct QueryStats {
   /// Units of this query currently delegated to cross-query shared
   /// sub-chains (stepped once per tick for all their readers).
   size_t shared_units = 0;
+  /// Units of this query stepping on the vectorized SoA kernel path
+  /// (docs/PERF.md).
+  size_t simd_units = 0;
 };
 
 /// \brief Per-shard counters, snapshot at Stats() time.
@@ -174,6 +177,9 @@ struct RuntimeStats {
   uint64_t kernel_cache_hits = 0;
   uint64_t kernel_cache_misses = 0;
   size_t kernel_cache_entries = 0;
+  /// Chains stepping on the vectorized SoA kernel path across all queries
+  /// (docs/PERF.md).
+  size_t simd_units = 0;
   /// End-to-end per-tick wall time. Under windowed execution each tick of
   /// a window records the window's wall time divided by its width, so the
   /// count still equals ticks_processed and the mean is the true
@@ -186,7 +192,8 @@ struct RuntimeStats {
   /// [33-64] and 65+. Mass in the first bucket means producers never run
   /// ahead (per-tick barriers); mass to the right is amortized handshakes.
   std::vector<uint64_t> window_size_hist;
-  uint64_t steals = 0;      ///< sessions moved between shards by rebalances
+  uint64_t steals = 0;      ///< whole sessions moved between shards by rebalances
+  uint64_t split_placements = 0;  ///< split-group primary-shard moves
   uint64_t rebalances = 0;  ///< drift-triggered plan rebuilds
   /// Coordinator wait at the end-of-window barrier (one record per window,
   /// multi-threaded runs only) — the pool's straggler skew.

@@ -4,9 +4,13 @@
 // comparison here is EXPECT_EQ on doubles, not EXPECT_NEAR.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "automaton/simd.h"
+#include "common/serial.h"
 #include "engine/extended_engine.h"
 #include "engine/regular_engine.h"
 #include "query/normalize.h"
@@ -18,6 +22,7 @@ namespace {
 using ::lahar::testing::AddIndependentStream;
 using ::lahar::testing::AddMarkovStream;
 using ::lahar::testing::AddRelation;
+using ::lahar::testing::DeclareUnarySchema;
 using ::lahar::testing::MustParse;
 using ::lahar::testing::StepDist;
 
@@ -204,6 +209,164 @@ TEST(KernelEquivalenceTest, ExtendedEngineWithoutArenaStillIdentical) {
   EXPECT_EQ(owned->arena_size(), 0u);
   for (Timestamp t = 1; t <= db.horizon(); ++t) {
     EXPECT_EQ(owned->Step(), batched->Step());
+  }
+}
+
+// --- Randomized vectorized-vs-scalar-vs-map property sweep -----------------
+//
+// The vectorized SoA path (docs/PERF.md) promises the same bit-identity the
+// compiled kernel promises against the map path. The sweep below drives all
+// three paths over random automata, domain sizes, and arena widths chosen to
+// straddle the SIMD lane width (1, lanes-1, lanes, lanes+1, 2*lanes+1 chains
+// exercise every remainder-handling branch), asserting EXPECT_EQ on every
+// per-tick double and on checkpoint bytes.
+
+/// Random dense row-stochastic CPT over n codes (code 0 = bottom, absorbing).
+Matrix RandomCpt(size_t n, std::mt19937_64* rng) {
+  Matrix cpt(n, n, 0.0);
+  cpt.At(0, 0) = 1.0;
+  std::uniform_real_distribution<double> u(0.05, 1.0);
+  for (size_t d = 1; d < n; ++d) {
+    std::vector<double> row(n, 0.0);
+    double total = 0;
+    for (size_t d2 = 1; d2 < n; ++d2) {
+      row[d2] = u(*rng);
+      total += row[d2];
+    }
+    for (size_t d2 = 1; d2 < n; ++d2) cpt.At(d, d2) = row[d2] / total;
+  }
+  return cpt;
+}
+
+/// Markov stream with a random initial distribution and the given shared
+/// CPT. Sharing the CPT across keys while randomizing initials mirrors the
+/// row-pool design: per-key chains intern one transition-row class.
+StreamId AddRandomMarkovStream(EventDatabase* db, const std::string& key,
+                               const std::vector<std::string>& domain,
+                               const Matrix& cpt, Timestamp horizon,
+                               std::mt19937_64* rng) {
+  DeclareUnarySchema(db, "At");
+  Stream s(db->interner().Intern("At"), {db->Sym(key)}, 1, horizon,
+           /*markovian=*/true);
+  for (const std::string& d : domain) s.InternTuple({db->Sym(d)});
+  size_t n = s.domain_size();
+  std::vector<double> init(n, 0.0);
+  std::uniform_real_distribution<double> u(0.05, 1.0);
+  double total = 0;
+  for (size_t d = 1; d < n; ++d) {
+    init[d] = u(*rng);
+    total += init[d];
+  }
+  for (size_t d = 1; d < n; ++d) init[d] /= total;
+  EXPECT_TRUE(s.SetInitial(init).ok());
+  for (Timestamp t = 1; t < horizon; ++t) {
+    EXPECT_TRUE(s.SetCpt(t, cpt).ok());
+  }
+  EXPECT_TRUE(s.FinalizeMarkov().ok());
+  auto id = db->AddStream(std::move(s));
+  EXPECT_TRUE(id.ok()) << id.status().ToString();
+  return *id;
+}
+
+TEST(KernelEquivalenceTest, RandomizedSimdSweepBitIdentical) {
+  const size_t lanes = simd::kLanes;
+  const size_t widths[] = {1, lanes - 1, lanes, lanes + 1, 2 * lanes + 1};
+  uint64_t seed = 20260808;
+  for (size_t m : widths) {
+    if (m == 0) continue;
+    std::mt19937_64 rng(seed++);
+    std::uniform_int_distribution<size_t> dom(2, 5);
+    const size_t k = dom(rng);
+    std::vector<std::string> domain;
+    for (size_t j = 1; j <= k; ++j) domain.push_back("d" + std::to_string(j));
+    const Timestamp horizon = 8;
+    EventDatabase db;
+    Matrix cpt = RandomCpt(domain.size() + 1, &rng);
+    for (size_t i = 0; i < m; ++i) {
+      AddRandomMarkovStream(&db, "tag" + std::to_string(i), domain, cpt,
+                            horizon, &rng);
+    }
+    QueryPtr q =
+        MustParse(&db, "At(x, l1 : l1 = 'd1'); At(x, l2 : l2 = 'd2')");
+    ASSERT_NE(q, nullptr);
+    auto nq = Normalize(*q);
+    ASSERT_OK(nq.status());
+    // The pool outlives the engines (chains hold shared_ptr row classes,
+    // but the pool itself is borrowed).
+    TransitionRowPool pool;
+    ChainOptions scalar_opts;
+    scalar_opts.step_mode = KernelStepMode::kScalar;
+    ChainOptions simd_opts;
+    simd_opts.step_mode = KernelStepMode::kSimd;
+    simd_opts.row_pool = &pool;
+    auto scalar = ExtendedRegularEngine::Create(*nq, db, scalar_opts);
+    auto simd = ExtendedRegularEngine::Create(*nq, db, simd_opts);
+    auto mapped = ExtendedRegularEngine::Create(*nq, db, MapOnly());
+    ASSERT_OK(scalar.status());
+    ASSERT_OK(simd.status());
+    ASSERT_OK(mapped.status());
+    ASSERT_EQ(simd->num_chains(), m);
+    EXPECT_EQ(simd->num_simd(), m) << "m=" << m;
+    EXPECT_EQ(scalar->num_simd(), 0u);
+    for (Timestamp t = 1; t <= horizon + 2; ++t) {
+      double pv = simd->Step();
+      double ps = scalar->Step();
+      double pm = mapped->Step();
+      EXPECT_EQ(pv, ps) << "m=" << m << " t=" << t;
+      EXPECT_EQ(ps, pm) << "m=" << m << " t=" << t;
+      for (size_t i = 0; i < m; ++i) {
+        EXPECT_EQ(simd->chain_probs()[i], mapped->chain_probs()[i])
+            << "m=" << m << " t=" << t << " chain=" << i;
+      }
+    }
+    if (m >= lanes) {
+      // Identical CPT content => one shared row class => whole stripes.
+      EXPECT_GT(simd->num_striped(), 0u) << "m=" << m;
+      EXPECT_GT(simd->stripe_steps(), 0u) << "m=" << m;
+    }
+    // Checkpoint bytes are part of the bit-identity contract.
+    serial::Writer wv, ws;
+    simd->SaveState(&wv);
+    scalar->SaveState(&ws);
+    EXPECT_EQ(wv.str(), ws.str()) << "m=" << m;
+  }
+}
+
+TEST(KernelEquivalenceTest, Float32RowTierWithinDocumentedBound) {
+  // The float32 storage tier is NOT bit-identical; automaton/rows.h bounds
+  // the drift at |Δp(t)| <= p(t) * ((1 + 2^-24)^t - 1), i.e. about
+  // p * t * 2^-24. Assert a 4x-slack version of that bound per tick.
+  std::mt19937_64 rng(99);
+  const std::vector<std::string> domain = {"d1", "d2", "d3", "d4"};
+  const Timestamp horizon = 24;
+  const size_t m = simd::kLanes + 1;
+  EventDatabase db;
+  Matrix cpt = RandomCpt(domain.size() + 1, &rng);
+  for (size_t i = 0; i < m; ++i) {
+    AddRandomMarkovStream(&db, "tag" + std::to_string(i), domain, cpt,
+                          horizon, &rng);
+  }
+  QueryPtr q = MustParse(&db, "At(x, l1 : l1 = 'd1'); At(x, l2 : l2 = 'd2')");
+  ASSERT_NE(q, nullptr);
+  auto nq = Normalize(*q);
+  ASSERT_OK(nq.status());
+  TransitionRowPool pool;
+  ChainOptions scalar_opts;
+  scalar_opts.step_mode = KernelStepMode::kScalar;
+  ChainOptions f32_opts;
+  f32_opts.step_mode = KernelStepMode::kSimd;
+  f32_opts.float32_rows = true;
+  f32_opts.row_pool = &pool;
+  auto scalar = ExtendedRegularEngine::Create(*nq, db, scalar_opts);
+  auto f32 = ExtendedRegularEngine::Create(*nq, db, f32_opts);
+  ASSERT_OK(scalar.status());
+  ASSERT_OK(f32.status());
+  EXPECT_EQ(f32->num_simd(), m);
+  for (Timestamp t = 1; t <= horizon; ++t) {
+    double pf = f32->Step();
+    double ps = scalar->Step();
+    const double bound = ps * 4.0 * t * std::ldexp(1.0, -24) + 1e-18;
+    EXPECT_LE(std::fabs(pf - ps), bound) << "t=" << t;
   }
 }
 

@@ -628,9 +628,37 @@ TEST(StreamRuntimeTest, StatsCountTicksQueriesAndQueue) {
   uint64_t chains = 0;
   for (const ShardStats& s : stats.shards) chains += s.chains_stepped;
   EXPECT_EQ(chains, 3u);  // 1 chain x 3 ticks
+  // The plan here was built once from static estimates (registry-version
+  // rebuild); drift counters only accrue on measured rebuilds, and whole-
+  // session steals are counted separately from split-group placements.
+  EXPECT_EQ(stats.rebalances, 0u);
+  EXPECT_EQ(stats.steals, 0u);
+  EXPECT_EQ(stats.split_placements, 0u);
   // Both serializations render without blowing up.
   EXPECT_NE(stats.ToString().find("ticks"), std::string::npos);
   EXPECT_NE(stats.ToJson().find("\"tick\""), std::string::npos);
+  EXPECT_NE(stats.ToJson().find("\"split_placements\""), std::string::npos);
+}
+
+TEST(StreamRuntimeTest, SimdUnitsAreReportedInStats) {
+  EventDatabase archive;
+  // Dense self-biased CPT over three states: density 10/16 clears the
+  // auto step-mode threshold, so the standing query's chain takes the
+  // vectorized path and shows up in the simd_units counters.
+  AddMarkovStream(&archive, "At", "Joe", {"a", "b", "c"}, 4, 0.7);
+  auto clone = CloneDeclarations(archive);
+  ASSERT_OK(clone.status());
+  auto batches = ExtractBatches(archive);
+  ASSERT_OK(batches.status());
+  StreamRuntime runtime(clone->get(), RuntimeOptions{});
+  auto id = runtime.Register("At('Joe', l1 : l1 = 'a'); At('Joe', l2 : l2 = 'b')");
+  ASSERT_OK(id.status());
+  RunToCompletion(&runtime, std::move(*batches));
+  RuntimeStats stats = runtime.Stats();
+  ASSERT_EQ(stats.queries.size(), 1u);
+  EXPECT_EQ(stats.queries[0].simd_units, 1u);
+  EXPECT_EQ(stats.simd_units, 1u);
+  EXPECT_NE(stats.ToJson().find("\"simd_units\":1"), std::string::npos);
 }
 
 TEST(StreamRuntimeTest, MalformedBatchIsCountedNotFatal) {
