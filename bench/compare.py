@@ -3,7 +3,7 @@
 
 Usage:
     bench/compare.py BASELINE CURRENT [--threshold 0.10] [--metric ticks_per_sec]
-                     [--min-metric NAME:VALUE ...]
+                     [--min-metric NAME:VALUE ...] [--max-metric NAME:VALUE ...]
 
 Each input file holds one JSON object per line — either raw JSON or the
 `JSON {...}`-prefixed lines the bench binaries print (so a captured stdout
@@ -19,10 +19,14 @@ cell doesn't break the gate.
 --min-metric NAME:VALUE adds an absolute floor on top of the relative
 check: every record in CURRENT carrying field NAME must be >= VALUE, and
 at least one such record must exist (a silently-missing metric would
-otherwise pass). Repeatable. Example:
+otherwise pass). --max-metric NAME:VALUE is the mirror-image ceiling
+(every record carrying NAME must be <= VALUE), for metrics where smaller
+is better: memory per key, resident fractions, latencies. Both are
+repeatable. Example:
 
     bench/compare.py base.json current.json \
-        --min-metric scaling_efficiency_8t:3.0
+        --min-metric scaling_efficiency_8t:3.0 \
+        --max-metric bytes_per_registered_key_ratio:0.15
 """
 
 import argparse
@@ -41,6 +45,11 @@ RUN_SIZE_FIELDS = {
     "chains", "sharing_groups", "shared_steps_saved", "sharing_ratio_64",
     "simd_chains", "striped", "bytes_per_chain", "kernel_simd_speedup",
     "bytes_per_chain_reduction",
+    "create_ms", "registered_keys", "resident_chains", "stub_chains",
+    "spilled_chains", "spills", "promotions", "rehydrations",
+    "bytes_resident", "bytes_per_registered_key", "resident_fraction",
+    "bytes_per_registered_key_ratio", "sparse_resident_fraction",
+    "dense_ticks_ratio",
 }
 
 
@@ -71,34 +80,37 @@ def load(path, metric):
     return records, benches, raw
 
 
-def parse_min_metric(spec):
+def parse_bound_metric(flag, spec):
     name, sep, value = spec.rpartition(":")
     if not sep or not name:
-        raise SystemExit(f"--min-metric wants NAME:VALUE, got '{spec}'")
+        raise SystemExit(f"{flag} wants NAME:VALUE, got '{spec}'")
     try:
         return name, float(value)
     except ValueError:
-        raise SystemExit(f"--min-metric '{spec}': '{value}' is not a number")
+        raise SystemExit(f"{flag} '{spec}': '{value}' is not a number")
 
 
-def check_min_metrics(raw, specs, path):
-    """Absolute floors over the raw records of the current run."""
+def check_bound_metrics(raw, specs, path, ceiling):
+    """Absolute floors (or ceilings) over the raw records of the current run."""
+    flag = "--max-metric" if ceiling else "--min-metric"
     failures = []
-    for name, floor in specs:
+    for name, bound in specs:
         hits = [obj for obj in raw if name in obj]
         if not hits:
-            failures.append(f"--min-metric {name}:{floor:g}: no record in "
+            failures.append(f"{flag} {name}:{bound:g}: no record in "
                             f"{path} carries '{name}'")
             continue
         for obj in hits:
             got = float(obj[name])
             ident = " ".join(f"{k}={v}" for k, v in sorted(obj.items())
                              if k != name)
-            if got < floor:
-                failures.append(f"--min-metric {name}:{floor:g}: got "
+            if (got > bound) if ceiling else (got < bound):
+                failures.append(f"{flag} {name}:{bound:g}: got "
                                 f"{got:g} ({ident})")
+            elif ceiling:
+                print(f"[ceiling-ok] {name}={got:g} <= {bound:g} ({ident})")
             else:
-                print(f"[floor-ok] {name}={got:g} >= {floor:g} ({ident})")
+                print(f"[floor-ok] {name}={got:g} >= {bound:g} ({ident})")
     return failures
 
 
@@ -119,6 +131,11 @@ def main():
                         metavar="NAME:VALUE", dest="min_metric",
                         help="absolute floor: every CURRENT record with "
                              "field NAME must be >= VALUE, and at least one "
+                             "must exist (repeatable)")
+    parser.add_argument("--max-metric", action="append", default=[],
+                        metavar="NAME:VALUE", dest="max_metric",
+                        help="absolute ceiling: every CURRENT record with "
+                             "field NAME must be <= VALUE, and at least one "
                              "must exist (repeatable)")
     parser.add_argument("--require", action="append", default=[],
                         metavar="BENCH",
@@ -148,8 +165,14 @@ def main():
     if missing:
         raise SystemExit("\n".join(missing))
 
-    floor_failures = check_min_metrics(
-        cur_raw, [parse_min_metric(s) for s in args.min_metric], args.current)
+    floor_failures = check_bound_metrics(
+        cur_raw,
+        [parse_bound_metric("--min-metric", s) for s in args.min_metric],
+        args.current, ceiling=False)
+    floor_failures += check_bound_metrics(
+        cur_raw,
+        [parse_bound_metric("--max-metric", s) for s in args.max_metric],
+        args.current, ceiling=True)
 
     regressions = []
     for key in sorted(base):

@@ -6,7 +6,12 @@
 //                                   print each query's plan before/after the
 //                                   canonicalizing rewrite and the sharing
 //                                   groups the queries form (docs/SHARING.md)
-//   lahar_cli --gen DBFILE          write a demo database (office workers)
+//   lahar_cli --gen DBFILE [SCENARIO]
+//                                   write a demo database. SCENARIO is
+//                                   "office" (default: 3 office workers) or
+//                                   "wide" (200-tag diurnal wide-floorplan
+//                                   population; see docs/PERF.md "Chain
+//                                   lifecycle")
 //   lahar_cli --serve DBFILE QUERY...
 //                                   replay DBFILE live through the
 //                                   concurrent runtime (docs/RUNTIME.md)
@@ -69,16 +74,31 @@ volatile std::sig_atomic_t g_signal = 0;
 
 void OnSignal(int) { g_signal = 1; }
 
-int Generate(const std::string& path) {
+int Generate(const std::string& path, const std::string& kind) {
   PipelineConfig config;
   config.read_rate = 0.6;
   config.coffee_bias = 3.0;
-  auto scenario = OfficeScenario(3, 120, /*seed=*/7, config);
+  Result<Scenario> scenario = Status::InvalidArgument("unknown scenario");
+  StreamKind stream_kind = StreamKind::kFiltered;
+  if (kind.empty() || kind == "office") {
+    scenario = OfficeScenario(3, 120, /*seed=*/7, config);
+  } else if (kind == "wide") {
+    // Diurnal wide-floorplan population: hundreds of registered tags, only
+    // a slice active per tick (the chain-lifecycle demo workload; try
+    // --serve with "At(x, l : CoffeeRoom(l))" and watch the memory line in
+    // the final stats).
+    scenario = WideFloorplanScenario(200, 120, /*seed=*/7, config);
+    stream_kind = StreamKind::kDiurnal;
+  } else {
+    std::fprintf(stderr, "unknown scenario %s (try office, wide)\n",
+                 kind.c_str());
+    return 2;
+  }
   if (!scenario.ok()) {
     std::fprintf(stderr, "%s\n", scenario.status().ToString().c_str());
     return 1;
   }
-  auto db = scenario->BuildDatabase(StreamKind::kFiltered);
+  auto db = scenario->BuildDatabase(stream_kind);
   if (!db.ok()) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
     return 1;
@@ -453,8 +473,8 @@ int Connect(const std::string& endpoint, const std::string& tenant,
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc == 3 && std::strcmp(argv[1], "--gen") == 0) {
-    return Generate(argv[2]);
+  if ((argc == 3 || argc == 4) && std::strcmp(argv[1], "--gen") == 0) {
+    return Generate(argv[2], argc == 4 ? argv[3] : "");
   }
   bool serve = argc >= 2 && std::strcmp(argv[1], "--serve") == 0;
   if (serve) {

@@ -5,22 +5,35 @@
 namespace lahar {
 
 std::shared_ptr<const TransitionRowSet> TransitionRowClass::Find(
-    Timestamp t) const {
+    Timestamp t, const RowFingerprint& fp) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = sets_.find(t);
-  return it != sets_.end() ? it->second : nullptr;
+  if (it == sets_.end()) return nullptr;
+  for (const Entry& e : it->second) {
+    if (e.fp == fp) return e.set;
+  }
+  return nullptr;
 }
 
 std::shared_ptr<const TransitionRowSet> TransitionRowClass::Insert(
-    Timestamp t, std::shared_ptr<const TransitionRowSet> set) {
+    Timestamp t, const RowFingerprint& fp,
+    std::shared_ptr<const TransitionRowSet> set) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, fresh] = sets_.emplace(t, std::move(set));
-  if (fresh) {
-    if (t < max_seen_) ++rebuilds_;  // this timestep had come and gone
-    max_seen_ = std::max(max_seen_, t);
-    while (sets_.size() > kMaxResident) sets_.erase(sets_.begin());
+  std::vector<Entry>& entries = sets_[t];
+  // Another chain may have won the build race since the caller's Find;
+  // converge on its pointer so stripes recognize shared content.
+  for (const Entry& e : entries) {
+    if (e.fp == fp) return e.set;
   }
-  return it->second;
+  // Hold the canonical set before eviction: a rebuild of a timestep below
+  // the resident window is the lowest key and gets evicted immediately.
+  // The caller keeps its set either way.
+  std::shared_ptr<const TransitionRowSet> canonical = set;
+  entries.push_back(Entry{fp, std::move(set)});
+  if (t < max_seen_) ++rebuilds_;  // this timestep had come and gone
+  max_seen_ = std::max(max_seen_, t);
+  while (sets_.size() > kMaxResident) sets_.erase(sets_.begin());
+  return canonical;
 }
 
 uint64_t TransitionRowClass::rebuilds() const {
@@ -31,7 +44,9 @@ uint64_t TransitionRowClass::rebuilds() const {
 size_t TransitionRowClass::bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t total = 0;
-  for (const auto& [t, set] : sets_) total += set->bytes();
+  for (const auto& [t, entries] : sets_) {
+    for (const Entry& e : entries) total += e.set->bytes();
+  }
   return total;
 }
 

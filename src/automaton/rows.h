@@ -13,21 +13,27 @@
 //     q <= 0 skipped), so the nonzero entries are bit-identical to the CSR
 //     values; the extra zeros only ever add +0.0 to non-negative
 //     accumulators, which is a bitwise no-op.
-//   * TransitionRowClass — the per-timestep row sets of one *content
-//     class*: all chains whose Markovian participants have equal domains,
-//     horizons, and CPT bytes. A small per-class window of timestamps is
-//     kept so chains stepping in loose lockstep share one build.
+//   * TransitionRowClass — the per-timestep row sets of one *structure
+//     class*: all chains with equal kernel signature, storage tier, and
+//     per-Markovian-participant domains. Each resident timestep is keyed
+//     by a content fingerprint of that tick's CPT slices, so reuse is
+//     validated against the data actually stepped through — structurally
+//     identical streams whose CPTs diverge at some tick simply hash to
+//     different entries. A small per-class window of timestamps is kept so
+//     chains stepping in loose lockstep share one build.
 //   * TransitionRowPool — fingerprint-keyed registry of row classes,
-//     shared registry-wide like the KernelCache. The fingerprint
-//     deliberately EXCLUDES the t == 1 initial marginal: per-key chains
-//     with distinct initials still land in one class (t == 1 rows are
-//     always built chain-locally, never pooled).
+//     shared registry-wide like the KernelCache. Neither key covers the
+//     t == 1 initial marginal: per-key chains with distinct initials still
+//     land in one class (t == 1 rows are always built chain-locally,
+//     never pooled).
 //
-// Sharing assumes stream CPTs are immutable after chain creation; in-place
-// mutation (Stream::PruneCpts) must happen before chains are created when a
-// pool is in use. Horizon *growth* is safe: chains record their
-// participants' horizons at creation and quietly build rows locally once
-// they differ.
+// Sharing assumes stream CPT slices are immutable once written; in-place
+// mutation (Stream::PruneCpts) must happen before chains are created when
+// a pool is in use. Horizon *growth* is safe by construction: appending
+// tick t's slices never changes the content key of any earlier tick, so
+// live-database chains keep pooling (and striping) as the stream extends —
+// only a not-yet-covered tick builds an "ended" row, and that row's key
+// differs from the post-append key, so it can never be read stale.
 //
 // The optional float32 tier stores rows as floats (half the bytes). It is
 // NOT bit-identical: each row entry picks up one float32 rounding, so a
@@ -73,9 +79,13 @@ struct TransitionRowSet {
   }
 };
 
-/// 128-bit content fingerprint (dual FNV-1a) of everything a chain's
-/// transition rows for t >= 2 depend on: kernel signature, storage tier,
-/// and per-Markovian-participant domains, horizons, and CPT bytes.
+/// 128-bit content fingerprint (dual FNV-1a). Used twice: as the class key
+/// (kernel signature, storage tier, per-Markovian-participant domains —
+/// structural identity only, stable while a live stream's horizon grows)
+/// and as the per-timestep content key (that tick's CPT slices), which is
+/// what actually guards row reuse. Splitting the two is what keeps pooling
+/// and striping alive under the streaming runtime: appends move horizons
+/// every tick, but never rewrite a CPT slice already stepped through.
 struct RowFingerprint {
   uint64_t lo = 0xcbf29ce484222325ULL;
   uint64_t hi = 0x84222325cbf29ce4ULL;
@@ -99,15 +109,19 @@ struct RowFingerprint {
 /// without the window growing with the horizon.
 class TransitionRowClass {
  public:
-  /// Row set for timestep t, or null if not resident.
-  std::shared_ptr<const TransitionRowSet> Find(Timestamp t) const;
+  /// Row set for timestep t with the given content key, or null if not
+  /// resident. Class members whose streams diverge at t (same structure,
+  /// different CPT slice) hash to different keys and never cross-read.
+  std::shared_ptr<const TransitionRowSet> Find(Timestamp t,
+                                              const RowFingerprint& fp) const;
 
-  /// Inserts the row set for t and returns the canonical resident set: the
-  /// already-present one if another chain won the build race (both builds
-  /// are deterministic and value-identical, but converging on one pointer
-  /// lets stripes recognize shared content by identity).
+  /// Inserts the row set for (t, fp) and returns the canonical resident
+  /// set: the already-present one if another chain won the build race
+  /// (both builds are deterministic and value-identical, but converging on
+  /// one pointer lets stripes recognize shared content by identity).
   std::shared_ptr<const TransitionRowSet> Insert(
-      Timestamp t, std::shared_ptr<const TransitionRowSet> set);
+      Timestamp t, const RowFingerprint& fp,
+      std::shared_ptr<const TransitionRowSet> set);
 
   /// Cumulative rebuilds of a timestep that had already been evicted
   /// (chains stepping further apart than the residency window).
@@ -121,8 +135,15 @@ class TransitionRowClass {
   // timestamps covers the live spread; lowest t is the least useful.
   static constexpr size_t kMaxResident = 4;
 
+  struct Entry {
+    RowFingerprint fp;
+    std::shared_ptr<const TransitionRowSet> set;
+  };
+
   mutable std::mutex mu_;
-  std::map<Timestamp, std::shared_ptr<const TransitionRowSet>> sets_;
+  // One short vector per timestep: almost always a single entry; longer
+  // only when structurally identical streams carry divergent CPT slices.
+  std::map<Timestamp, std::vector<Entry>> sets_;
   uint64_t rebuilds_ = 0;
   Timestamp max_seen_ = 0;
 };

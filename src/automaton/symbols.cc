@@ -1,6 +1,7 @@
 #include "automaton/symbols.h"
 
 #include <algorithm>
+#include <set>
 
 namespace lahar {
 
@@ -47,48 +48,119 @@ Status SymbolTable::ComputeMasks(const NormalizedQuery& q,
   return Status::OK();
 }
 
+StreamKeyIndex StreamKeyIndex::Build(const EventDatabase& db) {
+  StreamKeyIndex index;
+  index.num_streams_ = db.num_streams();
+  for (StreamId s = 0; s < db.num_streams(); ++s) {
+    const Stream& stream = db.stream(s);
+    index.map_[{stream.type(), stream.key()}].push_back(s);
+  }
+  return index;
+}
+
+const std::vector<StreamId>* StreamKeyIndex::Find(
+    SymbolId type, const ValueTuple& key) const {
+  auto it = map_.find({type, key});
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+// Appends `stream` to the table when it can produce at least one symbol
+// for `q`; shared by the full-scan and index-accelerated builds so both
+// produce identical tables (same fast reject, same masks, same order as
+// long as streams are considered in ascending id).
+Status SymbolTable::ConsiderStream(
+    const NormalizedQuery& q, const EventDatabase& db, StreamId s,
+    std::vector<StreamId>* streams,
+    std::vector<std::vector<SymbolMask>>* all_masks) {
+  const Stream& stream = db.stream(s);
+  const EventSchema* schema = db.FindSchema(stream.type());
+  if (schema == nullptr) return Status::Internal("stream without schema");
+
+  // Fast reject: can any subgoal's type and key constants fit this stream?
+  bool possible = false;
+  for (const NormalizedSubgoal& sg : q.subgoals) {
+    if (sg.goal.type != stream.type()) continue;
+    if (sg.goal.terms.size() != schema->arity()) continue;
+    bool key_ok = true;
+    for (size_t i = 0; i < schema->num_key_attrs; ++i) {
+      const Term& t = sg.goal.terms[i];
+      if (!t.is_var && t.constant != stream.key()[i]) {
+        key_ok = false;
+        break;
+      }
+    }
+    if (key_ok) {
+      possible = true;
+      break;
+    }
+  }
+  if (!possible) return Status::OK();
+
+  std::vector<SymbolMask> masks(stream.domain_size(), 0);
+  LAHAR_RETURN_NOT_OK(
+      ComputeMasks(q, db, stream, schema->num_key_attrs, 1, &masks));
+  bool any = false;
+  for (SymbolMask m : masks) any = any || m != 0;
+  if (any) {
+    streams->push_back(s);
+    all_masks->push_back(std::move(masks));
+  }
+  return Status::OK();
+}
+
 Result<SymbolTable> SymbolTable::Build(const NormalizedQuery& q,
                                        const EventDatabase& db) {
+  return Build(q, db, nullptr);
+}
+
+Result<SymbolTable> SymbolTable::Build(const NormalizedQuery& q,
+                                       const EventDatabase& db,
+                                       const StreamKeyIndex* index) {
   SymbolTable table;
   table.query_ = q;
   table.num_subgoals_ = q.subgoals.size();
   if (table.num_subgoals_ > 31) {
     return Status::InvalidArgument("too many subgoals (max 31)");
   }
-  for (StreamId s = 0; s < db.num_streams(); ++s) {
-    const Stream& stream = db.stream(s);
-    const EventSchema* schema = db.FindSchema(stream.type());
-    if (schema == nullptr) return Status::Internal("stream without schema");
 
-    // Fast reject: can any subgoal's type and key constants fit this stream?
-    bool possible = false;
+  // Index path: usable only when every subgoal's key positions hold
+  // constants, i.e. the candidate key tuples are known exactly. Any
+  // variable key term means the set of matching streams is data-dependent
+  // and the full scan below stays authoritative.
+  if (index != nullptr) {
+    bool grounded = true;
+    std::set<StreamId> candidates;
     for (const NormalizedSubgoal& sg : q.subgoals) {
-      if (sg.goal.type != stream.type()) continue;
+      const EventSchema* schema = db.FindSchema(sg.goal.type);
+      if (schema == nullptr) continue;  // no streams of this type can exist
       if (sg.goal.terms.size() != schema->arity()) continue;
-      bool key_ok = true;
-      for (size_t i = 0; i < schema->num_key_attrs; ++i) {
+      ValueTuple key;
+      key.reserve(schema->num_key_attrs);
+      for (size_t i = 0; i < schema->num_key_attrs && grounded; ++i) {
         const Term& t = sg.goal.terms[i];
-        if (!t.is_var && t.constant != stream.key()[i]) {
-          key_ok = false;
-          break;
+        if (t.is_var) {
+          grounded = false;
+        } else {
+          key.push_back(t.constant);
         }
       }
-      if (key_ok) {
-        possible = true;
-        break;
+      if (!grounded) break;
+      if (const std::vector<StreamId>* ids = index->Find(sg.goal.type, key)) {
+        candidates.insert(ids->begin(), ids->end());
       }
     }
-    if (!possible) continue;
-
-    std::vector<SymbolMask> masks(stream.domain_size(), 0);
-    LAHAR_RETURN_NOT_OK(
-        ComputeMasks(q, db, stream, schema->num_key_attrs, 1, &masks));
-    bool any = false;
-    for (SymbolMask m : masks) any = any || m != 0;
-    if (any) {
-      table.streams_.push_back(s);
-      table.masks_.push_back(std::move(masks));
+    if (grounded) {
+      for (StreamId s : candidates) {  // ascending: same order as full scan
+        LAHAR_RETURN_NOT_OK(
+            ConsiderStream(q, db, s, &table.streams_, &table.masks_));
+      }
+      return table;
     }
+  }
+
+  for (StreamId s = 0; s < db.num_streams(); ++s) {
+    LAHAR_RETURN_NOT_OK(
+        ConsiderStream(q, db, s, &table.streams_, &table.masks_));
   }
   return table;
 }

@@ -14,6 +14,8 @@
 #ifndef LAHAR_AUTOMATON_SYMBOLS_H_
 #define LAHAR_AUTOMATON_SYMBOLS_H_
 
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "model/database.h"
@@ -36,6 +38,32 @@ bool UnifyEvent(const Subgoal& goal, const ValueTuple& key,
                 const ValueTuple& values, size_t num_key_attrs,
                 Binding* binding);
 
+/// \brief (type, key tuple) -> streams index for grounded-query builds.
+///
+/// SymbolTable::Build scans every stream in the database; for an extended
+/// query with N key bindings that makes engine creation O(N * streams).
+/// A StreamKeyIndex is built once in O(streams) and lets fully grounded
+/// queries jump straight to their candidate streams, so creating (or later
+/// promoting) a chain costs O(subgoals) lookups instead of a full scan.
+/// The index is a snapshot: streams added to the database afterwards are
+/// invisible, so holders rebuild when db.num_streams() changes.
+class StreamKeyIndex {
+ public:
+  static StreamKeyIndex Build(const EventDatabase& db);
+
+  /// Streams whose type and full key tuple equal (type, key); nullptr when
+  /// none exist. Key tuples must match the schema's key arity exactly.
+  const std::vector<StreamId>* Find(SymbolId type,
+                                    const ValueTuple& key) const;
+
+  /// Stream count at Build time (staleness check for holders).
+  size_t num_streams() const { return num_streams_; }
+
+ private:
+  std::map<std::pair<SymbolId, ValueTuple>, std::vector<StreamId>> map_;
+  size_t num_streams_ = 0;
+};
+
 /// \brief Precomputed per-stream symbol masks for one normalized query.
 class SymbolTable {
  public:
@@ -43,6 +71,17 @@ class SymbolTable {
   /// predicate references an undeclared relation.
   static Result<SymbolTable> Build(const NormalizedQuery& q,
                                    const EventDatabase& db);
+
+  /// Index-accelerated build. When `index` is non-null and every subgoal's
+  /// key positions are constants (a fully grounded query), only the
+  /// index's candidate streams are scanned; the result is identical to the
+  /// full Build because a stream whose key does not match any subgoal's
+  /// key constants can never produce a symbol (UnifyEvent rejects it for
+  /// every domain value). Falls back to the full scan when `index` is null
+  /// or a key position still holds a variable.
+  static Result<SymbolTable> Build(const NormalizedQuery& q,
+                                   const EventDatabase& db,
+                                   const StreamKeyIndex* index);
 
   /// Streams that can produce at least one symbol for this query, in id
   /// order. Only these matter to the Markov chain. Participation is fixed
@@ -80,6 +119,13 @@ class SymbolTable {
   static Status ComputeMasks(const NormalizedQuery& q, const EventDatabase& db,
                              const Stream& stream, size_t num_key_attrs,
                              DomainIndex from, std::vector<SymbolMask>* masks);
+
+  // Appends stream `s` (and its masks) when it can produce a symbol for
+  // `q`; shared by the full-scan and index-accelerated Build paths.
+  static Status ConsiderStream(const NormalizedQuery& q,
+                               const EventDatabase& db, StreamId s,
+                               std::vector<StreamId>* streams,
+                               std::vector<std::vector<SymbolMask>>* masks);
 
   // The normalized query is retained so WithGrownDomains can evaluate the
   // match/accept predicates on newly interned values.

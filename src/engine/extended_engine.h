@@ -4,11 +4,31 @@
 //
 // Space is O(m) in the number of distinct keys m, independent of stream
 // length (Theorem 3.7), and each timestep costs O(m) chain steps.
+//
+// Chain lifecycle (docs/PERF.md "Chain lifecycle"): with
+// ChainOptions::lazy_materialize / spill_cold_chains set, a binding is one
+// of three residency states —
+//   * resident: a live RegularChain (the only state without the knobs);
+//   * stub:     ~16 bytes (NFA mask + idle counter). Valid while every
+//               participating stream is "quiet" (contributes no symbols and
+//               multiplies probabilities by exactly 1.0), in which case the
+//               real chain's state is the closed-form single entry
+//               {mask, hidden=0, p=1.0} with mask evolving by
+//               Transition(mask, 0). Promoted to resident on first
+//               evidence, bit-identically by construction.
+//   * spilled:  the chain's live distribution parked as checkpoint-encoded
+//               entries in a compact side arena. Only entered when every
+//               state-set mask is a fixed point of the empty-input
+//               transition, so quiet ticks are bitwise no-ops; rehydrated
+//               transparently on the next loud tick.
+// All three serialize into the same per-chain checkpoint encoding, so
+// engine snapshots are byte-identical to the always-materialized reference.
 #ifndef LAHAR_ENGINE_EXTENDED_ENGINE_H_
 #define LAHAR_ENGINE_EXTENDED_ENGINE_H_
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "engine/regular_engine.h"
@@ -69,8 +89,9 @@ class ExtendedRegularEngine {
   /// The grounding behind chain i.
   const Binding& binding(size_t i) const { return bindings_[i]; }
   /// The live chain of grounding i (for seeding shared units; when the
-  /// chain is delegated this is its frozen pre-delegation state).
-  const RegularChain& chain(size_t i) const { return chains_[i]; }
+  /// chain is delegated this is its frozen pre-delegation state). Requires
+  /// a materialized chain — stub/spilled bindings hold none.
+  const RegularChain& chain(size_t i) const { return *chains_[i]; }
 
   /// Delegates chain `i` to a shared sub-chain: the engine stops stepping
   /// its private copy and reads per-tick probabilities from the unit's
@@ -88,9 +109,24 @@ class ExtendedRegularEngine {
   size_t num_delegated() const { return num_delegated_; }
 
   /// Relative per-step cost of chain i (runtime shard balancing);
-  /// delegated chains cost one frontier read.
+  /// delegated chains cost one frontier read, stubs and spilled chains one
+  /// quiet check.
   size_t ChainCost(size_t i) const {
-    return IsDelegated(i) ? 1 : chains_[i].StepCost();
+    if (IsDelegated(i)) return 1;
+    if (lifecycle_ && residency_[i] != kResident) return 1;
+    return chains_[i]->StepCost();
+  }
+
+  /// One past the last chain of the indivisible shard-unit group holding
+  /// chain i: the whole lane-interleaved stripe for stripe lanes, i + 1
+  /// otherwise. The executor aligns shard-range splits on these boundaries
+  /// so a split never shears a stripe into per-chain fallbacks.
+  size_t ChainGroupEnd(size_t i) const {
+    if (i >= stripe_width_.size()) return i + 1;
+    size_t j = i;
+    while (j > 0 && stripe_width_[j] == 0) --j;  // member lane -> leader
+    const uint32_t w = stripe_width_[j];
+    return w > 1 ? j + w : i + 1;
   }
   /// First error latched by any chain (e.g. a failed symbol-table refresh
   /// after mid-stream domain growth); OK in normal operation.
@@ -98,13 +134,13 @@ class ExtendedRegularEngine {
   /// Number of chains running on a compiled kernel (vs. the map path).
   size_t num_compiled() const {
     size_t n = 0;
-    for (const RegularChain& c : chains_) n += c.compiled() ? 1 : 0;
+    for (const auto& c : chains_) n += (c != nullptr && c->compiled()) ? 1 : 0;
     return n;
   }
   /// Number of chains on the vectorized dense-row step path.
   size_t num_simd() const {
     size_t n = 0;
-    for (const RegularChain& c : chains_) n += c.simd() ? 1 : 0;
+    for (const auto& c : chains_) n += (c != nullptr && c->simd()) ? 1 : 0;
     return n;
   }
   /// Number of chains packed into lane-interleaved stripes (stepped
@@ -127,16 +163,39 @@ class ExtendedRegularEngine {
   /// Doubles in the shared SoA state arena (0 when unused).
   size_t arena_size() const { return arena_.size(); }
 
+  // --- chain lifecycle (lazy materialization / cold spill) ----------------
+  /// True when this engine runs the stub/resident/spilled lifecycle
+  /// (ChainOptions::lazy_materialize or spill_cold_chains).
+  bool lifecycle_enabled() const { return lifecycle_; }
+  /// Registered bindings currently holding a live chain.
+  size_t num_resident() const;
+  /// Registered bindings currently held as closed-form stubs.
+  size_t num_stub() const;
+  /// Registered bindings currently spilled to the side arena.
+  size_t num_spilled() const;
+  /// Lifetime lifecycle transitions (relaxed counters).
+  uint64_t promotions() const {
+    return counters_->promotions.load(std::memory_order_relaxed);
+  }
+  uint64_t spills() const {
+    return counters_->spills.load(std::memory_order_relaxed);
+  }
+  uint64_t rehydrations() const {
+    return counters_->rehydrations.load(std::memory_order_relaxed);
+  }
+
   /// Steady-state memory accounting for the bytes-per-chain model
   /// (docs/PERF.md): the SoA arena, per-chain owned heap (state buffers,
-  /// scratch, local rows), and pooled transition rows counted once per
-  /// distinct class across all chains.
+  /// scratch, local rows), pooled transition rows counted once per
+  /// distinct class across all chains, and the lifecycle side arenas
+  /// (stub tables + spilled entries).
   struct MemoryFootprint {
     size_t arena_bytes = 0;
     size_t owned_bytes = 0;
     size_t shared_row_bytes = 0;
+    size_t lifecycle_bytes = 0;  ///< stub tables + spilled side arena
     size_t bytes() const {
-      return arena_bytes + owned_bytes + shared_row_bytes;
+      return arena_bytes + owned_bytes + shared_row_bytes + lifecycle_bytes;
     }
   };
   MemoryFootprint Footprint() const;
@@ -150,7 +209,78 @@ class ExtendedRegularEngine {
   Status LoadState(serial::Reader* r);
 
  private:
-  std::vector<RegularChain> chains_;
+  // Residency of a binding (lifecycle mode; everything is kResident
+  // otherwise). Stored as uint8_t so 1M bindings cost 1MB.
+  static constexpr uint8_t kResident = 0;
+  static constexpr uint8_t kStub = 1;
+  static constexpr uint8_t kSpilled = 2;
+
+  // One participating stream of one binding, flattened: enough to decide
+  // per tick whether the stream is quiet (contributes no symbols, scales
+  // probabilities by exactly 1.0) without a live chain.
+  struct LifecyclePart {
+    StreamId stream = 0;
+    bool markovian = false;
+    // Independent streams: bit d of trigger_words_[trigger_begin + d/64]
+    // set means domain value d produces a symbol (creation-time masks;
+    // existing values never change masks under domain growth). Mass on a
+    // value >= trigger_bits (interned after creation) conservatively
+    // promotes.
+    uint32_t trigger_begin = 0;
+    uint32_t trigger_bits = 0;
+  };
+
+  // A cold chain's live distribution, parked off the step path. Entries
+  // keep the raw (mask, hidden) keys plus the creation-time radices, so
+  // checkpoint bytes can be re-emitted against *current* domain sizes
+  // exactly as the live chain's SaveState would.
+  struct SpilledChain {
+    uint8_t track = 0;
+    std::vector<uint64_t> radices;         // per Markovian slot
+    std::vector<StreamId> markov_streams;  // per slot, for domain lookups
+    struct Entry {
+      StateMask mask = 0;
+      uint64_t hidden = 0;
+      double p = 0.0;
+    };
+    std::vector<Entry> entries;  // canonical (mask, hidden) order
+    size_t bytes() const {
+      return sizeof(SpilledChain) + radices.capacity() * sizeof(uint64_t) +
+             markov_streams.capacity() * sizeof(StreamId) +
+             entries.capacity() * sizeof(Entry);
+    }
+  };
+
+  // True when every participating stream of binding i is quiet at `next`:
+  // stepping is then the empty-input transition with all probability
+  // multipliers exactly 1.0 (see BuildIndependentMaskDist /
+  // EnumerateSuccessors in regular_engine.cc).
+  bool QuietAt(size_t i, Timestamp next) const;
+  // Appends the next binding's lifecycle tables from its symbol table.
+  void AppendLifecycleParts(const SymbolTable& table);
+  // Materializes binding i from its stub (thread-safe for disjoint i).
+  void PromoteChain(size_t i);
+  // Rebuilds binding i's chain from its spilled entries.
+  void RehydrateChain(size_t i);
+  // Freezes resident binding i when its state is a fixed point of the
+  // empty-input transition; downgrades all the way to a stub when the
+  // state is exactly the closed form. No-op when ineligible.
+  void TrySpill(size_t i);
+  // Serializes binding i's snapshot — same bytes as a live chain's
+  // SaveState — from whichever residency it is in.
+  void SaveChainState(size_t i, serial::Writer* w) const;
+  // Restores binding i from one chain snapshot inside an engine snapshot
+  // taken at time `t`, classifying it back into the cheapest residency that
+  // reproduces it exactly (stub, spilled, or materialized).
+  Status RestoreChainState(size_t i, serial::Reader* r, uint32_t t);
+  // Builds a fresh chain for binding i (promotion/rehydration/restore).
+  Result<RegularChain> BuildChain(size_t i) const;
+  void LatchLifecycleError(const Status& s);
+
+  // Heap-held per binding so non-resident bindings cost a null pointer, not
+  // a sizeof(RegularChain) slot (~half a KB of empty vectors): the slot is
+  // null exactly while residency is kStub/kSpilled.
+  std::vector<std::unique_ptr<RegularChain>> chains_;
   std::vector<Binding> bindings_;
   std::vector<double> chain_probs_;
   // Sized lazily on first delegation; delegates_[i] != null means chain i
@@ -171,9 +301,42 @@ class ExtendedRegularEngine {
   struct StripeCounters {
     std::atomic<uint64_t> stripe_steps{0};
     std::atomic<uint64_t> stripe_fallbacks{0};
+    std::atomic<uint64_t> promotions{0};
+    std::atomic<uint64_t> spills{0};
+    std::atomic<uint64_t> rehydrations{0};
+    // First error from a concurrent promote/rehydrate (ChainStatus()).
+    std::mutex mu;
+    Status first_error;
   };
   std::unique_ptr<StripeCounters> counters_ =
       std::make_unique<StripeCounters>();
+
+  // --- lifecycle state (empty unless lifecycle_) --------------------------
+  bool lifecycle_ = false;
+  bool lazy_ = false;
+  bool spill_ = false;
+  uint32_t cold_after_ = 64;
+  // Rebuilding chains mid-run needs the query, database, and options that
+  // built the engine; the caches the options point at must outlive every
+  // promotion, so the engine owns fallbacks when the caller passed none.
+  NormalizedQuery query_;
+  const EventDatabase* db_ = nullptr;
+  ChainOptions chain_options_;
+  std::shared_ptr<KernelCache> owned_cache_;
+  std::shared_ptr<TransitionRowPool> owned_rows_;
+  std::unique_ptr<StreamKeyIndex> stream_index_;
+  // Memoization-free automaton copy for stub evolution: Transition() is
+  // then pure/const and safe from concurrent shard threads. One copy
+  // serves every binding (groundings share the NFA structure).
+  std::unique_ptr<QueryNfa> stub_nfa_;
+  std::vector<uint8_t> residency_;
+  std::vector<StateMask> stub_mask_;
+  std::vector<uint32_t> idle_ticks_;
+  std::vector<uint32_t> part_begin_;  // [n + 1] offsets into parts_
+  std::vector<LifecyclePart> parts_;
+  std::vector<uint64_t> trigger_words_;
+  std::vector<std::unique_ptr<SpilledChain>> spilled_;
+
   Timestamp t_ = 0;
   Timestamp horizon_ = 0;
 };

@@ -18,6 +18,7 @@
 #include "analysis/classify.h"
 #include "analysis/plan.h"
 #include "analysis/prepared.h"
+#include "engine/regular_engine.h"
 #include "engine/sampling_engine.h"
 #include "query/ast.h"
 
@@ -37,6 +38,12 @@ const char* EngineKindName(EngineKind kind);
 struct LaharOptions {
   PlanOptions plan;
   SamplingOptions sampling;
+  /// Chain construction knobs for the streaming engines, including the
+  /// chain lifecycle (lazy materialization / cold-chain spill; see
+  /// docs/PERF.md "Chain lifecycle"). The kernel_cache / row_pool /
+  /// stream_index pointers are ignored here — sessions wire those to the
+  /// PreparedQuery's shared caches.
+  ChainOptions chain;
   /// Fall back to sampling when an exact engine rejects the query (unsafe
   /// queries, or safe queries outside the implemented algebra). When false,
   /// such queries return an error Status instead.

@@ -29,7 +29,8 @@ Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
   RegularChain chain;
   LAHAR_ASSIGN_OR_RETURN(QueryNfa nfa, QueryNfa::Build(q));
   chain.nfa_ = std::make_shared<const QueryNfa>(std::move(nfa));
-  LAHAR_ASSIGN_OR_RETURN(SymbolTable table, SymbolTable::Build(q, db));
+  LAHAR_ASSIGN_OR_RETURN(SymbolTable table,
+                         SymbolTable::Build(q, db, options.stream_index));
   chain.symbols_ = std::make_shared<const SymbolTable>(std::move(table));
   chain.db_ = &db;
   chain.horizon_ = db.horizon();
@@ -129,33 +130,23 @@ Result<RegularChain> RegularChain::Create(const NormalizedQuery& q,
         }
         chain.simd_ = want_simd;
         chain.f32_rows_ = want_simd && options.float32_rows;
-        if (want_simd) {
+        if (want_simd && options.row_pool != nullptr) {
+          // Structural class key only — kernel shape, tier, and domains.
+          // CPT content is validated per timestep at reuse (RowContentKey),
+          // not baked in here: a creation-time content hash would be O(CPT
+          // bytes x horizon) per chain and, worse, go permanently stale the
+          // moment a live stream's horizon grows (the streaming runtime
+          // appends every tick). The t == 1 initial marginal is excluded
+          // from both keys: per-key chains with distinct initials share one
+          // class (t == 1 rows are always built locally; see ResolveRows).
+          RowFingerprint fp;
+          fp.Mix(chain.kernel_->signature.data(),
+                 chain.kernel_->signature.size());
+          fp.MixU64(chain.f32_rows_ ? 1 : 0);
           for (const Participant& p : chain.markov_participants_) {
-            chain.row_horizons_.push_back(db.stream(p.id).horizon());
+            fp.MixU64(db.stream(p.id).domain_size());
           }
-          if (options.row_pool != nullptr) {
-            // Content fingerprint of everything the t >= 2 rows depend on.
-            // The t == 1 initial marginal is deliberately excluded: per-key
-            // chains with distinct initials share one class (t == 1 rows
-            // are always built locally; see ResolveRows).
-            RowFingerprint fp;
-            fp.Mix(chain.kernel_->signature.data(),
-                   chain.kernel_->signature.size());
-            fp.MixU64(chain.f32_rows_ ? 1 : 0);
-            for (const Participant& p : chain.markov_participants_) {
-              const Stream& s = db.stream(p.id);
-              fp.MixU64(s.domain_size());
-              fp.MixU64(s.horizon());
-              for (Timestamp ct = 1; ct + 1 <= s.horizon(); ++ct) {
-                const Matrix& cpt = s.CptAt(ct);
-                fp.MixU64(cpt.rows());
-                for (size_t r = 0; r < cpt.rows(); ++r) {
-                  fp.Mix(cpt.Row(r), cpt.cols() * sizeof(double));
-                }
-              }
-            }
-            chain.row_class_ = options.row_pool->FindOrCreate(fp);
-          }
+          chain.row_class_ = options.row_pool->FindOrCreate(fp);
         }
 
         const size_t stride = chain.kernel_->num_flat();
@@ -197,7 +188,7 @@ RegularChain::RegularChain(const RegularChain& o)
       row_class_(o.row_class_),
       step_rows_(o.step_rows_),
       step_rows_t_(o.step_rows_t_),
-      row_horizons_(o.row_horizons_) {
+      step_rows_fp_(o.step_rows_fp_) {
   FixupStorage(o);
 }
 
@@ -237,7 +228,7 @@ RegularChain& RegularChain::operator=(RegularChain&& o) noexcept {
   row_class_ = std::move(o.row_class_);
   step_rows_ = std::move(o.step_rows_);
   step_rows_t_ = o.step_rows_t_;
-  row_horizons_ = std::move(o.row_horizons_);
+  step_rows_fp_ = o.step_rows_fp_;
   // Moving flat_ transfers its heap buffer, so the source's cur_/nxt_
   // pointer values stay valid for *this (owned storage) and external arena
   // pointers transfer as-is (arena-bound storage).
@@ -627,25 +618,42 @@ std::shared_ptr<const TransitionRowSet> RegularChain::BuildRowSet(
   return set;
 }
 
+// Content key of the rows for timestep `next`: per participant, the digest
+// of the CPT slice the step multiplies through, or an ended marker past
+// the horizon. Slices are append-immutable, so the key for a covered tick
+// never changes as a live stream grows; an "ended" row built ahead of the
+// data keys differently from the post-append row and can never be read
+// stale. The digests are maintained by Stream at slice write time, so this
+// costs O(participants) per tick, not O(CPT bytes).
+RowFingerprint RegularChain::RowContentKey(Timestamp next) const {
+  RowFingerprint fp;
+  fp.MixU64(next);
+  for (const Participant& part : markov_participants_) {
+    const Stream& st = db_->stream(part.id);
+    if (next > st.horizon()) {
+      fp.MixU64(0);  // ended: digit 0, probability 1
+      continue;
+    }
+    const std::array<uint64_t, 2>& d = st.CptDigestAt(next - 1);
+    fp.MixU64(1);  // covered marker: distinguishes from the ended case
+    fp.MixU64(d[0]);
+    fp.MixU64(d[1]);
+  }
+  return fp;
+}
+
 std::shared_ptr<const TransitionRowSet> RegularChain::ResolveRows(
     Timestamp next) {
   if (step_rows_ != nullptr && step_rows_t_ == next) return step_rows_;
-  // t == 1 rows depend on the initial marginals, which the class
-  // fingerprint deliberately excludes — never pooled. A participant whose
-  // horizon moved since creation invalidates the fingerprint too.
-  bool pool_ok = row_class_ != nullptr && next > 1;
-  if (pool_ok) {
-    for (size_t i = 0; i < markov_participants_.size(); ++i) {
-      if (db_->stream(markov_participants_[i].id).horizon() !=
-          row_horizons_[i]) {
-        pool_ok = false;
-        break;
-      }
+  // t == 1 rows depend on the initial marginals, which the keys
+  // deliberately exclude — never pooled.
+  if (row_class_ != nullptr && next > 1) {
+    step_rows_fp_ = RowContentKey(next);
+    std::shared_ptr<const TransitionRowSet> set =
+        row_class_->Find(next, step_rows_fp_);
+    if (set == nullptr) {
+      set = row_class_->Insert(next, step_rows_fp_, BuildRowSet(next));
     }
-  }
-  if (pool_ok) {
-    std::shared_ptr<const TransitionRowSet> set = row_class_->Find(next);
-    if (set == nullptr) set = row_class_->Insert(next, BuildRowSet(next));
     step_rows_ = std::move(set);
   } else {
     step_rows_ = BuildRowSet(next);
@@ -969,6 +977,16 @@ size_t RegularChain::StepCost() const {
                             : std::max<size_t>(1, states_.size());
 }
 
+std::vector<RegularChain::ParticipantSummary>
+RegularChain::ParticipantSummaries() const {
+  std::vector<ParticipantSummary> out;
+  out.reserve(participants_.size());
+  for (const Participant& p : participants_) {
+    out.push_back({p.id, p.position, p.markovian});
+  }
+  return out;
+}
+
 size_t RegularChain::OwnedBytes() const {
   size_t total = flat_.capacity() * sizeof(double);
   const Scratch& s = scratch_;
@@ -988,7 +1006,8 @@ size_t RegularChain::OwnedBytes() const {
   // Chain-local (non-pooled) rows are this chain's own weight; pooled rows
   // belong to the shared class and are reported engine-side, deduped.
   if (step_rows_ != nullptr &&
-      (row_class_ == nullptr || row_class_->Find(step_rows_t_) != step_rows_)) {
+      (row_class_ == nullptr ||
+       row_class_->Find(step_rows_t_, step_rows_fp_) != step_rows_)) {
     total += step_rows_->bytes();
   }
   // Map-path states: node + bucket estimate per live entry.

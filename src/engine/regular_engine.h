@@ -71,6 +71,26 @@ struct ChainOptions {
   /// Store pooled rows as float32 (half the bytes, NOT bit-identical; see
   /// rows.h for the error bound). Only affects SIMD-mode chains.
   bool float32_rows = false;
+
+  /// Optional (type, key) -> streams index for grounded-query builds; makes
+  /// SymbolTable::Build O(subgoals) instead of O(streams). The extended
+  /// engine builds one per Create and threads it through every binding.
+  const StreamKeyIndex* stream_index = nullptr;
+
+  // --- chain lifecycle (extended engine only; docs/PERF.md) ---------------
+  /// Keep a registered binding as a ~16-byte closed-form stub until a
+  /// participating stream first shows evidence (nonzero-symbol mass), then
+  /// materialize the real chain. Bit-identical to always-materialized by
+  /// construction: the skipped prefix is the deterministic all-bottom
+  /// trajectory whose probabilities stay exactly 1.0.
+  bool lazy_materialize = false;
+  /// Spill chains that idled `cold_after_ticks` ticks in a frozen
+  /// (absorbing under empty input) state into a compact side arena of
+  /// checkpoint-encoded entries; rehydrate transparently on next evidence.
+  bool spill_cold_chains = false;
+  /// Idle ticks (no participating-stream evidence) before a frozen chain
+  /// is eligible to spill.
+  uint32_t cold_after_ticks = 64;
 };
 
 /// \brief The Markov chain M(t) of Section 3.1.2 for one grounded regular
@@ -123,6 +143,32 @@ class RegularChain {
   const std::vector<StreamId>& participating() const {
     return symbols_->participating();
   }
+
+  /// The compiled query automaton (shared, immutable). The extended
+  /// engine's lifecycle layer keeps a memoization-free copy to evolve
+  /// closed-form stubs without a live chain.
+  const std::shared_ptr<const QueryNfa>& nfa() const { return nfa_; }
+
+  /// The symbol table (shared, immutable until RefreshSymbols swaps it).
+  const std::shared_ptr<const SymbolTable>& symbols() const {
+    return symbols_;
+  }
+
+  /// \brief Creation-time facts the lifecycle layer needs to run a
+  /// binding's closed-form stub and synthesize its checkpoint bytes after
+  /// the chain itself has been dropped (see ExtendedRegularEngine).
+  struct ParticipantSummary {
+    StreamId stream = 0;
+    size_t position = 0;  ///< index into the chain's symbol table
+    bool markovian = false;
+  };
+  std::vector<ParticipantSummary> ParticipantSummaries() const;
+
+  /// Per-Markovian-participant radix multipliers (hidden-code layout).
+  const std::vector<uint64_t>& radices() const { return radices_; }
+
+  /// True once EnableAcceptTracking was called (the checkpoint track byte).
+  bool track_accept() const { return track_accept_; }
 
   /// True when this chain stepped onto a compiled kernel (vs. the map path).
   bool compiled() const { return kernel_ != nullptr; }
@@ -231,10 +277,15 @@ class RegularChain {
   // dematerialize.
   bool FillStepTables();
   // Dense rows for timestep `next`: pooled when the class has them (or this
-  // chain builds and publishes), chain-local otherwise (t == 1, no pool, or
-  // a participant's horizon changed since creation). Cached per timestep.
+  // chain builds and publishes), chain-local otherwise (t == 1 or no
+  // pool). Cached per timestep.
   std::shared_ptr<const TransitionRowSet> ResolveRows(Timestamp next);
   std::shared_ptr<const TransitionRowSet> BuildRowSet(Timestamp next) const;
+  // Content key of the rows for timestep `next`: the write-time digests of
+  // the CPT slices stepped through (or an ended marker past a horizon).
+  // Validates pooled reuse — see automaton/rows.h. O(participants) per
+  // tick; Stream maintains the slice digests.
+  RowFingerprint RowContentKey(Timestamp next) const;
   // Builds the per-step CSR rows (successor hidden code, probability) for
   // every live joint hidden code; mirrors EnumerateSuccessors' enumeration
   // order exactly.
@@ -283,9 +334,7 @@ class RegularChain {
   std::shared_ptr<TransitionRowClass> row_class_;  // null = always local rows
   std::shared_ptr<const TransitionRowSet> step_rows_;  // cache for step t
   Timestamp step_rows_t_ = 0;
-  // Participant horizons at creation; a mismatch at step time means the
-  // stream grew and pooled rows (fingerprinted at creation) may be stale.
-  std::vector<Timestamp> row_horizons_;
+  RowFingerprint step_rows_fp_;  // content key of step_rows_ (pooled path)
 
   // Per-step scratch (reused, never copied with meaning).
   struct Scratch {

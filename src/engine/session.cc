@@ -161,7 +161,8 @@ Result<std::unique_ptr<QuerySession>> CreateQuerySession(
     case QueryClass::kRegular:
     case QueryClass::kExtendedRegular: {
       LAHAR_ASSIGN_OR_RETURN(StreamingSession session,
-                             StreamingSession::Create(db, prepared));
+                             StreamingSession::Create(db, prepared,
+                                                      options.chain));
       return std::unique_ptr<QuerySession>(
           new StreamingSession(std::move(session)));
     }

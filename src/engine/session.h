@@ -95,6 +95,20 @@ class SharedSubChain {
   uint64_t steps_ = 0;
 };
 
+/// \brief Chain-lifecycle residency snapshot of one session (docs/PERF.md
+/// "Chain lifecycle"). Sessions without the lifecycle layer report every
+/// unit as resident; counters are lifetime totals.
+struct SessionResidency {
+  size_t bytes_resident = 0;  ///< engine memory footprint in bytes
+  size_t registered_units = 0;
+  size_t resident_units = 0;
+  size_t stub_units = 0;
+  size_t spilled_units = 0;
+  uint64_t promotions = 0;
+  uint64_t spills = 0;
+  uint64_t rehydrations = 0;
+};
+
 /// \brief Incremental evaluation session for one standing query.
 class QuerySession {
  public:
@@ -116,6 +130,22 @@ class QuerySession {
 
   /// Relative per-tick cost estimate of unit `i` (shard balancing).
   virtual size_t UnitCost(size_t i) const = 0;
+
+  /// One past the last unit of the indivisible shard group containing unit
+  /// i. The executor aligns shard-range boundaries on group ends so a split
+  /// never shears a group whose units must be stepped together to stay on
+  /// their fast path (e.g. a lane-interleaved SIMD stripe). Groups are a
+  /// performance hint only — any split is still correct. Default: every
+  /// unit is its own group.
+  virtual size_t UnitGroupEnd(size_t i) const { return i + 1; }
+
+  /// Residency and memory snapshot of this session's units (stats).
+  virtual SessionResidency Residency() const {
+    SessionResidency r;
+    r.registered_units = num_units();
+    r.resident_units = r.registered_units;
+    return r;
+  }
 
   /// Total per-tick cost estimate: sum of UnitCost over all units.
   size_t StepCost() const;
@@ -217,6 +247,14 @@ class QuerySession {
   /// Units stepping on the vectorized SoA kernel path (stats; zero for
   /// sessions without a chain arena).
   virtual size_t NumSimdUnits() const { return 0; }
+
+  /// Whole-stripe steps taken / stripes demoted to per-unit steps since
+  /// creation (stats; zero for sessions without lane-interleaved stripes).
+  /// Fallbacks are data-dependent and scheduler-independent: the executor
+  /// aligns shard splits on UnitGroupEnd, so rebalances and steals must not
+  /// grow this counter (asserted by tests/chain_lifecycle_test.cc).
+  virtual uint64_t StripeSteps() const { return 0; }
+  virtual uint64_t StripeFallbacks() const { return 0; }
 
  protected:
   QuerySession(QueryClass query_class, EngineKind engine_kind, bool exact)

@@ -13,6 +13,12 @@ Result<StreamingSession> StreamingSession::Create(EventDatabase* db,
 
 Result<StreamingSession> StreamingSession::Create(
     EventDatabase* db, const PreparedQuery& prepared) {
+  return Create(db, prepared, ChainOptions{});
+}
+
+Result<StreamingSession> StreamingSession::Create(
+    EventDatabase* db, const PreparedQuery& prepared,
+    const ChainOptions& chain_options) {
   QueryClass cls = prepared.classification.query_class;
   if (cls != QueryClass::kRegular && cls != QueryClass::kExtendedRegular) {
     return Status::UnsafeQuery(
@@ -21,20 +27,26 @@ Result<StreamingSession> StreamingSession::Create(
                "archived history")
         .WithPayload(kQueryClassPayload, QueryClassName(cls));
   }
-  ChainOptions options;
+  ChainOptions options = chain_options;
   options.kernel_cache = prepared.kernel_cache.get();
   options.row_pool = prepared.row_pool.get();
+  options.stream_index = nullptr;  // the engine builds/owns its own
   LAHAR_ASSIGN_OR_RETURN(ExtendedRegularEngine engine,
                          ExtendedRegularEngine::Create(prepared.normalized,
                                                        *db, options));
   StreamingSession session(std::move(engine), cls);
   // Canonical key per grounded chain: two chains across any sessions with
   // equal keys are structurally identical and step to identical doubles,
-  // so the runtime may evaluate them as one shared unit.
-  session.unit_keys_.reserve(session.engine_.num_chains());
-  for (size_t i = 0; i < session.engine_.num_chains(); ++i) {
-    session.unit_keys_.push_back(CanonicalQueryKey(
-        prepared.normalized.Substitute(session.engine_.binding(i))));
+  // so the runtime may evaluate them as one shared unit. Lifecycle
+  // sessions decline sharing, so they skip materializing the keys (at a
+  // million registered bindings the key strings alone would rival the
+  // stub tables).
+  if (!session.engine_.lifecycle_enabled()) {
+    session.unit_keys_.reserve(session.engine_.num_chains());
+    for (size_t i = 0; i < session.engine_.num_chains(); ++i) {
+      session.unit_keys_.push_back(CanonicalQueryKey(
+          prepared.normalized.Substitute(session.engine_.binding(i))));
+    }
   }
   return session;
 }

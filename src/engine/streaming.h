@@ -43,6 +43,13 @@ class StreamingSession : public QuerySession {
   static Result<StreamingSession> Create(EventDatabase* db,
                                          const PreparedQuery& prepared);
 
+  /// As above, with explicit chain-construction knobs (kernel budgets,
+  /// step mode, chain lifecycle). The cache/pool/index pointers in
+  /// `chain_options` are overridden with the PreparedQuery's shared caches.
+  static Result<StreamingSession> Create(EventDatabase* db,
+                                         const PreparedQuery& prepared,
+                                         const ChainOptions& chain_options);
+
   /// Consumes timestep time()+1 (which every stream must already cover via
   /// Append*, unless it has simply ended) and returns P[q@t] at the new
   /// time.
@@ -65,6 +72,26 @@ class StreamingSession : public QuerySession {
   size_t num_units() const override { return engine_.num_chains(); }
   size_t UnitCost(size_t i) const override { return engine_.ChainCost(i); }
 
+  /// Shard groups are the engine's lane-interleaved stripes: splitting one
+  /// across shards would demote every lane to per-chain fallback steps.
+  size_t UnitGroupEnd(size_t i) const override {
+    return engine_.ChainGroupEnd(i);
+  }
+
+  /// Residency and memory accounting (chain lifecycle; docs/PERF.md).
+  SessionResidency Residency() const override {
+    SessionResidency r;
+    r.bytes_resident = engine_.Footprint().bytes();
+    r.registered_units = engine_.num_chains();
+    r.resident_units = engine_.num_resident();
+    r.stub_units = engine_.num_stub();
+    r.spilled_units = engine_.num_spilled();
+    r.promotions = engine_.promotions();
+    r.spills = engine_.spills();
+    r.rehydrations = engine_.rehydrations();
+    return r;
+  }
+
   /// Streaming state is O(chains), so checkpoints serialize it directly
   /// instead of replaying the archived prefix.
   bool SupportsStateRestore() const override { return true; }
@@ -81,6 +108,10 @@ class StreamingSession : public QuerySession {
 
   /// Chains stepping on the vectorized SoA kernel path (docs/PERF.md).
   size_t NumSimdUnits() const override { return engine_.num_simd(); }
+  uint64_t StripeSteps() const override { return engine_.stripe_steps(); }
+  uint64_t StripeFallbacks() const override {
+    return engine_.stripe_fallbacks();
+  }
 
   /// The underlying engine (diagnostics: per-chain probabilities and
   /// bindings).
@@ -88,7 +119,11 @@ class StreamingSession : public QuerySession {
 
   // Cross-session sharing (docs/SHARING.md): every grounded chain is a
   // shareable unit keyed by the canonical form of its grounded query.
-  size_t NumShareableUnits() const override { return engine_.num_chains(); }
+  // Lifecycle sessions decline sharing entirely — stubs and spilled
+  // bindings hold no live chain to seed or adopt a shared unit with.
+  size_t NumShareableUnits() const override {
+    return engine_.lifecycle_enabled() ? 0 : engine_.num_chains();
+  }
   const std::string& ShareableUnitKey(size_t i) const override {
     return unit_keys_[i];
   }

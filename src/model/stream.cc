@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 
 namespace lahar {
 namespace {
@@ -34,7 +35,33 @@ Stream::Stream(SymbolId type, ValueTuple key, size_t num_value_attrs,
       markovian_(markovian) {
   domain_.push_back(ValueTuple{});  // index 0 = bottom
   marginals_.resize(horizon_ + 1);
-  if (markovian_) cpts_.resize(horizon_);  // cpts_[1..horizon-1]
+  if (markovian_) {
+    cpts_.resize(horizon_);  // cpts_[1..horizon-1]
+    cpt_digests_.resize(horizon_);
+  }
+}
+
+// Dual word-wise FNV-1a over dims then raw entry bits. Word-wise (not
+// byte-wise) keeps the cost well under one pass of the validation checks
+// that already read every entry on the write path.
+std::array<uint64_t, 2> Stream::DigestCpt(const Matrix& cpt) {
+  uint64_t lo = 0xcbf29ce484222325ULL;
+  uint64_t hi = 0x84222325cbf29ce4ULL;
+  auto mix = [&](uint64_t v) {
+    lo = (lo ^ v) * 0x100000001b3ULL;
+    hi = (hi ^ v) * 0x00000100000001b3ULL + 0x9e3779b97f4a7c15ULL;
+  };
+  mix(cpt.rows());
+  mix(cpt.cols());
+  for (size_t r = 0; r < cpt.rows(); ++r) {
+    const double* row = cpt.Row(r);
+    for (size_t c = 0; c < cpt.cols(); ++c) {
+      uint64_t bits;
+      std::memcpy(&bits, &row[c], sizeof(bits));
+      mix(bits);
+    }
+  }
+  return {lo, hi};
 }
 
 DomainIndex Stream::InternTuple(const ValueTuple& values) {
@@ -85,6 +112,7 @@ Status Stream::SetCpt(Timestamp t, Matrix cpt) {
     }
   }
   cpts_[t] = std::move(cpt);
+  cpt_digests_[t] = DigestCpt(cpts_[t]);
   return Status::OK();
 }
 
@@ -134,6 +162,7 @@ Status Stream::PruneCpts(double epsilon, size_t* entries_before,
       }
       after += kept_count;
     }
+    cpt_digests_[t] = DigestCpt(cpt);
   }
   if (entries_before != nullptr) *entries_before = before;
   if (entries_after != nullptr) *entries_after = after;
@@ -165,6 +194,7 @@ Status Stream::AppendInitial(std::vector<double> dist) {
   LAHAR_RETURN_NOT_OK(CheckDistribution(dist));
   marginals_.push_back(std::move(dist));
   cpts_.emplace_back();  // index 0 placeholder; CPTs live at 1..horizon-1
+  cpt_digests_.emplace_back();
   horizon_ = 1;
   return Status::OK();
 }
@@ -191,6 +221,7 @@ Status Stream::AppendMarkovStep(Matrix cpt) {
   }
   marginals_.push_back(cpt.LeftMultiply(marginals_[horizon_]));
   cpts_.push_back(std::move(cpt));
+  cpt_digests_.push_back(DigestCpt(cpts_.back()));
   ++horizon_;
   return Status::OK();
 }
@@ -203,6 +234,11 @@ const std::vector<double>& Stream::MarginalAt(Timestamp t) const {
 const Matrix& Stream::CptAt(Timestamp t) const {
   assert(markovian_ && t >= 1 && t < horizon_);
   return cpts_[t];
+}
+
+const std::array<uint64_t, 2>& Stream::CptDigestAt(Timestamp t) const {
+  assert(markovian_ && t >= 1 && t < horizon_);
+  return cpt_digests_[t];
 }
 
 double Stream::ProbAt(Timestamp t, DomainIndex d) const {
@@ -369,6 +405,11 @@ Result<Stream> Stream::LoadFrom(serial::Reader* r) {
       }
     }
     s.cpts_[i] = std::move(m);
+  }
+  // The digest cache is not part of the snapshot format; rebuild it.
+  s.cpt_digests_.resize(s.cpts_.size());
+  for (size_t i = 0; i < s.cpts_.size(); ++i) {
+    s.cpt_digests_[i] = DigestCpt(s.cpts_[i]);
   }
   return s;
 }

@@ -16,6 +16,8 @@
 #ifndef LAHAR_MODEL_STREAM_H_
 #define LAHAR_MODEL_STREAM_H_
 
+#include <array>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -114,6 +116,14 @@ class Stream {
   /// CPT for the transition t -> t+1. Requires markovian() and 1<=t<horizon.
   const Matrix& CptAt(Timestamp t) const;
 
+  /// Content digest (dual word-wise FNV over dims + entry bits) of
+  /// CptAt(t), maintained wherever the slice is written, so reading it is
+  /// O(1). Engines use it to validate shared transition-row reuse per tick
+  /// without re-reading slice bytes (automaton/rows.h); equal digests on
+  /// structurally equal streams mean bit-equal slices. Same preconditions
+  /// as CptAt.
+  const std::array<uint64_t, 2>& CptDigestAt(Timestamp t) const;
+
   /// Marginal probability of domain index d at time t (0 if out of range).
   double ProbAt(Timestamp t, DomainIndex d) const;
 
@@ -148,8 +158,14 @@ class Stream {
 
   // marginals_[t] for t = 1..horizon (index 0 unused).
   std::vector<std::vector<double>> marginals_;
+  static std::array<uint64_t, 2> DigestCpt(const Matrix& cpt);
+
   // cpts_[t] is the transition t -> t+1, for t = 1..horizon-1 (Markovian).
   std::vector<Matrix> cpts_;
+  // cpt_digests_[t] mirrors cpts_[t] — recomputed wherever a slice is
+  // written (Set/Append/Prune/LoadFrom), never serialized (snapshot bytes
+  // are unchanged by this cache; LoadFrom rebuilds it).
+  std::vector<std::array<uint64_t, 2>> cpt_digests_;
 };
 
 }  // namespace lahar

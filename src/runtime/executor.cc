@@ -232,6 +232,7 @@ RuntimeStats StreamRuntime::Stats() const {
     out.steals = steals_;
     out.split_placements = split_placements_;
     out.rebalances = rebalances_;
+    out.plan_rebuilds = plan_rebuilds_;
     out.barrier_wait = barrier_wait_.Summarize();
     out.sharing_groups = registry_.num_sharing_groups();
     out.shared_steps_executed = registry_.shared_steps_executed();
@@ -270,7 +271,26 @@ RuntimeStats StreamRuntime::Stats() const {
       qs.kernel_misses = q->kernel_misses;
       qs.shared_units = q->session->NumDelegatedUnits();
       qs.simd_units = q->session->NumSimdUnits();
+      qs.stripe_steps = q->session->StripeSteps();
+      qs.stripe_fallbacks = q->session->StripeFallbacks();
       out.simd_units += qs.simd_units;
+      out.stripe_steps += qs.stripe_steps;
+      out.stripe_fallbacks += qs.stripe_fallbacks;
+      SessionResidency res = q->session->Residency();
+      qs.bytes_resident = res.bytes_resident;
+      qs.resident_units = res.resident_units;
+      qs.stub_units = res.stub_units;
+      qs.spilled_units = res.spilled_units;
+      qs.promotions = res.promotions;
+      qs.spills = res.spills;
+      qs.rehydrations = res.rehydrations;
+      out.bytes_resident += res.bytes_resident;
+      out.resident_units += res.resident_units;
+      out.stub_units += res.stub_units;
+      out.spilled_units += res.spilled_units;
+      out.promotions += res.promotions;
+      out.spills += res.spills;
+      out.rehydrations += res.rehydrations;
       out.safe_memo_entries += ms.memo_entries;
       out.safe_memo_evictions += ms.memo_evictions;
       out.safe_rows_live += ms.rows_live;
@@ -306,6 +326,7 @@ RuntimeStats StreamRuntime::Stats() const {
 }
 
 void StreamRuntime::RebuildPlan(bool measured) {
+  ++plan_rebuilds_;
   const size_t nshards = shard_plan_.size();
   for (ShardPlan& p : shard_plan_) {
     p.shared.clear();
@@ -400,16 +421,24 @@ void StreamRuntime::RebuildPlan(bool measured) {
     SharedGroup& g = shared_groups_.back();
     g.query = item.q;
     g.index = item.index;
+    // Cuts land only on shard-group boundaries (UnitGroupEnd): splitting a
+    // lane-interleaved SIMD stripe across shards would demote every lane to
+    // the per-chain fallback step, so a rebalance must never shear one.
     std::vector<std::pair<size_t, size_t>> ranges;  // [begin, end)
     size_t begin = 0;
     uint64_t filled = 0;
-    for (size_t i = 0; i < nunits; ++i) {
+    for (size_t i = 0; i < nunits;) {
+      size_t ge = item.q->session->UnitGroupEnd(i);
+      if (ge <= i || ge > nunits) ge = i + 1;
       if (filled >= range_quota && ranges.size() + 1 < nranges && i > begin) {
         ranges.emplace_back(begin, i);
         begin = i;
         filled = 0;
       }
-      filled += item.q->session->UnitCost(i);
+      for (size_t u = i; u < ge; ++u) {
+        filled += item.q->session->UnitCost(u);
+      }
+      i = ge;
     }
     ranges.emplace_back(begin, nunits);
     g.nranges = static_cast<uint32_t>(ranges.size());

@@ -303,6 +303,7 @@ class StreamRuntime {
   uint64_t steals_ = 0;      // whole sessions moved by drift rebalances
   uint64_t split_placements_ = 0;  // split-group primary-shard moves
   uint64_t rebalances_ = 0;  // drift-triggered plan rebuilds
+  uint64_t plan_rebuilds_ = 0;  // all plan rebuilds (registry churn + drift)
   uint64_t last_rebalance_window_ = 0;
   LatencyRecorder barrier_wait_;  // coordinator wait at the window barrier
   uint64_t work_version_ = ~0ULL;  // registry version the plan matches

@@ -143,11 +143,13 @@ std::string RuntimeStats::ToString() const {
   if (windows_executed > 0) {
     std::snprintf(buf, sizeof(buf),
                   "windows: executed=%llu cap=%zu steals=%llu "
-                  "split_placements=%llu rebalances=%llu hist=[",
+                  "split_placements=%llu rebalances=%llu "
+                  "plan_rebuilds=%llu hist=[",
                   static_cast<unsigned long long>(windows_executed),
                   max_window_ticks, static_cast<unsigned long long>(steals),
                   static_cast<unsigned long long>(split_placements),
-                  static_cast<unsigned long long>(rebalances));
+                  static_cast<unsigned long long>(rebalances),
+                  static_cast<unsigned long long>(plan_rebuilds));
     out += buf;
     for (size_t i = 0; i < window_size_hist.size(); ++i) {
       std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? " " : "",
@@ -164,6 +166,17 @@ std::string RuntimeStats::ToString() const {
                     FormatUs(barrier_wait.max_us).c_str());
       out += buf;
     }
+  }
+  if (total_chains > 0 || bytes_resident > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "memory:  bytes_resident=%zu resident=%zu/%zu stubs=%zu "
+                  "spilled=%zu promotions=%llu spills=%llu "
+                  "rehydrations=%llu\n",
+                  bytes_resident, resident_units, total_chains, stub_units,
+                  spilled_units, static_cast<unsigned long long>(promotions),
+                  static_cast<unsigned long long>(spills),
+                  static_cast<unsigned long long>(rehydrations));
+    out += buf;
   }
   if (safe_memo_entries > 0 || safe_memo_evictions > 0 ||
       safe_rows_live > 0 || safe_row_evictions > 0) {
@@ -182,7 +195,8 @@ std::string RuntimeStats::ToString() const {
     std::snprintf(buf, sizeof(buf),
                   "sharing: groups=%zu steps_executed=%llu steps_saved=%llu "
                   "plan_dedup_hits=%llu kernels=%zu kernel_hits=%llu "
-                  "kernel_misses=%llu simd_units=%zu fanout_hist=[",
+                  "kernel_misses=%llu simd_units=%zu stripe_steps=%llu "
+                  "stripe_fallbacks=%llu fanout_hist=[",
                   sharing_groups,
                   static_cast<unsigned long long>(shared_steps_executed),
                   static_cast<unsigned long long>(shared_steps_saved),
@@ -190,7 +204,8 @@ std::string RuntimeStats::ToString() const {
                   kernel_cache_entries,
                   static_cast<unsigned long long>(kernel_cache_hits),
                   static_cast<unsigned long long>(kernel_cache_misses),
-                  simd_units);
+                  simd_units, static_cast<unsigned long long>(stripe_steps),
+                  static_cast<unsigned long long>(stripe_fallbacks));
     out += buf;
     for (size_t i = 0; i < sharing_fanout_hist.size(); ++i) {
       std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? " " : "",
@@ -281,15 +296,31 @@ std::string RuntimeStats::ToString() const {
                     static_cast<unsigned long long>(q.row_rebuilds));
       out += buf;
     }
+    if (q.stub_units > 0 || q.spilled_units > 0 || q.promotions > 0 ||
+        q.spills > 0 || q.rehydrations > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "    lifecycle: bytes=%zu resident=%zu/%zu stubs=%zu "
+                    "spilled=%zu promotions=%llu spills=%llu "
+                    "rehydrations=%llu\n",
+                    q.bytes_resident, q.resident_units, q.num_chains,
+                    q.stub_units, q.spilled_units,
+                    static_cast<unsigned long long>(q.promotions),
+                    static_cast<unsigned long long>(q.spills),
+                    static_cast<unsigned long long>(q.rehydrations));
+      out += buf;
+    }
     if (q.shared_units > 0 || q.kernel_hits > 0 || q.kernel_misses > 0 ||
         q.simd_units > 0) {
       std::snprintf(buf, sizeof(buf),
                     "    sharing: delegated_units=%zu kernel_hits=%llu "
-                    "kernel_misses=%llu simd_units=%zu\n",
+                    "kernel_misses=%llu simd_units=%zu stripe_steps=%llu "
+                    "stripe_fallbacks=%llu\n",
                     q.shared_units,
                     static_cast<unsigned long long>(q.kernel_hits),
                     static_cast<unsigned long long>(q.kernel_misses),
-                    q.simd_units);
+                    q.simd_units,
+                    static_cast<unsigned long long>(q.stripe_steps),
+                    static_cast<unsigned long long>(q.stripe_fallbacks));
       out += buf;
     }
   }
@@ -320,11 +351,13 @@ std::string RuntimeStats::ToJson() const {
   std::snprintf(buf, sizeof(buf),
                 "\"windows_executed\":%llu,\"max_window_ticks\":%zu,"
                 "\"steals\":%llu,\"split_placements\":%llu,"
-                "\"rebalances\":%llu,\"window_size_hist\":[",
+                "\"rebalances\":%llu,\"plan_rebuilds\":%llu,"
+                "\"window_size_hist\":[",
                 static_cast<unsigned long long>(windows_executed),
                 max_window_ticks, static_cast<unsigned long long>(steals),
                 static_cast<unsigned long long>(split_placements),
-                static_cast<unsigned long long>(rebalances));
+                static_cast<unsigned long long>(rebalances),
+                static_cast<unsigned long long>(plan_rebuilds));
   out += buf;
   for (size_t i = 0; i < window_size_hist.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? "," : "",
@@ -351,6 +384,17 @@ std::string RuntimeStats::ToJson() const {
                 safe_rows_live,
                 static_cast<unsigned long long>(safe_row_evictions));
   out += buf;
+  // Lifecycle totals are always present (all units resident and zero
+  // transitions when no session runs the chain lifecycle).
+  std::snprintf(buf, sizeof(buf),
+                "\"bytes_resident\":%zu,\"resident_units\":%zu,"
+                "\"stub_units\":%zu,\"spilled_units\":%zu,"
+                "\"promotions\":%llu,\"spills\":%llu,\"rehydrations\":%llu,",
+                bytes_resident, resident_units, stub_units, spilled_units,
+                static_cast<unsigned long long>(promotions),
+                static_cast<unsigned long long>(spills),
+                static_cast<unsigned long long>(rehydrations));
+  out += buf;
   // Sharing counters are always present (zeros when sharing is disabled or
   // no workload overlaps) so dashboards need no field probing.
   std::snprintf(buf, sizeof(buf),
@@ -358,6 +402,7 @@ std::string RuntimeStats::ToJson() const {
                 "\"shared_steps_saved\":%llu,\"prepared_dedup_hits\":%llu,"
                 "\"kernel_cache_hits\":%llu,\"kernel_cache_misses\":%llu,"
                 "\"kernel_cache_entries\":%zu,\"simd_units\":%zu,"
+                "\"stripe_steps\":%llu,\"stripe_fallbacks\":%llu,"
                 "\"sharing_fanout_hist\":[",
                 sharing_groups,
                 static_cast<unsigned long long>(shared_steps_executed),
@@ -365,7 +410,9 @@ std::string RuntimeStats::ToJson() const {
                 static_cast<unsigned long long>(prepared_dedup_hits),
                 static_cast<unsigned long long>(kernel_cache_hits),
                 static_cast<unsigned long long>(kernel_cache_misses),
-                kernel_cache_entries, simd_units);
+                kernel_cache_entries, simd_units,
+                static_cast<unsigned long long>(stripe_steps),
+                static_cast<unsigned long long>(stripe_fallbacks));
   out += buf;
   for (size_t i = 0; i < sharing_fanout_hist.size(); ++i) {
     std::snprintf(buf, sizeof(buf), "%s%llu", i > 0 ? "," : "",
@@ -431,7 +478,8 @@ std::string RuntimeStats::ToJson() const {
                   "\"exact\":%s,\"units\":%zu,\"ticks\":%llu,"
                   "\"errors\":%llu,\"kernel_hits\":%llu,"
                   "\"kernel_misses\":%llu,\"shared_units\":%zu,"
-                  "\"simd_units\":%zu,",
+                  "\"simd_units\":%zu,\"stripe_steps\":%llu,"
+                  "\"stripe_fallbacks\":%llu,",
                   static_cast<unsigned long long>(q.id),
                   JsonEscape(q.query_class).c_str(),
                   JsonEscape(q.engine).c_str(), q.exact ? "true" : "false",
@@ -439,7 +487,20 @@ std::string RuntimeStats::ToJson() const {
                   static_cast<unsigned long long>(q.errors),
                   static_cast<unsigned long long>(q.kernel_hits),
                   static_cast<unsigned long long>(q.kernel_misses),
-                  q.shared_units, q.simd_units);
+                  q.shared_units, q.simd_units,
+                  static_cast<unsigned long long>(q.stripe_steps),
+                  static_cast<unsigned long long>(q.stripe_fallbacks));
+    out += buf;
+    std::snprintf(buf, sizeof(buf),
+                  "\"bytes_resident\":%zu,\"resident_units\":%zu,"
+                  "\"stub_units\":%zu,\"spilled_units\":%zu,"
+                  "\"promotions\":%llu,\"spills\":%llu,"
+                  "\"rehydrations\":%llu,",
+                  q.bytes_resident, q.resident_units, q.stub_units,
+                  q.spilled_units,
+                  static_cast<unsigned long long>(q.promotions),
+                  static_cast<unsigned long long>(q.spills),
+                  static_cast<unsigned long long>(q.rehydrations));
     out += buf;
     out += "\"text\":\"" + JsonEscape(q.text) + "\",";
     out += "\"last_error\":\"" + JsonEscape(q.last_error) + "\"}";

@@ -89,6 +89,23 @@ struct QueryStats {
   /// Units of this query stepping on the vectorized SoA kernel path
   /// (docs/PERF.md).
   size_t simd_units = 0;
+  /// Whole-stripe steps taken / stripes demoted to per-unit steps.
+  /// Fallbacks are data-dependent: the executor aligns shard splits on
+  /// stripe boundaries, so rebalances must not grow them.
+  uint64_t stripe_steps = 0;
+  uint64_t stripe_fallbacks = 0;
+  // --- chain lifecycle (docs/PERF.md "Chain lifecycle") -------------------
+  /// Session memory footprint in bytes (resident chains + stubs + spill
+  /// arena). num_chains counts *registered* units; resident + stub +
+  /// spilled partitions them for lifecycle sessions (all resident
+  /// otherwise).
+  size_t bytes_resident = 0;
+  size_t resident_units = 0;  ///< units holding a materialized chain
+  size_t stub_units = 0;      ///< lazy stubs never promoted (~16 B each)
+  size_t spilled_units = 0;   ///< cold chains in the spill arena
+  uint64_t promotions = 0;    ///< stub -> resident transitions
+  uint64_t spills = 0;        ///< resident -> spilled/stub transitions
+  uint64_t rehydrations = 0;  ///< spilled -> resident transitions
 };
 
 /// \brief Per-shard counters, snapshot at Stats() time.
@@ -178,8 +195,22 @@ struct RuntimeStats {
   uint64_t kernel_cache_misses = 0;
   size_t kernel_cache_entries = 0;
   /// Chains stepping on the vectorized SoA kernel path across all queries
-  /// (docs/PERF.md).
+  /// (docs/PERF.md), with their whole-stripe steps and per-unit demotions
+  /// (stripe_fallbacks growing under rebalance churn means shard splits
+  /// are shearing lane-interleaved stripes).
   size_t simd_units = 0;
+  uint64_t stripe_steps = 0;
+  uint64_t stripe_fallbacks = 0;
+  // --- chain lifecycle totals (docs/PERF.md "Chain lifecycle") ------------
+  /// Summed session footprints; total_chains counts registered units, and
+  /// resident + stub + spilled partitions them.
+  size_t bytes_resident = 0;
+  size_t resident_units = 0;
+  size_t stub_units = 0;
+  size_t spilled_units = 0;
+  uint64_t promotions = 0;
+  uint64_t spills = 0;
+  uint64_t rehydrations = 0;
   /// End-to-end per-tick wall time. Under windowed execution each tick of
   /// a window records the window's wall time divided by its width, so the
   /// count still equals ticks_processed and the mean is the true
@@ -195,6 +226,12 @@ struct RuntimeStats {
   uint64_t steals = 0;      ///< whole sessions moved between shards by rebalances
   uint64_t split_placements = 0;  ///< split-group primary-shard moves
   uint64_t rebalances = 0;  ///< drift-triggered plan rebuilds
+  /// Work-plan rebuilds of any cause: registry churn (register/unregister
+  /// bumps the version; the next window rebuilds from static costs) plus
+  /// the drift rebalances above. Deterministically >= 1 once a window has
+  /// run, and grows with each churn batch — unlike steals, which require a
+  /// measured drift rebalance to move an owner.
+  uint64_t plan_rebuilds = 0;
   /// Coordinator wait at the end-of-window barrier (one record per window,
   /// multi-threaded runs only) — the pool's straggler skew.
   LatencySummary barrier_wait;
